@@ -1,0 +1,237 @@
+// Package repro's root benchmark harness: one testing.B benchmark per
+// table and figure of the paper's evaluation (Section 5). Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark regenerates its experiment once per iteration and reports
+// the paper's headline quantities as custom metrics (speedups, estimation
+// errors, DSA success rates), so `go test -bench` output is a compact
+// reproduction of the evaluation. cmd/bamboo-expt prints the same data as
+// full tables.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/benchmarks"
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/machine"
+	"repro/internal/schedsim"
+)
+
+// prepared is cached across benchmarks within one `go test -bench` process:
+// preparation (compile + profile + synthesize for 62 cores) is itself timed
+// by BenchmarkSynthesis.
+var prepared []*expt.Prepared
+
+func getPrepared(b *testing.B) []*expt.Prepared {
+	b.Helper()
+	if prepared == nil {
+		p, err := expt.PrepareAll(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prepared = p
+	}
+	return prepared
+}
+
+// BenchmarkFig7Speedups regenerates the Figure 7 table: each iteration runs
+// all six benchmarks' synthesized 62-core layouts on the real engine.
+func BenchmarkFig7Speedups(b *testing.B) {
+	prep := getPrepared(b)
+	b.ResetTimer()
+	var rows []expt.Fig7Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = expt.Fig7(prep)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, r := range rows {
+		b.ReportMetric(r.SpeedupVsBamboo, "speedup/"+r.Benchmark)
+	}
+}
+
+// BenchmarkFig9SimulatorAccuracy regenerates Figure 9: scheduling simulator
+// estimates against real executions, reporting per-benchmark error.
+func BenchmarkFig9SimulatorAccuracy(b *testing.B) {
+	prep := getPrepared(b)
+	b.ResetTimer()
+	var rows []expt.Fig9Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = expt.Fig9(prep)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, r := range rows {
+		b.ReportMetric(r.ManyCoreErr*100, "err%/"+r.Benchmark)
+	}
+}
+
+// BenchmarkFig10DSA regenerates a reduced Figure 10 study: the candidate
+// space distribution and the DSA outcome distribution at 16 cores. Raise
+// -dsa runs via cmd/bamboo-expt for the full-scale version.
+func BenchmarkFig10DSA(b *testing.B) {
+	var results []*expt.Fig10Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = expt.Fig10(expt.Fig10Options{
+			Cores: 16, DSARuns: 8, MaxExhaustive: 1500, Seed: 1, SkipTracking: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, r := range results {
+		b.ReportMetric(r.SuccessRate*100, "dsaSuccess%/"+r.Benchmark)
+	}
+}
+
+// BenchmarkFig11Generality regenerates Figure 11: doubled inputs under
+// layouts synthesized from the original and doubled profiles.
+func BenchmarkFig11Generality(b *testing.B) {
+	prep := getPrepared(b)
+	b.ResetTimer()
+	var rows []expt.Fig11Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = expt.Fig11(prep, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, r := range rows {
+		b.ReportMetric(r.OrigProfileSpeedup, "speedupOrig/"+r.Benchmark)
+	}
+}
+
+// BenchmarkSynthesis measures the DSA synthesis pipeline itself (the
+// Section 5.1 optimization-time report), per benchmark.
+func BenchmarkSynthesis(b *testing.B) {
+	for _, bench := range benchmarks.InPaper() {
+		bench := bench
+		b.Run(bench.Name, func(b *testing.B) {
+			sys, err := core.CompileSource(bench.Source)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prof, _, err := sys.Profile(bench.Args)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := machine.TilePro64()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.Synthesize(core.SynthesizeConfig{
+					Machine: m, Prof: prof, Seed: int64(i + 1), PerObjectCounts: bench.Hints,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompile measures the compiler frontend plus static analyses.
+func BenchmarkCompile(b *testing.B) {
+	for _, bench := range benchmarks.InPaper() {
+		bench := bench
+		b.Run(bench.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.CompileSource(bench.Source); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSequentialExecution measures the interpreter-driven sequential
+// baseline per benchmark (virtual cycles per wall second is the harness's
+// effective simulation speed).
+func BenchmarkSequentialExecution(b *testing.B) {
+	for _, bench := range benchmarks.InPaper() {
+		bench := bench
+		b.Run(bench.Name, func(b *testing.B) {
+			sys, err := core.CompileSource(bench.Source)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cycles int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sys.RunSequential(bench.Args, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.TotalCycles
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(cycles), "virtualCycles")
+		})
+	}
+}
+
+// BenchmarkOptimizerAblation measures the IR optimizer's effect on the
+// sequential baselines: virtual cycles with and without the scalar
+// optimizations (an ablation of a design choice DESIGN.md calls out — the
+// evaluation tables run unoptimized IR to match the paper's baseline).
+func BenchmarkOptimizerAblation(b *testing.B) {
+	for _, bench := range benchmarks.InPaper() {
+		bench := bench
+		b.Run(bench.Name, func(b *testing.B) {
+			plain, err := core.CompileSource(bench.Source)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opt, err := core.CompileSource(bench.Source)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opt.OptimizeIR()
+			var plainCycles, optCycles int64
+			for i := 0; i < b.N; i++ {
+				rp, err := plain.RunSequential(bench.Args, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ro, err := opt.RunSequential(bench.Args, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				plainCycles, optCycles = rp.TotalCycles, ro.TotalCycles
+			}
+			b.ReportMetric(float64(plainCycles-optCycles)/float64(plainCycles)*100, "cyclesSaved%")
+		})
+	}
+}
+
+// BenchmarkSchedulingSimulator measures one scheduling-simulator evaluation
+// of a 62-core layout (the inner loop of the DSA search).
+func BenchmarkSchedulingSimulator(b *testing.B) {
+	prep := getPrepared(b)
+	for _, p := range prep {
+		p := p
+		b.Run(p.Bench.Name, func(b *testing.B) {
+			sim := p.Sys.Simulator()
+			opts := schedsim.Options{
+				Machine: p.Machine, Layout: p.Synth.Layout, Prof: p.Prof,
+				PerObjectCounts: p.Bench.Hints,
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

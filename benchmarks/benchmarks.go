@@ -1,0 +1,148 @@
+// Package benchmarks embeds the Bamboo-language benchmark programs of the
+// paper's evaluation (Section 5) plus the Section 2 keyword counting
+// example, with the workload parameters used by the experiment harness.
+//
+// Inputs are scaled down from the paper's TILEPro64 runs so the whole
+// experiment suite executes in seconds under the interpreter while keeping
+// each benchmark's structure (task graph shape, compute/merge balance)
+// intact. ArgsDouble is the doubled workload used by the Figure 11
+// generality study.
+package benchmarks
+
+import (
+	_ "embed"
+	"fmt"
+)
+
+//go:embed keyword.bb
+var keywordSrc string
+
+//go:embed imagepipe.bb
+var imagepipeSrc string
+
+//go:embed tracking.bb
+var trackingSrc string
+
+//go:embed kmeans.bb
+var kmeansSrc string
+
+//go:embed montecarlo.bb
+var montecarloSrc string
+
+//go:embed filterbank.bb
+var filterbankSrc string
+
+//go:embed fractal.bb
+var fractalSrc string
+
+//go:embed series.bb
+var seriesSrc string
+
+// Benchmark is one Bamboo program plus its workloads.
+type Benchmark struct {
+	Name        string
+	Description string
+	Source      string
+	// Args is the default (paper-"original") input; ArgsDouble doubles the
+	// workload for the generality experiment.
+	Args       []string
+	ArgsDouble []string
+	// Hints forwards per-object exit-count matching hints to the
+	// scheduling simulator (Section 4.4).
+	Hints map[string]bool
+	// InPaper reports whether the benchmark appears in the paper's
+	// evaluation tables (keyword is the running example, not a benchmark).
+	InPaper bool
+}
+
+// All returns the benchmarks in the paper's table order, followed by the
+// keyword example.
+func All() []*Benchmark {
+	return []*Benchmark{
+		{
+			Name:        "Tracking",
+			Description: "feature tracking from the San Diego Vision benchmark suite",
+			Source:      trackingSrc,
+			Args:        []string{"48", "10", "40"},
+			ArgsDouble:  []string{"96", "10", "40"},
+			InPaper:     true,
+		},
+		{
+			Name:        "KMeans",
+			Description: "K-means clustering from the STAMP benchmark suite",
+			Source:      kmeansSrc,
+			Args:        []string{"48", "96", "6"},
+			ArgsDouble:  []string{"48", "192", "6"},
+			InPaper:     true,
+		},
+		{
+			Name:        "MonteCarlo",
+			Description: "Monte Carlo simulation from the Java Grande benchmark suite",
+			Source:      montecarloSrc,
+			Args:        []string{"96", "96"},
+			ArgsDouble:  []string{"192", "96"},
+			InPaper:     true,
+		},
+		{
+			Name:        "FilterBank",
+			Description: "multi-channel filter bank from the StreamIt benchmark suite",
+			Source:      filterbankSrc,
+			Args:        []string{"48", "96", "12"},
+			ArgsDouble:  []string{"96", "96", "12"},
+			InPaper:     true,
+		},
+		{
+			Name:        "Fractal",
+			Description: "Mandelbrot set computation",
+			Source:      fractalSrc,
+			Args:        []string{"124", "32", "96"},
+			ArgsDouble:  []string{"248", "32", "96"},
+			InPaper:     true,
+		},
+		{
+			Name:        "Series",
+			Description: "Fourier series computation from the Java Grande benchmark suite",
+			Source:      seriesSrc,
+			Args:        []string{"124", "1", "96"},
+			ArgsDouble:  []string{"248", "1", "96"},
+			InPaper:     true,
+		},
+		{
+			Name:        "ImagePipe",
+			Description: "tag-paired image save pipeline (the Section 3 tags example)",
+			Source:      imagepipeSrc,
+			Args:        []string{"48", "4096"},
+			ArgsDouble:  []string{"96", "4096"},
+			InPaper:     false,
+		},
+		{
+			Name:        "Keyword",
+			Description: "keyword counting (the paper's Section 2 running example)",
+			Source:      keywordSrc,
+			Args:        []string{"24", "4000"},
+			ArgsDouble:  []string{"48", "4000"},
+			InPaper:     false,
+		},
+	}
+}
+
+// InPaper returns only the six benchmarks of the paper's evaluation.
+func InPaper() []*Benchmark {
+	var out []*Benchmark
+	for _, b := range All() {
+		if b.InPaper {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Get returns the named benchmark.
+func Get(name string) (*Benchmark, error) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("benchmarks: unknown benchmark %q", name)
+}

@@ -1,0 +1,137 @@
+// FilterBank: multi-channel multirate filter bank ported from the StreamIt
+// benchmark suite (paper Section 5.1). Each channel generates its input,
+// applies an FIR low-pass filter, down-samples, up-samples, and applies a
+// reconstruction FIR; the Combiner sums the channel outputs element-wise.
+// args: [0] channels, [1] signal length, [2] FIR taps.
+
+class Lib {
+	int parseInt(String s) {
+		int v = 0;
+		int i;
+		for (i = 0; i < s.length(); i++) {
+			v = v * 10 + (s.charAt(i) - '0');
+		}
+		return v;
+	}
+}
+
+class Channel {
+	flag fresh;
+	flag done;
+	int id;
+	int n;
+	int taps;
+	double[] out;
+
+	Channel(int id, int n, int taps) {
+		this.id = id;
+		this.n = n;
+		this.taps = taps;
+	}
+
+	// fir convolves x with a channel-specific windowed-sinc-like kernel.
+	double[] fir(double[] x, int stride) {
+		double[] y = new double[x.length];
+		int i;
+		for (i = 0; i < x.length; i++) {
+			double acc = 0.0;
+			int k;
+			for (k = 0; k < taps; k++) {
+				int j = i - k * stride;
+				if (j >= 0) {
+					double h = Math.cos((double) k * (id + 1) * 0.37) / (k + 1);
+					acc += h * x[j];
+				}
+			}
+			y[i] = acc;
+		}
+		return y;
+	}
+
+	void process() {
+		// Generate the channel input deterministically.
+		double[] x = new double[n];
+		int i;
+		for (i = 0; i < n; i++) {
+			x[i] = Math.sin((double) i * 0.1 * (id + 1)) + 0.5 * Math.sin((double) i * 0.03);
+		}
+		// Analysis filter.
+		double[] lo = fir(x, 1);
+		// Down-sample by 2.
+		double[] down = new double[n / 2];
+		for (i = 0; i < n / 2; i++) {
+			down[i] = lo[i * 2];
+		}
+		// Up-sample by 2 (zero stuffing).
+		double[] up = new double[n];
+		for (i = 0; i < n; i++) {
+			up[i] = 0.0;
+		}
+		for (i = 0; i < n / 2; i++) {
+			up[i * 2] = down[i];
+		}
+		// Reconstruction filter.
+		out = fir(up, 1);
+	}
+}
+
+class Combiner {
+	flag open;
+	flag finished;
+	double[] output;
+	int remaining;
+
+	Combiner(int channels, int n) {
+		remaining = channels;
+		output = new double[n];
+	}
+
+	boolean combine(Channel c) {
+		int i;
+		for (i = 0; i < output.length; i++) {
+			output[i] = output[i] + c.out[i];
+		}
+		remaining--;
+		return remaining == 0;
+	}
+
+	double checksum() {
+		double s = 0.0;
+		int i;
+		for (i = 0; i < output.length; i++) {
+			double v = output[i];
+			if (v < 0.0) { v = 0.0 - v; }
+			s += v;
+		}
+		return s;
+	}
+}
+
+task startup(StartupObject s in initialstate) {
+	Lib lib = new Lib();
+	int channels = lib.parseInt(s.args[0]);
+	int n = lib.parseInt(s.args[1]);
+	int taps = lib.parseInt(s.args[2]);
+	int i;
+	for (i = 0; i < channels; i++) {
+		Channel c = new Channel(i, n, taps){ fresh := true };
+	}
+	Combiner comb = new Combiner(channels, n){ open := true };
+	taskexit(s: initialstate := false);
+}
+
+task processChannel(Channel c in fresh) {
+	c.process();
+	taskexit(c: fresh := false, done := true);
+}
+
+task combineChannel(Combiner comb in open, Channel c in done) {
+	boolean finished = comb.combine(c);
+	if (finished) {
+		System.printString("filterbank checksum=");
+		System.printDouble(comb.checksum());
+		System.println();
+		taskexit(comb: open := false, finished := true; c: done := false);
+	}
+	taskexit(c: done := false);
+}

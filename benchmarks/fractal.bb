@@ -1,0 +1,100 @@
+// Fractal: Mandelbrot set computation (paper Section 5.1).
+// Rows of the image render in parallel; a Canvas merges iteration counts.
+// args: [0] image height (rows), [1] image width, [2] max iterations.
+
+class Lib {
+	int parseInt(String s) {
+		int v = 0;
+		int i;
+		for (i = 0; i < s.length(); i++) {
+			v = v * 10 + (s.charAt(i) - '0');
+		}
+		return v;
+	}
+}
+
+class Row {
+	flag compute;
+	flag done;
+	int y;
+	int width;
+	int height;
+	int maxIter;
+	int count;
+
+	Row(int y, int w, int h, int mi) {
+		this.y = y;
+		this.width = w;
+		this.height = h;
+		this.maxIter = mi;
+	}
+
+	void render() {
+		int x;
+		int total = 0;
+		// The imaginary window is offset from the real axis so row costs
+		// are asymmetric in y (round-robin row distribution then mixes
+		// heavy and light rows on each core).
+		double ci = (double) y * 2.0 / height - 1.25;
+		for (x = 0; x < width; x++) {
+			double cr = (double) x * 3.5 / width - 2.5;
+			double zr = 0.0;
+			double zi = 0.0;
+			int it = 0;
+			boolean inside = true;
+			while (it < maxIter && inside) {
+				double t = zr * zr - zi * zi + cr;
+				zi = 2.0 * zr * zi + ci;
+				zr = t;
+				if (zr * zr + zi * zi >= 4.0) { inside = false; }
+				it++;
+			}
+			total += it;
+		}
+		count = total;
+	}
+}
+
+class Canvas {
+	flag open;
+	flag finished;
+	int total;
+	int remaining;
+
+	Canvas(int rows) { remaining = rows; }
+
+	boolean merge(Row r) {
+		total += r.count;
+		remaining--;
+		return remaining == 0;
+	}
+}
+
+task startup(StartupObject s in initialstate) {
+	Lib lib = new Lib();
+	int h = lib.parseInt(s.args[0]);
+	int w = lib.parseInt(s.args[1]);
+	int mi = lib.parseInt(s.args[2]);
+	int y;
+	for (y = 0; y < h; y++) {
+		Row r = new Row(y, w, h, mi){ compute := true };
+	}
+	Canvas c = new Canvas(h){ open := true };
+	taskexit(s: initialstate := false);
+}
+
+task render(Row r in compute) {
+	r.render();
+	taskexit(r: compute := false, done := true);
+}
+
+task mergeRow(Canvas c in open, Row r in done) {
+	boolean finished = c.merge(r);
+	if (finished) {
+		System.printString("fractal total=");
+		System.printInt(c.total);
+		System.println();
+		taskexit(c: open := false, finished := true; r: done := false);
+	}
+	taskexit(r: done := false);
+}

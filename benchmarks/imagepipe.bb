@@ -1,0 +1,115 @@
+// ImagePipe: the image-save workflow of Section 3 of the paper, scaled
+// into a throughput benchmark. Each Drawing spawns an Image bound to it by
+// a fresh tag of type savepair; the image flows through a compress stage on
+// its own, and the finishsave task must receive exactly the Image created
+// for its Drawing — the tag guard guarantees it (Section 3's motivating
+// example for tags), and tag-hash routing lets finishsave replicate across
+// cores. A Ledger counts completed saves.
+// args: [0] drawings, [1] pixels per image.
+
+class Lib {
+	int parseInt(String s) {
+		int v = 0;
+		int i;
+		for (i = 0; i < s.length(); i++) {
+			v = v * 10 + (s.charAt(i) - '0');
+		}
+		return v;
+	}
+}
+
+class Drawing {
+	flag dirty;
+	flag saving;
+	flag saved;
+	int id;
+	int pixels;
+	int checksum;
+
+	Drawing(int id, int pixels) {
+		this.id = id;
+		this.pixels = pixels;
+	}
+}
+
+class Image {
+	flag uncompressed;
+	flag compressed;
+	int pixels;
+	int seed;
+	int packed;
+
+	Image(int pixels, int seed) {
+		this.pixels = pixels;
+		this.seed = seed;
+	}
+
+	// compress runs a toy RLE-flavored pass over a synthetic pixel stream.
+	void compress() {
+		int state = seed;
+		int runs = 0;
+		int prev = 0 - 1;
+		int i;
+		for (i = 0; i < pixels; i++) {
+			state = (state * 48271) % 2147483647;
+			if (state < 0) { state = state + 2147483647; }
+			int px = (state >> 8) % 16;
+			if (px != prev) { runs++; prev = px; }
+		}
+		packed = runs;
+	}
+}
+
+class Ledger {
+	flag open;
+	flag closed;
+	int total;
+	int remaining;
+
+	Ledger(int n) { remaining = n; }
+
+	boolean record(Drawing d) {
+		total += d.checksum;
+		remaining--;
+		return remaining == 0;
+	}
+}
+
+task startup(StartupObject s in initialstate) {
+	Lib lib = new Lib();
+	int n = lib.parseInt(s.args[0]);
+	int pixels = lib.parseInt(s.args[1]);
+	int i;
+	for (i = 0; i < n; i++) {
+		Drawing d = new Drawing(i, pixels){ dirty := true };
+	}
+	Ledger led = new Ledger(n){ open := true };
+	taskexit(s: initialstate := false);
+}
+
+task startsave(Drawing d in dirty) {
+	tag link = new tag(savepair);
+	Image im = new Image(d.pixels, d.id * 7919 + 13){ uncompressed := true, add link };
+	taskexit(d: dirty := false, saving := true, add link);
+}
+
+task compress(Image im in uncompressed) {
+	im.compress();
+	taskexit(im: uncompressed := false, compressed := true);
+}
+
+task finishsave(Drawing d in saving with savepair t, Image im in compressed with savepair t) {
+	d.checksum = im.packed + d.id;
+	taskexit(d: saving := false, saved := true, clear t; im: compressed := false, clear t);
+}
+
+task record(Ledger led in open, Drawing d in saved) {
+	boolean done = led.record(d);
+	if (done) {
+		System.printString("imagepipe total=");
+		System.printInt(led.total);
+		System.println();
+		taskexit(led: open := false, closed := true; d: saved := false);
+	}
+	taskexit(d: saved := false);
+}

@@ -1,0 +1,90 @@
+// Keyword counting: the running example of Section 2 of the paper. The
+// startup task partitions the input into Text sections, processText counts
+// keyword-like tokens in each section, and mergeIntermediateResult folds
+// the per-section counts into the Results object.
+// args: [0] sections, [1] section length.
+
+class Lib {
+	int parseInt(String s) {
+		int v = 0;
+		int i;
+		for (i = 0; i < s.length(); i++) {
+			v = v * 10 + (s.charAt(i) - '0');
+		}
+		return v;
+	}
+}
+
+class Text {
+	flag process;
+	flag submit;
+	int id;
+	int n;
+	int count;
+
+	Text(int id, int n) {
+		this.id = id;
+		this.n = n;
+	}
+
+	// process scans a deterministic synthetic character stream, counting
+	// occurrences of the keyword pattern "bamboo"-initial characters.
+	void process() {
+		int state = id * 2654435761 % 2147483647 + 99;
+		int matched = 0;
+		int hits = 0;
+		int i;
+		for (i = 0; i < n; i++) {
+			state = (state * 48271) % 2147483647;
+			if (state < 0) { state = state + 2147483647; }
+			int ch = 'a' + state % 26;
+			if (matched == 0 && ch == 'b') { matched = 1; }
+			else if (matched == 1 && ch == 'a') { matched = 2; }
+			else if (matched == 2 && ch == 'm') { matched = 3; hits++; matched = 0; }
+			else { matched = 0; }
+		}
+		count = hits;
+	}
+}
+
+class Results {
+	flag finished;
+	int total;
+	int remaining;
+
+	Results(int n) { remaining = n; }
+
+	boolean mergeResult(Text tp) {
+		total += tp.count;
+		remaining--;
+		return remaining == 0;
+	}
+}
+
+task startup(StartupObject s in initialstate) {
+	Lib lib = new Lib();
+	int sections = lib.parseInt(s.args[0]);
+	int sectionLen = lib.parseInt(s.args[1]);
+	int i;
+	for (i = 0; i < sections; i++) {
+		Text tp = new Text(i, sectionLen){ process := true };
+	}
+	Results rp = new Results(sections){ finished := false };
+	taskexit(s: initialstate := false);
+}
+
+task processText(Text tp in process) {
+	tp.process();
+	taskexit(tp: process := false, submit := true);
+}
+
+task mergeIntermediateResult(Results rp in !finished, Text tp in submit) {
+	boolean allprocessed = rp.mergeResult(tp);
+	if (allprocessed) {
+		System.printString("keyword total=");
+		System.printInt(rp.total);
+		System.println();
+		taskexit(rp: finished := true; tp: submit := false);
+	}
+	taskexit(tp: submit := false);
+}

@@ -1,0 +1,214 @@
+// KMeans: K-means clustering ported from the STAMP benchmark suite (paper
+// Section 5.1). As in the paper's port, the shared centroid structure is
+// not protected by transactions: one core runs the collect task that owns
+// updates to it, and the workers send partial sums there. Bamboo's abstract
+// states make the sharing safe — workers only read the centroids while in
+// the compute state, and the coordinator only rewrites them after every
+// worker has submitted.
+//
+// Protocol per iteration:
+//   worker: compute (assign points, accumulate partials) -> submitted
+//   coordinator: collecting --[all submitted]--> recompute centroids
+//                -> broadcasting --[relaunch each worker]--> collecting
+// args: [0] workers, [1] points per worker, [2] iterations.
+
+class Lib {
+	int parseInt(String s) {
+		int v = 0;
+		int i;
+		for (i = 0; i < s.length(); i++) {
+			v = v * 10 + (s.charAt(i) - '0');
+		}
+		return v;
+	}
+}
+
+class Centroids {
+	double[] values; // k * d matrix, flattened
+	int k;
+	int d;
+
+	Centroids(int k, int d) {
+		this.k = k;
+		this.d = d;
+		values = new double[k * d];
+		int i;
+		for (i = 0; i < k * d; i++) {
+			values[i] = (double) ((i * 37) % 19) / 19.0 * 10.0;
+		}
+	}
+}
+
+class Worker {
+	flag fresh;
+	flag compute;
+	flag submitted;
+	flag idle;
+	int id;
+	int n;
+	Centroids cent;
+	double[] points;    // n * d, flattened
+	double[] partialSum; // k * d
+	int[] partialCount;  // k
+
+	Worker(int id, int n, Centroids cent) {
+		this.id = id;
+		this.n = n;
+		this.cent = cent;
+	}
+
+	void generate() {
+		int d = cent.d;
+		points = new double[n * d];
+		partialSum = new double[cent.k * d];
+		partialCount = new int[cent.k];
+		int state = id * 1103515245 % 2147483647 + 12345;
+		int i;
+		for (i = 0; i < n * d; i++) {
+			state = (state * 48271) % 2147483647;
+			if (state < 0) { state = state + 2147483647; }
+			points[i] = (double) state / 2147483647.0 * 10.0;
+		}
+	}
+
+	void assign() {
+		int k = cent.k;
+		int d = cent.d;
+		int i;
+		for (i = 0; i < k * d; i++) { partialSum[i] = 0.0; }
+		for (i = 0; i < k; i++) { partialCount[i] = 0; }
+		int p;
+		for (p = 0; p < n; p++) {
+			int bestK = 0;
+			double bestDist = 0.0;
+			int c;
+			for (c = 0; c < k; c++) {
+				double dist = 0.0;
+				int j;
+				for (j = 0; j < d; j++) {
+					double diff = points[p * d + j] - cent.values[c * d + j];
+					dist += diff * diff;
+				}
+				if (c == 0 || dist < bestDist) {
+					bestDist = dist;
+					bestK = c;
+				}
+			}
+			int j2;
+			for (j2 = 0; j2 < d; j2++) {
+				partialSum[bestK * d + j2] = partialSum[bestK * d + j2] + points[p * d + j2];
+			}
+			partialCount[bestK] = partialCount[bestK] + 1;
+		}
+	}
+}
+
+class Coordinator {
+	flag collecting;
+	flag broadcasting;
+	flag finished;
+	Centroids cent;
+	double[] sums;
+	int[] counts;
+	int workers;
+	int received;
+	int launched;
+	int iter;
+	int maxIter;
+
+	Coordinator(int workers, int maxIter, Centroids cent) {
+		this.workers = workers;
+		this.maxIter = maxIter;
+		this.cent = cent;
+		sums = new double[cent.k * cent.d];
+		counts = new int[cent.k];
+	}
+
+	void absorb(Worker w) {
+		int i;
+		for (i = 0; i < cent.k * cent.d; i++) {
+			sums[i] = sums[i] + w.partialSum[i];
+		}
+		for (i = 0; i < cent.k; i++) {
+			counts[i] = counts[i] + w.partialCount[i];
+		}
+		received++;
+	}
+
+	boolean roundDone() { return received == workers; }
+
+	void recompute() {
+		int c;
+		for (c = 0; c < cent.k; c++) {
+			if (counts[c] > 0) {
+				int j;
+				for (j = 0; j < cent.d; j++) {
+					cent.values[c * cent.d + j] = sums[c * cent.d + j] / counts[c];
+				}
+			}
+		}
+		int i;
+		for (i = 0; i < cent.k * cent.d; i++) { sums[i] = 0.0; }
+		for (i = 0; i < cent.k; i++) { counts[i] = 0; }
+		received = 0;
+		iter++;
+	}
+
+	double checksum() {
+		double s = 0.0;
+		int i;
+		for (i = 0; i < cent.k * cent.d; i++) {
+			s += cent.values[i];
+		}
+		return s;
+	}
+}
+
+task startup(StartupObject s in initialstate) {
+	Lib lib = new Lib();
+	int workers = lib.parseInt(s.args[0]);
+	int pointsPer = lib.parseInt(s.args[1]);
+	int iters = lib.parseInt(s.args[2]);
+	Centroids cent = new Centroids(8, 4);
+	int i;
+	for (i = 0; i < workers; i++) {
+		Worker w = new Worker(i, pointsPer, cent){ fresh := true };
+	}
+	Coordinator coord = new Coordinator(workers, iters, cent){ collecting := true };
+	taskexit(s: initialstate := false);
+}
+
+task genPoints(Worker w in fresh) {
+	w.generate();
+	w.assign();
+	taskexit(w: fresh := false, submitted := true);
+}
+
+task assignPoints(Worker w in compute) {
+	w.assign();
+	taskexit(w: compute := false, submitted := true);
+}
+
+task collect(Coordinator c in collecting, Worker w in submitted) {
+	c.absorb(w);
+	if (c.roundDone()) {
+		c.recompute();
+		if (c.iter < c.maxIter) {
+			taskexit(c: collecting := false, broadcasting := true; w: submitted := false, idle := true);
+		}
+		System.printString("kmeans checksum=");
+		System.printDouble(c.checksum());
+		System.println();
+		taskexit(c: collecting := false, finished := true; w: submitted := false, idle := true);
+	}
+	taskexit(w: submitted := false, idle := true);
+}
+
+task relaunch(Coordinator c in broadcasting, Worker w in idle) {
+	c.launched++;
+	if (c.launched == c.workers) {
+		c.launched = 0;
+		taskexit(c: broadcasting := false, collecting := true; w: idle := false, compute := true);
+	}
+	taskexit(w: idle := false, compute := true);
+}

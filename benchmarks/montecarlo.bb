@@ -1,0 +1,133 @@
+// MonteCarlo: Monte Carlo simulation ported from the Java Grande benchmark
+// suite (paper Section 5.1). Each Sim walks a geometric Brownian price path
+// driven by a deterministic LCG + Box-Muller gaussian; the Tally aggregates
+// payoffs into running statistics and a histogram. Simulation and
+// aggregation are separate tasks so the synthesizer can discover the
+// pipelined heterogeneous implementation described in Sections 5.1/5.4.
+// args: [0] number of simulations, [1] time steps per simulation.
+
+class Lib {
+	int parseInt(String s) {
+		int v = 0;
+		int i;
+		for (i = 0; i < s.length(); i++) {
+			v = v * 10 + (s.charAt(i) - '0');
+		}
+		return v;
+	}
+}
+
+class Rng {
+	int state;
+
+	Rng(int seed) { state = seed; }
+
+	// next returns a uniform double in (0,1): a 31-bit Park-Miller LCG.
+	double next() {
+		state = (state * 48271) % 2147483647;
+		if (state < 0) { state = state + 2147483647; }
+		return (double) state / 2147483647.0;
+	}
+
+	// gaussian draws a standard normal via Box-Muller.
+	double gaussian() {
+		double u1 = next();
+		double u2 = next();
+		if (u1 < 0.0000000001) { u1 = 0.0000000001; }
+		return Math.sqrt(0.0 - 2.0 * Math.log(u1)) * Math.cos(6.283185307179586 * u2);
+	}
+}
+
+class Sim {
+	flag ready;
+	flag simmed;
+	int id;
+	int steps;
+	double payoff;
+
+	Sim(int id, int steps) {
+		this.id = id;
+		this.steps = steps;
+	}
+
+	void run() {
+		Rng rng = new Rng(id * 2654435761 % 2147483647 + 17);
+		double s0 = 100.0;
+		double mu = 0.05;
+		double sigma = 0.2;
+		double dt = 1.0 / steps;
+		double drift = (mu - 0.5 * sigma * sigma) * dt;
+		double vol = sigma * Math.sqrt(dt);
+		double logS = Math.log(s0);
+		int t;
+		for (t = 0; t < steps; t++) {
+			logS += drift + vol * rng.gaussian();
+		}
+		payoff = Math.exp(logS);
+	}
+}
+
+class Tally {
+	flag open;
+	flag finished;
+	double sum;
+	double sumSq;
+	int[] histogram;
+	int remaining;
+
+	Tally(int n) {
+		remaining = n;
+		histogram = new int[64];
+	}
+
+	boolean aggregate(Sim sim) {
+		double p = sim.payoff;
+		sum += p;
+		sumSq += p * p;
+		// Histogram insert plus a running re-scan keeps aggregation
+		// meaningfully expensive relative to simulation, as in the Java
+		// Grande aggregation phase.
+		int bin = (int) (p / 4.0);
+		if (bin > 63) { bin = 63; }
+		if (bin < 0) { bin = 0; }
+		histogram[bin] = histogram[bin] + 1;
+		int i;
+		int acc = 0;
+		for (i = 0; i < 64; i++) {
+			acc += histogram[i] * i;
+		}
+		if (acc < 0) { sum += 0.0; }
+		remaining--;
+		return remaining == 0;
+	}
+}
+
+task startup(StartupObject s in initialstate) {
+	Lib lib = new Lib();
+	int sims = lib.parseInt(s.args[0]);
+	int steps = lib.parseInt(s.args[1]);
+	int i;
+	for (i = 0; i < sims; i++) {
+		Sim sim = new Sim(i, steps){ ready := true };
+	}
+	Tally tally = new Tally(sims){ open := true };
+	taskexit(s: initialstate := false);
+}
+
+task simulate(Sim sim in ready) {
+	sim.run();
+	taskexit(sim: ready := false, simmed := true);
+}
+
+task aggregate(Tally tally in open, Sim sim in simmed) {
+	boolean finished = tally.aggregate(sim);
+	if (finished) {
+		System.printString("montecarlo sum=");
+		System.printDouble(tally.sum);
+		System.printString(" sumSq=");
+		System.printDouble(tally.sumSq);
+		System.println();
+		taskexit(tally: open := false, finished := true; sim: simmed := false);
+	}
+	taskexit(sim: simmed := false);
+}

@@ -1,0 +1,112 @@
+// Series: Fourier coefficient computation ported from the Java Grande
+// benchmark suite (paper Section 5.1). Each Chunk computes a range of the
+// Fourier coefficients of f(x) = (x+1)^x on [0,2] by trapezoidal
+// integration; an Accumulator merges a checksum over all coefficients.
+// args: [0] number of chunks, [1] coefficients per chunk, [2] integration points.
+
+class Lib {
+	int parseInt(String s) {
+		int v = 0;
+		int i;
+		for (i = 0; i < s.length(); i++) {
+			v = v * 10 + (s.charAt(i) - '0');
+		}
+		return v;
+	}
+}
+
+class Chunk {
+	flag compute;
+	flag done;
+	int lo;
+	int hi;
+	int points;
+	double sumA;
+	double sumB;
+
+	Chunk(int lo, int hi, int points) {
+		this.lo = lo;
+		this.hi = hi;
+		this.points = points;
+	}
+
+	// f(x) = (x+1)^x computed as exp(x * ln(x+1)).
+	double fx(double x) {
+		return Math.exp(x * Math.log(x + 1.0));
+	}
+
+	// trapezoidAB integrates f(x)*cos(pi*j*x) and f(x)*sin(pi*j*x) over
+	// [0,2] and accumulates the coefficient pair into sumA/sumB.
+	void coefficient(int j) {
+		double pi = 3.141592653589793;
+		double dx = 2.0 / points;
+		double a = 0.0;
+		double b = 0.0;
+		double x = 0.0;
+		int i;
+		for (i = 0; i < points; i++) {
+			double fv = fx(x);
+			double w = pi * j * x;
+			a += fv * Math.cos(w) * dx;
+			b += fv * Math.sin(w) * dx;
+			x += dx;
+		}
+		sumA += a;
+		sumB += b;
+	}
+
+	void run() {
+		int j;
+		for (j = lo; j < hi; j++) {
+			coefficient(j);
+		}
+	}
+}
+
+class Accumulator {
+	flag open;
+	flag finished;
+	double checkA;
+	double checkB;
+	int remaining;
+
+	Accumulator(int n) { remaining = n; }
+
+	boolean merge(Chunk c) {
+		checkA += c.sumA;
+		checkB += c.sumB;
+		remaining--;
+		return remaining == 0;
+	}
+}
+
+task startup(StartupObject s in initialstate) {
+	Lib lib = new Lib();
+	int chunks = lib.parseInt(s.args[0]);
+	int per = lib.parseInt(s.args[1]);
+	int points = lib.parseInt(s.args[2]);
+	int i;
+	for (i = 0; i < chunks; i++) {
+		Chunk c = new Chunk(i * per, (i + 1) * per, points){ compute := true };
+	}
+	Accumulator acc = new Accumulator(chunks){ open := true };
+	taskexit(s: initialstate := false);
+}
+
+task computeChunk(Chunk c in compute) {
+	c.run();
+	taskexit(c: compute := false, done := true);
+}
+
+task mergeChunk(Accumulator acc in open, Chunk c in done) {
+	boolean finished = acc.merge(c);
+	if (finished) {
+		System.printString("series checkA=");
+		System.printDouble(acc.checkA);
+		System.printString(" checkB=");
+		System.printDouble(acc.checkB);
+		System.println();
+		taskexit(acc: open := false, finished := true; c: done := false);
+	}
+	taskexit(c: done := false);
+}

@@ -1,0 +1,302 @@
+// Tracking: feature tracking ported from the San Diego Vision Benchmark
+// Suite (paper Section 5.1, Figure 8). The image is divided into strips,
+// each wrapped in a task parameter object, following the paper's port. The
+// computation keeps SD-VBS's three phases with a fan-out/fan-in per phase:
+//
+//   image processing:    genImage -> blur         (data parallel per strip)
+//   feature extraction:  grad/goodness -> mergeFeatures (fan-in at Frame)
+//   feature tracking:    track -> mergeTrack      (fan-in at Frame)
+//
+// Each strip generates two synthetic frames (the second shifted), blurs,
+// computes gradients and a corner response, selects its best feature, and
+// finally tracks the feature into the second frame by SSD search.
+// args: [0] strips, [1] strip height, [2] image width.
+
+class Lib {
+	int parseInt(String s) {
+		int v = 0;
+		int i;
+		for (i = 0; i < s.length(); i++) {
+			v = v * 10 + (s.charAt(i) - '0');
+		}
+		return v;
+	}
+}
+
+class Piece {
+	flag gen;
+	flag blurstage;
+	flag gradstage;
+	flag submitF;
+	flag trackstage;
+	flag submitT;
+	int id;
+	int h;
+	int w;
+	double[] imgA;   // h * w, frame A strip
+	double[] imgB;   // h * w, frame B strip (shifted scene)
+	double[] smooth; // blurred frame A
+	int bestX;
+	int bestY;
+	double bestScore;
+	int dispX;
+	int dispY;
+
+	Piece(int id, int h, int w) {
+		this.id = id;
+		this.h = h;
+		this.w = w;
+	}
+
+	double scene(int x, int y, int shift) {
+		double fx = (double) (x + shift);
+		double fy = (double) (y + id * h);
+		return Math.sin(fx * 0.15) * Math.cos(fy * 0.12) * 50.0 +
+			Math.sin(fx * 0.05 + fy * 0.07) * 30.0;
+	}
+
+	void generate() {
+		imgA = new double[h * w];
+		imgB = new double[h * w];
+		int y;
+		for (y = 0; y < h; y++) {
+			int x;
+			for (x = 0; x < w; x++) {
+				imgA[y * w + x] = scene(x, y, 0);
+				imgB[y * w + x] = scene(x, y, 2);
+			}
+		}
+	}
+
+	// blur applies a 5-tap binomial kernel horizontally then vertically
+	// (within the strip; strips overlap enough in the full SD-VBS port —
+	// this reproduction clamps at strip borders).
+	void blur() {
+		smooth = new double[h * w];
+		double[] tmp = new double[h * w];
+		int y;
+		for (y = 0; y < h; y++) {
+			int x;
+			for (x = 0; x < w; x++) {
+				double acc = 0.0;
+				int k;
+				for (k = 0 - 2; k <= 2; k++) {
+					int xx = x + k;
+					if (xx < 0) { xx = 0; }
+					if (xx >= w) { xx = w - 1; }
+					double coef = 1.0;
+					if (k == 0 - 1 || k == 1) { coef = 4.0; }
+					if (k == 0) { coef = 6.0; }
+					if (k == 0 - 2 || k == 2) { coef = 1.0; }
+					acc += imgA[y * w + xx] * coef;
+				}
+				tmp[y * w + x] = acc / 16.0;
+			}
+		}
+		for (y = 0; y < h; y++) {
+			int x;
+			for (x = 0; x < w; x++) {
+				double acc = 0.0;
+				int k;
+				for (k = 0 - 2; k <= 2; k++) {
+					int yy = y + k;
+					if (yy < 0) { yy = 0; }
+					if (yy >= h) { yy = h - 1; }
+					double coef = 1.0;
+					if (k == 0 - 1 || k == 1) { coef = 4.0; }
+					if (k == 0) { coef = 6.0; }
+					acc += tmp[yy * w + x] * coef;
+				}
+				smooth[y * w + x] = acc / 16.0;
+			}
+		}
+	}
+
+	// findFeature computes gradients and the minimum-eigenvalue corner
+	// response, keeping the strongest interior feature of the strip.
+	void findFeature() {
+		bestScore = 0.0 - 1.0;
+		int y;
+		for (y = 2; y < h - 2; y++) {
+			int x;
+			for (x = 2; x < w - 2; x++) {
+				double gxx = 0.0;
+				double gyy = 0.0;
+				double gxy = 0.0;
+				int dy;
+				for (dy = 0 - 1; dy <= 1; dy++) {
+					int dx;
+					for (dx = 0 - 1; dx <= 1; dx++) {
+						int yy = y + dy;
+						int xx = x + dx;
+						double ix = (smooth[yy * w + xx + 1] - smooth[yy * w + xx - 1]) / 2.0;
+						double iy = (smooth[(yy + 1) * w + xx] - smooth[(yy - 1) * w + xx]) / 2.0;
+						gxx += ix * ix;
+						gyy += iy * iy;
+						gxy += ix * iy;
+					}
+				}
+				double tr = gxx + gyy;
+				double det = gxx * gyy - gxy * gxy;
+				double disc = Math.sqrt(tr * tr / 4.0 - det + 0.0000001);
+				double lambdaMin = tr / 2.0 - disc;
+				if (lambdaMin > bestScore) {
+					bestScore = lambdaMin;
+					bestX = x;
+					bestY = y;
+				}
+			}
+		}
+	}
+
+	// track searches a window in frame B for the 7x7 patch around the
+	// feature in frame A, minimizing the sum of squared differences.
+	void track() {
+		double bestSSD = 0.0 - 1.0;
+		int bx = 0;
+		int by = 0;
+		int sy;
+		for (sy = 0 - 3; sy <= 3; sy++) {
+			int sx;
+			for (sx = 0 - 3; sx <= 3; sx++) {
+				double ssd = 0.0;
+				int py;
+				for (py = 0 - 3; py <= 3; py++) {
+					int px;
+					for (px = 0 - 3; px <= 3; px++) {
+						int ax = bestX + px;
+						int ay = bestY + py;
+						int bxx = ax + sx;
+						int byy = ay + sy;
+						if (ax < 0) { ax = 0; }
+						if (ax >= w) { ax = w - 1; }
+						if (ay < 0) { ay = 0; }
+						if (ay >= h) { ay = h - 1; }
+						if (bxx < 0) { bxx = 0; }
+						if (bxx >= w) { bxx = w - 1; }
+						if (byy < 0) { byy = 0; }
+						if (byy >= h) { byy = h - 1; }
+						double diff = imgA[ay * w + ax] - imgB[byy * w + bxx];
+						ssd += diff * diff;
+					}
+				}
+				if (bestSSD < 0.0 || ssd < bestSSD) {
+					bestSSD = ssd;
+					bx = sx;
+					by = sy;
+				}
+			}
+		}
+		dispX = bx;
+		dispY = by;
+	}
+}
+
+class Frame {
+	flag phase1;
+	flag phase2;
+	flag done;
+	int strips;
+	int h;
+	int w;
+	int received;
+	int sumDX;
+	int sumDY;
+	double featureScore;
+	double[] assembled; // reassembled smoothed frame, strips * h * w
+
+	Frame(int strips, int h, int w) {
+		this.strips = strips;
+		this.h = h;
+		this.w = w;
+		assembled = new double[strips * h * w];
+	}
+
+	// collectFeature reassembles the strip's smoothed pixels into the
+	// full-frame buffer (as SD-VBS does between phases) and records the
+	// strip's best feature.
+	boolean collectFeature(Piece p) {
+		int base = p.id * h * w;
+		int i;
+		for (i = 0; i < h * w; i++) {
+			assembled[base + i] = p.smooth[i];
+		}
+		featureScore += p.bestScore;
+		received++;
+		if (received == strips) {
+			received = 0;
+			return true;
+		}
+		return false;
+	}
+
+	// collectTrack verifies the tracked patch against the assembled frame
+	// (a full strip re-scan) and accumulates the displacement.
+	boolean collectTrack(Piece p) {
+		int base = p.id * h * w;
+		double energy = 0.0;
+		int i;
+		for (i = 0; i < h * w; i++) {
+			energy += assembled[base + i] * assembled[base + i];
+		}
+		if (energy < 0.0) { sumDX += 1; }
+		sumDX += p.dispX;
+		sumDY += p.dispY;
+		received++;
+		return received == strips;
+	}
+}
+
+task startup(StartupObject s in initialstate) {
+	Lib lib = new Lib();
+	int strips = lib.parseInt(s.args[0]);
+	int sh = lib.parseInt(s.args[1]);
+	int w = lib.parseInt(s.args[2]);
+	int i;
+	for (i = 0; i < strips; i++) {
+		Piece p = new Piece(i, sh, w){ gen := true };
+	}
+	Frame f = new Frame(strips, sh, w){ phase1 := true };
+	taskexit(s: initialstate := false);
+}
+
+task genImage(Piece p in gen) {
+	p.generate();
+	taskexit(p: gen := false, blurstage := true);
+}
+
+task blurPiece(Piece p in blurstage) {
+	p.blur();
+	taskexit(p: blurstage := false, gradstage := true);
+}
+
+task extractFeature(Piece p in gradstage) {
+	p.findFeature();
+	taskexit(p: gradstage := false, submitF := true);
+}
+
+task mergeFeatures(Frame f in phase1, Piece p in submitF) {
+	boolean phaseDone = f.collectFeature(p);
+	if (phaseDone) {
+		taskexit(f: phase1 := false, phase2 := true; p: submitF := false, trackstage := true);
+	}
+	taskexit(p: submitF := false, trackstage := true);
+}
+
+task trackFeature(Piece p in trackstage) {
+	p.track();
+	taskexit(p: trackstage := false, submitT := true);
+}
+
+task mergeTrack(Frame f in phase2, Piece p in submitT) {
+	boolean allDone = f.collectTrack(p);
+	if (allDone) {
+		System.printString("tracking dx=");
+		System.printInt(f.sumDX);
+		System.printString(" dy=");
+		System.printInt(f.sumDY);
+		System.println();
+		taskexit(f: phase2 := false, done := true; p: submitT := false);
+	}
+	taskexit(p: submitT := false);
+}

@@ -1,0 +1,416 @@
+// Command bamboo is the compiler driver for the Bamboo reproduction: it
+// compiles Bamboo programs, runs them on the simulated many-core machine,
+// profiles them, synthesizes optimized layouts, and renders the paper's
+// graph figures (CSTG, task flow, execution trace, layout) as Graphviz DOT.
+//
+// Usage:
+//
+//	bamboo run        -file prog.bb [-args a,b,c] [-cores N] [-seed S]
+//	bamboo profile    -file prog.bb [-args a,b,c] [-o profile.json]
+//	bamboo synthesize -file prog.bb [-args a,b,c] [-cores N] [-seed S]
+//	bamboo analyze    -file prog.bb            (ASTGs, lock groups, IR)
+//	bamboo viz        -file prog.bb -kind cstg|taskflow|trace|layout [...]
+//	bamboo fmt        -file prog.bb [-w]          (canonical formatter)
+//	bamboo bench      -name Fractal [...]      (run an embedded benchmark)
+//	bamboo list                                (list embedded benchmarks)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/benchmarks"
+	"repro/internal/ast"
+	"repro/internal/bamboort"
+	"repro/internal/core"
+	"repro/internal/critpath"
+	"repro/internal/layout"
+	"repro/internal/machine"
+	"repro/internal/parser"
+	"repro/internal/schedsim"
+	"repro/internal/synth"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, rest := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "run":
+		err = cmdRun(rest)
+	case "profile":
+		err = cmdProfile(rest)
+	case "synthesize":
+		err = cmdSynthesize(rest)
+	case "analyze":
+		err = cmdAnalyze(rest)
+	case "viz":
+		err = cmdViz(rest)
+	case "bench":
+		err = cmdBench(rest)
+	case "fmt":
+		err = cmdFmt(rest)
+	case "list":
+		err = cmdList()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bamboo:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: bamboo <run|profile|synthesize|analyze|viz|bench|list> [flags]
+run 'bamboo <command> -h' for command flags`)
+}
+
+// loadSource reads a program from -file or resolves -name to an embedded
+// benchmark.
+func loadSource(file, name string) (string, []string, error) {
+	if name != "" {
+		b, err := benchmarks.Get(name)
+		if err != nil {
+			return "", nil, err
+		}
+		return b.Source, b.Args, nil
+	}
+	if file == "" {
+		return "", nil, fmt.Errorf("-file or -name is required")
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return "", nil, err
+	}
+	return string(data), nil, nil
+}
+
+func splitArgs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+// prepare compiles, profiles, and (for multicore runs) synthesizes.
+func prepare(src string, args []string, cores int, seed int64) (*core.System, *layout.Layout, *machine.Machine, error) {
+	sys, err := core.CompileSource(src)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if cores <= 1 {
+		return sys, layout.Single(sys.TaskNames()), machine.SingleCoreBamboo(), nil
+	}
+	m := machine.TilePro64().WithCores(cores)
+	prof, _, err := sys.Profile(args)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	res, err := sys.Synthesize(core.SynthesizeConfig{Machine: m, Prof: prof, Seed: seed})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return sys, res.Layout, m, nil
+}
+
+func cmdRun(argv []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	file := fs.String("file", "", "Bamboo source file")
+	name := fs.String("name", "", "embedded benchmark name")
+	argStr := fs.String("args", "", "comma-separated StartupObject args")
+	cores := fs.Int("cores", 1, "number of cores (1 = single-core Bamboo)")
+	seed := fs.Int64("seed", 1, "synthesis search seed")
+	seq := fs.Bool("seq", false, "run the zero-overhead sequential baseline")
+	fs.Parse(argv)
+	src, defaults, err := loadSource(*file, *name)
+	if err != nil {
+		return err
+	}
+	args := splitArgs(*argStr)
+	if args == nil {
+		args = defaults
+	}
+	if *seq {
+		sys, err := core.CompileSource(src)
+		if err != nil {
+			return err
+		}
+		res, err := sys.RunSequential(args, os.Stdout)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("-- sequential: %d cycles, %d invocations\n", res.TotalCycles, res.Invocations)
+		return nil
+	}
+	sys, lay, m, err := prepare(src, args, *cores, *seed)
+	if err != nil {
+		return err
+	}
+	res, err := sys.Run(core.RunConfig{Machine: m, Layout: lay, Args: args, Out: os.Stdout})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("-- %d cores: %d cycles, %d invocations\n", lay.NumCores, res.TotalCycles, res.Invocations)
+	return nil
+}
+
+func cmdProfile(argv []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	file := fs.String("file", "", "Bamboo source file")
+	name := fs.String("name", "", "embedded benchmark name")
+	argStr := fs.String("args", "", "comma-separated StartupObject args")
+	out := fs.String("o", "", "write profile JSON to this file (default stdout)")
+	fs.Parse(argv)
+	src, defaults, err := loadSource(*file, *name)
+	if err != nil {
+		return err
+	}
+	args := splitArgs(*argStr)
+	if args == nil {
+		args = defaults
+	}
+	sys, err := core.CompileSource(src)
+	if err != nil {
+		return err
+	}
+	prof, res, err := sys.Profile(args)
+	if err != nil {
+		return err
+	}
+	data, err := prof.Marshal()
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		fmt.Println(string(data))
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "-- profiled %d invocations in %d cycles\n", res.Invocations, res.TotalCycles)
+	return nil
+}
+
+func cmdSynthesize(argv []string) error {
+	fs := flag.NewFlagSet("synthesize", flag.ExitOnError)
+	file := fs.String("file", "", "Bamboo source file")
+	name := fs.String("name", "", "embedded benchmark name")
+	argStr := fs.String("args", "", "comma-separated StartupObject args")
+	cores := fs.Int("cores", 62, "number of cores")
+	seed := fs.Int64("seed", 1, "synthesis search seed")
+	fs.Parse(argv)
+	src, defaults, err := loadSource(*file, *name)
+	if err != nil {
+		return err
+	}
+	args := splitArgs(*argStr)
+	if args == nil {
+		args = defaults
+	}
+	sys, err := core.CompileSource(src)
+	if err != nil {
+		return err
+	}
+	m := machine.TilePro64().WithCores(*cores)
+	prof, _, err := sys.Profile(args)
+	if err != nil {
+		return err
+	}
+	res, err := sys.Synthesize(core.SynthesizeConfig{Machine: m, Prof: prof, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("estimated %d cycles after %d evaluations (%d iterations)\n",
+		res.EstCycles, res.Evaluations, res.Iterations)
+	fmt.Print(res.Layout)
+	return nil
+}
+
+func cmdAnalyze(argv []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	file := fs.String("file", "", "Bamboo source file")
+	name := fs.String("name", "", "embedded benchmark name")
+	showIR := fs.Bool("ir", false, "also print the lowered IR")
+	fs.Parse(argv)
+	src, _, err := loadSource(*file, *name)
+	if err != nil {
+		return err
+	}
+	sys, err := core.CompileSource(src)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Abstract state transition graphs ==")
+	names := make([]string, 0, len(sys.Dep.Graphs))
+	for n := range sys.Dep.Graphs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Print(sys.Dep.Graphs[n])
+	}
+	fmt.Println("== Disjointness: per-task lock groups ==")
+	for _, fn := range sys.Prog.Tasks {
+		fmt.Printf("  %s: %v\n", fn.Task.Name, sys.Locks.LockGroups[fn.Task.Name])
+	}
+	fmt.Println("== Task flow SCCs (Section 4.3.2 cycles) ==")
+	syn := synth.Build(sys.CSTG(nil), 4)
+	for _, comp := range syn.FlowSCCs() {
+		fmt.Printf("  %v\n", comp)
+	}
+	if *showIR {
+		fmt.Println("== IR ==")
+		keys := make([]string, 0, len(sys.Prog.Funcs))
+		for k := range sys.Prog.Funcs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Print(sys.Prog.Funcs[k])
+		}
+	}
+	return nil
+}
+
+func cmdViz(argv []string) error {
+	fs := flag.NewFlagSet("viz", flag.ExitOnError)
+	file := fs.String("file", "", "Bamboo source file")
+	name := fs.String("name", "", "embedded benchmark name")
+	kind := fs.String("kind", "cstg", "cstg | taskflow | trace | layout")
+	argStr := fs.String("args", "", "comma-separated StartupObject args")
+	cores := fs.Int("cores", 4, "cores for trace/layout rendering")
+	seed := fs.Int64("seed", 1, "synthesis seed for trace/layout")
+	fs.Parse(argv)
+	src, defaults, err := loadSource(*file, *name)
+	if err != nil {
+		return err
+	}
+	args := splitArgs(*argStr)
+	if args == nil {
+		args = defaults
+	}
+	sys, err := core.CompileSource(src)
+	if err != nil {
+		return err
+	}
+	switch *kind {
+	case "cstg": // Figure 3
+		prof, _, err := sys.Profile(args)
+		if err != nil {
+			return err
+		}
+		fmt.Print(sys.CSTG(prof).DOT())
+	case "taskflow": // Figure 8
+		prof, _, err := sys.Profile(args)
+		if err != nil {
+			return err
+		}
+		fmt.Print(sys.CSTG(prof).TaskFlowGraph().DOT())
+	case "layout": // Figure 4
+		_, lay, _, err := prepare(src, args, *cores, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(lay)
+	case "trace": // Figure 6
+		prof, _, err := sys.Profile(args)
+		if err != nil {
+			return err
+		}
+		m := machine.TilePro64().WithCores(*cores)
+		res, err := sys.Synthesize(core.SynthesizeConfig{Machine: m, Prof: prof, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		tr := &schedsim.Trace{}
+		if _, err := sys.Simulator().Run(schedsim.Options{
+			Machine: m, Layout: res.Layout, Prof: prof, Trace: tr,
+		}); err != nil {
+			return err
+		}
+		fmt.Print(critpath.Analyze(tr).DOT())
+	default:
+		return fmt.Errorf("unknown viz kind %q", *kind)
+	}
+	return nil
+}
+
+func cmdBench(argv []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	name := fs.String("name", "", "embedded benchmark name")
+	cores := fs.Int("cores", 62, "number of cores")
+	seed := fs.Int64("seed", 1, "synthesis seed")
+	fs.Parse(argv)
+	if *name == "" {
+		return fmt.Errorf("-name is required")
+	}
+	b, err := benchmarks.Get(*name)
+	if err != nil {
+		return err
+	}
+	sys, err := core.CompileSource(b.Source)
+	if err != nil {
+		return err
+	}
+	seq, err := sys.RunSequential(b.Args, nil)
+	if err != nil {
+		return err
+	}
+	m := machine.TilePro64().WithCores(*cores)
+	prof, one, err := sys.Profile(b.Args)
+	if err != nil {
+		return err
+	}
+	res, err := sys.Synthesize(core.SynthesizeConfig{Machine: m, Prof: prof, Seed: *seed, PerObjectCounts: b.Hints})
+	if err != nil {
+		return err
+	}
+	tr := &bamboort.Trace{}
+	many, err := sys.Run(core.RunConfig{Machine: m, Layout: res.Layout, Args: b.Args, Out: os.Stdout, Trace: tr})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: seq=%d 1-core=%d %d-core=%d speedup=%.1fx overhead=%.1f%%\n",
+		b.Name, seq.TotalCycles, one.TotalCycles, *cores, many.TotalCycles,
+		float64(one.TotalCycles)/float64(many.TotalCycles),
+		(float64(one.TotalCycles)/float64(seq.TotalCycles)-1)*100)
+	return nil
+}
+
+func cmdFmt(argv []string) error {
+	fs := flag.NewFlagSet("fmt", flag.ExitOnError)
+	file := fs.String("file", "", "Bamboo source file")
+	write := fs.Bool("w", false, "rewrite the file in place instead of printing")
+	fs.Parse(argv)
+	if *file == "" {
+		return fmt.Errorf("-file is required")
+	}
+	data, err := os.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	prog, err := parser.Parse(string(data))
+	if err != nil {
+		return err
+	}
+	formatted := ast.Print(prog)
+	if *write {
+		return os.WriteFile(*file, []byte(formatted), 0o644)
+	}
+	fmt.Print(formatted)
+	return nil
+}
+
+func cmdList() error {
+	for _, b := range benchmarks.All() {
+		fmt.Printf("%-12s %s (args: %s)\n", b.Name, b.Description, strings.Join(b.Args, ","))
+	}
+	return nil
+}

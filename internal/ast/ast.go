@@ -1,0 +1,595 @@
+// Package ast defines the abstract syntax tree for Bamboo programs.
+//
+// A program is a set of class declarations (with flag, tag-type, field,
+// method, and constructor members) and a set of task declarations whose
+// parameter guards give Bamboo its data-oriented invocation semantics.
+package ast
+
+import "repro/internal/lexer"
+
+// Node is the interface implemented by every AST node.
+type Node interface {
+	Pos() lexer.Pos
+}
+
+// Program is a whole Bamboo compilation unit.
+type Program struct {
+	Classes []*ClassDecl
+	Tasks   []*TaskDecl
+}
+
+// ClassDecl declares a class: its abstract states (flags), fields,
+// constructors, and methods.
+type ClassDecl struct {
+	Name    string
+	Flags   []*FlagDecl
+	Fields  []*FieldDecl
+	Methods []*MethodDecl // includes constructors (Name == class name, Ret == nil)
+	P       lexer.Pos
+}
+
+// Pos returns the declaration position.
+func (d *ClassDecl) Pos() lexer.Pos { return d.P }
+
+// FlagDecl declares one abstract state flag inside a class.
+type FlagDecl struct {
+	Name string
+	P    lexer.Pos
+}
+
+// Pos returns the declaration position.
+func (d *FlagDecl) Pos() lexer.Pos { return d.P }
+
+// FieldDecl declares one instance field.
+type FieldDecl struct {
+	Type *Type
+	Name string
+	P    lexer.Pos
+}
+
+// Pos returns the declaration position.
+func (d *FieldDecl) Pos() lexer.Pos { return d.P }
+
+// MethodDecl declares an instance method or (when Ret is nil and Name equals
+// the class name) a constructor.
+type MethodDecl struct {
+	Ret    *Type // nil for constructors
+	Name   string
+	Params []*Param
+	Body   *Block
+	P      lexer.Pos
+}
+
+// Pos returns the declaration position.
+func (d *MethodDecl) Pos() lexer.Pos { return d.P }
+
+// IsConstructor reports whether this declaration is a constructor.
+func (d *MethodDecl) IsConstructor() bool { return d.Ret == nil }
+
+// Param is a formal method parameter.
+type Param struct {
+	Type *Type
+	Name string
+	P    lexer.Pos
+}
+
+// Pos returns the parameter position.
+func (p *Param) Pos() lexer.Pos { return p.P }
+
+// TaskDecl declares a task: guarded parameters plus an imperative body.
+type TaskDecl struct {
+	Name   string
+	Params []*TaskParam
+	Body   *Block
+	P      lexer.Pos
+}
+
+// Pos returns the declaration position.
+func (d *TaskDecl) Pos() lexer.Pos { return d.P }
+
+// TaskParam is a task parameter with its flag guard and optional tag guard:
+//
+//	Type Name in FlagExp [with tagtype tagname and ...]
+type TaskParam struct {
+	Type  *Type
+	Name  string
+	Guard FlagExp
+	Tags  []*TagGuard
+	P     lexer.Pos
+}
+
+// Pos returns the parameter position.
+func (p *TaskParam) Pos() lexer.Pos { return p.P }
+
+// TagGuard requires the parameter object to be bound to the tag instance
+// held by task-level tag variable Name of tag type TagType.
+type TagGuard struct {
+	TagType string
+	Name    string
+	P       lexer.Pos
+}
+
+// Pos returns the guard position.
+func (g *TagGuard) Pos() lexer.Pos { return g.P }
+
+// ---------------------------------------------------------------------------
+// Flag guard expressions (the task-parameter guard language of Figure 5).
+
+// FlagExp is a boolean expression over the flags of one parameter object.
+type FlagExp interface {
+	Node
+	flagExp()
+}
+
+// FlagRef names a single flag.
+type FlagRef struct {
+	Name string
+	P    lexer.Pos
+}
+
+// FlagConst is the literal true or false guard.
+type FlagConst struct {
+	Value bool
+	P     lexer.Pos
+}
+
+// FlagNot negates a guard.
+type FlagNot struct {
+	X FlagExp
+	P lexer.Pos
+}
+
+// FlagBin combines two guards with "and" or "or".
+type FlagBin struct {
+	Op   string // "and" | "or"
+	L, R FlagExp
+	P    lexer.Pos
+}
+
+// Pos returns the expression position.
+func (e *FlagRef) Pos() lexer.Pos { return e.P }
+
+// Pos returns the expression position.
+func (e *FlagConst) Pos() lexer.Pos { return e.P }
+
+// Pos returns the expression position.
+func (e *FlagNot) Pos() lexer.Pos { return e.P }
+
+// Pos returns the expression position.
+func (e *FlagBin) Pos() lexer.Pos { return e.P }
+
+func (*FlagRef) flagExp()   {}
+func (*FlagConst) flagExp() {}
+func (*FlagNot) flagExp()   {}
+func (*FlagBin) flagExp()   {}
+
+// ---------------------------------------------------------------------------
+// Types
+
+// TypeKind classifies a syntactic type.
+type TypeKind int
+
+// Type kinds.
+const (
+	TInt TypeKind = iota
+	TDouble
+	TBoolean
+	TString
+	TVoid
+	TClass // Name holds the class name
+	TArray // Elem holds the element type
+)
+
+// Type is a syntactic type: a primitive, String, class, or array type.
+type Type struct {
+	Kind TypeKind
+	Name string // class name for TClass
+	Elem *Type  // element type for TArray
+	P    lexer.Pos
+}
+
+// Pos returns the type position.
+func (t *Type) Pos() lexer.Pos { return t.P }
+
+// String renders the type in source syntax.
+func (t *Type) String() string {
+	switch t.Kind {
+	case TInt:
+		return "int"
+	case TDouble:
+		return "double"
+	case TBoolean:
+		return "boolean"
+	case TString:
+		return "String"
+	case TVoid:
+		return "void"
+	case TClass:
+		return t.Name
+	case TArray:
+		return t.Elem.String() + "[]"
+	}
+	return "?"
+}
+
+// Equal reports structural type equality.
+func (t *Type) Equal(o *Type) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TClass:
+		return t.Name == o.Name
+	case TArray:
+		return t.Elem.Equal(o.Elem)
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is implemented by every statement node.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	Stmts []Stmt
+	P     lexer.Pos
+}
+
+// VarDecl declares a local variable with an optional initializer.
+type VarDecl struct {
+	Type *Type
+	Name string
+	Init Expr // may be nil
+	P    lexer.Pos
+}
+
+// Assign assigns Value to Target (an identifier, field access, or index).
+type Assign struct {
+	Target Expr
+	Value  Expr
+	P      lexer.Pos
+}
+
+// OpAssign is a compound assignment or increment/decrement statement,
+// e.g. x += 1 desugars here as Op "+" with Value 1.
+type OpAssign struct {
+	Target Expr
+	Op     string
+	Value  Expr
+	P      lexer.Pos
+}
+
+// ExprStmt evaluates an expression for its side effects (a call).
+type ExprStmt struct {
+	X Expr
+	P lexer.Pos
+}
+
+// If is a conditional with an optional else branch.
+type If struct {
+	Cond Expr
+	Then *Block
+	Else *Block // may be nil
+	P    lexer.Pos
+}
+
+// While is a while loop.
+type While struct {
+	Cond Expr
+	Body *Block
+	P    lexer.Pos
+}
+
+// For is a C-style for loop; Init/Post may be nil; Cond may be nil (true).
+type For struct {
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body *Block
+	P    lexer.Pos
+}
+
+// Return returns from a method; Value may be nil for void methods.
+type Return struct {
+	Value Expr
+	P     lexer.Pos
+}
+
+// Break exits the innermost loop.
+type Break struct{ P lexer.Pos }
+
+// Continue resumes the innermost loop.
+type Continue struct{ P lexer.Pos }
+
+// TaskExit is the taskexit(...) statement: per-parameter flag and tag
+// actions applied when the task commits, then the task returns.
+type TaskExit struct {
+	Actions []*ParamActions
+	P       lexer.Pos
+}
+
+// ParamActions is "param: action, action, ..." inside a taskexit or a
+// new-object allocation.
+type ParamActions struct {
+	Param   string // parameter (or fresh object) name; empty inside new-expressions
+	Actions []Action
+	P       lexer.Pos
+}
+
+// Action is a flag assignment or tag add/clear action.
+type Action interface {
+	Node
+	action()
+}
+
+// FlagAction sets a flag to a boolean literal: "name := true".
+type FlagAction struct {
+	Flag  string
+	Value bool
+	P     lexer.Pos
+}
+
+// TagAction adds or clears the tag instance held by tag variable Tag.
+type TagAction struct {
+	Add bool // true = add, false = clear
+	Tag string
+	P   lexer.Pos
+}
+
+// Pos returns the action position.
+func (a *FlagAction) Pos() lexer.Pos { return a.P }
+
+// Pos returns the action position.
+func (a *TagAction) Pos() lexer.Pos { return a.P }
+
+func (*FlagAction) action() {}
+func (*TagAction) action()  {}
+
+// NewTag declares a tag variable bound to a fresh tag instance:
+// "tag t = new tag(tagtype);".
+type NewTag struct {
+	Name    string
+	TagType string
+	P       lexer.Pos
+}
+
+// Pos returns the statement position.
+func (s *Block) Pos() lexer.Pos { return s.P }
+
+// Pos returns the statement position.
+func (s *VarDecl) Pos() lexer.Pos { return s.P }
+
+// Pos returns the statement position.
+func (s *Assign) Pos() lexer.Pos { return s.P }
+
+// Pos returns the statement position.
+func (s *OpAssign) Pos() lexer.Pos { return s.P }
+
+// Pos returns the statement position.
+func (s *ExprStmt) Pos() lexer.Pos { return s.P }
+
+// Pos returns the statement position.
+func (s *If) Pos() lexer.Pos { return s.P }
+
+// Pos returns the statement position.
+func (s *While) Pos() lexer.Pos { return s.P }
+
+// Pos returns the statement position.
+func (s *For) Pos() lexer.Pos { return s.P }
+
+// Pos returns the statement position.
+func (s *Return) Pos() lexer.Pos { return s.P }
+
+// Pos returns the statement position.
+func (s *Break) Pos() lexer.Pos { return s.P }
+
+// Pos returns the statement position.
+func (s *Continue) Pos() lexer.Pos { return s.P }
+
+// Pos returns the statement position.
+func (s *TaskExit) Pos() lexer.Pos { return s.P }
+
+// Pos returns the node position.
+func (s *ParamActions) Pos() lexer.Pos { return s.P }
+
+// Pos returns the statement position.
+func (s *NewTag) Pos() lexer.Pos { return s.P }
+
+func (*Block) stmt()    {}
+func (*VarDecl) stmt()  {}
+func (*Assign) stmt()   {}
+func (*OpAssign) stmt() {}
+func (*ExprStmt) stmt() {}
+func (*If) stmt()       {}
+func (*While) stmt()    {}
+func (*For) stmt()      {}
+func (*Return) stmt()   {}
+func (*Break) stmt()    {}
+func (*Continue) stmt() {}
+func (*TaskExit) stmt() {}
+func (*NewTag) stmt()   {}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is implemented by every expression node.
+type Expr interface {
+	Node
+	expr()
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value int64
+	P     lexer.Pos
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	Value float64
+	P     lexer.Pos
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	Value bool
+	P     lexer.Pos
+}
+
+// StringLit is a string literal.
+type StringLit struct {
+	Value string
+	P     lexer.Pos
+}
+
+// NullLit is the null literal.
+type NullLit struct{ P lexer.Pos }
+
+// Ident references a local variable, parameter, or field of this.
+type Ident struct {
+	Name string
+	P    lexer.Pos
+}
+
+// This references the receiver inside a method.
+type This struct{ P lexer.Pos }
+
+// FieldAccess is "X.Name".
+type FieldAccess struct {
+	X    Expr
+	Name string
+	P    lexer.Pos
+}
+
+// Index is "X[I]".
+type Index struct {
+	X, I Expr
+	P    lexer.Pos
+}
+
+// Call is a method call "Recv.Name(Args)". Recv may be an *Ident naming a
+// builtin namespace (Math, System) — the type checker resolves that case.
+// Recv nil means a call on the implicit this.
+type Call struct {
+	Recv Expr
+	Name string
+	Args []Expr
+	P    lexer.Pos
+}
+
+// TagArg passes a tag variable to a method: "tag t" in an argument list.
+type TagArg struct {
+	Name string
+	P    lexer.Pos
+}
+
+// New allocates an object: "new C(args){flag := true, add t}".
+type New struct {
+	Class   string
+	Args    []Expr
+	Actions []Action // initial flag settings and tag bindings; may be empty
+	P       lexer.Pos
+}
+
+// NewArray allocates an array: "new T[len]" (possibly with nested element
+// array types, e.g. new int[n][] is not supported; only one length).
+type NewArray struct {
+	Elem *Type
+	Len  Expr
+	P    lexer.Pos
+}
+
+// Unary is -X or !X.
+type Unary struct {
+	Op string
+	X  Expr
+	P  lexer.Pos
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   string
+	L, R Expr
+	P    lexer.Pos
+}
+
+// Cast converts between numeric types: "(int) x" or "(double) x".
+type Cast struct {
+	To *Type
+	X  Expr
+	P  lexer.Pos
+}
+
+// Pos returns the expression position.
+func (e *IntLit) Pos() lexer.Pos { return e.P }
+
+// Pos returns the expression position.
+func (e *FloatLit) Pos() lexer.Pos { return e.P }
+
+// Pos returns the expression position.
+func (e *BoolLit) Pos() lexer.Pos { return e.P }
+
+// Pos returns the expression position.
+func (e *StringLit) Pos() lexer.Pos { return e.P }
+
+// Pos returns the expression position.
+func (e *NullLit) Pos() lexer.Pos { return e.P }
+
+// Pos returns the expression position.
+func (e *Ident) Pos() lexer.Pos { return e.P }
+
+// Pos returns the expression position.
+func (e *This) Pos() lexer.Pos { return e.P }
+
+// Pos returns the expression position.
+func (e *FieldAccess) Pos() lexer.Pos { return e.P }
+
+// Pos returns the expression position.
+func (e *Index) Pos() lexer.Pos { return e.P }
+
+// Pos returns the expression position.
+func (e *Call) Pos() lexer.Pos { return e.P }
+
+// Pos returns the expression position.
+func (e *TagArg) Pos() lexer.Pos { return e.P }
+
+// Pos returns the expression position.
+func (e *New) Pos() lexer.Pos { return e.P }
+
+// Pos returns the expression position.
+func (e *NewArray) Pos() lexer.Pos { return e.P }
+
+// Pos returns the expression position.
+func (e *Unary) Pos() lexer.Pos { return e.P }
+
+// Pos returns the expression position.
+func (e *Binary) Pos() lexer.Pos { return e.P }
+
+// Pos returns the expression position.
+func (e *Cast) Pos() lexer.Pos { return e.P }
+
+func (*IntLit) expr()      {}
+func (*FloatLit) expr()    {}
+func (*BoolLit) expr()     {}
+func (*StringLit) expr()   {}
+func (*NullLit) expr()     {}
+func (*Ident) expr()       {}
+func (*This) expr()        {}
+func (*FieldAccess) expr() {}
+func (*Index) expr()       {}
+func (*Call) expr()        {}
+func (*TagArg) expr()      {}
+func (*New) expr()         {}
+func (*NewArray) expr()    {}
+func (*Unary) expr()       {}
+func (*Binary) expr()      {}
+func (*Cast) expr()        {}

@@ -1,0 +1,340 @@
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders a program back to canonical Bamboo source: tab indentation,
+// one member per line, classes before tasks. Parsing the output yields an
+// equivalent AST (ignoring positions), which the printer tests verify.
+func Print(p *Program) string {
+	pr := &printer{}
+	for i, c := range p.Classes {
+		if i > 0 {
+			pr.nl()
+		}
+		pr.classDecl(c)
+	}
+	for _, t := range p.Tasks {
+		pr.nl()
+		pr.taskDecl(t)
+	}
+	return pr.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) line(format string, args ...any) {
+	p.b.WriteString(strings.Repeat("\t", p.indent))
+	fmt.Fprintf(&p.b, format, args...)
+	p.b.WriteByte('\n')
+}
+
+func (p *printer) nl() { p.b.WriteByte('\n') }
+
+func (p *printer) classDecl(c *ClassDecl) {
+	p.line("class %s {", c.Name)
+	p.indent++
+	for _, f := range c.Flags {
+		p.line("flag %s;", f.Name)
+	}
+	for _, f := range c.Fields {
+		p.line("%s %s;", f.Type, f.Name)
+	}
+	for _, m := range c.Methods {
+		p.methodDecl(m)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) methodDecl(m *MethodDecl) {
+	var sig strings.Builder
+	if !m.IsConstructor() {
+		fmt.Fprintf(&sig, "%s ", m.Ret)
+	}
+	sig.WriteString(m.Name)
+	sig.WriteByte('(')
+	for i, prm := range m.Params {
+		if i > 0 {
+			sig.WriteString(", ")
+		}
+		if prm.Type.Kind == TClass && prm.Type.Name == "tag" {
+			fmt.Fprintf(&sig, "tag %s", prm.Name)
+		} else {
+			fmt.Fprintf(&sig, "%s %s", prm.Type, prm.Name)
+		}
+	}
+	sig.WriteString(") {")
+	p.line("%s", sig.String())
+	p.indent++
+	for _, s := range m.Body.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) taskDecl(t *TaskDecl) {
+	var sig strings.Builder
+	fmt.Fprintf(&sig, "task %s(", t.Name)
+	for i, prm := range t.Params {
+		if i > 0 {
+			sig.WriteString(", ")
+		}
+		fmt.Fprintf(&sig, "%s %s in %s", prm.Type, prm.Name, FlagExpString(prm.Guard))
+		for j, tg := range prm.Tags {
+			if j == 0 {
+				fmt.Fprintf(&sig, " with %s %s", tg.TagType, tg.Name)
+			} else {
+				fmt.Fprintf(&sig, " and %s %s", tg.TagType, tg.Name)
+			}
+		}
+	}
+	sig.WriteString(") {")
+	p.line("%s", sig.String())
+	p.indent++
+	for _, s := range t.Body.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+	p.line("}")
+}
+
+// FlagExpString renders a guard expression in source syntax.
+func FlagExpString(g FlagExp) string {
+	switch g := g.(type) {
+	case *FlagRef:
+		return g.Name
+	case *FlagConst:
+		if g.Value {
+			return "true"
+		}
+		return "false"
+	case *FlagNot:
+		return "!" + flagAtom(g.X)
+	case *FlagBin:
+		l, r := FlagExpString(g.L), FlagExpString(g.R)
+		if g.Op == "and" {
+			l, r = flagAndOperand(g.L), flagAndOperand(g.R)
+		}
+		return l + " " + g.Op + " " + r
+	}
+	return "?"
+}
+
+// flagAtom parenthesizes non-atomic guard operands of "!".
+func flagAtom(g FlagExp) string {
+	if _, ok := g.(*FlagBin); ok {
+		return "(" + FlagExpString(g) + ")"
+	}
+	return FlagExpString(g)
+}
+
+// flagAndOperand parenthesizes "or" operands inside an "and".
+func flagAndOperand(g FlagExp) string {
+	if b, ok := g.(*FlagBin); ok && b.Op == "or" {
+		return "(" + FlagExpString(g) + ")"
+	}
+	return FlagExpString(g)
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *Block:
+		p.line("{")
+		p.indent++
+		for _, inner := range s.Stmts {
+			p.stmt(inner)
+		}
+		p.indent--
+		p.line("}")
+	case *VarDecl:
+		if s.Init != nil {
+			p.line("%s %s = %s;", s.Type, s.Name, ExprString(s.Init))
+		} else {
+			p.line("%s %s;", s.Type, s.Name)
+		}
+	case *Assign:
+		p.line("%s = %s;", ExprString(s.Target), ExprString(s.Value))
+	case *OpAssign:
+		if lit, ok := s.Value.(*IntLit); ok && lit.Value == 1 && (s.Op == "+" || s.Op == "-") {
+			p.line("%s%s%s;", ExprString(s.Target), s.Op, s.Op)
+			return
+		}
+		p.line("%s %s= %s;", ExprString(s.Target), s.Op, ExprString(s.Value))
+	case *ExprStmt:
+		p.line("%s;", ExprString(s.X))
+	case *If:
+		p.line("if (%s) {", ExprString(s.Cond))
+		p.indent++
+		for _, inner := range s.Then.Stmts {
+			p.stmt(inner)
+		}
+		p.indent--
+		if s.Else != nil {
+			p.line("} else {")
+			p.indent++
+			for _, inner := range s.Else.Stmts {
+				p.stmt(inner)
+			}
+			p.indent--
+		}
+		p.line("}")
+	case *While:
+		p.line("while (%s) {", ExprString(s.Cond))
+		p.indent++
+		for _, inner := range s.Body.Stmts {
+			p.stmt(inner)
+		}
+		p.indent--
+		p.line("}")
+	case *For:
+		init, cond, post := "", "", ""
+		if s.Init != nil {
+			init = strings.TrimSuffix(strings.TrimSpace(p.capture(s.Init)), ";")
+		}
+		if s.Cond != nil {
+			cond = ExprString(s.Cond)
+		}
+		if s.Post != nil {
+			post = strings.TrimSuffix(strings.TrimSpace(p.capture(s.Post)), ";")
+		}
+		p.line("for (%s; %s; %s) {", init, cond, post)
+		p.indent++
+		for _, inner := range s.Body.Stmts {
+			p.stmt(inner)
+		}
+		p.indent--
+		p.line("}")
+	case *Return:
+		if s.Value != nil {
+			p.line("return %s;", ExprString(s.Value))
+		} else {
+			p.line("return;")
+		}
+	case *Break:
+		p.line("break;")
+	case *Continue:
+		p.line("continue;")
+	case *TaskExit:
+		var parts []string
+		for _, pa := range s.Actions {
+			parts = append(parts, pa.Param+": "+actionsString(pa.Actions))
+		}
+		p.line("taskexit(%s);", strings.Join(parts, "; "))
+	case *NewTag:
+		p.line("tag %s = new tag(%s);", s.Name, s.TagType)
+	}
+}
+
+// capture renders a single statement to a string (for for-headers).
+func (p *printer) capture(s Stmt) string {
+	sub := &printer{}
+	sub.stmt(s)
+	return sub.b.String()
+}
+
+func actionsString(actions []Action) string {
+	var parts []string
+	for _, a := range actions {
+		switch a := a.(type) {
+		case *FlagAction:
+			parts = append(parts, fmt.Sprintf("%s := %t", a.Flag, a.Value))
+		case *TagAction:
+			verb := "clear"
+			if a.Add {
+				verb = "add"
+			}
+			parts = append(parts, verb+" "+a.Tag)
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ExprString renders an expression in source syntax with minimal but
+// sufficient parenthesization (operands of a binary operator are
+// parenthesized when they are binary expressions of lower or equal
+// precedence, which is always safe).
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case *IntLit:
+		return strconv.FormatInt(e.Value, 10)
+	case *FloatLit:
+		s := strconv.FormatFloat(e.Value, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case *BoolLit:
+		if e.Value {
+			return "true"
+		}
+		return "false"
+	case *StringLit:
+		return strconv.Quote(e.Value)
+	case *NullLit:
+		return "null"
+	case *Ident:
+		return e.Name
+	case *This:
+		return "this"
+	case *FieldAccess:
+		return operand(e.X) + "." + e.Name
+	case *Index:
+		return operand(e.X) + "[" + ExprString(e.I) + "]"
+	case *Call:
+		var args []string
+		for _, a := range e.Args {
+			args = append(args, ExprString(a))
+		}
+		recv := ""
+		if e.Recv != nil {
+			recv = operand(e.Recv) + "."
+		}
+		return recv + e.Name + "(" + strings.Join(args, ", ") + ")"
+	case *TagArg:
+		return "tag " + e.Name
+	case *New:
+		var args []string
+		for _, a := range e.Args {
+			args = append(args, ExprString(a))
+		}
+		s := "new " + e.Class + "(" + strings.Join(args, ", ") + ")"
+		if len(e.Actions) > 0 {
+			s += "{ " + actionsString(e.Actions) + " }"
+		}
+		return s
+	case *NewArray:
+		// Nested array element types print as trailing [] pairs.
+		elem := e.Elem
+		suffix := ""
+		for elem.Kind == TArray {
+			suffix += "[]"
+			elem = elem.Elem
+		}
+		return "new " + elem.String() + "[" + ExprString(e.Len) + "]" + suffix
+	case *Unary:
+		return e.Op + operand(e.X)
+	case *Binary:
+		return operand(e.L) + " " + e.Op + " " + operand(e.R)
+	case *Cast:
+		return "(" + e.To.String() + ") " + operand(e.X)
+	}
+	return "?"
+}
+
+// operand renders a subexpression, parenthesizing anything that is not
+// syntactically atomic enough to appear as an operand.
+func operand(e Expr) string {
+	switch e.(type) {
+	case *Binary, *Unary, *Cast:
+		return "(" + ExprString(e) + ")"
+	}
+	return ExprString(e)
+}

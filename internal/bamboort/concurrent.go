@@ -1,0 +1,294 @@
+package bamboort
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/depend"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/types"
+)
+
+// delivery is one message on a core's inbox: an object for a parameter set,
+// or a poke (obj == nil) prompting a rescan after a remote unlock.
+type delivery struct {
+	taskName string
+	param    int
+	obj      *interp.Object
+}
+
+type ccore struct {
+	id     int
+	inbox  chan delivery
+	tasks  []*hostedTask
+	arrSeq int64
+}
+
+// RunConcurrent executes the program with real parallelism: one goroutine
+// per layout core, channels as the on-chip network, and per-object mutexes
+// implementing the runtime's parameter locks. It is not cycle accurate —
+// it validates that the runtime protocol (guarded dispatch, lock-or-skip,
+// tag routing) is correct under true concurrency. Programs whose observable
+// output is order-independent produce the same output as the deterministic
+// engine.
+func RunConcurrent(prog *ir.Program, dep *depend.Result, opts Options) (*Result, error) {
+	if opts.Layout == nil {
+		return nil, fmt.Errorf("bamboort: Layout is required")
+	}
+	if opts.MaxInvocations == 0 {
+		opts.MaxInvocations = 50_000_000
+	}
+	in := interp.New(prog)
+	in.Out = opts.Out
+	if opts.MaxTaskCycles > 0 {
+		in.MaxCycles = opts.MaxTaskCycles
+	} else {
+		in.MaxCycles = 10_000_000_000
+	}
+
+	n := opts.Layout.NumCores
+	cores := make([]*ccore, n)
+	for i := range cores {
+		cores[i] = &ccore{id: i, inbox: make(chan delivery, 1<<16)}
+	}
+	taskNames := make([]string, 0, len(prog.Tasks))
+	for _, fn := range prog.Tasks {
+		taskNames = append(taskNames, fn.Task.Name)
+	}
+	sort.Strings(taskNames)
+	for _, name := range taskNames {
+		fn := prog.Funcs[ir.TaskKey(name)]
+		cs := opts.Layout.Cores(name)
+		if len(cs) > 1 && len(fn.Task.Params) > 1 && CommonTagVar(fn.Task) == "" {
+			return nil, fmt.Errorf("bamboort: task %s cannot be replicated without a common tag", name)
+		}
+		for _, c := range cs {
+			cores[c].tasks = append(cores[c].tasks, newHostedTask(fn))
+		}
+	}
+
+	var (
+		inFlight atomic.Int64 // undelivered messages + credits held by busy workers
+		nInv     atomic.Int64
+		stop     = make(chan struct{})
+		wg       sync.WaitGroup
+		runErr   atomic.Value
+		tasksMu  sync.Mutex
+		tasksRun = map[string]int64{}
+		rrMu     sync.Mutex
+		rr       = map[string]int{}
+	)
+
+	send := func(dst int, d delivery) {
+		inFlight.Add(1)
+		cores[dst].inbox <- d
+	}
+
+	route := func(obj *interp.Object, fromCore int) {
+		state := StateOf(obj)
+		for _, pr := range dep.Consumers(obj.Class, state) {
+			cs := opts.Layout.Cores(pr.Task.Name)
+			if len(cs) == 0 {
+				continue
+			}
+			var dst int
+			switch {
+			case len(cs) == 1:
+				dst = cs[0]
+			default:
+				dst = -1
+				if tagType := CommonTagType(pr.Task); tagType != "" && len(pr.Task.Params) > 1 {
+					if tag := firstTagOf(obj, tagType); tag != nil {
+						dst = cs[int(tag.ID)%len(cs)]
+					}
+				}
+				if dst < 0 {
+					key := fmt.Sprintf("%d|%s", fromCore, pr.Task.Name)
+					rrMu.Lock()
+					dst = cs[(rr[key]+fromCore)%len(cs)]
+					rr[key]++
+					rrMu.Unlock()
+				}
+			}
+			send(dst, delivery{taskName: pr.Task.Name, param: pr.Param, obj: obj})
+		}
+	}
+
+	worker := func(c *ccore) {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case d := <-c.inbox:
+				// Credits: one per received delivery, released only after
+				// the dispatch loop exhausts local work, so quiescence
+				// detection never observes a transient zero.
+				credits := int64(1)
+				c.receive(d)
+			drain:
+				for {
+					select {
+					case d := <-c.inbox:
+						c.receive(d)
+						credits++
+					default:
+						break drain
+					}
+				}
+				for {
+					inv := c.findAndLock()
+					if inv == nil {
+						break
+					}
+					exec, err := in.RunTask(inv.ht.fn, inv.params())
+					if err != nil {
+						runErr.Store(err)
+						unlockAll(inv.objs)
+						inFlight.Add(-credits)
+						return
+					}
+					inv.consume()
+					unlockAll(inv.objs)
+					nInv.Add(1)
+					tasksMu.Lock()
+					tasksRun[inv.ht.task.Name]++
+					tasksMu.Unlock()
+					for _, o := range inv.objs {
+						route(o, c.id)
+					}
+					for _, o := range exec.NewObjects {
+						if _, ok := dep.Graphs[o.Class.Name]; ok {
+							route(o, c.id)
+						}
+					}
+					// Poke other cores: a released lock may unblock them.
+					for _, other := range cores {
+						if other != c {
+							send(other.id, delivery{})
+						}
+					}
+					if nInv.Load() > opts.MaxInvocations {
+						runErr.Store(fmt.Errorf("bamboort: exceeded %d invocations", opts.MaxInvocations))
+						inFlight.Add(-credits)
+						return
+					}
+				}
+				inFlight.Add(-credits)
+			}
+		}
+	}
+
+	wg.Add(n)
+	for _, c := range cores {
+		go worker(c)
+	}
+
+	// Inject the startup object.
+	startCl := prog.Info.Classes[types.StartupClass]
+	so := in.Heap.NewObject(startCl)
+	so.SetFlag(startCl.FlagIndex[types.StartupFlag], true)
+	if f, ok := startCl.FieldByName["args"]; ok {
+		so.Fields[f.Index] = interp.ArrV(in.Heap.NewStringArray(opts.Args))
+	}
+	route(so, 0)
+
+	// Quiescence: no undelivered messages and no worker holding credits.
+	for {
+		if err, _ := runErr.Load().(error); err != nil {
+			close(stop)
+			wg.Wait()
+			return nil, err
+		}
+		if inFlight.Load() == 0 {
+			break
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	close(stop)
+	wg.Wait()
+	if err, _ := runErr.Load().(error); err != nil {
+		return nil, err
+	}
+	return &Result{Invocations: nInv.Load(), TasksRun: tasksRun}, nil
+}
+
+func unlockAll(objs []*interp.Object) {
+	seen := map[*interp.Object]bool{}
+	for _, o := range objs {
+		if !seen[o] {
+			seen[o] = true
+			o.Unlock()
+		}
+	}
+}
+
+// receive files a delivery into the matching parameter set.
+func (c *ccore) receive(d delivery) {
+	if d.obj == nil {
+		return // poke
+	}
+	for _, ht := range c.tasks {
+		if ht.task.Name == d.taskName {
+			p := ht.task.Params[d.param]
+			if StateOf(d.obj).SatisfiesParam(p) {
+				c.arrSeq++
+				ht.add(d.param, d.obj, c.arrSeq)
+			}
+			return
+		}
+	}
+}
+
+// findAndLock assembles an invocation and acquires all parameter locks,
+// re-validating guards after locking (another core may have transitioned an
+// object between assembly and lock acquisition).
+func (c *ccore) findAndLock() *invocation {
+	// Assemble the oldest-ready invocation across hosted tasks.
+	var cands []*invocation
+	for _, ht := range c.tasks {
+		if inv := ht.assemble(func(*interp.Object) bool { return false }); inv != nil {
+			cands = append(cands, inv)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].readySeq < cands[j].readySeq })
+	for _, inv := range cands {
+		ht := inv.ht
+		ordered := append([]*interp.Object(nil), inv.objs...)
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+		var acquired []*interp.Object
+		ok := true
+		seen := map[*interp.Object]bool{}
+		for _, o := range ordered {
+			if seen[o] {
+				continue
+			}
+			seen[o] = true
+			if !o.TryLock() {
+				ok = false
+				break
+			}
+			acquired = append(acquired, o)
+		}
+		if ok {
+			for i, o := range inv.objs {
+				if !StateOf(o).SatisfiesParam(ht.task.Params[i]) {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			for _, o := range acquired {
+				o.Unlock()
+			}
+			continue
+		}
+		return inv
+	}
+	return nil
+}

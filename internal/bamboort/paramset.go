@@ -1,0 +1,217 @@
+package bamboort
+
+import (
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/types"
+)
+
+// hostedTask is one instantiation of a task on one core: a parameter set
+// per parameter, in arrival (FIFO) order. Arrival sequence numbers let the
+// scheduler dispatch the oldest-ready invocation first across tasks, so a
+// long-running task cannot starve short invocations that were already
+// waiting.
+type hostedTask struct {
+	fn        *ir.Func
+	task      *types.Task
+	paramSets [][]*interp.Object
+	inSet     []map[*interp.Object]int64 // object -> arrival sequence
+}
+
+func newHostedTask(fn *ir.Func) *hostedTask {
+	n := len(fn.Task.Params)
+	ht := &hostedTask{
+		fn:        fn,
+		task:      fn.Task,
+		paramSets: make([][]*interp.Object, n),
+		inSet:     make([]map[*interp.Object]int64, n),
+	}
+	for i := range ht.inSet {
+		ht.inSet[i] = map[*interp.Object]int64{}
+	}
+	return ht
+}
+
+// add inserts obj into the parameter set (idempotent) with its arrival
+// sequence number. It returns whether the object was newly added.
+func (ht *hostedTask) add(param int, obj *interp.Object, seq int64) bool {
+	if _, ok := ht.inSet[param][obj]; ok {
+		return false
+	}
+	ht.inSet[param][obj] = seq
+	ht.paramSets[param] = append(ht.paramSets[param], obj)
+	return true
+}
+
+// remove drops obj from one parameter set.
+func (ht *hostedTask) remove(param int, obj *interp.Object) {
+	if _, ok := ht.inSet[param][obj]; !ok {
+		return
+	}
+	delete(ht.inSet[param], obj)
+	for i, o := range ht.paramSets[param] {
+		if o == obj {
+			ht.paramSets[param] = append(ht.paramSets[param][:i], ht.paramSets[param][i+1:]...)
+			return
+		}
+	}
+}
+
+// pending reports whether any parameter set is non-empty.
+func (ht *hostedTask) pending() bool {
+	for _, s := range ht.paramSets {
+		if len(s) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// invocation is a fully assembled task invocation: one object per parameter
+// plus one tag instance per tag-guard variable (in Func.TagParams order).
+// readySeq is the arrival sequence at which the invocation became possible
+// (the latest of its parameters' arrivals); the scheduler runs the oldest
+// ready invocation first.
+type invocation struct {
+	ht       *hostedTask
+	objs     []*interp.Object
+	tags     []*interp.Tag
+	readySeq int64
+	// objSeqs are the arrival sequences of the chosen parameter objects;
+	// a parameter whose abstract state a task leaves unchanged is
+	// re-enqueued with its original sequence (it logically never left the
+	// parameter sets).
+	objSeqs []int64
+	// preStates snapshots the parameters' abstract state keys at dispatch.
+	preStates []string
+}
+
+// params returns the interpreter argument vector.
+func (inv *invocation) params() []interp.Value {
+	out := make([]interp.Value, 0, len(inv.objs)+len(inv.tags))
+	for _, o := range inv.objs {
+		out = append(out, interp.ObjV(o))
+	}
+	for _, t := range inv.tags {
+		out = append(out, interp.TagV(t))
+	}
+	return out
+}
+
+// assemble tries to build an invocation from the parameter sets. locked
+// reports whether an object is currently locked by an executing task.
+// Objects whose abstract state no longer satisfies their parameter guard
+// are pruned from the sets as they are encountered.
+func (ht *hostedTask) assemble(locked func(*interp.Object) bool) *invocation {
+	objs := make([]*interp.Object, len(ht.task.Params))
+	bindings := map[string]*interp.Tag{}
+	if ht.tryBind(0, objs, bindings, locked) {
+		inv := &invocation{ht: ht, objs: objs}
+		for i, o := range objs {
+			s := ht.inSet[i][o]
+			inv.objSeqs = append(inv.objSeqs, s)
+			inv.preStates = append(inv.preStates, StateOf(o).Key())
+			if s > inv.readySeq {
+				inv.readySeq = s
+			}
+		}
+		for _, name := range ht.fn.TagParams() {
+			inv.tags = append(inv.tags, bindings[name])
+		}
+		return inv
+	}
+	return nil
+}
+
+// tryBind performs backtracking assignment of objects to parameters with
+// consistent tag-variable bindings.
+func (ht *hostedTask) tryBind(param int, objs []*interp.Object, bindings map[string]*interp.Tag, locked func(*interp.Object) bool) bool {
+	if param == len(ht.task.Params) {
+		return true
+	}
+	p := ht.task.Params[param]
+	// Prune stale objects first so FIFO order skips them cheaply.
+	ht.prune(param)
+	for _, obj := range ht.paramSets[param] {
+		if locked(obj) {
+			continue
+		}
+		// An object may satisfy several parameters of the same task but can
+		// only bind one of them per invocation.
+		already := false
+		for i := 0; i < param; i++ {
+			if objs[i] == obj {
+				already = true
+				break
+			}
+		}
+		if already {
+			continue
+		}
+		if ok := ht.bindTags(p, obj, objs, param, bindings, locked); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// bindTags checks obj against p's tag guards under the current bindings,
+// trying each candidate tag instance for unbound variables, then recurses
+// to the next parameter.
+func (ht *hostedTask) bindTags(p *types.TaskParam, obj *interp.Object, objs []*interp.Object, param int, bindings map[string]*interp.Tag, locked func(*interp.Object) bool) bool {
+	objs[param] = obj
+	var rec func(gi int, newly []string) bool
+	rec = func(gi int, newly []string) bool {
+		if gi == len(p.Tags) {
+			if ht.tryBind(param+1, objs, bindings, locked) {
+				return true
+			}
+			return false
+		}
+		tg := p.Tags[gi]
+		if bound, ok := bindings[tg.Name]; ok {
+			if obj.HasTag(bound) {
+				return rec(gi+1, newly)
+			}
+			return false
+		}
+		for _, cand := range obj.Tags() {
+			if cand.Type != tg.TagType {
+				continue
+			}
+			bindings[tg.Name] = cand
+			if rec(gi+1, append(newly, tg.Name)) {
+				return true
+			}
+			delete(bindings, tg.Name)
+		}
+		return false
+	}
+	if rec(0, nil) {
+		return true
+	}
+	objs[param] = nil
+	return false
+}
+
+// prune removes objects whose state no longer satisfies the guard.
+func (ht *hostedTask) prune(param int) {
+	p := ht.task.Params[param]
+	kept := ht.paramSets[param][:0]
+	for _, obj := range ht.paramSets[param] {
+		if StateOf(obj).SatisfiesParam(p) {
+			kept = append(kept, obj)
+		} else {
+			delete(ht.inSet[param], obj)
+		}
+	}
+	ht.paramSets[param] = kept
+}
+
+// consume removes the invocation's objects from the parameter sets they
+// were drawn from.
+func (inv *invocation) consume() {
+	for i, obj := range inv.objs {
+		inv.ht.remove(i, obj)
+	}
+}

@@ -1,0 +1,87 @@
+// Package bamboort implements the Bamboo runtime system (Section 4.7 of
+// the paper) on the simulated many-core machine.
+//
+// Each core runs a lightweight scheduler with one parameter set per task
+// parameter. The compiler-resolved routing derived from the dependence
+// analysis sends objects directly to the cores hosting the tasks that can
+// consume them (round-robin over replicated instantiations, tag-hash
+// routing when a multi-parameter task's parameters share a tag). Before
+// executing an invocation the runtime locks all parameter objects; if any
+// lock is unavailable it abandons the invocation and tries another — tasks
+// never abort and never roll back.
+//
+// Three engines share this machinery:
+//
+//   - Engine (engine.go): a deterministic discrete-event engine in virtual
+//     cycles. It executes real task bodies through the interpreter and is
+//     the stand-in for running the generated binary on the TILEPro64. All
+//     experiment tables are measured on it.
+//   - the sequential baseline: Engine on a single core with all runtime
+//     overhead costs zeroed — the paper's hand-written C version.
+//   - ConcurrentEngine (concurrent.go): true parallel execution with one
+//     goroutine per core, used to validate that the runtime protocol is
+//     correct under real concurrency.
+package bamboort
+
+import (
+	"repro/internal/depend"
+	"repro/internal/interp"
+	"repro/internal/types"
+)
+
+// StateOf abstracts a live object's current state (flags plus 1-limited tag
+// counts) into the dependence analysis's state domain.
+func StateOf(o *interp.Object) depend.State {
+	s := depend.NewState(o.Flags())
+	for _, t := range o.Tags() {
+		s = s.WithTag(t.Type)
+	}
+	return s
+}
+
+// ObjWords estimates the message payload size of an object in words: a
+// two-word header (class + flags/tags descriptor) plus one word per field.
+func ObjWords(o *interp.Object) int { return 2 + len(o.Fields) }
+
+// CommonTagVar returns the tag variable shared by every parameter of the
+// task (the condition under which the runtime can replicate a
+// multi-parameter task and route by tag hash), or "" when there is none.
+func CommonTagVar(task *types.Task) string {
+	if len(task.Params) == 0 {
+		return ""
+	}
+	counts := map[string]int{}
+	types := map[string]string{}
+	for _, p := range task.Params {
+		seen := map[string]bool{}
+		for _, tg := range p.Tags {
+			if !seen[tg.Name] {
+				seen[tg.Name] = true
+				counts[tg.Name]++
+				types[tg.Name] = tg.TagType
+			}
+		}
+	}
+	for name, n := range counts {
+		if n == len(task.Params) {
+			return name
+		}
+	}
+	return ""
+}
+
+// CommonTagType returns the tag type of the common tag variable, or "".
+func CommonTagType(task *types.Task) string {
+	name := CommonTagVar(task)
+	if name == "" {
+		return ""
+	}
+	for _, p := range task.Params {
+		for _, tg := range p.Tags {
+			if tg.Name == name {
+				return tg.TagType
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,207 @@
+// Package core is the public facade of the Bamboo reproduction: it wires
+// the compiler frontend (parse, check, lower), the static analyses
+// (dependence, disjointness), and the execution engines into a small API.
+//
+// Typical use:
+//
+//	sys, err := core.CompileSource(src)
+//	prof, _, err := sys.Profile(args)            // single-core profiling run
+//	res, err := sys.Run(core.RunConfig{...})     // execute on a layout
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/anneal"
+	"repro/internal/bamboort"
+	"repro/internal/cstg"
+	"repro/internal/depend"
+	"repro/internal/disjoint"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/layout"
+	"repro/internal/machine"
+	"repro/internal/parser"
+	"repro/internal/profile"
+	"repro/internal/schedsim"
+	"repro/internal/synth"
+	"repro/internal/types"
+)
+
+// System is a fully compiled and analyzed Bamboo program.
+type System struct {
+	Info  *types.Info
+	Prog  *ir.Program
+	Dep   *depend.Result
+	Locks *disjoint.Result
+}
+
+// CompileSource parses, checks, lowers, and analyzes a Bamboo program.
+func CompileSource(src string) (*System, error) {
+	astProg, err := parser.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	info, err := types.Check(astProg)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck: %w", err)
+	}
+	irProg, err := ir.Lower(info)
+	if err != nil {
+		return nil, fmt.Errorf("lower: %w", err)
+	}
+	dep, err := depend.Analyze(irProg)
+	if err != nil {
+		return nil, fmt.Errorf("dependence analysis: %w", err)
+	}
+	locks := disjoint.Analyze(irProg)
+	return &System{Info: info, Prog: irProg, Dep: dep, Locks: locks}, nil
+}
+
+// TaskNames returns the program's task names in declaration order.
+func (s *System) TaskNames() []string {
+	out := make([]string, 0, len(s.Prog.Tasks))
+	for _, fn := range s.Prog.Tasks {
+		out = append(out, fn.Task.Name)
+	}
+	return out
+}
+
+// RunConfig configures one execution.
+type RunConfig struct {
+	Machine *machine.Machine
+	Layout  *layout.Layout
+	Args    []string
+	Out     io.Writer
+	Profile *profile.Profile
+	Trace   *bamboort.Trace
+}
+
+// Run executes the program on the given machine and layout with the
+// deterministic discrete-event engine.
+func (s *System) Run(cfg RunConfig) (*bamboort.Result, error) {
+	eng, err := bamboort.NewEngine(s.Prog, s.Dep, s.Locks, bamboort.Options{
+		Machine: cfg.Machine,
+		Layout:  cfg.Layout,
+		Args:    cfg.Args,
+		Out:     cfg.Out,
+		Profile: cfg.Profile,
+		Trace:   cfg.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run()
+}
+
+// RunSequential executes the paper's single-core baseline: one core, zero
+// runtime overhead (the stand-in for the hand-written C version).
+func (s *System) RunSequential(args []string, out io.Writer) (*bamboort.Result, error) {
+	return s.Run(RunConfig{
+		Machine: machine.Sequential(),
+		Layout:  layout.Single(s.TaskNames()),
+		Args:    args,
+		Out:     out,
+	})
+}
+
+// RunSingleCoreBamboo executes the 1-core Bamboo version: one core with the
+// full runtime overheads.
+func (s *System) RunSingleCoreBamboo(args []string, out io.Writer) (*bamboort.Result, error) {
+	return s.Run(RunConfig{
+		Machine: machine.SingleCoreBamboo(),
+		Layout:  layout.Single(s.TaskNames()),
+		Args:    args,
+		Out:     out,
+	})
+}
+
+// Profile runs the single-core Bamboo version while recording the profile
+// used to bootstrap implementation synthesis.
+func (s *System) Profile(args []string) (*profile.Profile, *bamboort.Result, error) {
+	prof := profile.New()
+	res, err := s.Run(RunConfig{
+		Machine: machine.SingleCoreBamboo(),
+		Layout:  layout.Single(s.TaskNames()),
+		Args:    args,
+		Profile: prof,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return prof, res, nil
+}
+
+// Interp returns a fresh interpreter for direct method execution (tests and
+// tooling).
+func (s *System) Interp() *interp.Interp { return interp.New(s.Prog) }
+
+// OptimizeIR runs the scalar IR optimizer (constant folding, copy
+// propagation, branch folding, dead code elimination) over the compiled
+// program in place. The evaluation harness runs unoptimized IR so its cost
+// model matches the paper's baseline; call this to measure the optimizer's
+// effect (BenchmarkOptimizerAblation) or to speed up large runs.
+func (s *System) OptimizeIR() ir.OptStats { return ir.Optimize(s.Prog) }
+
+// CSTG builds the profile-annotated combined state transition graph.
+func (s *System) CSTG(prof *profile.Profile) *cstg.Graph {
+	return cstg.Build(s.Prog, s.Dep, prof)
+}
+
+// Simulator returns a scheduling simulator over this system.
+func (s *System) Simulator() *schedsim.Simulator {
+	return schedsim.New(s.Prog, s.Dep, s.Locks)
+}
+
+// SynthesizeConfig configures automatic implementation synthesis.
+type SynthesizeConfig struct {
+	Machine *machine.Machine
+	Prof    *profile.Profile
+	// Seed drives the whole search deterministically.
+	Seed int64
+	// Seeds, MaxIterations: forwarded to the annealer (0 = defaults).
+	Seeds           int
+	MaxIterations   int
+	PerObjectCounts map[string]bool
+}
+
+// SynthesisResult is the output of Synthesize.
+type SynthesisResult struct {
+	Layout      *layout.Layout
+	EstCycles   int64
+	Evaluations int
+	Iterations  int
+	Synthesis   *synth.Synthesis
+}
+
+// Synthesize runs the full implementation synthesis pipeline of Section 4:
+// CSTG construction, core grouping with the parallelization rules, random
+// candidate generation, and directed simulated annealing driven by the
+// scheduling simulator and critical path analysis.
+func (s *System) Synthesize(cfg SynthesizeConfig) (*SynthesisResult, error) {
+	numCores := cfg.Machine.NumUsable()
+	graph := cstg.Build(s.Prog, s.Dep, cfg.Prof)
+	syn := synth.Build(graph, numCores)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	outcome, err := anneal.Optimize(s.Simulator(), syn, anneal.Options{
+		Machine:         cfg.Machine,
+		Prof:            cfg.Prof,
+		NumCores:        numCores,
+		Seeds:           cfg.Seeds,
+		MaxIterations:   cfg.MaxIterations,
+		Rng:             rng,
+		PerObjectCounts: cfg.PerObjectCounts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SynthesisResult{
+		Layout:      outcome.Best,
+		EstCycles:   outcome.BestCycles,
+		Evaluations: outcome.Evaluations,
+		Iterations:  outcome.Iterations,
+		Synthesis:   syn,
+	}, nil
+}

@@ -1,0 +1,57 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestCompileSourceErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"lex", "class C { \x00 }", "unexpected character"},
+		{"parse", "class C {", "parse"},
+		{"check", "task t(Unknown u in a) {}", "typecheck"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := core.CompileSource(c.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %q, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestTaskNamesOrder(t *testing.T) {
+	sys, err := core.CompileSource(`
+class C { flag a; }
+task zeta(C c in a) { taskexit(c: a := false); }
+task alpha(StartupObject s in initialstate) {
+	C c = new C(){ a := true };
+	taskexit(s: initialstate := false);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := sys.TaskNames()
+	// Declaration order, not sorted.
+	if len(names) != 2 || names[0] != "zeta" || names[1] != "alpha" {
+		t.Errorf("TaskNames = %v", names)
+	}
+}
+
+func TestRunRequiresMachineAndLayout(t *testing.T) {
+	sys, err := core.CompileSource(`
+class C { flag a; }
+task t(StartupObject s in initialstate) { taskexit(s: initialstate := false); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(core.RunConfig{}); err == nil {
+		t.Error("expected error for missing machine/layout")
+	}
+}

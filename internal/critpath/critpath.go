@@ -1,0 +1,239 @@
+// Package critpath implements the critical path analysis of Section 4.5.1.
+//
+// The analysis processes an execution trace from the scheduling simulator
+// and builds a weighted graph whose nodes are the start and end events of
+// task invocations. Edges connect (1) the start and end of each invocation
+// (weight = execution time), (2) the end of one task to the start of the
+// next task on the same core when the second had to wait for the first
+// (resource edge), and (3) the end of a producer to the start of a consumer
+// that waited for its data (data edge, weight = transfer time). The
+// critical path is the largest-weight path through this DAG; it accounts
+// for both resource and scheduling limitations and directs the generation
+// of new candidate layouts in the directed simulated annealing search.
+package critpath
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/schedsim"
+)
+
+// Analysis is the result of analyzing one trace.
+type Analysis struct {
+	Trace *schedsim.Trace
+	// Critical lists the indices (into Trace.Events) of invocations on the
+	// critical path, in execution order.
+	Critical []int
+	// OnPath reports critical-path membership by event index.
+	OnPath map[int]bool
+	// Resolved maps each event index to the time its data dependences were
+	// resolved (max over parameter arrivals).
+	Resolved map[int]int64
+	// Delay maps each event index to Start - Resolved: how long the
+	// invocation waited for computational resources after its data was
+	// ready.
+	Delay map[int]int64
+	// Key marks critical-path events that produce data consumed by the
+	// next critical-path event (the "key task instances" of Section 4.5.2).
+	Key map[int]bool
+	// TotalWeight is the critical path length in cycles.
+	TotalWeight int64
+}
+
+// Analyze computes the critical path of a simulated trace.
+func Analyze(tr *schedsim.Trace) *Analysis {
+	a := &Analysis{
+		Trace:    tr,
+		OnPath:   map[int]bool{},
+		Resolved: map[int]int64{},
+		Delay:    map[int]int64{},
+		Key:      map[int]bool{},
+	}
+	n := len(tr.Events)
+	if n == 0 {
+		return a
+	}
+	// Data-dependence resolution times.
+	for _, ev := range tr.Events {
+		var r int64
+		for _, d := range ev.Deps {
+			if d.Arrival > r {
+				r = d.Arrival
+			}
+		}
+		a.Resolved[ev.Index] = r
+		a.Delay[ev.Index] = ev.Start - r
+	}
+
+	// Longest path over the event DAG. dist[i] = weight of the heaviest
+	// path ending at the END of event i; pred[i] = previous event on it.
+	type edge struct {
+		from   int
+		weight int64 // cost between from.End and to.Start
+	}
+	preds := make([][]edge, n)
+	// Resource edges: consecutive events on the same core where the later
+	// one started exactly when the earlier finished and had been waiting.
+	byCore := map[int][]int{}
+	for _, ev := range tr.Events {
+		byCore[ev.Core] = append(byCore[ev.Core], ev.Index)
+	}
+	for _, evs := range byCore {
+		sort.Slice(evs, func(i, j int) bool { return tr.Events[evs[i]].Start < tr.Events[evs[j]].Start })
+		for k := 1; k < len(evs); k++ {
+			prev, cur := tr.Events[evs[k-1]], tr.Events[evs[k]]
+			if cur.Start >= prev.End && a.Resolved[cur.Index] < cur.Start {
+				// The invocation waited on the core, not (only) on data.
+				preds[cur.Index] = append(preds[cur.Index], edge{from: prev.Index, weight: cur.Start - prev.End})
+			}
+		}
+	}
+	// Data edges.
+	for _, ev := range tr.Events {
+		for _, d := range ev.Deps {
+			if d.Producer >= 0 {
+				w := d.Arrival - tr.Events[d.Producer].End // transfer time
+				if w < 0 {
+					w = 0
+				}
+				preds[ev.Index] = append(preds[ev.Index], edge{from: d.Producer, weight: w})
+			}
+		}
+	}
+	dist := make([]int64, n)
+	pred := make([]int, n)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Events are produced in completion order; starts respect producers, so
+	// processing by start time is a valid topological order (producers end
+	// before consumers start; resource predecessors start earlier too).
+	sort.Slice(order, func(i, j int) bool {
+		ei, ej := tr.Events[order[i]], tr.Events[order[j]]
+		if ei.Start != ej.Start {
+			return ei.Start < ej.Start
+		}
+		return ei.Index < ej.Index
+	})
+	for i := range pred {
+		pred[i] = -1
+	}
+	var bestEnd, bestIdx int64 = -1, 0
+	for _, idx := range order {
+		ev := tr.Events[idx]
+		dur := ev.End - ev.Start
+		best := int64(0)
+		bestPred := -1
+		for _, e := range preds[idx] {
+			if v := dist[e.from] + e.weight; v > best {
+				best, bestPred = v, e.from
+			}
+		}
+		dist[idx] = best + dur
+		pred[idx] = bestPred
+		if dist[idx] > bestEnd {
+			bestEnd, bestIdx = dist[idx], int64(idx)
+		}
+	}
+	a.TotalWeight = bestEnd
+	// Walk the path back.
+	for i := int(bestIdx); i >= 0; i = pred[i] {
+		a.Critical = append(a.Critical, i)
+		a.OnPath[i] = true
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(a.Critical)-1; i < j; i, j = i+1, j-1 {
+		a.Critical[i], a.Critical[j] = a.Critical[j], a.Critical[i]
+	}
+	// Key task instances: critical events whose data feeds the next
+	// critical event.
+	for k := 0; k+1 < len(a.Critical); k++ {
+		cur, next := a.Critical[k], a.Critical[k+1]
+		for _, d := range tr.Events[next].Deps {
+			if d.Producer == cur {
+				a.Key[cur] = true
+				break
+			}
+		}
+	}
+	return a
+}
+
+// CompetingGroups sorts critical-path events by data resolution time and
+// groups those resolved at the same time: they compete for computational
+// resources (Section 4.5.2).
+func (a *Analysis) CompetingGroups() [][]int {
+	byTime := map[int64][]int{}
+	for _, idx := range a.Critical {
+		t := a.Resolved[idx]
+		byTime[t] = append(byTime[t], idx)
+	}
+	times := make([]int64, 0, len(byTime))
+	for t := range byTime {
+		times = append(times, t)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	out := make([][]int, 0, len(times))
+	for _, t := range times {
+		out = append(out, byTime[t])
+	}
+	return out
+}
+
+// IdleCores returns the cores that have idle capacity inside [from, to),
+// given the full trace (used to find spare cores for migration).
+func IdleCores(tr *schedsim.Trace, numCores int, from, to int64) []int {
+	if to <= from {
+		return nil
+	}
+	busy := make([]int64, numCores)
+	for _, ev := range tr.Events {
+		lo, hi := ev.Start, ev.End
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		if hi > lo {
+			busy[ev.Core] += hi - lo
+		}
+	}
+	span := to - from
+	var out []int
+	for c := 0; c < numCores; c++ {
+		if busy[c] < span {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// DOT renders the trace as an execution-trace graph in the style of
+// Figure 6: one column per core, nodes are event times, dashed edges mark
+// the critical path.
+func (a *Analysis) DOT() string {
+	tr := a.Trace
+	var b strings.Builder
+	b.WriteString("digraph trace {\n  rankdir=TB;\n  node [shape=circle fontsize=9];\n")
+	for _, ev := range tr.Events {
+		style := "solid"
+		if a.OnPath[ev.Index] {
+			style = "dashed"
+		}
+		fmt.Fprintf(&b, "  n%ds [label=\"%d\"];\n  n%de [label=\"%d\"];\n", ev.Index, ev.Start, ev.Index, ev.End)
+		fmt.Fprintf(&b, "  n%ds -> n%de [label=\"%s (core %d), %d\" style=%s];\n",
+			ev.Index, ev.Index, ev.Task, ev.Core, ev.End-ev.Start, style)
+		for _, d := range ev.Deps {
+			if d.Producer >= 0 {
+				fmt.Fprintf(&b, "  n%de -> n%ds [label=\"transfer, %d\" style=dotted];\n",
+					d.Producer, ev.Index, d.Arrival-tr.Events[d.Producer].End)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,249 @@
+package disjoint
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/parser"
+	"repro/internal/types"
+)
+
+func analyze(t *testing.T, src string) (*ir.Program, *Result) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	irp, err := ir.Lower(info)
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	return irp, Analyze(irp)
+}
+
+func TestDisjointParamsSeparateLocks(t *testing.T) {
+	// merge reads ints from tp into rp: no reference flows, so the two
+	// parameters keep separate locks.
+	_, res := analyze(t, `
+class Text { flag submit; int count; }
+class Results { flag finished; int total; }
+task merge(Results rp in !finished, Text tp in submit) {
+	rp.total += tp.count;
+	taskexit(tp: submit := false);
+}`)
+	groups := res.LockGroups["merge"]
+	want := [][]int{{0}, {1}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Errorf("lock groups = %v, want %v", groups, want)
+	}
+}
+
+func TestDirectSharingSharedLock(t *testing.T) {
+	// The task stores one parameter into a field of the other: their heap
+	// regions are connected, so they must share a lock.
+	_, res := analyze(t, `
+class A { flag fa; B buddy; }
+class B { flag fb; }
+task link(A a in fa, B b in fb) {
+	a.buddy = b;
+	taskexit(a: fa := false);
+}`)
+	groups := res.LockGroups["link"]
+	want := [][]int{{0, 1}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Errorf("lock groups = %v, want %v", groups, want)
+	}
+}
+
+func TestSharingThroughMethodCall(t *testing.T) {
+	// The store happens inside a method: the callee summary must propagate
+	// the sharing to the task.
+	_, res := analyze(t, `
+class A {
+	flag fa;
+	B buddy;
+	void adopt(B b) { this.buddy = b; }
+}
+class B { flag fb; }
+task link(A a in fa, B b in fb) {
+	a.adopt(b);
+	taskexit(a: fa := false);
+}`)
+	groups := res.LockGroups["link"]
+	want := [][]int{{0, 1}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Errorf("lock groups = %v, want %v", groups, want)
+	}
+}
+
+func TestSharingThroughReturnedObject(t *testing.T) {
+	// A method returns an object from a's region, which is then stored
+	// into b's region.
+	_, res := analyze(t, `
+class Node { Node next; }
+class A {
+	flag fa;
+	Node head;
+	Node first() { return head; }
+}
+class B { flag fb; Node slot; }
+task steal(A a in fa, B b in fb) {
+	b.slot = a.first();
+	taskexit(a: fa := false);
+}`)
+	groups := res.LockGroups["steal"]
+	want := [][]int{{0, 1}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Errorf("lock groups = %v, want %v", groups, want)
+	}
+}
+
+func TestFreshObjectsDoNotShare(t *testing.T) {
+	// Storing fresh objects into both parameters does not connect the
+	// parameters to each other (distinct allocation sites).
+	_, res := analyze(t, `
+class Node { int v; }
+class A { flag fa; Node slot; }
+class B { flag fb; Node slot; }
+task fill(A a in fa, B b in fb) {
+	a.slot = new Node();
+	b.slot = new Node();
+	taskexit(a: fa := false);
+}`)
+	groups := res.LockGroups["fill"]
+	want := [][]int{{0}, {1}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Errorf("lock groups = %v, want %v", groups, want)
+	}
+}
+
+func TestSameFreshObjectConnects(t *testing.T) {
+	// Storing the SAME fresh object into both parameters connects them.
+	_, res := analyze(t, `
+class Node { int v; }
+class A { flag fa; Node slot; }
+class B { flag fb; Node slot; }
+task fill(A a in fa, B b in fb) {
+	Node n = new Node();
+	a.slot = n;
+	b.slot = n;
+	taskexit(a: fa := false);
+}`)
+	groups := res.LockGroups["fill"]
+	want := [][]int{{0, 1}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Errorf("lock groups = %v, want %v", groups, want)
+	}
+}
+
+func TestThreeParamsPartialSharing(t *testing.T) {
+	_, res := analyze(t, `
+class Node { int v; }
+class A { flag fa; Node slot; }
+class B { flag fb; Node slot; }
+class C { flag fc; int x; }
+task mix(A a in fa, B b in fb, C c in fc) {
+	Node n = new Node();
+	a.slot = n;
+	b.slot = n;
+	c.x = 1;
+	taskexit(a: fa := false);
+}`)
+	groups := res.LockGroups["mix"]
+	want := [][]int{{0, 1}, {2}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Errorf("lock groups = %v, want %v", groups, want)
+	}
+}
+
+func TestArrayElementSharing(t *testing.T) {
+	_, res := analyze(t, `
+class Item { int v; }
+class Pool { flag fp; Item[] items; }
+class Sink { flag fs; Item got; }
+task take(Pool p in fp, Sink s in fs) {
+	s.got = p.items[0];
+	taskexit(p: fp := false);
+}`)
+	groups := res.LockGroups["take"]
+	want := [][]int{{0, 1}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Errorf("lock groups = %v, want %v", groups, want)
+	}
+}
+
+func TestRecursiveMethodSummary(t *testing.T) {
+	// Recursive list append: the summary fixpoint must terminate and
+	// detect that append connects this and the argument.
+	_, res := analyze(t, `
+class Node {
+	Node next;
+	void append(Node n) {
+		if (next == null) { next = n; }
+		else { next.append(n); }
+	}
+}
+class A { flag fa; Node head; }
+class B { flag fb; Node head; }
+task join(A a in fa, B b in fb) {
+	a.head.append(b.head);
+	taskexit(a: fa := false);
+}`)
+	groups := res.LockGroups["join"]
+	want := [][]int{{0, 1}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Errorf("lock groups = %v, want %v", groups, want)
+	}
+}
+
+func TestReadOnlyTraversalKeepsDisjoint(t *testing.T) {
+	_, res := analyze(t, `
+class Node { Node next; int v; }
+class A { flag fa; Node head; }
+class B { flag fb; int sum; }
+task total(A a in fa, B b in fb) {
+	Node cur = a.head;
+	int s = 0;
+	while (cur != null) { s += cur.v; cur = cur.next; }
+	b.sum = s;
+	taskexit(a: fa := false);
+}`)
+	groups := res.LockGroups["total"]
+	want := [][]int{{0}, {1}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Errorf("lock groups = %v, want %v", groups, want)
+	}
+}
+
+func TestSummaries(t *testing.T) {
+	irp, res := analyze(t, `
+class Node { Node next; }
+class C {
+	Node mine;
+	Node giveMine() { return mine; }
+	Node makeFresh() { return new Node(); }
+}
+class A { flag fa; }
+task dummy(A a in fa) { taskexit(a: fa := false); }
+`)
+	_ = irp
+	give := res.Summaries[ir.MethodKey("C", "giveMine")]
+	if len(give.RetParams) != 1 || give.RetParams[0] != 0 {
+		t.Errorf("giveMine RetParams = %v, want [0] (this)", give.RetParams)
+	}
+	if give.RetFresh {
+		t.Error("giveMine should not return fresh")
+	}
+	fresh := res.Summaries[ir.MethodKey("C", "makeFresh")]
+	if !fresh.RetFresh {
+		t.Error("makeFresh should return fresh")
+	}
+	if len(fresh.RetParams) != 0 {
+		t.Errorf("makeFresh RetParams = %v, want none", fresh.RetParams)
+	}
+}

@@ -1,0 +1,58 @@
+package expt
+
+import "testing"
+
+func TestHistogram(t *testing.T) {
+	values := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	bounds, counts := Histogram(values, 5)
+	if len(bounds) != 5 || len(counts) != 5 {
+		t.Fatalf("bins = %d/%d", len(bounds), len(counts))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(values) {
+		t.Errorf("histogram total = %d, want %d", total, len(values))
+	}
+	// Bounds must be non-decreasing.
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] < bounds[i-1] {
+			t.Errorf("bounds not monotone: %v", bounds)
+		}
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	if b, c := Histogram(nil, 4); b != nil || c != nil {
+		t.Error("empty input should return nil")
+	}
+	bounds, counts := Histogram([]int64{7, 7, 7}, 3)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 3 {
+		t.Errorf("constant distribution total = %d", total)
+	}
+	_ = bounds
+}
+
+func TestFormatHelpersDoNotPanic(t *testing.T) {
+	out := FormatFig7([]Fig7Row{{Benchmark: "X", SeqCycles: 100, OneCoreCycles: 110, ManyCoreCycles: 10, SpeedupVsBamboo: 11, SpeedupVsSeq: 10, Overhead: 0.1}}, 62)
+	if len(out) == 0 {
+		t.Error("empty fig7 format")
+	}
+	out = FormatFig9([]Fig9Row{{Benchmark: "X", OneCoreEst: 1, OneCoreReal: 1}}, 62)
+	if len(out) == 0 {
+		t.Error("empty fig9 format")
+	}
+	out = FormatFig10([]*Fig10Result{{Benchmark: "X", Exhaustive: []int64{5, 6, 7}, DSA: []int64{5}, BestDSA: 5, SuccessRate: 1}})
+	if len(out) == 0 {
+		t.Error("empty fig10 format")
+	}
+	out = FormatFig11([]Fig11Row{{Benchmark: "X", SeqCycles: 100, OrigProfileCycles: 10, OrigProfileSpeedup: 10, DoubleProfileCycles: 9, DoubleProfileSpeedup: 11.1}}, 62)
+	if len(out) == 0 {
+		t.Error("empty fig11 format")
+	}
+}

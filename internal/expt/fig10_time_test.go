@@ -1,0 +1,46 @@
+package expt
+
+import (
+	"testing"
+	"time"
+
+	"repro/benchmarks"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/schedsim"
+	"repro/internal/synth"
+)
+
+// TestFig10SpaceSizes reports how large each benchmark's 16-core candidate
+// space is and how long one simulator evaluation takes (documentation for
+// picking Fig10 defaults; skipped in -short mode).
+func TestFig10SpaceSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement only")
+	}
+	m := machine.TilePro64().WithCores(16)
+	for _, b := range benchmarks.InPaper() {
+		sys, err := core.CompileSource(b.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, _, err := sys.Profile(b.Args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		syn := synth.Build(sys.CSTG(prof), 16)
+		start := time.Now()
+		cands := syn.Candidates(synth.EnumOptions{NumCores: 16, MaxCandidates: 2000})
+		enumDur := time.Since(start)
+		sim := sys.Simulator()
+		start = time.Now()
+		n := 20
+		for i := 0; i < n && i < len(cands); i++ {
+			if _, err := sim.Run(schedsim.Options{Machine: m, Layout: cands[i], Prof: prof, PerObjectCounts: b.Hints}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		evalDur := time.Since(start) / time.Duration(n)
+		t.Logf("%-12s candidates(capped 2000)=%d enum=%v evalEach=%v", b.Name, len(cands), enumDur, evalDur)
+	}
+}

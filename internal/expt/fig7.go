@@ -1,0 +1,56 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fig7Row is one line of the paper's Figure 7 table: cycle counts of the
+// sequential baseline ("1-core C"), the 1-core Bamboo version, and the
+// many-core Bamboo version, with speedups and runtime overhead.
+type Fig7Row struct {
+	Benchmark       string
+	SeqCycles       int64 // 1-core C stand-in
+	OneCoreCycles   int64 // 1-core Bamboo
+	ManyCoreCycles  int64 // 62-core Bamboo (synthesized layout)
+	SpeedupVsBamboo float64
+	SpeedupVsSeq    float64
+	Overhead        float64 // (1-core Bamboo / sequential) - 1
+}
+
+// Fig7 runs the synthesized layout of each prepared benchmark on the real
+// engine and builds the speedup table.
+func Fig7(prepared []*Prepared) ([]Fig7Row, error) {
+	var rows []Fig7Row
+	for _, p := range prepared {
+		many, err := p.RunOn(p.Bench.Args)
+		if err != nil {
+			return nil, fmt.Errorf("%s many-core: %w", p.Bench.Name, err)
+		}
+		rows = append(rows, Fig7Row{
+			Benchmark:       p.Bench.Name,
+			SeqCycles:       p.Seq.TotalCycles,
+			OneCoreCycles:   p.OneCore.TotalCycles,
+			ManyCoreCycles:  many.TotalCycles,
+			SpeedupVsBamboo: float64(p.OneCore.TotalCycles) / float64(many.TotalCycles),
+			SpeedupVsSeq:    float64(p.Seq.TotalCycles) / float64(many.TotalCycles),
+			Overhead:        float64(p.OneCore.TotalCycles)/float64(p.Seq.TotalCycles) - 1,
+		})
+	}
+	return rows, nil
+}
+
+// FormatFig7 renders the table in the paper's column layout.
+func FormatFig7(rows []Fig7Row, cores int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: Speedup of the Benchmarks on %d cores\n", cores)
+	fmt.Fprintf(&b, "%-12s %14s %14s %14s %10s %10s %9s\n",
+		"Benchmark", "1-Core Seq", "1-Core Bamboo", fmt.Sprintf("%d-Core Bamboo", cores),
+		"vs Bamboo", "vs Seq", "Overhead")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %14d %14d %14d %9.1fx %9.1fx %8.1f%%\n",
+			r.Benchmark, r.SeqCycles, r.OneCoreCycles, r.ManyCoreCycles,
+			r.SpeedupVsBamboo, r.SpeedupVsSeq, r.Overhead*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/schedsim"
+)
+
+// Fig9Row is one line of Figure 9: the scheduling simulator's estimated
+// execution time against the real engine's, for the 1-core and many-core
+// Bamboo versions.
+type Fig9Row struct {
+	Benchmark    string
+	OneCoreEst   int64
+	OneCoreReal  int64
+	OneCoreErr   float64
+	ManyCoreEst  int64
+	ManyCoreReal int64
+	ManyCoreErr  float64
+}
+
+// Fig9 compares scheduling-simulator estimates with real executions.
+func Fig9(prepared []*Prepared) ([]Fig9Row, error) {
+	var rows []Fig9Row
+	for _, p := range prepared {
+		sim := p.Sys.Simulator()
+		est1, err := sim.Run(schedsim.Options{
+			Machine:         machine.SingleCoreBamboo(),
+			Layout:          p.singleLayout(),
+			Prof:            p.Prof,
+			PerObjectCounts: p.Bench.Hints,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s 1-core estimate: %w", p.Bench.Name, err)
+		}
+		estN, err := sim.Run(schedsim.Options{
+			Machine:         p.Machine,
+			Layout:          p.Synth.Layout,
+			Prof:            p.Prof,
+			PerObjectCounts: p.Bench.Hints,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s many-core estimate: %w", p.Bench.Name, err)
+		}
+		realN, err := p.RunOn(p.Bench.Args)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig9Row{
+			Benchmark:    p.Bench.Name,
+			OneCoreEst:   est1.TotalCycles,
+			OneCoreReal:  p.OneCore.TotalCycles,
+			ManyCoreEst:  estN.TotalCycles,
+			ManyCoreReal: realN.TotalCycles,
+		}
+		row.OneCoreErr = float64(row.OneCoreEst-row.OneCoreReal) / float64(row.OneCoreReal)
+		row.ManyCoreErr = float64(row.ManyCoreEst-row.ManyCoreReal) / float64(row.ManyCoreReal)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatFig9 renders the accuracy table.
+func FormatFig9(rows []Fig9Row, cores int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9: Accuracy of Scheduling Simulator\n")
+	fmt.Fprintf(&b, "%-12s | %14s %14s %8s | %14s %14s %8s\n",
+		"Benchmark", "1-Core Est", "1-Core Real", "Error",
+		fmt.Sprintf("%d-Core Est", cores), "Real", "Error")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s | %14d %14d %7.1f%% | %14d %14d %7.1f%%\n",
+			r.Benchmark, r.OneCoreEst, r.OneCoreReal, r.OneCoreErr*100,
+			r.ManyCoreEst, r.ManyCoreReal, r.ManyCoreErr*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,555 @@
+package interp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/ir"
+	"repro/internal/lexer"
+)
+
+// RuntimeError reports a Bamboo runtime failure (null dereference, bounds
+// violation, division by zero, cycle budget exhaustion).
+type RuntimeError struct {
+	Fn  string
+	Pos lexer.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("runtime error in %s at %s: %s", e.Fn, e.Pos, e.Msg)
+}
+
+// Exec accumulates the observable effects of one task invocation (or one
+// plain method call tree): cycles consumed, objects allocated, and the
+// taskexit taken.
+type Exec struct {
+	Cycles     int64
+	NewObjects []*Object
+	ExitID     int // taskexit index taken; -1 for non-task executions
+}
+
+// Interp executes Bamboo IR. One Interp may be shared across goroutines
+// (the concurrent engine runs one task per core goroutine); the heap's ID
+// counter is atomic and output writes are serialized.
+type Interp struct {
+	Prog *ir.Program
+	Cost *CostModel
+	Heap *Heap
+	Out  io.Writer // nil discards program output
+	// MaxCycles bounds a single task invocation or call tree; 0 = no bound.
+	MaxCycles int64
+
+	outMu sync.Mutex
+}
+
+// New returns an interpreter over prog with the default cost model.
+func New(prog *ir.Program) *Interp {
+	return &Interp{Prog: prog, Cost: DefaultCost(), Heap: NewHeap()}
+}
+
+// RunTask executes a task with the given parameter values: first the object
+// parameters in declaration order, then one tag instance per tag-guard
+// variable (Func.TagParams order). Flag and tag actions of the taken
+// taskexit are applied to the parameter objects before returning.
+func (in *Interp) RunTask(fn *ir.Func, params []Value) (*Exec, error) {
+	if !fn.IsTask {
+		return nil, fmt.Errorf("interp: %s is not a task", fn.Name)
+	}
+	if len(params) != fn.NumParams {
+		return nil, fmt.Errorf("interp: task %s expects %d parameters, got %d", fn.Name, fn.NumParams, len(params))
+	}
+	ex := &Exec{ExitID: -1}
+	_, err := in.exec(fn, params, ex)
+	if err != nil {
+		return nil, err
+	}
+	return ex, nil
+}
+
+// CallMethod executes a plain method for testing and sequential baselines.
+func (in *Interp) CallMethod(fn *ir.Func, args []Value) (Value, *Exec, error) {
+	ex := &Exec{ExitID: -1}
+	v, err := in.exec(fn, args, ex)
+	return v, ex, err
+}
+
+func (in *Interp) errf(fn *ir.Func, pos lexer.Pos, format string, args ...any) error {
+	return &RuntimeError{Fn: fn.Name, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// exec runs one function body. Task exits propagate by setting ex.ExitID
+// and returning; they only occur in the top-level task frame because the
+// checker rejects taskexit inside methods.
+func (in *Interp) exec(fn *ir.Func, args []Value, ex *Exec) (Value, error) {
+	regs := make([]Value, fn.NumRegs)
+	copy(regs, args)
+	blk := fn.Blocks[0]
+	for {
+		for ii := range blk.Instrs {
+			instr := &blk.Instrs[ii]
+			ex.Cycles += in.Cost.instrCost(instr)
+			if in.MaxCycles > 0 && ex.Cycles > in.MaxCycles {
+				return Value{}, in.errf(fn, instr.Pos, "cycle budget exhausted (%d cycles)", in.MaxCycles)
+			}
+			switch instr.Op {
+			case ir.OpConstInt:
+				regs[instr.Dst] = IntV(instr.Int)
+			case ir.OpConstFloat:
+				regs[instr.Dst] = FloatV(instr.F)
+			case ir.OpConstBool:
+				regs[instr.Dst] = BoolV(instr.B)
+			case ir.OpConstStr:
+				regs[instr.Dst] = StrV(instr.Str)
+			case ir.OpConstNull:
+				regs[instr.Dst] = NullV()
+			case ir.OpMove:
+				regs[instr.Dst] = regs[instr.Args[0]]
+
+			case ir.OpAdd:
+				a, b := regs[instr.Args[0]], regs[instr.Args[1]]
+				if instr.Float {
+					regs[instr.Dst] = FloatV(a.F + b.F)
+				} else {
+					regs[instr.Dst] = IntV(a.I + b.I)
+				}
+			case ir.OpSub:
+				a, b := regs[instr.Args[0]], regs[instr.Args[1]]
+				if instr.Float {
+					regs[instr.Dst] = FloatV(a.F - b.F)
+				} else {
+					regs[instr.Dst] = IntV(a.I - b.I)
+				}
+			case ir.OpMul:
+				a, b := regs[instr.Args[0]], regs[instr.Args[1]]
+				if instr.Float {
+					regs[instr.Dst] = FloatV(a.F * b.F)
+				} else {
+					regs[instr.Dst] = IntV(a.I * b.I)
+				}
+			case ir.OpDiv:
+				a, b := regs[instr.Args[0]], regs[instr.Args[1]]
+				if instr.Float {
+					regs[instr.Dst] = FloatV(a.F / b.F)
+				} else {
+					if b.I == 0 {
+						return Value{}, in.errf(fn, instr.Pos, "integer division by zero")
+					}
+					regs[instr.Dst] = IntV(a.I / b.I)
+				}
+			case ir.OpRem:
+				a, b := regs[instr.Args[0]], regs[instr.Args[1]]
+				if b.I == 0 {
+					return Value{}, in.errf(fn, instr.Pos, "integer modulo by zero")
+				}
+				regs[instr.Dst] = IntV(a.I % b.I)
+			case ir.OpNeg:
+				a := regs[instr.Args[0]]
+				if instr.Float {
+					regs[instr.Dst] = FloatV(-a.F)
+				} else {
+					regs[instr.Dst] = IntV(-a.I)
+				}
+			case ir.OpShl:
+				regs[instr.Dst] = IntV(regs[instr.Args[0]].I << uint(regs[instr.Args[1]].I))
+			case ir.OpShr:
+				regs[instr.Dst] = IntV(regs[instr.Args[0]].I >> uint(regs[instr.Args[1]].I))
+			case ir.OpBitAnd:
+				regs[instr.Dst] = IntV(regs[instr.Args[0]].I & regs[instr.Args[1]].I)
+			case ir.OpBitOr:
+				regs[instr.Dst] = IntV(regs[instr.Args[0]].I | regs[instr.Args[1]].I)
+			case ir.OpBitXor:
+				regs[instr.Dst] = IntV(regs[instr.Args[0]].I ^ regs[instr.Args[1]].I)
+			case ir.OpNot:
+				regs[instr.Dst] = BoolV(regs[instr.Args[0]].I == 0)
+
+			case ir.OpCmpEq:
+				regs[instr.Dst] = BoolV(valueEq(regs[instr.Args[0]], regs[instr.Args[1]]))
+			case ir.OpCmpNe:
+				regs[instr.Dst] = BoolV(!valueEq(regs[instr.Args[0]], regs[instr.Args[1]]))
+			case ir.OpCmpLt:
+				a, b := regs[instr.Args[0]], regs[instr.Args[1]]
+				if instr.Float {
+					regs[instr.Dst] = BoolV(a.F < b.F)
+				} else {
+					regs[instr.Dst] = BoolV(a.I < b.I)
+				}
+			case ir.OpCmpLe:
+				a, b := regs[instr.Args[0]], regs[instr.Args[1]]
+				if instr.Float {
+					regs[instr.Dst] = BoolV(a.F <= b.F)
+				} else {
+					regs[instr.Dst] = BoolV(a.I <= b.I)
+				}
+			case ir.OpCmpGt:
+				a, b := regs[instr.Args[0]], regs[instr.Args[1]]
+				if instr.Float {
+					regs[instr.Dst] = BoolV(a.F > b.F)
+				} else {
+					regs[instr.Dst] = BoolV(a.I > b.I)
+				}
+			case ir.OpCmpGe:
+				a, b := regs[instr.Args[0]], regs[instr.Args[1]]
+				if instr.Float {
+					regs[instr.Dst] = BoolV(a.F >= b.F)
+				} else {
+					regs[instr.Dst] = BoolV(a.I >= b.I)
+				}
+
+			case ir.OpI2F:
+				regs[instr.Dst] = FloatV(float64(regs[instr.Args[0]].I))
+			case ir.OpF2I:
+				regs[instr.Dst] = IntV(int64(regs[instr.Args[0]].F))
+			case ir.OpI2S:
+				s := strconv.FormatInt(regs[instr.Args[0]].I, 10)
+				ex.Cycles += in.Cost.StrPerChar * int64(len(s))
+				regs[instr.Dst] = StrV(s)
+			case ir.OpF2S:
+				s := strconv.FormatFloat(regs[instr.Args[0]].F, 'g', -1, 64)
+				ex.Cycles += in.Cost.StrPerChar * int64(len(s))
+				regs[instr.Dst] = StrV(s)
+			case ir.OpConcat:
+				s := regs[instr.Args[0]].S + regs[instr.Args[1]].S
+				ex.Cycles += in.Cost.StrPerChar * int64(len(s))
+				regs[instr.Dst] = StrV(s)
+
+			case ir.OpGetField:
+				recv := regs[instr.Args[0]]
+				if recv.Kind != KObject {
+					return Value{}, in.errf(fn, instr.Pos, "null dereference reading field %s", instr.Field.Name)
+				}
+				regs[instr.Dst] = recv.O.Fields[instr.Field.Index]
+			case ir.OpSetField:
+				recv := regs[instr.Args[0]]
+				if recv.Kind != KObject {
+					return Value{}, in.errf(fn, instr.Pos, "null dereference writing field %s", instr.Field.Name)
+				}
+				recv.O.Fields[instr.Field.Index] = regs[instr.Args[1]]
+			case ir.OpArrGet:
+				arr := regs[instr.Args[0]]
+				if arr.Kind != KArray {
+					return Value{}, in.errf(fn, instr.Pos, "null array dereference")
+				}
+				idx := regs[instr.Args[1]].I
+				if idx < 0 || idx >= int64(len(arr.A.Elems)) {
+					return Value{}, in.errf(fn, instr.Pos, "array index %d out of bounds [0,%d)", idx, len(arr.A.Elems))
+				}
+				regs[instr.Dst] = arr.A.Elems[idx]
+			case ir.OpArrSet:
+				arr := regs[instr.Args[0]]
+				if arr.Kind != KArray {
+					return Value{}, in.errf(fn, instr.Pos, "null array dereference")
+				}
+				idx := regs[instr.Args[1]].I
+				if idx < 0 || idx >= int64(len(arr.A.Elems)) {
+					return Value{}, in.errf(fn, instr.Pos, "array index %d out of bounds [0,%d)", idx, len(arr.A.Elems))
+				}
+				arr.A.Elems[idx] = regs[instr.Args[2]]
+			case ir.OpArrLen:
+				arr := regs[instr.Args[0]]
+				if arr.Kind != KArray {
+					return Value{}, in.errf(fn, instr.Pos, "null array dereference")
+				}
+				regs[instr.Dst] = IntV(int64(len(arr.A.Elems)))
+
+			case ir.OpNewObj:
+				cl := in.Prog.Info.Classes[instr.Class]
+				o := in.Heap.NewObject(cl)
+				ex.Cycles += in.Cost.AllocWord * int64(len(cl.Fields))
+				for _, fi := range instr.FlagInits {
+					o.SetFlag(fi.Index, fi.Value)
+				}
+				for _, tr := range instr.TagRegs {
+					tv := regs[tr]
+					if tv.Kind != KTag {
+						return Value{}, in.errf(fn, instr.Pos, "tag binding with non-tag value")
+					}
+					o.AddTag(tv.T)
+					ex.Cycles += in.Cost.TagOp
+				}
+				ex.NewObjects = append(ex.NewObjects, o)
+				regs[instr.Dst] = ObjV(o)
+			case ir.OpNewArr:
+				n := regs[instr.Args[0]].I
+				if n < 0 {
+					return Value{}, in.errf(fn, instr.Pos, "negative array length %d", n)
+				}
+				ex.Cycles += in.Cost.AllocWord * n
+				regs[instr.Dst] = ArrV(in.Heap.NewArray(int(n), ZeroOf(instr.Elem)))
+			case ir.OpNewTag:
+				regs[instr.Dst] = TagV(in.Heap.NewTag(instr.Str))
+
+			case ir.OpCall:
+				callee, ok := in.Prog.Funcs[instr.Method]
+				if !ok {
+					return Value{}, in.errf(fn, instr.Pos, "unknown method %s", instr.Method)
+				}
+				if regs[instr.Args[0]].Kind != KObject {
+					return Value{}, in.errf(fn, instr.Pos, "null dereference calling %s", instr.Method)
+				}
+				callArgs := make([]Value, len(instr.Args))
+				for i, a := range instr.Args {
+					callArgs[i] = regs[a]
+				}
+				ret, err := in.exec(callee, callArgs, ex)
+				if err != nil {
+					return Value{}, err
+				}
+				if instr.Dst != ir.NoReg {
+					regs[instr.Dst] = ret
+				}
+			case ir.OpCallBuiltin:
+				ret, err := in.builtin(fn, instr, regs, ex)
+				if err != nil {
+					return Value{}, err
+				}
+				if instr.Dst != ir.NoReg {
+					regs[instr.Dst] = ret
+				}
+
+			case ir.OpJump:
+				blk = fn.Blocks[instr.Blk]
+				goto nextBlock
+			case ir.OpBranch:
+				if regs[instr.Args[0]].I != 0 {
+					blk = fn.Blocks[instr.Blk]
+				} else {
+					blk = fn.Blocks[instr.Blk2]
+				}
+				goto nextBlock
+			case ir.OpRet:
+				if len(instr.Args) == 1 {
+					return regs[instr.Args[0]], nil
+				}
+				return Value{}, nil
+			case ir.OpTaskExit:
+				in.applyExit(fn, instr.Exit, regs, ex)
+				return Value{}, nil
+			default:
+				return Value{}, in.errf(fn, instr.Pos, "unhandled op %s", instr.Op)
+			}
+		}
+		// A well-formed block always ends in a terminator; reaching here
+		// means lowering produced a block without one.
+		return Value{}, in.errf(fn, lexer.Pos{}, "block b%d has no terminator", blk.ID)
+	nextBlock:
+	}
+}
+
+// applyExit applies the flag and tag actions of the taken taskexit to the
+// parameter objects and records the exit.
+func (in *Interp) applyExit(fn *ir.Func, spec *ir.ExitSpec, regs []Value, ex *Exec) {
+	for _, fa := range spec.FlagOps {
+		obj := regs[fa.Param].O
+		obj.SetFlag(fa.Index, fa.Value)
+	}
+	for _, ta := range spec.TagOps {
+		obj := regs[ta.Param].O
+		tag := regs[ta.TagReg].T
+		if ta.Add {
+			obj.AddTag(tag)
+		} else {
+			obj.ClearTag(tag)
+		}
+		ex.Cycles += in.Cost.TagOp
+	}
+	ex.ExitID = spec.ID
+}
+
+// valueEq implements ==: numeric equality for ints/doubles, value equality
+// for booleans and strings, reference identity for objects/arrays/tags, and
+// null comparisons.
+func valueEq(a, b Value) bool {
+	switch {
+	case a.Kind == KInt && b.Kind == KInt:
+		return a.I == b.I
+	case a.Kind == KFloat && b.Kind == KFloat:
+		return a.F == b.F
+	case a.Kind == KInt && b.Kind == KFloat:
+		return float64(a.I) == b.F
+	case a.Kind == KFloat && b.Kind == KInt:
+		return a.F == float64(b.I)
+	case a.Kind == KBool && b.Kind == KBool:
+		return a.I == b.I
+	case a.Kind == KString && b.Kind == KString:
+		return a.S == b.S
+	case a.Kind == KNull || b.Kind == KNull:
+		return a.Kind == b.Kind
+	case a.Kind == KObject && b.Kind == KObject:
+		return a.O == b.O
+	case a.Kind == KArray && b.Kind == KArray:
+		return a.A == b.A
+	case a.Kind == KTag && b.Kind == KTag:
+		return a.T == b.T
+	}
+	return false
+}
+
+// builtin dispatches Math.*, System.*, and String.* builtins.
+func (in *Interp) builtin(fn *ir.Func, instr *ir.Instr, regs []Value, ex *Exec) (Value, error) {
+	arg := func(i int) Value { return regs[instr.Args[i]] }
+	switch instr.Builtin {
+	// --- Math (double) ---
+	case "Math.sin":
+		ex.Cycles += in.Cost.MathBuiltin
+		return FloatV(math.Sin(arg(0).F)), nil
+	case "Math.cos":
+		ex.Cycles += in.Cost.MathBuiltin
+		return FloatV(math.Cos(arg(0).F)), nil
+	case "Math.tan":
+		ex.Cycles += in.Cost.MathBuiltin
+		return FloatV(math.Tan(arg(0).F)), nil
+	case "Math.asin":
+		ex.Cycles += in.Cost.MathBuiltin
+		return FloatV(math.Asin(arg(0).F)), nil
+	case "Math.acos":
+		ex.Cycles += in.Cost.MathBuiltin
+		return FloatV(math.Acos(arg(0).F)), nil
+	case "Math.atan":
+		ex.Cycles += in.Cost.MathBuiltin
+		return FloatV(math.Atan(arg(0).F)), nil
+	case "Math.atan2":
+		ex.Cycles += in.Cost.MathBuiltin
+		return FloatV(math.Atan2(arg(0).F, arg(1).F)), nil
+	case "Math.sqrt":
+		ex.Cycles += in.Cost.MathBuiltin
+		return FloatV(math.Sqrt(arg(0).F)), nil
+	case "Math.exp":
+		ex.Cycles += in.Cost.MathBuiltin
+		return FloatV(math.Exp(arg(0).F)), nil
+	case "Math.log":
+		ex.Cycles += in.Cost.MathBuiltin
+		return FloatV(math.Log(arg(0).F)), nil
+	case "Math.pow":
+		ex.Cycles += in.Cost.MathBuiltin
+		return FloatV(math.Pow(arg(0).F, arg(1).F)), nil
+	case "Math.floor":
+		ex.Cycles += in.Cost.MathBuiltin
+		return FloatV(math.Floor(arg(0).F)), nil
+	case "Math.ceil":
+		ex.Cycles += in.Cost.MathBuiltin
+		return FloatV(math.Ceil(arg(0).F)), nil
+	case "Math.absF":
+		ex.Cycles += in.Cost.FloatAdd
+		return FloatV(math.Abs(toF(arg(0)))), nil
+	case "Math.minF":
+		ex.Cycles += in.Cost.FloatAdd
+		return FloatV(math.Min(toF(arg(0)), toF(arg(1)))), nil
+	case "Math.maxF":
+		ex.Cycles += in.Cost.FloatAdd
+		return FloatV(math.Max(toF(arg(0)), toF(arg(1)))), nil
+	case "Math.absI":
+		ex.Cycles += in.Cost.IntALU
+		v := arg(0).I
+		if v < 0 {
+			v = -v
+		}
+		return IntV(v), nil
+	case "Math.minI":
+		ex.Cycles += in.Cost.IntALU
+		return IntV(min(arg(0).I, arg(1).I)), nil
+	case "Math.maxI":
+		ex.Cycles += in.Cost.IntALU
+		return IntV(max(arg(0).I, arg(1).I)), nil
+
+	// --- System output ---
+	case "System.printString":
+		in.print(arg(0).S, ex)
+		return Value{}, nil
+	case "System.printInt":
+		in.print(strconv.FormatInt(arg(0).I, 10), ex)
+		return Value{}, nil
+	case "System.printDouble":
+		in.print(strconv.FormatFloat(arg(0).F, 'g', -1, 64), ex)
+		return Value{}, nil
+	case "System.println":
+		in.print("\n", ex)
+		return Value{}, nil
+
+	// --- String ---
+	case "String.length":
+		ex.Cycles += in.Cost.IntALU
+		return IntV(int64(len(arg(0).S))), nil
+	case "String.charAt":
+		ex.Cycles += in.Cost.Mem
+		s, i := arg(0).S, arg(1).I
+		if i < 0 || i >= int64(len(s)) {
+			return Value{}, in.errf(fn, instr.Pos, "charAt index %d out of bounds [0,%d)", i, len(s))
+		}
+		return IntV(int64(s[i])), nil
+	case "String.equals":
+		a, b := arg(0).S, arg(1).S
+		ex.Cycles += in.Cost.StrPerChar * int64(min(int64(len(a)), int64(len(b)))+1)
+		return BoolV(a == b), nil
+	case "String.substring":
+		s, lo, hi := arg(0).S, arg(1).I, arg(2).I
+		if lo < 0 || hi > int64(len(s)) || lo > hi {
+			return Value{}, in.errf(fn, instr.Pos, "substring bounds [%d,%d) invalid for length %d", lo, hi, len(s))
+		}
+		ex.Cycles += in.Cost.StrPerChar * (hi - lo)
+		return StrV(s[lo:hi]), nil
+	case "String.indexOf":
+		s, sub := arg(0).S, arg(1).S
+		ex.Cycles += in.Cost.StrPerChar * int64(len(s))
+		return IntV(int64(indexOf(s, sub))), nil
+	case "String.hashCode":
+		s := arg(0).S
+		ex.Cycles += in.Cost.StrPerChar * int64(len(s))
+		var h int64
+		for i := 0; i < len(s); i++ {
+			h = h*31 + int64(s[i])
+		}
+		return IntV(h), nil
+	}
+	return Value{}, in.errf(fn, instr.Pos, "unknown builtin %s", instr.Builtin)
+}
+
+func toF(v Value) float64 {
+	if v.Kind == KInt {
+		return float64(v.I)
+	}
+	return v.F
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func (in *Interp) print(s string, ex *Exec) {
+	ex.Cycles += in.Cost.PrintPerChar * int64(len(s))
+	if in.Out == nil {
+		return
+	}
+	in.outMu.Lock()
+	defer in.outMu.Unlock()
+	io.WriteString(in.Out, s)
+}
+
+// GuardSatisfied evaluates a task parameter's flag guard against an
+// object's current flag vector.
+func GuardSatisfied(g ast.FlagExp, obj *Object) bool {
+	switch g := g.(type) {
+	case *ast.FlagRef:
+		return obj.FlagSet(obj.Class.FlagIndex[g.Name])
+	case *ast.FlagConst:
+		return g.Value
+	case *ast.FlagNot:
+		return !GuardSatisfied(g.X, obj)
+	case *ast.FlagBin:
+		if g.Op == "and" {
+			return GuardSatisfied(g.L, obj) && GuardSatisfied(g.R, obj)
+		}
+		return GuardSatisfied(g.L, obj) || GuardSatisfied(g.R, obj)
+	}
+	return false
+}

@@ -1,0 +1,303 @@
+// Package interp executes Bamboo IR under a virtual cycle cost model.
+//
+// The interpreter plays the role of the paper's generated per-core C code:
+// task and method bodies really run (results are observable), and every
+// instruction charges cycles against a cost model calibrated to a simple
+// in-order many-core like the TILEPro64 (software floating point, cheap
+// integer ALU, modest cache-hit memory costs). The cycle totals drive both
+// profiling and the discrete-event execution engines.
+package interp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ast"
+	"repro/internal/types"
+)
+
+// Kind tags the dynamic type of a Value.
+type Kind uint8
+
+// Value kinds.
+const (
+	KInvalid Kind = iota
+	KInt
+	KFloat
+	KBool
+	KString
+	KNull
+	KObject
+	KArray
+	KTag
+)
+
+// Value is a Bamboo runtime value.
+type Value struct {
+	Kind Kind
+	I    int64
+	F    float64
+	S    string
+	O    *Object
+	A    *Array
+	T    *Tag
+}
+
+// Convenience constructors.
+func IntV(i int64) Value     { return Value{Kind: KInt, I: i} }
+func FloatV(f float64) Value { return Value{Kind: KFloat, F: f} }
+func BoolV(b bool) Value {
+	v := Value{Kind: KBool}
+	if b {
+		v.I = 1
+	}
+	return v
+}
+func StrV(s string) Value { return Value{Kind: KString, S: s} }
+func NullV() Value        { return Value{Kind: KNull} }
+func ObjV(o *Object) Value {
+	if o == nil {
+		return NullV()
+	}
+	return Value{Kind: KObject, O: o}
+}
+func ArrV(a *Array) Value {
+	if a == nil {
+		return NullV()
+	}
+	return Value{Kind: KArray, A: a}
+}
+func TagV(t *Tag) Value { return Value{Kind: KTag, T: t} }
+
+// Bool reports the boolean value (valid for KBool).
+func (v Value) Bool() bool { return v.I != 0 }
+
+// String renders the value for diagnostics and printing.
+func (v Value) String() string {
+	switch v.Kind {
+	case KInt:
+		return fmt.Sprintf("%d", v.I)
+	case KFloat:
+		return fmt.Sprintf("%g", v.F)
+	case KBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	case KString:
+		return v.S
+	case KNull:
+		return "null"
+	case KObject:
+		return fmt.Sprintf("%s#%d", v.O.Class.Name, v.O.ID)
+	case KArray:
+		return fmt.Sprintf("array#%d[%d]", v.A.ID, len(v.A.Elems))
+	case KTag:
+		return fmt.Sprintf("tag:%s#%d", v.T.Type, v.T.ID)
+	}
+	return "<invalid>"
+}
+
+// Object is a heap-allocated Bamboo object: fields, a flag bit vector, and
+// bound tag instances. The mutex implements the runtime's parameter locking
+// in the concurrent engine; the deterministic engine uses its own lock
+// table. Flag and tag state use atomic access because unlocked cores read
+// them while evaluating guards (all writes happen under the object's lock,
+// and readers re-validate after locking).
+type Object struct {
+	ID     int64
+	Class  *types.Class
+	Fields []Value
+
+	flags atomic.Uint64
+	tags  atomic.Pointer[[]*Tag]
+
+	mu sync.Mutex
+}
+
+// Flags returns the current flag bit vector.
+func (o *Object) Flags() uint64 { return o.flags.Load() }
+
+// SetFlagsWord overwrites the whole flag vector (tests and engine setup).
+func (o *Object) SetFlagsWord(w uint64) { o.flags.Store(w) }
+
+// FlagSet reports whether the flag with the given bit index is set.
+func (o *Object) FlagSet(index int) bool { return o.flags.Load()&(1<<uint(index)) != 0 }
+
+// SetFlag sets or clears one flag bit. Callers must hold the object's
+// parameter lock (or own the object exclusively, as at allocation).
+func (o *Object) SetFlag(index int, v bool) {
+	w := o.flags.Load()
+	if v {
+		w |= 1 << uint(index)
+	} else {
+		w &^= 1 << uint(index)
+	}
+	o.flags.Store(w)
+}
+
+// Tags returns the current tag bindings (treat as immutable).
+func (o *Object) Tags() []*Tag {
+	p := o.tags.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
+}
+
+// HasTag reports whether the object is bound to tag instance t.
+func (o *Object) HasTag(t *Tag) bool {
+	for _, b := range o.Tags() {
+		if b == t {
+			return true
+		}
+	}
+	return false
+}
+
+// TagCount returns the number of bound tag instances of the given tag type.
+func (o *Object) TagCount(tagType string) int {
+	n := 0
+	for _, b := range o.Tags() {
+		if b.Type == tagType {
+			n++
+		}
+	}
+	return n
+}
+
+// AddTag binds tag instance t (idempotent) and records the back reference.
+// Callers must hold the object's parameter lock or own it exclusively.
+func (o *Object) AddTag(t *Tag) {
+	if o.HasTag(t) {
+		return
+	}
+	next := append(append([]*Tag(nil), o.Tags()...), t)
+	o.tags.Store(&next)
+	t.bind(o)
+}
+
+// ClearTag removes the binding of tag instance t. Callers must hold the
+// object's parameter lock or own it exclusively.
+func (o *Object) ClearTag(t *Tag) {
+	cur := o.Tags()
+	next := make([]*Tag, 0, len(cur))
+	for _, b := range cur {
+		if b != t {
+			next = append(next, b)
+		}
+	}
+	o.tags.Store(&next)
+	t.unbind(o)
+}
+
+// TryLock attempts to acquire the object's parameter lock.
+func (o *Object) TryLock() bool { return o.mu.TryLock() }
+
+// Unlock releases the object's parameter lock.
+func (o *Object) Unlock() { o.mu.Unlock() }
+
+// Array is a heap-allocated array. Element kind is implied by the program's
+// static types; elements are stored as Values.
+type Array struct {
+	ID    int64
+	Elems []Value
+}
+
+// Tag is a tag instance. It holds back references to every object the
+// instance is bound to — the runtime uses these to prune task invocations
+// with tag constraints (Section 4.7 of the paper).
+type Tag struct {
+	ID   int64
+	Type string
+
+	mu    sync.Mutex
+	bound []*Object
+}
+
+// Bound returns a snapshot of the objects this tag instance is bound to.
+func (t *Tag) Bound() []*Object {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Object(nil), t.bound...)
+}
+
+func (t *Tag) bind(o *Object) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.bound = append(t.bound, o)
+}
+
+func (t *Tag) unbind(o *Object) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, b := range t.bound {
+		if b == o {
+			t.bound = append(t.bound[:i], t.bound[i+1:]...)
+			return
+		}
+	}
+}
+
+// Heap issues deterministic object/array/tag identities. It is safe for
+// concurrent use.
+type Heap struct {
+	nextID atomic.Int64
+}
+
+// NewHeap returns an empty heap.
+func NewHeap() *Heap { return &Heap{} }
+
+func (h *Heap) id() int64 { return h.nextID.Add(1) }
+
+// NewObject allocates an instance of cl with zeroed fields and flags.
+func (h *Heap) NewObject(cl *types.Class) *Object {
+	o := &Object{ID: h.id(), Class: cl, Fields: make([]Value, len(cl.Fields))}
+	for i, f := range cl.Fields {
+		o.Fields[i] = ZeroOf(f.Type)
+	}
+	return o
+}
+
+// NewArray allocates an array of n elements, each set to the zero value for
+// elemKind.
+func (h *Heap) NewArray(n int, zero Value) *Array {
+	a := &Array{ID: h.id(), Elems: make([]Value, n)}
+	for i := range a.Elems {
+		a.Elems[i] = zero
+	}
+	return a
+}
+
+// NewTag allocates a fresh tag instance of the given tag type.
+func (h *Heap) NewTag(tagType string) *Tag {
+	return &Tag{ID: h.id(), Type: tagType}
+}
+
+// NewStringArray builds a String[] from Go strings (used to populate
+// StartupObject.args).
+func (h *Heap) NewStringArray(ss []string) *Array {
+	a := &Array{ID: h.id(), Elems: make([]Value, len(ss))}
+	for i, s := range ss {
+		a.Elems[i] = StrV(s)
+	}
+	return a
+}
+
+// ZeroOf returns the zero value of a static type (0, 0.0, false, or null).
+func ZeroOf(t *ast.Type) Value {
+	if t == nil {
+		return NullV()
+	}
+	switch t.Kind {
+	case ast.TInt:
+		return IntV(0)
+	case ast.TDouble:
+		return FloatV(0)
+	case ast.TBoolean:
+		return BoolV(false)
+	default:
+		return NullV()
+	}
+}

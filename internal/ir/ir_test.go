@@ -1,0 +1,152 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/types"
+)
+
+func lower(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	irp, err := Lower(info)
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	return irp
+}
+
+func TestLowerBlocksTerminate(t *testing.T) {
+	irp := lower(t, `
+class C {
+	flag ready;
+	int v;
+	C(int v) { this.v = v; }
+	int triple() {
+		int s = 0;
+		int i;
+		for (i = 0; i < 3; i++) {
+			if (v > 0) { s += v; } else { s -= v; }
+		}
+		return s;
+	}
+}
+task work(C c in ready) {
+	int x = c.triple();
+	if (x > 10) {
+		taskexit(c: ready := false);
+	}
+	taskexit(c: ready := false);
+}`)
+	for _, fn := range irp.Funcs {
+		for _, b := range fn.Blocks {
+			term := b.Terminator()
+			if term == nil {
+				t.Errorf("%s b%d empty block", fn.Name, b.ID)
+				continue
+			}
+			switch term.Op {
+			case OpJump, OpBranch, OpRet, OpTaskExit:
+			default:
+				t.Errorf("%s b%d ends with %s, not a terminator", fn.Name, b.ID, term.Op)
+			}
+			// No terminator mid-block.
+			for i := 0; i < len(b.Instrs)-1; i++ {
+				switch b.Instrs[i].Op {
+				case OpJump, OpBranch, OpRet, OpTaskExit:
+					t.Errorf("%s b%d has terminator %s mid-block", fn.Name, b.ID, b.Instrs[i].Op)
+				}
+			}
+			for _, s := range b.Succs() {
+				if s < 0 || s >= len(fn.Blocks) {
+					t.Errorf("%s b%d successor %d out of range", fn.Name, b.ID, s)
+				}
+			}
+		}
+	}
+}
+
+func TestLowerTaskExitCount(t *testing.T) {
+	irp := lower(t, `
+class C { flag a; flag b; }
+task two(C c in a) {
+	if (c == null) {
+		taskexit(c: a := false);
+	}
+	taskexit(c: a := false, b := true);
+}`)
+	fn := irp.Funcs[TaskKey("two")]
+	// Two explicit exits plus the implicit end exit.
+	if fn.NumExits != 3 {
+		t.Errorf("NumExits = %d, want 3", fn.NumExits)
+	}
+}
+
+func TestLowerTagParams(t *testing.T) {
+	irp := lower(t, `
+class D { flag d; }
+class I { flag i; }
+task f(D x in d with link t, I y in i with link t) {
+	taskexit(x: clear t; y: clear t);
+}`)
+	fn := irp.Funcs[TaskKey("f")]
+	if got := fn.TagParams(); len(got) != 1 || got[0] != "t" {
+		t.Errorf("TagParams = %v, want [t]", got)
+	}
+	if fn.NumParams != 3 { // 2 objects + 1 tag
+		t.Errorf("NumParams = %d, want 3", fn.NumParams)
+	}
+}
+
+func TestLowerCtorCallEmitted(t *testing.T) {
+	irp := lower(t, `
+class P { int x; P(int x) { this.x = x; } }
+class Q { flag go; }
+task t(Q q in go) {
+	P p = new P(7);
+	taskexit(q: go := false);
+}`)
+	fn := irp.Funcs[TaskKey("t")]
+	text := fn.String()
+	if !strings.Contains(text, "new P") {
+		t.Errorf("missing NewObj in:\n%s", text)
+	}
+	if !strings.Contains(text, "call") || !strings.Contains(text, "P.<init>") {
+		t.Errorf("missing constructor call in:\n%s", text)
+	}
+	if _, ok := irp.Funcs[CtorKey("P")]; !ok {
+		t.Error("constructor func not lowered")
+	}
+}
+
+func TestLowerStringPrinter(t *testing.T) {
+	irp := lower(t, `
+class C {
+	String greet(String who, int n) { return "hi " + who + " " + n; }
+}`)
+	fn := irp.Funcs[MethodKey("C", "greet")]
+	text := fn.String()
+	if !strings.Contains(text, "concat") || !strings.Contains(text, "i2s") {
+		t.Errorf("expected concat/i2s in:\n%s", text)
+	}
+}
+
+func TestLowerShortCircuitBlocks(t *testing.T) {
+	irp := lower(t, `
+class C {
+	boolean f(int a, int b) { return a > 0 && b > 0 || a < -10; }
+}`)
+	fn := irp.Funcs[MethodKey("C", "f")]
+	if len(fn.Blocks) < 5 {
+		t.Errorf("short-circuit lowering produced %d blocks, want >= 5", len(fn.Blocks))
+	}
+}

@@ -1,0 +1,599 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/lexer"
+	"repro/internal/types"
+)
+
+// Lower converts a checked program into IR.
+func Lower(info *types.Info) (*Program, error) {
+	prog := &Program{Info: info, Funcs: map[string]*Func{}}
+	lw := &lowerer{info: info, prog: prog}
+	for _, cl := range info.ClassList {
+		if cl.Ctor != nil {
+			fn, err := lw.lowerMethod(cl.Ctor, CtorKey(cl.Name))
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs[fn.Name] = fn
+		}
+		for _, name := range sortedMethodNames(cl) {
+			m := cl.Methods[name]
+			fn, err := lw.lowerMethod(m, MethodKey(cl.Name, name))
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs[fn.Name] = fn
+		}
+	}
+	for _, task := range info.Tasks {
+		fn, err := lw.lowerTask(task)
+		if err != nil {
+			return nil, err
+		}
+		prog.Funcs[fn.Name] = fn
+		prog.Tasks = append(prog.Tasks, fn)
+	}
+	return prog, nil
+}
+
+func sortedMethodNames(cl *types.Class) []string {
+	names := make([]string, 0, len(cl.Methods))
+	for n := range cl.Methods {
+		names = append(names, n)
+	}
+	// Simple insertion sort to avoid importing sort for three names.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+type lowerer struct {
+	info *types.Info
+	prog *Program
+}
+
+// TagParams returns the ordered tag-guard variable names bound as hidden
+// parameters of a task Func (after the object parameters).
+func (f *Func) TagParams() []string { return f.tagParams }
+
+type fnBuilder struct {
+	lw     *lowerer
+	fn     *Func
+	cur    *Block
+	scopes []map[string]Reg
+	task   *types.Task
+	method *types.Method
+
+	breakBlks    []int
+	continueBlks []int
+	exitCount    int
+}
+
+func (lw *lowerer) lowerMethod(m *types.Method, key string) (*Func, error) {
+	fb := &fnBuilder{
+		lw:     lw,
+		fn:     &Func{Name: key, Method: m},
+		method: m,
+	}
+	fb.pushScope()
+	// Register 0 is the receiver.
+	thisType := &ast.Type{Kind: ast.TClass, Name: m.Class.Name}
+	fb.allocNamed("this", thisType)
+	for _, p := range m.Params {
+		if types.IsTagType(p.Type) {
+			fb.allocNamed(p.Name, nil)
+		} else {
+			fb.allocNamed(p.Name, p.Type)
+		}
+	}
+	fb.fn.NumParams = fb.fn.NumRegs
+	fb.startBlock()
+	if err := fb.block(m.Decl.Body); err != nil {
+		return nil, err
+	}
+	fb.finishWithImplicitExit(m.Decl.Body.P)
+	return fb.fn, nil
+}
+
+func (lw *lowerer) lowerTask(task *types.Task) (*Func, error) {
+	fb := &fnBuilder{
+		lw:   lw,
+		fn:   &Func{Name: TaskKey(task.Name), IsTask: true, Task: task},
+		task: task,
+	}
+	fb.pushScope()
+	for _, p := range task.Params {
+		fb.allocNamed(p.Name, &ast.Type{Kind: ast.TClass, Name: p.Class.Name})
+	}
+	// Tag-guard variables become hidden parameters bound at dispatch,
+	// ordered by first appearance across the parameter list.
+	seen := map[string]bool{}
+	for _, p := range task.Params {
+		for _, tg := range p.Tags {
+			if !seen[tg.Name] {
+				seen[tg.Name] = true
+				r := fb.allocNamed(tg.Name, nil)
+				fb.fn.tagParams = append(fb.fn.tagParams, tg.Name)
+				fb.setTagRegType(r, tg.TagType)
+			}
+		}
+	}
+	fb.fn.NumParams = fb.fn.NumRegs
+	fb.startBlock()
+	if err := fb.block(task.Decl.Body); err != nil {
+		return nil, err
+	}
+	fb.finishWithImplicitExit(task.Decl.Body.P)
+	fb.fn.NumExits = fb.exitCount
+	return fb.fn, nil
+}
+
+// finishWithImplicitExit terminates the entry of any unterminated block with
+// a function exit: a void return for methods, or the implicit end taskexit
+// (no flag changes) for tasks.
+func (fb *fnBuilder) finishWithImplicitExit(pos lexer.Pos) {
+	if fb.cur == nil {
+		// All paths already terminated; still account for the implicit exit
+		// ID space so profiles can index it.
+		if fb.fn.IsTask {
+			fb.exitCount++
+		}
+		return
+	}
+	if fb.fn.IsTask {
+		fb.emit(Instr{Op: OpTaskExit, Dst: NoReg, Exit: &ExitSpec{ID: fb.exitCount}, Pos: pos})
+		fb.exitCount++
+		fb.fn.ImplicitExitReachable = true
+	} else {
+		fb.emit(Instr{Op: OpRet, Dst: NoReg, Pos: pos})
+	}
+	fb.cur = nil
+}
+
+// ---------------------------------------------------------------------------
+// Builder plumbing
+
+func (fb *fnBuilder) setTagRegType(r Reg, tagType string) {
+	if fb.fn.TagRegType == nil {
+		fb.fn.TagRegType = map[Reg]string{}
+	}
+	fb.fn.TagRegType[r] = tagType
+}
+
+func (fb *fnBuilder) pushScope() { fb.scopes = append(fb.scopes, map[string]Reg{}) }
+func (fb *fnBuilder) popScope()  { fb.scopes = fb.scopes[:len(fb.scopes)-1] }
+
+func (fb *fnBuilder) allocNamed(name string, t *ast.Type) Reg {
+	r := fb.allocTemp(t)
+	fb.fn.RegNames[r] = name
+	fb.scopes[len(fb.scopes)-1][name] = r
+	return r
+}
+
+func (fb *fnBuilder) allocTemp(t *ast.Type) Reg {
+	r := Reg(fb.fn.NumRegs)
+	fb.fn.NumRegs++
+	fb.fn.RegTypes = append(fb.fn.RegTypes, t)
+	fb.fn.RegNames = append(fb.fn.RegNames, "")
+	return r
+}
+
+func (fb *fnBuilder) lookup(name string) (Reg, bool) {
+	for i := len(fb.scopes) - 1; i >= 0; i-- {
+		if r, ok := fb.scopes[i][name]; ok {
+			return r, true
+		}
+	}
+	return NoReg, false
+}
+
+// startBlock begins a new basic block and makes it current.
+func (fb *fnBuilder) startBlock() *Block {
+	b := &Block{ID: len(fb.fn.Blocks)}
+	fb.fn.Blocks = append(fb.fn.Blocks, b)
+	fb.cur = b
+	return b
+}
+
+// reserveBlock creates a block that will be made current later.
+func (fb *fnBuilder) reserveBlock() *Block {
+	b := &Block{ID: len(fb.fn.Blocks)}
+	fb.fn.Blocks = append(fb.fn.Blocks, b)
+	return b
+}
+
+func (fb *fnBuilder) setCur(b *Block) { fb.cur = b }
+
+func (fb *fnBuilder) emit(in Instr) {
+	if fb.cur == nil {
+		// Unreachable code after a terminator: emit into a fresh dead block
+		// so lowering can continue (the block has no predecessors).
+		fb.startBlock()
+	}
+	fb.cur.Instrs = append(fb.cur.Instrs, in)
+}
+
+// terminate emits a terminator and clears the current block.
+func (fb *fnBuilder) terminate(in Instr) {
+	fb.emit(in)
+	fb.cur = nil
+}
+
+func (fb *fnBuilder) exprType(e ast.Expr) *ast.Type { return fb.lw.info.ExprTypes[e] }
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (fb *fnBuilder) block(b *ast.Block) error {
+	fb.pushScope()
+	defer fb.popScope()
+	for _, s := range b.Stmts {
+		if err := fb.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (fb *fnBuilder) stmt(s ast.Stmt) error {
+	switch s := s.(type) {
+	case *ast.Block:
+		return fb.block(s)
+	case *ast.VarDecl:
+		r := fb.allocNamed(s.Name, s.Type)
+		if s.Init != nil {
+			v, err := fb.exprCoerced(s.Init, s.Type)
+			if err != nil {
+				return err
+			}
+			fb.emit(Instr{Op: OpMove, Dst: r, Args: []Reg{v}, Pos: s.P})
+		} else {
+			fb.emitZero(r, s.Type, s.P)
+		}
+		return nil
+	case *ast.Assign:
+		return fb.assign(s.Target, s.Value, s.P)
+	case *ast.OpAssign:
+		return fb.opAssign(s)
+	case *ast.ExprStmt:
+		_, err := fb.expr(s.X)
+		return err
+	case *ast.If:
+		return fb.ifStmt(s)
+	case *ast.While:
+		return fb.whileStmt(s)
+	case *ast.For:
+		return fb.forStmt(s)
+	case *ast.Return:
+		if s.Value == nil {
+			fb.terminate(Instr{Op: OpRet, Dst: NoReg, Pos: s.P})
+			return nil
+		}
+		v, err := fb.exprCoerced(s.Value, fb.method.Ret)
+		if err != nil {
+			return err
+		}
+		fb.terminate(Instr{Op: OpRet, Dst: NoReg, Args: []Reg{v}, Pos: s.P})
+		return nil
+	case *ast.Break:
+		fb.terminate(Instr{Op: OpJump, Dst: NoReg, Blk: fb.breakBlks[len(fb.breakBlks)-1], Pos: s.P})
+		return nil
+	case *ast.Continue:
+		fb.terminate(Instr{Op: OpJump, Dst: NoReg, Blk: fb.continueBlks[len(fb.continueBlks)-1], Pos: s.P})
+		return nil
+	case *ast.TaskExit:
+		return fb.taskExit(s)
+	case *ast.NewTag:
+		r := fb.allocNamed(s.Name, nil)
+		fb.setTagRegType(r, s.TagType)
+		fb.emit(Instr{Op: OpNewTag, Dst: r, Str: s.TagType, Pos: s.P})
+		return nil
+	}
+	return fmt.Errorf("%s: unhandled statement %T in lowering", s.Pos(), s)
+}
+
+func (fb *fnBuilder) assign(target ast.Expr, value ast.Expr, pos lexer.Pos) error {
+	switch t := target.(type) {
+	case *ast.Ident:
+		ref := fb.lw.info.Idents[t]
+		if ref != nil && ref.Kind == types.VarField {
+			// Unqualified field write: this.f = v.
+			v, err := fb.exprCoerced(value, ref.Field.Type)
+			if err != nil {
+				return err
+			}
+			fb.emit(Instr{Op: OpSetField, Dst: NoReg, Args: []Reg{0, v}, Field: ref.Field, Pos: pos})
+			return nil
+		}
+		r, ok := fb.lookup(t.Name)
+		if !ok {
+			return fmt.Errorf("%s: unresolved identifier %q in lowering", t.P, t.Name)
+		}
+		v, err := fb.exprCoerced(value, fb.fn.RegTypes[r])
+		if err != nil {
+			return err
+		}
+		fb.emit(Instr{Op: OpMove, Dst: r, Args: []Reg{v}, Pos: pos})
+		return nil
+	case *ast.FieldAccess:
+		recv, err := fb.expr(t.X)
+		if err != nil {
+			return err
+		}
+		fld := fb.fieldOf(t)
+		v, err := fb.exprCoerced(value, fld.Type)
+		if err != nil {
+			return err
+		}
+		fb.emit(Instr{Op: OpSetField, Dst: NoReg, Args: []Reg{recv, v}, Field: fld, Pos: pos})
+		return nil
+	case *ast.Index:
+		arr, err := fb.expr(t.X)
+		if err != nil {
+			return err
+		}
+		idx, err := fb.expr(t.I)
+		if err != nil {
+			return err
+		}
+		elemType := fb.exprType(t.X).Elem
+		v, err := fb.exprCoerced(value, elemType)
+		if err != nil {
+			return err
+		}
+		fb.emit(Instr{Op: OpArrSet, Dst: NoReg, Args: []Reg{arr, idx, v}, Pos: pos})
+		return nil
+	}
+	return fmt.Errorf("%s: invalid assignment target %T", target.Pos(), target)
+}
+
+// fieldOf resolves the Field of a checked field access.
+func (fb *fnBuilder) fieldOf(fa *ast.FieldAccess) *types.Field {
+	recvType := fb.exprType(fa.X)
+	cl := fb.lw.info.Classes[recvType.Name]
+	return cl.FieldByName[fa.Name]
+}
+
+func (fb *fnBuilder) opAssign(s *ast.OpAssign) error {
+	op, flt := arithOp(s.Op, fb.exprType(s.Target).Kind == ast.TDouble)
+	load := func() (Reg, func(Reg), error) {
+		switch t := s.Target.(type) {
+		case *ast.Ident:
+			ref := fb.lw.info.Idents[t]
+			if ref != nil && ref.Kind == types.VarField {
+				tmp := fb.allocTemp(ref.Field.Type)
+				fb.emit(Instr{Op: OpGetField, Dst: tmp, Args: []Reg{0}, Field: ref.Field, Pos: s.P})
+				return tmp, func(res Reg) {
+					fb.emit(Instr{Op: OpSetField, Dst: NoReg, Args: []Reg{0, res}, Field: ref.Field, Pos: s.P})
+				}, nil
+			}
+			r, ok := fb.lookup(t.Name)
+			if !ok {
+				return NoReg, nil, fmt.Errorf("%s: unresolved identifier %q", t.P, t.Name)
+			}
+			return r, func(res Reg) {
+				if res != r {
+					fb.emit(Instr{Op: OpMove, Dst: r, Args: []Reg{res}, Pos: s.P})
+				}
+			}, nil
+		case *ast.FieldAccess:
+			recv, err := fb.expr(t.X)
+			if err != nil {
+				return NoReg, nil, err
+			}
+			fld := fb.fieldOf(t)
+			tmp := fb.allocTemp(fld.Type)
+			fb.emit(Instr{Op: OpGetField, Dst: tmp, Args: []Reg{recv}, Field: fld, Pos: s.P})
+			return tmp, func(res Reg) {
+				fb.emit(Instr{Op: OpSetField, Dst: NoReg, Args: []Reg{recv, res}, Field: fld, Pos: s.P})
+			}, nil
+		case *ast.Index:
+			arr, err := fb.expr(t.X)
+			if err != nil {
+				return NoReg, nil, err
+			}
+			idx, err := fb.expr(t.I)
+			if err != nil {
+				return NoReg, nil, err
+			}
+			elem := fb.exprType(t.X).Elem
+			tmp := fb.allocTemp(elem)
+			fb.emit(Instr{Op: OpArrGet, Dst: tmp, Args: []Reg{arr, idx}, Pos: s.P})
+			return tmp, func(res Reg) {
+				fb.emit(Instr{Op: OpArrSet, Dst: NoReg, Args: []Reg{arr, idx, res}, Pos: s.P})
+			}, nil
+		}
+		return NoReg, nil, fmt.Errorf("%s: invalid compound assignment target %T", s.Target.Pos(), s.Target)
+	}
+	cur, store, err := load()
+	if err != nil {
+		return err
+	}
+	rhs, err := fb.expr(s.Value)
+	if err != nil {
+		return err
+	}
+	if flt && fb.exprType(s.Value).Kind == ast.TInt {
+		conv := fb.allocTemp(types.TypeDouble)
+		fb.emit(Instr{Op: OpI2F, Dst: conv, Args: []Reg{rhs}, Pos: s.P})
+		rhs = conv
+	}
+	res := fb.allocTemp(fb.exprType(s.Target))
+	fb.emit(Instr{Op: op, Float: flt, Dst: res, Args: []Reg{cur, rhs}, Pos: s.P})
+	store(res)
+	return nil
+}
+
+func (fb *fnBuilder) ifStmt(s *ast.If) error {
+	cond, err := fb.expr(s.Cond)
+	if err != nil {
+		return err
+	}
+	thenB := fb.reserveBlock()
+	var elseB *Block
+	endB := fb.reserveBlock()
+	if s.Else != nil {
+		elseB = fb.reserveBlock()
+		fb.terminate(Instr{Op: OpBranch, Dst: NoReg, Args: []Reg{cond}, Blk: thenB.ID, Blk2: elseB.ID, Pos: s.P})
+	} else {
+		fb.terminate(Instr{Op: OpBranch, Dst: NoReg, Args: []Reg{cond}, Blk: thenB.ID, Blk2: endB.ID, Pos: s.P})
+	}
+	fb.setCur(thenB)
+	if err := fb.block(s.Then); err != nil {
+		return err
+	}
+	if fb.cur != nil {
+		fb.terminate(Instr{Op: OpJump, Dst: NoReg, Blk: endB.ID, Pos: s.P})
+	}
+	if s.Else != nil {
+		fb.setCur(elseB)
+		if err := fb.block(s.Else); err != nil {
+			return err
+		}
+		if fb.cur != nil {
+			fb.terminate(Instr{Op: OpJump, Dst: NoReg, Blk: endB.ID, Pos: s.P})
+		}
+	}
+	fb.setCur(endB)
+	return nil
+}
+
+func (fb *fnBuilder) whileStmt(s *ast.While) error {
+	headB := fb.reserveBlock()
+	bodyB := fb.reserveBlock()
+	endB := fb.reserveBlock()
+	fb.terminate(Instr{Op: OpJump, Dst: NoReg, Blk: headB.ID, Pos: s.P})
+	fb.setCur(headB)
+	cond, err := fb.expr(s.Cond)
+	if err != nil {
+		return err
+	}
+	fb.terminate(Instr{Op: OpBranch, Dst: NoReg, Args: []Reg{cond}, Blk: bodyB.ID, Blk2: endB.ID, Pos: s.P})
+	fb.breakBlks = append(fb.breakBlks, endB.ID)
+	fb.continueBlks = append(fb.continueBlks, headB.ID)
+	fb.setCur(bodyB)
+	if err := fb.block(s.Body); err != nil {
+		return err
+	}
+	if fb.cur != nil {
+		fb.terminate(Instr{Op: OpJump, Dst: NoReg, Blk: headB.ID, Pos: s.P})
+	}
+	fb.breakBlks = fb.breakBlks[:len(fb.breakBlks)-1]
+	fb.continueBlks = fb.continueBlks[:len(fb.continueBlks)-1]
+	fb.setCur(endB)
+	return nil
+}
+
+func (fb *fnBuilder) forStmt(s *ast.For) error {
+	fb.pushScope()
+	defer fb.popScope()
+	if s.Init != nil {
+		if err := fb.stmt(s.Init); err != nil {
+			return err
+		}
+	}
+	headB := fb.reserveBlock()
+	bodyB := fb.reserveBlock()
+	postB := fb.reserveBlock()
+	endB := fb.reserveBlock()
+	fb.terminate(Instr{Op: OpJump, Dst: NoReg, Blk: headB.ID, Pos: s.P})
+	fb.setCur(headB)
+	if s.Cond != nil {
+		cond, err := fb.expr(s.Cond)
+		if err != nil {
+			return err
+		}
+		fb.terminate(Instr{Op: OpBranch, Dst: NoReg, Args: []Reg{cond}, Blk: bodyB.ID, Blk2: endB.ID, Pos: s.P})
+	} else {
+		fb.terminate(Instr{Op: OpJump, Dst: NoReg, Blk: bodyB.ID, Pos: s.P})
+	}
+	fb.breakBlks = append(fb.breakBlks, endB.ID)
+	fb.continueBlks = append(fb.continueBlks, postB.ID)
+	fb.setCur(bodyB)
+	if err := fb.block(s.Body); err != nil {
+		return err
+	}
+	if fb.cur != nil {
+		fb.terminate(Instr{Op: OpJump, Dst: NoReg, Blk: postB.ID, Pos: s.P})
+	}
+	fb.breakBlks = fb.breakBlks[:len(fb.breakBlks)-1]
+	fb.continueBlks = fb.continueBlks[:len(fb.continueBlks)-1]
+	fb.setCur(postB)
+	if s.Post != nil {
+		if err := fb.stmt(s.Post); err != nil {
+			return err
+		}
+	}
+	fb.terminate(Instr{Op: OpJump, Dst: NoReg, Blk: headB.ID, Pos: s.P})
+	fb.setCur(endB)
+	return nil
+}
+
+func (fb *fnBuilder) taskExit(s *ast.TaskExit) error {
+	spec := &ExitSpec{ID: fb.exitCount}
+	fb.exitCount++
+	for _, pa := range s.Actions {
+		pIdx := -1
+		var pClass *types.Class
+		for _, tp := range fb.task.Params {
+			if tp.Name == pa.Param {
+				pIdx = tp.Index
+				pClass = tp.Class
+			}
+		}
+		for _, a := range pa.Actions {
+			switch a := a.(type) {
+			case *ast.FlagAction:
+				spec.FlagOps = append(spec.FlagOps, ExitFlagAction{
+					Param: pIdx, Flag: a.Flag, Index: pClass.FlagIndex[a.Flag], Value: a.Value,
+				})
+			case *ast.TagAction:
+				r, ok := fb.lookup(a.Tag)
+				if !ok {
+					return fmt.Errorf("%s: unresolved tag variable %q", a.P, a.Tag)
+				}
+				spec.TagOps = append(spec.TagOps, ExitTagAction{Param: pIdx, Add: a.Add, TagReg: r})
+			}
+		}
+	}
+	fb.terminate(Instr{Op: OpTaskExit, Dst: NoReg, Exit: spec, Pos: s.P})
+	return nil
+}
+
+// emitZero writes the zero value of type t into r.
+func (fb *fnBuilder) emitZero(r Reg, t *ast.Type, pos lexer.Pos) {
+	switch t.Kind {
+	case ast.TInt:
+		fb.emit(Instr{Op: OpConstInt, Dst: r, Int: 0, Pos: pos})
+	case ast.TDouble:
+		fb.emit(Instr{Op: OpConstFloat, Dst: r, F: 0, Pos: pos})
+	case ast.TBoolean:
+		fb.emit(Instr{Op: OpConstBool, Dst: r, B: false, Pos: pos})
+	default:
+		fb.emit(Instr{Op: OpConstNull, Dst: r, Pos: pos})
+	}
+}
+
+// arithOp maps a source operator to an IR op plus float variant flag.
+func arithOp(op string, isFloat bool) (Op, bool) {
+	switch op {
+	case "+":
+		return OpAdd, isFloat
+	case "-":
+		return OpSub, isFloat
+	case "*":
+		return OpMul, isFloat
+	case "/":
+		return OpDiv, isFloat
+	case "%":
+		return OpRem, false
+	}
+	panic("unknown arithmetic operator " + op)
+}

@@ -1,0 +1,411 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/types"
+)
+
+// expr lowers an expression and returns the register holding its value.
+func (fb *fnBuilder) expr(e ast.Expr) (Reg, error) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		r := fb.allocTemp(types.TypeInt)
+		fb.emit(Instr{Op: OpConstInt, Dst: r, Int: e.Value, Pos: e.P})
+		return r, nil
+	case *ast.FloatLit:
+		r := fb.allocTemp(types.TypeDouble)
+		fb.emit(Instr{Op: OpConstFloat, Dst: r, F: e.Value, Pos: e.P})
+		return r, nil
+	case *ast.BoolLit:
+		r := fb.allocTemp(types.TypeBoolean)
+		fb.emit(Instr{Op: OpConstBool, Dst: r, B: e.Value, Pos: e.P})
+		return r, nil
+	case *ast.StringLit:
+		r := fb.allocTemp(types.TypeString)
+		fb.emit(Instr{Op: OpConstStr, Dst: r, Str: e.Value, Pos: e.P})
+		return r, nil
+	case *ast.NullLit:
+		r := fb.allocTemp(fb.exprType(e))
+		fb.emit(Instr{Op: OpConstNull, Dst: r, Pos: e.P})
+		return r, nil
+	case *ast.This:
+		return 0, nil
+	case *ast.Ident:
+		ref := fb.lw.info.Idents[e]
+		if ref != nil && ref.Kind == types.VarField {
+			r := fb.allocTemp(ref.Field.Type)
+			fb.emit(Instr{Op: OpGetField, Dst: r, Args: []Reg{0}, Field: ref.Field, Pos: e.P})
+			return r, nil
+		}
+		r, ok := fb.lookup(e.Name)
+		if !ok {
+			return NoReg, fmt.Errorf("%s: unresolved identifier %q in lowering", e.P, e.Name)
+		}
+		return r, nil
+	case *ast.TagArg:
+		r, ok := fb.lookup(e.Name)
+		if !ok {
+			return NoReg, fmt.Errorf("%s: unresolved tag variable %q", e.P, e.Name)
+		}
+		return r, nil
+	case *ast.FieldAccess:
+		xt := fb.exprType(e.X)
+		x, err := fb.expr(e.X)
+		if err != nil {
+			return NoReg, err
+		}
+		if xt.Kind == ast.TArray && e.Name == "length" {
+			r := fb.allocTemp(types.TypeInt)
+			fb.emit(Instr{Op: OpArrLen, Dst: r, Args: []Reg{x}, Pos: e.P})
+			return r, nil
+		}
+		fld := fb.fieldOf(e)
+		r := fb.allocTemp(fld.Type)
+		fb.emit(Instr{Op: OpGetField, Dst: r, Args: []Reg{x}, Field: fld, Pos: e.P})
+		return r, nil
+	case *ast.Index:
+		arr, err := fb.expr(e.X)
+		if err != nil {
+			return NoReg, err
+		}
+		idx, err := fb.expr(e.I)
+		if err != nil {
+			return NoReg, err
+		}
+		r := fb.allocTemp(fb.exprType(e))
+		fb.emit(Instr{Op: OpArrGet, Dst: r, Args: []Reg{arr, idx}, Pos: e.P})
+		return r, nil
+	case *ast.Call:
+		return fb.call(e)
+	case *ast.New:
+		return fb.newObj(e)
+	case *ast.NewArray:
+		length, err := fb.expr(e.Len)
+		if err != nil {
+			return NoReg, err
+		}
+		r := fb.allocTemp(fb.exprType(e))
+		fb.emit(Instr{Op: OpNewArr, Dst: r, Args: []Reg{length}, Elem: e.Elem, Pos: e.P})
+		return r, nil
+	case *ast.Unary:
+		x, err := fb.expr(e.X)
+		if err != nil {
+			return NoReg, err
+		}
+		t := fb.exprType(e)
+		r := fb.allocTemp(t)
+		if e.Op == "-" {
+			fb.emit(Instr{Op: OpNeg, Float: t.Kind == ast.TDouble, Dst: r, Args: []Reg{x}, Pos: e.P})
+		} else {
+			fb.emit(Instr{Op: OpNot, Dst: r, Args: []Reg{x}, Pos: e.P})
+		}
+		return r, nil
+	case *ast.Binary:
+		return fb.binary(e)
+	case *ast.Cast:
+		x, err := fb.expr(e.X)
+		if err != nil {
+			return NoReg, err
+		}
+		from := fb.exprType(e.X)
+		if from.Kind == e.To.Kind {
+			return x, nil
+		}
+		r := fb.allocTemp(e.To)
+		if e.To.Kind == ast.TDouble {
+			fb.emit(Instr{Op: OpI2F, Dst: r, Args: []Reg{x}, Pos: e.P})
+		} else {
+			fb.emit(Instr{Op: OpF2I, Dst: r, Args: []Reg{x}, Pos: e.P})
+		}
+		return r, nil
+	}
+	return NoReg, fmt.Errorf("%s: unhandled expression %T in lowering", e.Pos(), e)
+}
+
+// exprCoerced lowers e and widens int to double when 'to' requires it.
+func (fb *fnBuilder) exprCoerced(e ast.Expr, to *ast.Type) (Reg, error) {
+	r, err := fb.expr(e)
+	if err != nil {
+		return NoReg, err
+	}
+	from := fb.exprType(e)
+	if to != nil && to.Kind == ast.TDouble && from != nil && from.Kind == ast.TInt {
+		c := fb.allocTemp(types.TypeDouble)
+		fb.emit(Instr{Op: OpI2F, Dst: c, Args: []Reg{r}, Pos: e.Pos()})
+		return c, nil
+	}
+	return r, nil
+}
+
+func (fb *fnBuilder) binary(e *ast.Binary) (Reg, error) {
+	switch e.Op {
+	case "&&", "||":
+		return fb.shortCircuit(e)
+	}
+	lt, rt := fb.exprType(e.L), fb.exprType(e.R)
+	resType := fb.exprType(e)
+
+	// String concatenation.
+	if e.Op == "+" && resType.Kind == ast.TString {
+		l, err := fb.stringOperand(e.L, lt)
+		if err != nil {
+			return NoReg, err
+		}
+		r, err := fb.stringOperand(e.R, rt)
+		if err != nil {
+			return NoReg, err
+		}
+		dst := fb.allocTemp(types.TypeString)
+		fb.emit(Instr{Op: OpConcat, Dst: dst, Args: []Reg{l, r}, Pos: e.P})
+		return dst, nil
+	}
+
+	l, err := fb.expr(e.L)
+	if err != nil {
+		return NoReg, err
+	}
+	r, err := fb.expr(e.R)
+	if err != nil {
+		return NoReg, err
+	}
+
+	// Numeric promotion for mixed int/double operands.
+	isFloat := false
+	if isNumKind(lt) && isNumKind(rt) {
+		isFloat = lt.Kind == ast.TDouble || rt.Kind == ast.TDouble
+		if isFloat {
+			if lt.Kind == ast.TInt {
+				c := fb.allocTemp(types.TypeDouble)
+				fb.emit(Instr{Op: OpI2F, Dst: c, Args: []Reg{l}, Pos: e.P})
+				l = c
+			}
+			if rt.Kind == ast.TInt {
+				c := fb.allocTemp(types.TypeDouble)
+				fb.emit(Instr{Op: OpI2F, Dst: c, Args: []Reg{r}, Pos: e.P})
+				r = c
+			}
+		}
+	}
+
+	var op Op
+	switch e.Op {
+	case "+":
+		op = OpAdd
+	case "-":
+		op = OpSub
+	case "*":
+		op = OpMul
+	case "/":
+		op = OpDiv
+	case "%":
+		op, isFloat = OpRem, false
+	case "<<":
+		op, isFloat = OpShl, false
+	case ">>":
+		op, isFloat = OpShr, false
+	case "&":
+		op, isFloat = OpBitAnd, false
+	case "|":
+		op, isFloat = OpBitOr, false
+	case "^":
+		op, isFloat = OpBitXor, false
+	case "==":
+		op = OpCmpEq
+	case "!=":
+		op = OpCmpNe
+	case "<":
+		op = OpCmpLt
+	case "<=":
+		op = OpCmpLe
+	case ">":
+		op = OpCmpGt
+	case ">=":
+		op = OpCmpGe
+	default:
+		return NoReg, fmt.Errorf("%s: unknown binary operator %q", e.P, e.Op)
+	}
+	dst := fb.allocTemp(resType)
+	fb.emit(Instr{Op: op, Float: isFloat, Dst: dst, Args: []Reg{l, r}, Pos: e.P})
+	return dst, nil
+}
+
+func isNumKind(t *ast.Type) bool {
+	return t != nil && (t.Kind == ast.TInt || t.Kind == ast.TDouble)
+}
+
+// stringOperand lowers a concatenation operand, converting numbers to
+// strings.
+func (fb *fnBuilder) stringOperand(e ast.Expr, t *ast.Type) (Reg, error) {
+	r, err := fb.expr(e)
+	if err != nil {
+		return NoReg, err
+	}
+	switch t.Kind {
+	case ast.TInt:
+		c := fb.allocTemp(types.TypeString)
+		fb.emit(Instr{Op: OpI2S, Dst: c, Args: []Reg{r}, Pos: e.Pos()})
+		return c, nil
+	case ast.TDouble:
+		c := fb.allocTemp(types.TypeString)
+		fb.emit(Instr{Op: OpF2S, Dst: c, Args: []Reg{r}, Pos: e.Pos()})
+		return c, nil
+	}
+	return r, nil
+}
+
+// shortCircuit lowers && and || with control flow.
+func (fb *fnBuilder) shortCircuit(e *ast.Binary) (Reg, error) {
+	dst := fb.allocTemp(types.TypeBoolean)
+	l, err := fb.expr(e.L)
+	if err != nil {
+		return NoReg, err
+	}
+	rhsB := fb.reserveBlock()
+	shortB := fb.reserveBlock()
+	endB := fb.reserveBlock()
+	if e.Op == "&&" {
+		fb.terminate(Instr{Op: OpBranch, Dst: NoReg, Args: []Reg{l}, Blk: rhsB.ID, Blk2: shortB.ID, Pos: e.P})
+	} else {
+		fb.terminate(Instr{Op: OpBranch, Dst: NoReg, Args: []Reg{l}, Blk: shortB.ID, Blk2: rhsB.ID, Pos: e.P})
+	}
+	fb.setCur(rhsB)
+	r, err := fb.expr(e.R)
+	if err != nil {
+		return NoReg, err
+	}
+	fb.emit(Instr{Op: OpMove, Dst: dst, Args: []Reg{r}, Pos: e.P})
+	fb.terminate(Instr{Op: OpJump, Dst: NoReg, Blk: endB.ID, Pos: e.P})
+	fb.setCur(shortB)
+	fb.emit(Instr{Op: OpConstBool, Dst: dst, B: e.Op == "||", Pos: e.P})
+	fb.terminate(Instr{Op: OpJump, Dst: NoReg, Blk: endB.ID, Pos: e.P})
+	fb.setCur(endB)
+	return dst, nil
+}
+
+// call lowers method and builtin calls.
+func (fb *fnBuilder) call(e *ast.Call) (Reg, error) {
+	tgt := fb.lw.info.Calls[e]
+	if tgt == nil {
+		return NoReg, fmt.Errorf("%s: unresolved call %q", e.P, e.Name)
+	}
+	if tgt.Kind == types.CallBuiltin {
+		var args []Reg
+		// String instance builtins take the receiver as the first argument.
+		if strings.HasPrefix(tgt.Builtin, "String.") {
+			recv, err := fb.expr(e.Recv)
+			if err != nil {
+				return NoReg, err
+			}
+			args = append(args, recv)
+		}
+		for _, a := range e.Args {
+			r, err := fb.builtinArg(tgt.Builtin, a)
+			if err != nil {
+				return NoReg, err
+			}
+			args = append(args, r)
+		}
+		ret := fb.exprType(e)
+		dst := NoReg
+		if ret.Kind != ast.TVoid {
+			dst = fb.allocTemp(ret)
+		}
+		fb.emit(Instr{Op: OpCallBuiltin, Dst: dst, Args: args, Builtin: tgt.Builtin, Pos: e.P})
+		return dst, nil
+	}
+	m := tgt.Method
+	var recv Reg = 0
+	if e.Recv != nil {
+		r, err := fb.expr(e.Recv)
+		if err != nil {
+			return NoReg, err
+		}
+		recv = r
+	}
+	args := []Reg{recv}
+	for i, a := range e.Args {
+		var want *ast.Type
+		if !types.IsTagType(m.Params[i].Type) {
+			want = m.Params[i].Type
+		}
+		r, err := fb.exprCoerced(a, want)
+		if err != nil {
+			return NoReg, err
+		}
+		args = append(args, r)
+	}
+	ret := fb.exprType(e)
+	dst := NoReg
+	if ret.Kind != ast.TVoid {
+		dst = fb.allocTemp(ret)
+	}
+	fb.emit(Instr{Op: OpCall, Dst: dst, Args: args, Method: MethodKey(m.Class.Name, m.Name), Pos: e.P})
+	return dst, nil
+}
+
+// builtinArg lowers a builtin call argument, widening int literals to double
+// for the double-typed math builtins.
+func (fb *fnBuilder) builtinArg(builtin string, a ast.Expr) (Reg, error) {
+	r, err := fb.expr(a)
+	if err != nil {
+		return NoReg, err
+	}
+	at := fb.exprType(a)
+	needsDouble := strings.HasPrefix(builtin, "Math.") &&
+		!strings.HasSuffix(builtin, "I") && at != nil && at.Kind == ast.TInt
+	if builtin == "System.printDouble" && at != nil && at.Kind == ast.TInt {
+		needsDouble = true
+	}
+	if needsDouble {
+		c := fb.allocTemp(types.TypeDouble)
+		fb.emit(Instr{Op: OpI2F, Dst: c, Args: []Reg{r}, Pos: a.Pos()})
+		return c, nil
+	}
+	return r, nil
+}
+
+// newObj lowers object allocation: allocate with initial flags/tags, then
+// invoke the constructor when the class declares one.
+func (fb *fnBuilder) newObj(e *ast.New) (Reg, error) {
+	cl := fb.lw.info.Classes[e.Class]
+	// Evaluate constructor arguments first (left to right).
+	var argRegs []Reg
+	for i, a := range e.Args {
+		var want *ast.Type
+		if cl.Ctor != nil && !types.IsTagType(cl.Ctor.Params[i].Type) {
+			want = cl.Ctor.Params[i].Type
+		}
+		r, err := fb.exprCoerced(a, want)
+		if err != nil {
+			return NoReg, err
+		}
+		argRegs = append(argRegs, r)
+	}
+	var flagInits []FlagInit
+	var tagRegs []Reg
+	for _, a := range e.Actions {
+		switch a := a.(type) {
+		case *ast.FlagAction:
+			flagInits = append(flagInits, FlagInit{Flag: a.Flag, Index: cl.FlagIndex[a.Flag], Value: a.Value})
+		case *ast.TagAction:
+			r, ok := fb.lookup(a.Tag)
+			if !ok {
+				return NoReg, fmt.Errorf("%s: unresolved tag variable %q", a.P, a.Tag)
+			}
+			if !a.Add {
+				return NoReg, fmt.Errorf("%s: clear action is not allowed at allocation", a.P)
+			}
+			tagRegs = append(tagRegs, r)
+		}
+	}
+	dst := fb.allocTemp(fb.exprType(e))
+	fb.emit(Instr{Op: OpNewObj, Dst: dst, Class: e.Class, FlagInits: flagInits, TagRegs: tagRegs, Pos: e.P})
+	if cl.Ctor != nil {
+		args := append([]Reg{dst}, argRegs...)
+		fb.emit(Instr{Op: OpCall, Dst: NoReg, Args: args, Method: CtorKey(e.Class), Pos: e.P})
+	}
+	return dst, nil
+}

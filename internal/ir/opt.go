@@ -1,0 +1,441 @@
+package ir
+
+import "math"
+
+// OptStats reports what the optimizer did.
+type OptStats struct {
+	Folded        int // instructions replaced by constants
+	CopiesDropped int // moves eliminated by copy propagation + DCE
+	DeadRemoved   int // dead pure instructions removed
+	BranchesFixed int // constant branches turned into jumps
+	BlocksRemoved int // unreachable blocks removed
+}
+
+// Add accumulates another stats record.
+func (s *OptStats) Add(o OptStats) {
+	s.Folded += o.Folded
+	s.CopiesDropped += o.CopiesDropped
+	s.DeadRemoved += o.DeadRemoved
+	s.BranchesFixed += o.BranchesFixed
+	s.BlocksRemoved += o.BlocksRemoved
+}
+
+// Optimize applies classic scalar optimizations to every function in the
+// program: per-block constant folding and copy propagation, constant branch
+// folding, dead pure-instruction elimination, and unreachable block
+// removal. Semantics are preserved exactly (faulting operations — integer
+// divide, loads, stores, calls — are never folded or removed); only the
+// cycle cost of the straight-line code shrinks. The pass is optional: the
+// evaluation runs unoptimized IR so the cost model matches the paper's
+// unoptimized-C-like baseline, and BenchmarkOptimizerAblation measures the
+// difference.
+func Optimize(prog *Program) OptStats {
+	var total OptStats
+	for _, fn := range prog.Funcs {
+		total.Add(optimizeFunc(fn))
+	}
+	return total
+}
+
+// constVal is a compile-time constant value.
+type constVal struct {
+	kind byte // 'i', 'f', 'b', 's'
+	i    int64
+	f    float64
+	b    bool
+	s    string
+}
+
+func optimizeFunc(fn *Func) OptStats {
+	var stats OptStats
+	for pass := 0; pass < 10; pass++ {
+		changed := false
+		if foldPass(fn, &stats) {
+			changed = true
+		}
+		if branchPass(fn, &stats) {
+			changed = true
+		}
+		if dcePass(fn, &stats) {
+			changed = true
+		}
+		if pruneBlocks(fn, &stats) {
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	return stats
+}
+
+// foldPass performs per-block copy propagation and constant folding.
+func foldPass(fn *Func, stats *OptStats) bool {
+	changed := false
+	for _, b := range fn.Blocks {
+		consts := map[Reg]constVal{}
+		copies := map[Reg]Reg{} // reg -> origin it currently aliases
+		invalidate := func(r Reg) {
+			delete(consts, r)
+			delete(copies, r)
+			for k, v := range copies {
+				if v == r {
+					delete(copies, k)
+				}
+			}
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			// Rewrite arguments through copies.
+			for ai, a := range in.Args {
+				if root, ok := copies[a]; ok {
+					in.Args[ai] = root
+					changed = true
+				}
+			}
+			for ti, tr := range in.TagRegs {
+				if root, ok := copies[tr]; ok {
+					in.TagRegs[ti] = root
+					changed = true
+				}
+			}
+			if in.Exit != nil {
+				for ti := range in.Exit.TagOps {
+					if root, ok := copies[in.Exit.TagOps[ti].TagReg]; ok {
+						in.Exit.TagOps[ti].TagReg = root
+						changed = true
+					}
+				}
+			}
+			// Try folding to a constant.
+			if folded := tryFold(in, consts); folded {
+				stats.Folded++
+				changed = true
+			}
+			// Update tracking.
+			if in.Dst == NoReg {
+				continue
+			}
+			invalidate(in.Dst)
+			switch in.Op {
+			case OpConstInt:
+				consts[in.Dst] = constVal{kind: 'i', i: in.Int}
+			case OpConstFloat:
+				consts[in.Dst] = constVal{kind: 'f', f: in.F}
+			case OpConstBool:
+				consts[in.Dst] = constVal{kind: 'b', b: in.B}
+			case OpConstStr:
+				consts[in.Dst] = constVal{kind: 's', s: in.Str}
+			case OpMove:
+				src := in.Args[0]
+				if c, ok := consts[src]; ok {
+					consts[in.Dst] = c
+				}
+				// Dst aliases src until either is redefined. Do not alias
+				// parameters of tasks (they are semantic roots).
+				if src != in.Dst {
+					copies[in.Dst] = resolveRoot(copies, src)
+				}
+			}
+		}
+	}
+	return changed
+}
+
+func resolveRoot(copies map[Reg]Reg, r Reg) Reg {
+	if root, ok := copies[r]; ok {
+		return root
+	}
+	return r
+}
+
+// tryFold replaces in with a constant instruction when all operands are
+// known constants and the operation cannot fault. Returns whether folded.
+func tryFold(in *Instr, consts map[Reg]constVal) bool {
+	get := func(i int) (constVal, bool) {
+		if i >= len(in.Args) {
+			return constVal{}, false
+		}
+		c, ok := consts[in.Args[i]]
+		return c, ok
+	}
+	setInt := func(v int64) {
+		*in = Instr{Op: OpConstInt, Dst: in.Dst, Int: v, Pos: in.Pos}
+	}
+	setFloat := func(v float64) {
+		*in = Instr{Op: OpConstFloat, Dst: in.Dst, F: v, Pos: in.Pos}
+	}
+	setBool := func(v bool) {
+		*in = Instr{Op: OpConstBool, Dst: in.Dst, B: v, Pos: in.Pos}
+	}
+	if in.Dst == NoReg {
+		return false
+	}
+	switch in.Op {
+	case OpAdd, OpSub, OpMul, OpCmpLt, OpCmpLe, OpCmpGt, OpCmpGe, OpCmpEq, OpCmpNe:
+		a, okA := get(0)
+		c, okC := get(1)
+		if !okA || !okC {
+			return false
+		}
+		if in.Float {
+			if a.kind != 'f' || c.kind != 'f' {
+				return false
+			}
+			switch in.Op {
+			case OpAdd:
+				setFloat(a.f + c.f)
+			case OpSub:
+				setFloat(a.f - c.f)
+			case OpMul:
+				setFloat(a.f * c.f)
+			case OpCmpLt:
+				setBool(a.f < c.f)
+			case OpCmpLe:
+				setBool(a.f <= c.f)
+			case OpCmpGt:
+				setBool(a.f > c.f)
+			case OpCmpGe:
+				setBool(a.f >= c.f)
+			case OpCmpEq:
+				setBool(a.f == c.f)
+			case OpCmpNe:
+				setBool(a.f != c.f)
+			}
+			return true
+		}
+		switch {
+		case a.kind == 'i' && c.kind == 'i':
+			switch in.Op {
+			case OpAdd:
+				setInt(a.i + c.i)
+			case OpSub:
+				setInt(a.i - c.i)
+			case OpMul:
+				setInt(a.i * c.i)
+			case OpCmpLt:
+				setBool(a.i < c.i)
+			case OpCmpLe:
+				setBool(a.i <= c.i)
+			case OpCmpGt:
+				setBool(a.i > c.i)
+			case OpCmpGe:
+				setBool(a.i >= c.i)
+			case OpCmpEq:
+				setBool(a.i == c.i)
+			case OpCmpNe:
+				setBool(a.i != c.i)
+			}
+			return true
+		case a.kind == 'b' && c.kind == 'b' && (in.Op == OpCmpEq || in.Op == OpCmpNe):
+			setBool((a.b == c.b) == (in.Op == OpCmpEq))
+			return true
+		case a.kind == 's' && c.kind == 's' && (in.Op == OpCmpEq || in.Op == OpCmpNe):
+			setBool((a.s == c.s) == (in.Op == OpCmpEq))
+			return true
+		}
+		return false
+	case OpShl, OpShr, OpBitAnd, OpBitOr, OpBitXor:
+		a, okA := get(0)
+		c, okC := get(1)
+		if !okA || !okC || a.kind != 'i' || c.kind != 'i' {
+			return false
+		}
+		switch in.Op {
+		case OpShl:
+			setInt(a.i << uint(c.i))
+		case OpShr:
+			setInt(a.i >> uint(c.i))
+		case OpBitAnd:
+			setInt(a.i & c.i)
+		case OpBitOr:
+			setInt(a.i | c.i)
+		case OpBitXor:
+			setInt(a.i ^ c.i)
+		}
+		return true
+	case OpNeg:
+		a, ok := get(0)
+		if !ok {
+			return false
+		}
+		if in.Float && a.kind == 'f' {
+			setFloat(-a.f)
+			return true
+		}
+		if !in.Float && a.kind == 'i' {
+			setInt(-a.i)
+			return true
+		}
+	case OpNot:
+		if a, ok := get(0); ok && a.kind == 'b' {
+			setBool(!a.b)
+			return true
+		}
+	case OpI2F:
+		if a, ok := get(0); ok && a.kind == 'i' {
+			setFloat(float64(a.i))
+			return true
+		}
+	case OpF2I:
+		if a, ok := get(0); ok && a.kind == 'f' && !math.IsNaN(a.f) && !math.IsInf(a.f, 0) {
+			setInt(int64(a.f))
+			return true
+		}
+	case OpConcat:
+		a, okA := get(0)
+		c, okC := get(1)
+		if okA && okC && a.kind == 's' && c.kind == 's' {
+			*in = Instr{Op: OpConstStr, Dst: in.Dst, Str: a.s + c.s, Pos: in.Pos}
+			return true
+		}
+	}
+	return false
+}
+
+// branchPass rewrites branches on constant conditions into jumps. It only
+// sees constants defined in the same block (the fold pass's tracking is
+// per-block), so it re-scans each block.
+func branchPass(fn *Func, stats *OptStats) bool {
+	changed := false
+	for _, b := range fn.Blocks {
+		consts := map[Reg]constVal{}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == OpBranch {
+				if c, ok := consts[in.Args[0]]; ok && c.kind == 'b' {
+					target := in.Blk2
+					if c.b {
+						target = in.Blk
+					}
+					*in = Instr{Op: OpJump, Dst: NoReg, Blk: target, Pos: in.Pos}
+					stats.BranchesFixed++
+					changed = true
+				}
+				continue
+			}
+			if in.Dst != NoReg {
+				delete(consts, in.Dst)
+				switch in.Op {
+				case OpConstBool:
+					consts[in.Dst] = constVal{kind: 'b', b: in.B}
+				case OpConstInt:
+					consts[in.Dst] = constVal{kind: 'i', i: in.Int}
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// pureOps lists operations that are safe to remove when their result is
+// unused: no heap effects, no faults (integer divide and array/field/string
+// accesses can fault and stay).
+var pureOps = map[Op]bool{
+	OpConstInt: true, OpConstFloat: true, OpConstBool: true, OpConstStr: true,
+	OpConstNull: true, OpMove: true,
+	OpAdd: true, OpSub: true, OpMul: true, OpNeg: true,
+	OpShl: true, OpShr: true, OpBitAnd: true, OpBitOr: true, OpBitXor: true,
+	OpNot:   true,
+	OpCmpEq: true, OpCmpNe: true, OpCmpLt: true, OpCmpLe: true,
+	OpCmpGt: true, OpCmpGe: true,
+	OpI2F: true, OpF2I: true, OpI2S: true, OpF2S: true, OpConcat: true,
+}
+
+// dcePass removes pure instructions whose destination register is never
+// read anywhere in the function (flow-insensitive liveness, sound because
+// register reads are explicit).
+func dcePass(fn *Func, stats *OptStats) bool {
+	used := make([]bool, fn.NumRegs)
+	// Parameters stay live (the runtime reads task parameters at exit).
+	for p := 0; p < fn.NumParams; p++ {
+		used[p] = true
+	}
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			for _, a := range in.Args {
+				used[a] = true
+			}
+			for _, tr := range in.TagRegs {
+				used[tr] = true
+			}
+			if in.Exit != nil {
+				for _, ta := range in.Exit.TagOps {
+					used[ta.TagReg] = true
+				}
+			}
+		}
+	}
+	changed := false
+	for _, b := range fn.Blocks {
+		kept := b.Instrs[:0]
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+			if in.Dst != NoReg && !used[in.Dst] && pureOps[in.Op] {
+				if in.Op == OpMove {
+					stats.CopiesDropped++
+				} else {
+					stats.DeadRemoved++
+				}
+				changed = true
+				continue
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	return changed
+}
+
+// pruneBlocks removes unreachable blocks and renumbers the rest.
+func pruneBlocks(fn *Func, stats *OptStats) bool {
+	reachable := make([]bool, len(fn.Blocks))
+	var stack []int
+	reachable[0] = true
+	stack = append(stack, 0)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range fn.Blocks[id].Succs() {
+			if !reachable[s] {
+				reachable[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	n := 0
+	remap := make([]int, len(fn.Blocks))
+	for i, r := range reachable {
+		if r {
+			remap[i] = n
+			n++
+		} else {
+			remap[i] = -1
+		}
+	}
+	if n == len(fn.Blocks) {
+		return false
+	}
+	stats.BlocksRemoved += len(fn.Blocks) - n
+	kept := fn.Blocks[:0]
+	for i, b := range fn.Blocks {
+		if !reachable[i] {
+			continue
+		}
+		b.ID = remap[i]
+		for j := range b.Instrs {
+			in := &b.Instrs[j]
+			switch in.Op {
+			case OpJump:
+				in.Blk = remap[in.Blk]
+			case OpBranch:
+				in.Blk = remap[in.Blk]
+				in.Blk2 = remap[in.Blk2]
+			}
+		}
+		kept = append(kept, b)
+	}
+	fn.Blocks = kept
+	return true
+}

@@ -1,0 +1,194 @@
+package ir
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/types"
+)
+
+// genExpr builds a random integer expression over variables a and b with
+// the given depth, using only non-faulting operators.
+func genExpr(rng *rand.Rand, depth int) string {
+	if depth == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return "a"
+		case 1:
+			return "b"
+		default:
+			return fmt.Sprintf("%d", rng.Intn(201)-100)
+		}
+	}
+	ops := []string{"+", "-", "*", "&", "|", "^"}
+	op := ops[rng.Intn(len(ops))]
+	l := genExpr(rng, depth-1)
+	r := genExpr(rng, depth-1)
+	return "(" + l + " " + op + " " + r + ")"
+}
+
+// genBoolExpr builds a random boolean expression over a and b.
+func genBoolExpr(rng *rand.Rand, depth int) string {
+	if depth == 0 {
+		cmp := []string{"<", "<=", ">", ">=", "==", "!="}
+		return "(" + genExpr(rng, 1) + " " + cmp[rng.Intn(len(cmp))] + " " + genExpr(rng, 1) + ")"
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return "(!" + genBoolExpr(rng, depth-1) + ")"
+	case 1:
+		return "(" + genBoolExpr(rng, depth-1) + " && " + genBoolExpr(rng, depth-1) + ")"
+	default:
+		return "(" + genBoolExpr(rng, depth-1) + " || " + genBoolExpr(rng, depth-1) + ")"
+	}
+}
+
+// TestQuickOptimizerEquivalence generates random programs and checks the
+// optimizer preserves their results instruction for instruction. This is
+// the optimizer's main safety net beyond the hand-written cases.
+func TestQuickOptimizerEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260706))
+	for trial := 0; trial < 60; trial++ {
+		expr := genExpr(rng, 3)
+		cond := genBoolExpr(rng, 2)
+		src := fmt.Sprintf(`class C {
+			int f(int a, int b) {
+				int acc = 0;
+				int i;
+				for (i = 0; i < 4; i++) {
+					if (%s) { acc += %s; }
+					else { acc -= %s; }
+					a = a + 1;
+				}
+				return acc;
+			}
+		}`, cond, expr, genExpr(rng, 2))
+
+		prog1, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d parse: %v\n%s", trial, err, src)
+		}
+		info1, err := types.Check(prog1)
+		if err != nil {
+			t.Fatalf("trial %d check: %v\n%s", trial, err, src)
+		}
+		plain, err := Lower(info1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog2, _ := parser.Parse(src)
+		info2, _ := types.Check(prog2)
+		opt, err := Lower(info2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Optimize(opt)
+
+		for probe := 0; probe < 5; probe++ {
+			a := int64(rng.Intn(2001) - 1000)
+			b := int64(rng.Intn(2001) - 1000)
+			r1, err1 := evalF(t, plain, a, b)
+			r2, err2 := evalF(t, opt, a, b)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("trial %d: fault behavior diverged: %v vs %v\n%s", trial, err1, err2, src)
+			}
+			if err1 == nil && r1 != r2 {
+				t.Fatalf("trial %d: f(%d,%d) = %d plain vs %d optimized\n%s", trial, a, b, r1, r2, src)
+			}
+		}
+	}
+}
+
+// evalF executes C.f(a, b) with a tiny register machine sufficient for the
+// generated programs (no heap operations besides the receiver).
+func evalF(t *testing.T, prog *Program, a, b int64) (int64, error) {
+	t.Helper()
+	fn := prog.Funcs[MethodKey("C", "f")]
+	regs := make([]int64, fn.NumRegs)
+	isBool := make([]bool, fn.NumRegs)
+	regs[1], regs[2] = a, b
+	blk := fn.Blocks[0]
+	steps := 0
+	for {
+		steps++
+		if steps > 100000 {
+			return 0, fmt.Errorf("runaway")
+		}
+		var next *Block
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			switch in.Op {
+			case OpConstInt:
+				regs[in.Dst] = in.Int
+			case OpConstBool:
+				regs[in.Dst] = 0
+				if in.B {
+					regs[in.Dst] = 1
+				}
+				isBool[in.Dst] = true
+			case OpMove:
+				regs[in.Dst] = regs[in.Args[0]]
+			case OpNeg:
+				regs[in.Dst] = -regs[in.Args[0]]
+			case OpAdd:
+				regs[in.Dst] = regs[in.Args[0]] + regs[in.Args[1]]
+			case OpSub:
+				regs[in.Dst] = regs[in.Args[0]] - regs[in.Args[1]]
+			case OpMul:
+				regs[in.Dst] = regs[in.Args[0]] * regs[in.Args[1]]
+			case OpBitAnd:
+				regs[in.Dst] = regs[in.Args[0]] & regs[in.Args[1]]
+			case OpBitOr:
+				regs[in.Dst] = regs[in.Args[0]] | regs[in.Args[1]]
+			case OpBitXor:
+				regs[in.Dst] = regs[in.Args[0]] ^ regs[in.Args[1]]
+			case OpNot:
+				regs[in.Dst] = 1 - regs[in.Args[0]]
+			case OpCmpEq:
+				regs[in.Dst] = b2i(regs[in.Args[0]] == regs[in.Args[1]])
+			case OpCmpNe:
+				regs[in.Dst] = b2i(regs[in.Args[0]] != regs[in.Args[1]])
+			case OpCmpLt:
+				regs[in.Dst] = b2i(regs[in.Args[0]] < regs[in.Args[1]])
+			case OpCmpLe:
+				regs[in.Dst] = b2i(regs[in.Args[0]] <= regs[in.Args[1]])
+			case OpCmpGt:
+				regs[in.Dst] = b2i(regs[in.Args[0]] > regs[in.Args[1]])
+			case OpCmpGe:
+				regs[in.Dst] = b2i(regs[in.Args[0]] >= regs[in.Args[1]])
+			case OpJump:
+				next = fn.Blocks[in.Blk]
+			case OpBranch:
+				if regs[in.Args[0]] != 0 {
+					next = fn.Blocks[in.Blk]
+				} else {
+					next = fn.Blocks[in.Blk2]
+				}
+			case OpRet:
+				if len(in.Args) == 1 {
+					return regs[in.Args[0]], nil
+				}
+				return 0, nil
+			default:
+				return 0, fmt.Errorf("unexpected op %s in generated program", in.Op)
+			}
+			if next != nil {
+				break
+			}
+		}
+		if next == nil {
+			return 0, fmt.Errorf("fell off block")
+		}
+		blk = next
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+

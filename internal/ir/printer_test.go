@@ -1,0 +1,119 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrinterCoversOps lowers a program touching most IR operations and
+// checks the printed form mentions each mnemonic.
+func TestPrinterCoversOps(t *testing.T) {
+	irp := lower(t, `
+class Node { Node next; int v; }
+class C {
+	flag go;
+	int[] arr;
+	double d;
+	String s;
+	int all(int a, int b, double x, String q, Node n) {
+		int m = a % b;
+		int sh = (a << 2) >> 1;
+		int bits = (a & b) | (a ^ b);
+		boolean c = !(a < b) && (x >= 2.0) || a == b;
+		double y = (double) a / x;
+		int z = (int) y;
+		String msg = "v=" + a + " d=" + x + q;
+		int[] local = new int[b + 1];
+		local[0] = local.length;
+		this.arr = local;
+		Node fresh = new Node();
+		fresh.v = z;
+		int rd = this.arr[0] + fresh.v;
+		if (c) { return m + sh + bits + rd; }
+		while (a > 0) { a--; }
+		return z;
+	}
+}
+task go(C c in go) {
+	int r = c.all(9, 4, 2.5, "q", null);
+	System.printInt(r);
+	taskexit(c: go := false);
+}`)
+	var all strings.Builder
+	for _, fn := range irp.Funcs {
+		all.WriteString(fn.String())
+	}
+	text := all.String()
+	for _, mnemonic := range []string{
+		"const.i", "const.f", "const.s", "const.null", "move",
+		"add", "sub", "div", "rem", "shl", "shr", "and", "or", "xor", "not",
+		"cmp.lt", "cmp.eq", "cmp.ge", "i2f", "f2i", "i2s", "f2s", "concat",
+		"getfield", "setfield", "arrget", "arrset", "arrlen",
+		"new ", "newarr", "call", "callb", "jump", "branch", "ret", "taskexit",
+	} {
+		if !strings.Contains(text, mnemonic) {
+			t.Errorf("printed IR missing %q", mnemonic)
+		}
+	}
+}
+
+func TestPrinterTagOps(t *testing.T) {
+	irp := lower(t, `
+class D { flag dirty; }
+class I { flag raw; }
+task start(D d in dirty) {
+	tag link = new tag(pair);
+	I im = new I(){ raw := true, add link };
+	taskexit(d: dirty := false, add link);
+}`)
+	text := irp.Funcs[TaskKey("start")].String()
+	if !strings.Contains(text, "newtag pair") {
+		t.Errorf("missing newtag in:\n%s", text)
+	}
+	if !strings.Contains(text, "raw=true") {
+		t.Errorf("missing flag init in:\n%s", text)
+	}
+	if !strings.Contains(text, "add(") {
+		t.Errorf("missing taskexit tag add in:\n%s", text)
+	}
+}
+
+func TestKeysAndOpString(t *testing.T) {
+	if MethodKey("C", "m") != "C.m" || CtorKey("C") != "C.<init>" || TaskKey("t") != "task:t" {
+		t.Error("key format changed")
+	}
+	if OpTaskExit.String() != "taskexit" {
+		t.Errorf("OpTaskExit = %q", OpTaskExit)
+	}
+	if Op(9999).String() == "" {
+		t.Error("unknown op should format")
+	}
+}
+
+func TestBlockSuccs(t *testing.T) {
+	irp := lower(t, `
+class C {
+	int f(int x) {
+		if (x > 0) { return 1; }
+		return 0;
+	}
+}`)
+	fn := irp.Funcs[MethodKey("C", "f")]
+	entry := fn.Blocks[0]
+	succs := entry.Succs()
+	if len(succs) != 2 {
+		t.Fatalf("branch successors = %v", succs)
+	}
+	var retBlocks int
+	for _, b := range fn.Blocks {
+		if term := b.Terminator(); term != nil && term.Op == OpRet {
+			retBlocks++
+			if len(b.Succs()) != 0 {
+				t.Error("return block has successors")
+			}
+		}
+	}
+	if retBlocks == 0 {
+		t.Error("no return blocks")
+	}
+}

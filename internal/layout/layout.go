@@ -1,0 +1,167 @@
+// Package layout defines the scheduling layouts that the implementation
+// synthesis search produces and the execution engines consume.
+//
+// A layout assigns each task zero or more host cores. A task hosted on
+// several cores is replicated (the data-parallelization and rate-matching
+// rules of Section 4.3.3); objects that feed it are distributed round-robin
+// or, for multi-parameter tasks whose parameters share a tag, by hashing
+// the tag instance (Section 4.3.4).
+package layout
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Layout maps every task to the cores that host an instantiation of it.
+type Layout struct {
+	// NumCores is the number of usable cores on the target (core IDs used
+	// in Assign index the machine's UsableCores slice).
+	NumCores int
+	// Assign maps task name -> sorted list of host core IDs.
+	Assign map[string][]int
+}
+
+// New returns an empty layout for n cores.
+func New(n int) *Layout {
+	return &Layout{NumCores: n, Assign: map[string][]int{}}
+}
+
+// Single places every listed task on core 0 of a single-core machine.
+func Single(tasks []string) *Layout {
+	l := New(1)
+	for _, t := range tasks {
+		l.Assign[t] = []int{0}
+	}
+	return l
+}
+
+// AllOnCore places every listed task on the given core.
+func AllOnCore(tasks []string, n, core int) *Layout {
+	l := New(n)
+	for _, t := range tasks {
+		l.Assign[t] = []int{core}
+	}
+	return l
+}
+
+// Place sets the host cores of one task (copied and sorted).
+func (l *Layout) Place(task string, cores ...int) {
+	cs := append([]int(nil), cores...)
+	sort.Ints(cs)
+	l.Assign[task] = dedup(cs)
+}
+
+// Cores returns the host cores of a task.
+func (l *Layout) Cores(task string) []int { return l.Assign[task] }
+
+// Clone returns a deep copy.
+func (l *Layout) Clone() *Layout {
+	out := New(l.NumCores)
+	for t, cs := range l.Assign {
+		out.Assign[t] = append([]int(nil), cs...)
+	}
+	return out
+}
+
+// TasksOn returns the tasks hosted on a core, sorted by name.
+func (l *Layout) TasksOn(core int) []string {
+	var out []string
+	for t, cs := range l.Assign {
+		for _, c := range cs {
+			if c == core {
+				out = append(out, t)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// UsedCores returns the sorted set of cores hosting at least one task.
+func (l *Layout) UsedCores() []int {
+	set := map[int]bool{}
+	for _, cs := range l.Assign {
+		for _, c := range cs {
+			set[c] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Key returns a canonical encoding of the layout, used to deduplicate
+// candidate layouts during the mapping search.
+func (l *Layout) Key() string {
+	tasks := make([]string, 0, len(l.Assign))
+	for t := range l.Assign {
+		tasks = append(tasks, t)
+	}
+	sort.Strings(tasks)
+	var b strings.Builder
+	for _, t := range tasks {
+		fmt.Fprintf(&b, "%s=%v;", t, l.Assign[t])
+	}
+	return b.String()
+}
+
+// CanonicalKey returns a renaming-normalized encoding: cores are renamed in
+// order of first appearance when tasks are visited in sorted name order
+// (with each task's cores sorted). Layouts the mapping search's
+// symmetry-broken enumeration produces collide exactly when they assign the
+// same structure; it is a conservative heuristic for arbitrary layouts (two
+// isomorphic layouts may occasionally receive different keys, which only
+// costs a duplicate evaluation, never a lost candidate).
+func (l *Layout) CanonicalKey() string {
+	// Rename cores in order of first appearance when iterating tasks in
+	// sorted name order.
+	tasks := make([]string, 0, len(l.Assign))
+	for t := range l.Assign {
+		tasks = append(tasks, t)
+	}
+	sort.Strings(tasks)
+	rename := map[int]int{}
+	next := 0
+	var b strings.Builder
+	for _, t := range tasks {
+		cs := append([]int(nil), l.Assign[t]...)
+		sort.Ints(cs)
+		mapped := make([]int, len(cs))
+		for i, c := range cs {
+			if _, ok := rename[c]; !ok {
+				rename[c] = next
+				next++
+			}
+			mapped[i] = rename[c]
+		}
+		sort.Ints(mapped)
+		fmt.Fprintf(&b, "%s=%v;", t, mapped)
+	}
+	return b.String()
+}
+
+// String renders the layout core by core.
+func (l *Layout) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "layout(%d cores)\n", l.NumCores)
+	for _, c := range l.UsedCores() {
+		fmt.Fprintf(&b, "  core %d: %s\n", c, strings.Join(l.TasksOn(c), ", "))
+	}
+	return b.String()
+}
+
+func dedup(sorted []int) []int {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package layout
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestPlaceSortsAndDedups(t *testing.T) {
+	l := New(8)
+	l.Place("t", 3, 1, 3, 0, 1)
+	if got := l.Cores("t"); !reflect.DeepEqual(got, []int{0, 1, 3}) {
+		t.Errorf("Cores = %v", got)
+	}
+}
+
+func TestSingleAndAllOnCore(t *testing.T) {
+	l := Single([]string{"a", "b"})
+	if l.NumCores != 1 || len(l.Cores("a")) != 1 || l.Cores("b")[0] != 0 {
+		t.Errorf("Single layout wrong: %s", l)
+	}
+	l2 := AllOnCore([]string{"a", "b"}, 4, 2)
+	if l2.Cores("a")[0] != 2 || l2.Cores("b")[0] != 2 {
+		t.Errorf("AllOnCore wrong: %s", l2)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	l := New(4)
+	l.Place("t", 0, 1)
+	c := l.Clone()
+	c.Place("t", 2)
+	if len(l.Cores("t")) != 2 {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestTasksOnAndUsedCores(t *testing.T) {
+	l := New(4)
+	l.Place("a", 0, 2)
+	l.Place("b", 2)
+	if got := l.TasksOn(2); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("TasksOn(2) = %v", got)
+	}
+	if got := l.TasksOn(1); len(got) != 0 {
+		t.Errorf("TasksOn(1) = %v", got)
+	}
+	if got := l.UsedCores(); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Errorf("UsedCores = %v", got)
+	}
+}
+
+func TestCanonicalKeyPermutationInvariance(t *testing.T) {
+	a := New(4)
+	a.Place("x", 0)
+	a.Place("y", 1, 2)
+	// Same structure with cores renamed 0->3, 1->0, 2->1.
+	b := New(4)
+	b.Place("x", 3)
+	b.Place("y", 0, 1)
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Errorf("canonical keys differ:\n%s\n%s", a.CanonicalKey(), b.CanonicalKey())
+	}
+	// Different co-location structure must differ.
+	c := New(4)
+	c.Place("x", 0)
+	c.Place("y", 0, 1) // y shares a core with x
+	if a.CanonicalKey() == c.CanonicalKey() {
+		t.Error("different structures share a canonical key")
+	}
+}
+
+func TestKeyDiffersFromCanonical(t *testing.T) {
+	a := New(4)
+	a.Place("x", 1)
+	b := New(4)
+	b.Place("x", 2)
+	if a.Key() == b.Key() {
+		t.Error("Key should distinguish concrete core IDs")
+	}
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Error("CanonicalKey should not distinguish renamed cores")
+	}
+}
+
+// Property: CanonicalKey is deterministic and stable under cloning, and
+// single-instance layouts are fully renaming-invariant.
+func TestQuickCanonicalStability(t *testing.T) {
+	f := func(shift uint8, a, b uint8) bool {
+		n := 6
+		l := New(n)
+		l.Place("t", int(a)%n)
+		l.Place("u", int(b)%n)
+		if l.CanonicalKey() != l.Clone().CanonicalKey() {
+			return false
+		}
+		// Renaming cores of single-instance tasks preserves the key as
+		// long as co-location structure is preserved.
+		s := int(shift) % n
+		rot := New(n)
+		rot.Place("t", (int(a)%n+s)%n)
+		rot.Place("u", (int(b)%n+s)%n)
+		return l.CanonicalKey() == rot.CanonicalKey()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

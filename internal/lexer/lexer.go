@@ -1,0 +1,331 @@
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Error is a lexical error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans Bamboo source text into tokens.
+type Lexer struct {
+	src  string
+	off  int // byte offset of next rune
+	line int
+	col  int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokenize scans the whole input and returns its tokens (terminated by an
+// EOF token) or the first lexical error.
+func Tokenize(src string) ([]Token, error) {
+	lx := New(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *Lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off:])
+	return r
+}
+
+func (l *Lexer) peek2() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	_, w := utf8.DecodeRuneInString(l.src[l.off:])
+	if l.off+w >= len(l.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off+w:])
+	return r
+}
+
+func (l *Lexer) advance() rune {
+	r, w := utf8.DecodeRuneInString(l.src[l.off:])
+	l.off += w
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) errorf(p Pos, format string, args ...any) error {
+	return &Error{Pos: p, Msg: fmt.Sprintf(format, args...)}
+}
+
+// skipSpaceAndComments consumes whitespace, // line comments, and /* */
+// block comments.
+func (l *Lexer) skipSpaceAndComments() error {
+	for {
+		r := l.peek()
+		switch {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			l.advance()
+		case r == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			for {
+				if l.off >= len(l.src) {
+					return l.errorf(start, "unterminated block comment")
+				}
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// Next returns the next token in the input.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	p := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: p}, nil
+	}
+	r := l.peek()
+	switch {
+	case isIdentStart(r):
+		start := l.off
+		for l.off < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: p}, nil
+		}
+		return Token{Kind: Ident, Text: text, Pos: p}, nil
+	case unicode.IsDigit(r):
+		return l.number(p)
+	case r == '"':
+		return l.stringLit(p)
+	case r == '\'':
+		return l.charLit(p)
+	}
+	l.advance()
+	two := func(next rune, withKind, withoutKind Kind) (Token, error) {
+		if l.peek() == next {
+			l.advance()
+			return Token{Kind: withKind, Text: string(r) + string(next), Pos: p}, nil
+		}
+		return Token{Kind: withoutKind, Text: string(r), Pos: p}, nil
+	}
+	switch r {
+	case '(':
+		return Token{Kind: LParen, Text: "(", Pos: p}, nil
+	case ')':
+		return Token{Kind: RParen, Text: ")", Pos: p}, nil
+	case '{':
+		return Token{Kind: LBrace, Text: "{", Pos: p}, nil
+	case '}':
+		return Token{Kind: RBrace, Text: "}", Pos: p}, nil
+	case '[':
+		return Token{Kind: LBracket, Text: "[", Pos: p}, nil
+	case ']':
+		return Token{Kind: RBracket, Text: "]", Pos: p}, nil
+	case ';':
+		return Token{Kind: Semi, Text: ";", Pos: p}, nil
+	case ',':
+		return Token{Kind: Comma, Text: ",", Pos: p}, nil
+	case '.':
+		return Token{Kind: Dot, Text: ".", Pos: p}, nil
+	case ':':
+		return two('=', Walrus, Colon)
+	case '=':
+		return two('=', EqEq, Assign)
+	case '+':
+		return two('+', PlusPlus, Plus)
+	case '-':
+		return two('-', MinusMinus, Minus)
+	case '*':
+		return Token{Kind: Star, Text: "*", Pos: p}, nil
+	case '/':
+		return Token{Kind: Slash, Text: "/", Pos: p}, nil
+	case '%':
+		return Token{Kind: Percent, Text: "%", Pos: p}, nil
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			return Token{Kind: LShift, Text: "<<", Pos: p}, nil
+		}
+		return two('=', Le, Lt)
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			return Token{Kind: RShift, Text: ">>", Pos: p}, nil
+		}
+		return two('=', Ge, Gt)
+	case '!':
+		return two('=', NotEq, Not)
+	case '&':
+		return two('&', AndAnd, Amp)
+	case '|':
+		return two('|', OrOr, Pipe)
+	case '^':
+		return Token{Kind: Caret, Text: "^", Pos: p}, nil
+	}
+	return Token{}, l.errorf(p, "unexpected character %q", r)
+}
+
+func (l *Lexer) number(p Pos) (Token, error) {
+	start := l.off
+	for l.off < len(l.src) && unicode.IsDigit(l.peek()) {
+		l.advance()
+	}
+	isFloat := false
+	if l.peek() == '.' && unicode.IsDigit(l.peek2()) {
+		isFloat = true
+		l.advance()
+		for l.off < len(l.src) && unicode.IsDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if r := l.peek(); r == 'e' || r == 'E' {
+		// Exponent part: e[+-]?digits.
+		save := *l
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if unicode.IsDigit(l.peek()) {
+			isFloat = true
+			for l.off < len(l.src) && unicode.IsDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			*l = save // not an exponent; restore (e.g. "3e" identifier follows)
+		}
+	}
+	text := l.src[start:l.off]
+	if isFloat {
+		return Token{Kind: FloatLit, Text: text, Pos: p}, nil
+	}
+	return Token{Kind: IntLit, Text: text, Pos: p}, nil
+}
+
+func (l *Lexer) stringLit(p Pos) (Token, error) {
+	l.advance() // consume opening quote
+	var b strings.Builder
+	for {
+		if l.off >= len(l.src) {
+			return Token{}, l.errorf(p, "unterminated string literal")
+		}
+		r := l.advance()
+		switch r {
+		case '"':
+			return Token{Kind: StringLit, Text: b.String(), Pos: p}, nil
+		case '\n':
+			return Token{}, l.errorf(p, "newline in string literal")
+		case '\\':
+			if l.off >= len(l.src) {
+				return Token{}, l.errorf(p, "unterminated string literal")
+			}
+			esc := l.advance()
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case '\'':
+				b.WriteByte('\'')
+			case '0':
+				b.WriteByte(0)
+			default:
+				return Token{}, l.errorf(p, "unknown escape \\%c in string literal", esc)
+			}
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+func (l *Lexer) charLit(p Pos) (Token, error) {
+	l.advance() // consume opening quote
+	if l.off >= len(l.src) {
+		return Token{}, l.errorf(p, "unterminated character literal")
+	}
+	r := l.advance()
+	if r == '\\' {
+		esc := l.advance()
+		switch esc {
+		case 'n':
+			r = '\n'
+		case 't':
+			r = '\t'
+		case 'r':
+			r = '\r'
+		case '\\':
+			r = '\\'
+		case '\'':
+			r = '\''
+		case '"':
+			r = '"'
+		case '0':
+			r = 0
+		default:
+			return Token{}, l.errorf(p, "unknown escape \\%c in character literal", esc)
+		}
+	}
+	if l.peek() != '\'' {
+		return Token{}, l.errorf(p, "unterminated character literal")
+	}
+	l.advance()
+	return Token{Kind: CharLit, Text: string(r), Pos: p}, nil
+}

@@ -1,0 +1,247 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func kinds(t *testing.T, src string) []Kind {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	out := make([]Kind, 0, len(toks))
+	for _, tk := range toks {
+		out = append(out, tk.Kind)
+	}
+	return out
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	got := kinds(t, "class Text flag process task startup taskexit in with and or add clear tag")
+	want := []Kind{KwClass, Ident, KwFlag, Ident, KwTask, Ident, KwTaskExit, KwIn, KwWith, KwAnd, KwOr, KwAdd, KwClear, KwTag, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Kind
+	}{
+		{":=", Walrus}, {":", Colon}, {"==", EqEq}, {"=", Assign},
+		{"<=", Le}, {">=", Ge}, {"<", Lt}, {">", Gt}, {"!=", NotEq}, {"!", Not},
+		{"&&", AndAnd}, {"||", OrOr}, {"&", Amp}, {"|", Pipe},
+		{"++", PlusPlus}, {"--", MinusMinus}, {"<<", LShift}, {">>", RShift},
+		{"+", Plus}, {"-", Minus}, {"*", Star}, {"/", Slash}, {"%", Percent}, {"^", Caret},
+	}
+	for _, c := range cases {
+		got := kinds(t, c.src)
+		if got[0] != c.want {
+			t.Errorf("lex %q = %v, want %v", c.src, got[0], c.want)
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind Kind
+		text string
+	}{
+		{"0", IntLit, "0"},
+		{"42", IntLit, "42"},
+		{"3.14", FloatLit, "3.14"},
+		{"1e9", FloatLit, "1e9"},
+		{"2.5e-3", FloatLit, "2.5e-3"},
+		{"1E+6", FloatLit, "1E+6"},
+	}
+	for _, c := range cases {
+		toks, err := Tokenize(c.src)
+		if err != nil {
+			t.Fatalf("Tokenize(%q): %v", c.src, err)
+		}
+		if toks[0].Kind != c.kind || toks[0].Text != c.text {
+			t.Errorf("lex %q = (%v, %q), want (%v, %q)", c.src, toks[0].Kind, toks[0].Text, c.kind, c.text)
+		}
+	}
+}
+
+func TestIntDotMethodNotFloat(t *testing.T) {
+	// "p.morePartitions()" style after an int: "3.foo" must lex as 3 . foo,
+	// since a digit must follow the dot for a float literal.
+	got := kinds(t, "3.foo")
+	want := []Kind{IntLit, Dot, Ident, EOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lex 3.foo = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStringLiteral(t *testing.T) {
+	toks, err := Tokenize(`"hello\nworld \"quoted\""`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != StringLit {
+		t.Fatalf("kind = %v, want StringLit", toks[0].Kind)
+	}
+	if want := "hello\nworld \"quoted\""; toks[0].Text != want {
+		t.Errorf("text = %q, want %q", toks[0].Text, want)
+	}
+}
+
+func TestCharLiteral(t *testing.T) {
+	toks, err := Tokenize(`'a' '\n' '\''`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != CharLit || toks[0].Text != "a" {
+		t.Errorf("tok0 = %v %q", toks[0].Kind, toks[0].Text)
+	}
+	if toks[1].Text != "\n" {
+		t.Errorf("tok1 = %q, want newline", toks[1].Text)
+	}
+	if toks[2].Text != "'" {
+		t.Errorf("tok2 = %q, want quote", toks[2].Text)
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+// line comment
+class /* block
+comment */ Foo
+`
+	got := kinds(t, src)
+	want := []Kind{KwClass, Ident, EOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Tokenize("class\n  Foo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("class pos = %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("Foo pos = %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		`"unterminated`,
+		"/* unterminated",
+		"'x",
+		"@",
+		`"bad \q escape"`,
+	}
+	for _, src := range cases {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q): expected error, got none", src)
+		}
+	}
+}
+
+func TestTaskDeclarationSnippet(t *testing.T) {
+	src := `task startup(StartupObject s in initialstate) {
+		Text tp = new Text(section){ process := true };
+		taskexit(s: initialstate := false);
+	}`
+	got := kinds(t, src)
+	want := []Kind{
+		KwTask, Ident, LParen, Ident, Ident, KwIn, Ident, RParen, LBrace,
+		Ident, Ident, Assign, KwNew, Ident, LParen, Ident, RParen, LBrace, Ident, Walrus, KwTrue, RBrace, Semi,
+		KwTaskExit, LParen, Ident, Colon, Ident, Walrus, KwFalse, RParen, Semi,
+		RBrace, EOF,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestQuickIdentifiersRoundTrip property: any identifier-shaped string that
+// is not a keyword lexes to exactly one Ident token with the same text.
+func TestQuickIdentifiersRoundTrip(t *testing.T) {
+	f := func(raw string) bool {
+		// Sanitize raw into an identifier candidate.
+		var b strings.Builder
+		b.WriteByte('v')
+		for _, r := range raw {
+			if isIdentPart(r) {
+				b.WriteRune(r)
+			}
+		}
+		id := b.String()
+		if _, isKw := keywords[id]; isKw {
+			return true
+		}
+		toks, err := Tokenize(id)
+		if err != nil {
+			return false
+		}
+		return len(toks) == 2 && toks[0].Kind == Ident && toks[0].Text == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickIntLiterals property: any non-negative int literal round-trips.
+func TestQuickIntLiterals(t *testing.T) {
+	f := func(n uint32) bool {
+		src := intToString(uint64(n))
+		toks, err := Tokenize(src)
+		if err != nil {
+			return false
+		}
+		return len(toks) == 2 && toks[0].Kind == IntLit && toks[0].Text == src
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func intToString(n uint64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestKindString(t *testing.T) {
+	if KwTaskExit.String() != "taskexit" {
+		t.Errorf("KwTaskExit.String() = %q", KwTaskExit.String())
+	}
+	if Kind(9999).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}

@@ -1,0 +1,17 @@
+package schedsim_test
+
+import "repro/internal/profile"
+
+// fakeSpinProfile fabricates a profile for the non-terminating spin
+// program: startup allocates one Spin{on} and exits once; spin always takes
+// exit 0 keeping the flag set.
+func fakeSpinProfile() *profile.Profile {
+	p := profile.New()
+	p.Record("startup", 0, 500, map[profile.AllocKey]int64{
+		{Class: "Spin", StateKey: "f1"}: 1,
+	})
+	for i := 0; i < 10; i++ {
+		p.Record("spin", 0, 200, nil)
+	}
+	return p
+}

@@ -1,0 +1,725 @@
+// Package schedsim implements the paper's high-level scheduling simulator
+// (Section 4.4).
+//
+// The simulator estimates how long a candidate layout will take to execute
+// WITHOUT running the application: task bodies are replaced by a Markov
+// model built from profile data. For each simulated invocation the
+// simulator picks the taskexit whose post-hoc frequency stays closest to
+// the profiled exit probabilities (deterministic count matching), charges
+// the profiled mean execution time for that exit, and materializes the
+// profiled mean number of new objects (with deterministic fractional
+// accumulators). Everything else — parameter sets, lock-or-skip dispatch,
+// round-robin and tag-hash routing, network latencies, runtime overheads —
+// mirrors the real execution engine so that estimation error comes only
+// from the model, not from protocol differences.
+//
+// The directed simulated annealing search (internal/anneal) evaluates
+// thousands of candidate layouts with this simulator; the Figure 9
+// experiment quantifies its accuracy against the real engine.
+package schedsim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/depend"
+	"repro/internal/disjoint"
+	"repro/internal/ir"
+	"repro/internal/layout"
+	"repro/internal/machine"
+	"repro/internal/profile"
+	"repro/internal/types"
+)
+
+// Options configures a simulation.
+type Options struct {
+	Machine *machine.Machine
+	Layout  *layout.Layout
+	Prof    *profile.Profile
+	// PerObjectCounts lists tasks whose exit-count matching is maintained
+	// per parameter object rather than per task (the developer hints of
+	// Section 4.4). Tasks that walk an object through a state machine with
+	// data-dependent exits usually need this.
+	PerObjectCounts map[string]bool
+	// MaxInvocations bounds the simulation; when exceeded the simulation
+	// reports a utilization estimate instead of a completion time.
+	MaxInvocations int64
+	// Trace, when non-nil, records the simulated schedule for critical
+	// path analysis.
+	Trace *Trace
+}
+
+// Result is a simulation outcome.
+type Result struct {
+	// Terminated reports whether the simulated application quiesced.
+	Terminated bool
+	// TotalCycles is the estimated execution time (valid when Terminated).
+	TotalCycles int64
+	// Utilization is the fraction of core cycles spent executing tasks
+	// (reported when the simulation hits MaxInvocations).
+	Utilization float64
+	Invocations int64
+}
+
+// Trace is the simulated schedule.
+type Trace struct {
+	Events []Event
+}
+
+// Event is one simulated task invocation.
+type Event struct {
+	Index int
+	Task  string
+	Core  int
+	Start int64
+	End   int64
+	Exit  int
+	// Deps records, per parameter, when the object arrived at this core
+	// and which event produced it (-1 for the environment).
+	Deps []Dep
+}
+
+// Dep is one parameter object dependence of a simulated invocation.
+type Dep struct {
+	Obj      int64
+	Arrival  int64
+	Producer int
+}
+
+// simObject is an abstract object: class + abstract state, no fields.
+type simObject struct {
+	id       int64
+	class    *types.Class
+	state    depend.State
+	tagGroup int64 // objects allocated together share a group (tag routing)
+	producer int   // event index that created/last transitioned it
+	locked   bool
+}
+
+type arrival struct {
+	obj  *simObject
+	time int64
+	seq  int64
+}
+
+type hostedTask struct {
+	task      *types.Task
+	fn        *ir.Func
+	paramSets [][]arrival
+	inSet     []map[*simObject]bool
+}
+
+func newHostedTask(fn *ir.Func) *hostedTask {
+	n := len(fn.Task.Params)
+	ht := &hostedTask{task: fn.Task, fn: fn, paramSets: make([][]arrival, n), inSet: make([]map[*simObject]bool, n)}
+	for i := range ht.inSet {
+		ht.inSet[i] = map[*simObject]bool{}
+	}
+	return ht
+}
+
+type score struct {
+	id int
+	core int
+	freeAt int64
+	busy int64
+	tasks []*hostedTask
+	phys  int
+}
+
+type event struct {
+	time int64
+	seq  int64
+	kind int // 0 arrive, 1 attempt, 2 complete
+	core int
+
+	ht    *hostedTask
+	param int
+	obj   *simObject
+	fifo  int64 // preserved arrival sequence (0 = assign at push)
+
+	inv   *simInvocation
+	start int64
+}
+
+type simInvocation struct {
+	ht       *hostedTask
+	objs     []*simObject
+	deps     []Dep
+	readySeq int64
+	objSeqs  []int64
+	exit     int
+	dur      int64
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	e := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return e
+}
+
+// Simulator estimates layout performance from profile data.
+type Simulator struct {
+	prog  *ir.Program
+	dep   *depend.Result
+	locks *disjoint.Result
+}
+
+// New builds a simulator over the compiled program and analyses.
+func New(prog *ir.Program, dep *depend.Result, locks *disjoint.Result) *Simulator {
+	return &Simulator{prog: prog, dep: dep, locks: locks}
+}
+
+type simState struct {
+	sim  *Simulator
+	opts Options
+
+	cores   []*score
+	events  eventHeap
+	seq     int64
+	nextID  int64
+	nextTag int64
+	nInv    int64
+	lastEnd int64
+	nEvents int
+
+	// Exit count matching state.
+	taskTotals map[string]int64
+	exitCounts map[string][]int64          // per task
+	objTotals  map[objTaskKey]int64        // per (object, task)
+	objCounts  map[objTaskKey][]int64
+	// Fractional allocation accumulators per (task, exit, alloc key).
+	allocAcc map[string]float64
+
+	rr       map[string]int
+	destRing map[string][]int
+}
+
+type objTaskKey struct {
+	obj  int64
+	task string
+}
+
+// Run simulates the layout and returns the estimate.
+func (s *Simulator) Run(opts Options) (*Result, error) {
+	if opts.Machine == nil || opts.Layout == nil || opts.Prof == nil {
+		return nil, fmt.Errorf("schedsim: Machine, Layout, and Prof are required")
+	}
+	if opts.MaxInvocations == 0 {
+		opts.MaxInvocations = 2_000_000
+	}
+	usable := opts.Machine.UsableCores()
+	if opts.Layout.NumCores > len(usable) {
+		return nil, fmt.Errorf("schedsim: layout needs %d cores, machine has %d usable", opts.Layout.NumCores, len(usable))
+	}
+	st := &simState{
+		sim:        s,
+		opts:       opts,
+		taskTotals: map[string]int64{},
+		exitCounts: map[string][]int64{},
+		objTotals:  map[objTaskKey]int64{},
+		objCounts:  map[objTaskKey][]int64{},
+		allocAcc:   map[string]float64{},
+		rr:         map[string]int{},
+		destRing:   map[string][]int{},
+	}
+	st.cores = make([]*score, opts.Layout.NumCores)
+	for i := range st.cores {
+		st.cores[i] = &score{id: i, phys: usable[i]}
+	}
+	taskNames := make([]string, 0, len(s.prog.Tasks))
+	for _, fn := range s.prog.Tasks {
+		taskNames = append(taskNames, fn.Task.Name)
+	}
+	sort.Strings(taskNames)
+	for _, name := range taskNames {
+		fn := s.prog.Funcs[ir.TaskKey(name)]
+		for _, c := range opts.Layout.Cores(name) {
+			if c < 0 || c >= len(st.cores) {
+				return nil, fmt.Errorf("schedsim: task %s on core %d outside layout", name, c)
+			}
+			st.cores[c].tasks = append(st.cores[c].tasks, newHostedTask(fn))
+		}
+	}
+
+	// Inject the startup object.
+	startCl := s.prog.Info.Classes[types.StartupClass]
+	startState := depend.NewState(1 << uint(startCl.FlagIndex[types.StartupFlag]))
+	so := &simObject{id: st.id(), class: startCl, state: startState, producer: -1}
+	st.route(so, -1, 0, 0)
+
+	for st.events.Len() > 0 {
+		ev := heap.Pop(&st.events).(*event)
+		switch ev.kind {
+		case 0:
+			st.onArrive(ev)
+		case 1:
+			st.onAttempt(ev)
+		case 2:
+			st.onComplete(ev)
+		}
+		if st.nInv > opts.MaxInvocations {
+			// Report utilization instead of completion time.
+			var busy int64
+			for _, c := range st.cores {
+				busy += c.busy
+			}
+			util := float64(busy) / float64(st.lastEnd*int64(len(st.cores))+1)
+			return &Result{Terminated: false, Utilization: util, Invocations: st.nInv}, nil
+		}
+	}
+	return &Result{Terminated: true, TotalCycles: st.lastEnd, Invocations: st.nInv}, nil
+}
+
+func (st *simState) id() int64 {
+	st.nextID++
+	return st.nextID
+}
+
+func (st *simState) push(ev *event) {
+	ev.seq = st.seq
+	st.seq++
+	if ev.kind == 0 && ev.fifo == 0 {
+		ev.fifo = ev.seq
+	}
+	heap.Push(&st.events, ev)
+}
+
+func (st *simState) onArrive(ev *event) {
+	p := ev.ht.task.Params[ev.param]
+	if !ev.obj.state.SatisfiesParam(p) {
+		return
+	}
+	if ev.ht.inSet[ev.param][ev.obj] {
+		return
+	}
+	ev.ht.inSet[ev.param][ev.obj] = true
+	ev.ht.paramSets[ev.param] = append(ev.ht.paramSets[ev.param], arrival{obj: ev.obj, time: ev.time, seq: ev.fifo})
+	c := st.cores[ev.core]
+	at := ev.time
+	if c.freeAt > at {
+		at = c.freeAt
+	}
+	st.push(&event{time: at, kind: 1, core: ev.core})
+}
+
+func (st *simState) onAttempt(ev *event) {
+	c := st.cores[ev.core]
+	if c.freeAt > ev.time {
+		return
+	}
+	inv := st.findInvocation(c)
+	if inv == nil {
+		return
+	}
+	for _, o := range inv.objs {
+		o.locked = true
+	}
+	// Choose the exit by count matching and charge the profiled time.
+	inv.exit = st.chooseExit(inv)
+	mean := st.opts.Prof.MeanCycles(inv.ht.task.Name, inv.exit)
+	nGroups := len(st.sim.locks.LockGroups[inv.ht.task.Name])
+	m := st.opts.Machine
+	// Heterogeneous machines: scale by the hosting tile's slowdown, as the
+	// execution engine does (Section 4.6).
+	inv.dur = m.ScaleCycles(c.phys, m.DispatchCycles+m.LockCycles*int64(nGroups)+int64(mean+0.5))
+	c.freeAt = ev.time + inv.dur
+	c.busy += inv.dur
+	st.push(&event{time: c.freeAt, kind: 2, core: ev.core, inv: inv, start: ev.time})
+}
+
+// chooseExit picks the destination exit by matching the simulated exit
+// pattern against the profile (Section 4.4's count matching): each exit
+// tracks the invocation at which it was last taken, and becomes due once
+// the invocations since then reach its profiled mean inter-occurrence gap.
+// Among due exits the most overdue (rarest on ties) wins; when no rare
+// exit is due, the most probable exit is taken. Counter-driven exits —
+// "every Nth invocation completes the round" — replay exactly, which bare
+// probability matching cannot do.
+func (st *simState) chooseExit(inv *simInvocation) int {
+	task := inv.ht.task.Name
+	nExits := inv.ht.fn.NumExits
+	perObject := st.opts.PerObjectCounts[task]
+
+	var total int64
+	var lastTaken []int64
+	if perObject {
+		key := objTaskKey{obj: inv.objs[0].id, task: task}
+		total = st.objTotals[key]
+		lastTaken = st.objCounts[key]
+		if lastTaken == nil {
+			lastTaken = make([]int64, nExits)
+			st.objCounts[key] = lastTaken
+		}
+	} else {
+		total = st.taskTotals[task]
+		lastTaken = st.exitCounts[task]
+		if lastTaken == nil {
+			lastTaken = make([]int64, nExits)
+			st.exitCounts[task] = lastTaken
+		}
+	}
+	thisInv := total + 1 // 1-based index of this invocation
+	best := -1
+	bestOverdue, bestGap := 0.0, 0.0
+	fallback := -1
+	var fallbackProb float64
+	for e := 0; e < nExits; e++ {
+		p := st.opts.Prof.ExitProb(task, e)
+		if p == 0 {
+			continue
+		}
+		gap := st.opts.Prof.ExitGap(task, e)
+		if gap <= 0 {
+			gap = 1 / p
+		}
+		overdue := float64(thisInv-lastTaken[e]) - gap
+		if overdue >= 0 {
+			if best < 0 || overdue > bestOverdue || (overdue == bestOverdue && gap > bestGap) {
+				best, bestOverdue, bestGap = e, overdue, gap
+			}
+		}
+		if fallback < 0 || p > fallbackProb {
+			fallback, fallbackProb = e, p
+		}
+	}
+	if best < 0 {
+		best = fallback
+	}
+	if best < 0 {
+		// Task never profiled: take the implicit last exit.
+		return nExits - 1
+	}
+	lastTaken[best] = thisInv
+	if perObject {
+		st.objTotals[objTaskKey{obj: inv.objs[0].id, task: task}] = thisInv
+	} else {
+		st.taskTotals[task] = thisInv
+	}
+	return best
+}
+
+func (st *simState) onComplete(ev *event) {
+	inv := ev.inv
+	st.nInv++
+	if ev.time > st.lastEnd {
+		st.lastEnd = ev.time
+	}
+	evIdx := st.nEvents
+	st.nEvents++
+	if st.opts.Trace != nil {
+		st.opts.Trace.Events = append(st.opts.Trace.Events, Event{
+			Index: evIdx, Task: inv.ht.task.Name, Core: ev.core,
+			Start: ev.start, End: ev.time, Exit: inv.exit, Deps: inv.deps,
+		})
+	}
+	// Apply the chosen exit's flag/tag effects to the parameter objects,
+	// remembering which parameters the exit left unchanged.
+	taskFn := inv.ht.fn
+	unchanged := make([]bool, len(inv.objs))
+	for i, obj := range inv.objs {
+		before := obj.state.Key()
+		next, ok := depend.ExitEffect(obj.state, taskFn, i, inv.exit)
+		if ok {
+			obj.state = next
+		}
+		unchanged[i] = obj.state.Key() == before
+		obj.locked = false
+		obj.producer = evIdx
+	}
+	c := st.cores[ev.core]
+	// Materialize profiled allocations with deterministic accumulators.
+	var sendCost int64
+	means := st.opts.Prof.MeanAllocs(inv.ht.task.Name, inv.exit)
+	if len(means) > 0 {
+		keys := make([]profile.AllocKey, 0, len(means))
+		for k := range means {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+		tagGroup := int64(0)
+		for _, k := range keys {
+			accKey := fmt.Sprintf("%s|%d|%s", inv.ht.task.Name, inv.exit, k.String())
+			st.allocAcc[accKey] += means[k]
+			for st.allocAcc[accKey] >= 1 {
+				st.allocAcc[accKey]--
+				state, ok := st.stateFor(k)
+				if !ok {
+					continue
+				}
+				obj := &simObject{id: st.id(), class: st.sim.prog.Info.Classes[k.Class], state: state, producer: evIdx}
+				// Objects allocated by the same invocation into tagged
+				// states share a tag group (approximating shared tags).
+				if len(state.Tags) > 0 {
+					if tagGroup == 0 {
+						st.nextTag++
+						tagGroup = st.nextTag
+					}
+					obj.tagGroup = tagGroup
+				}
+				sendCost += st.route(obj, ev.core, ev.time, 0)
+			}
+		}
+	}
+	for i, obj := range inv.objs {
+		fifo := int64(0)
+		if unchanged[i] {
+			fifo = inv.objSeqs[i]
+		}
+		sendCost += st.route(obj, ev.core, ev.time, fifo)
+	}
+	if sendCost > 0 {
+		c.freeAt += sendCost
+		c.busy += sendCost
+		if c.freeAt > st.lastEnd {
+			st.lastEnd = c.freeAt
+		}
+	}
+	st.push(&event{time: c.freeAt, kind: 1, core: c.id})
+	for _, other := range st.cores {
+		if other == c {
+			continue
+		}
+		pending := false
+		for _, ht := range other.tasks {
+			for _, s := range ht.paramSets {
+				if len(s) > 0 {
+					pending = true
+				}
+			}
+		}
+		if pending {
+			at := ev.time
+			if other.freeAt > at {
+				at = other.freeAt
+			}
+			st.push(&event{time: at, kind: 1, core: other.id})
+		}
+	}
+}
+
+// stateFor resolves a profiled allocation key back to an abstract state via
+// the dependence analysis's ASTG.
+func (st *simState) stateFor(k profile.AllocKey) (depend.State, bool) {
+	g := st.sim.dep.Graphs[k.Class]
+	if g == nil {
+		return depend.State{}, false
+	}
+	n := g.Nodes[k.StateKey]
+	if n == nil {
+		return depend.State{}, false
+	}
+	return n.State.Clone(), true
+}
+
+// findInvocation assembles a candidate per hosted task and returns the one
+// that became ready first (mirroring the execution engine's oldest-ready
+// dispatch).
+func (st *simState) findInvocation(c *score) *simInvocation {
+	var best *simInvocation
+	var bestHT *hostedTask
+	for _, ht := range c.tasks {
+		inv := st.peek(ht)
+		if inv == nil {
+			continue
+		}
+		if best == nil || inv.readySeq < best.readySeq {
+			best, bestHT = inv, ht
+		}
+	}
+	if best != nil {
+		st.consumeInvocation(bestHT, best)
+	}
+	return best
+}
+
+// peek matches the engine's backtracking assembly over abstract objects
+// (guards on states, tag guards approximated by shared tag groups) without
+// consuming the chosen objects.
+func (st *simState) peek(ht *hostedTask) *simInvocation {
+	// Prune stale entries.
+	for pi := range ht.paramSets {
+		p := ht.task.Params[pi]
+		kept := ht.paramSets[pi][:0]
+		for _, a := range ht.paramSets[pi] {
+			if a.obj.state.SatisfiesParam(p) {
+				kept = append(kept, a)
+			} else {
+				delete(ht.inSet[pi], a.obj)
+			}
+		}
+		ht.paramSets[pi] = kept
+	}
+	objs := make([]*simObject, len(ht.task.Params))
+	deps := make([]Dep, len(ht.task.Params))
+	var rec func(pi int, tagGroup int64) bool
+	rec = func(pi int, tagGroup int64) bool {
+		if pi == len(ht.task.Params) {
+			return true
+		}
+		p := ht.task.Params[pi]
+		needsTag := len(p.Tags) > 0
+		for _, a := range ht.paramSets[pi] {
+			if a.obj.locked {
+				continue
+			}
+			dup := false
+			for i := 0; i < pi; i++ {
+				if objs[i] == a.obj {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			next := tagGroup
+			if needsTag {
+				if a.obj.tagGroup == 0 {
+					continue
+				}
+				if tagGroup != 0 && a.obj.tagGroup != tagGroup {
+					continue
+				}
+				next = a.obj.tagGroup
+			}
+			objs[pi] = a.obj
+			deps[pi] = Dep{Obj: a.obj.id, Arrival: a.time, Producer: a.obj.producer}
+			if rec(pi+1, next) {
+				return true
+			}
+		}
+		return false
+	}
+	if !rec(0, 0) {
+		return nil
+	}
+	inv := &simInvocation{ht: ht, objs: objs, deps: deps, objSeqs: make([]int64, len(objs))}
+	for i := range objs {
+		for _, a := range ht.paramSets[i] {
+			if a.obj == objs[i] {
+				inv.objSeqs[i] = a.seq
+				if a.seq > inv.readySeq {
+					inv.readySeq = a.seq
+				}
+			}
+		}
+	}
+	return inv
+}
+
+// consumeInvocation removes the invocation's objects from the parameter
+// sets.
+func (st *simState) consumeInvocation(ht *hostedTask, inv *simInvocation) {
+	for i, o := range inv.objs {
+		delete(ht.inSet[i], o)
+		for j, a := range ht.paramSets[i] {
+			if a.obj == o {
+				ht.paramSets[i] = append(ht.paramSets[i][:j], ht.paramSets[i][j+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// route mirrors the engine's routing over abstract objects; fifo != 0
+// preserves an earlier arrival sequence.
+func (st *simState) route(obj *simObject, fromCore int, t int64, fifo int64) int64 {
+	consumers := st.sim.dep.Consumers(obj.class, obj.state)
+	var cost int64
+	for _, pr := range consumers {
+		cs := st.opts.Layout.Cores(pr.Task.Name)
+		if len(cs) == 0 {
+			continue
+		}
+		var dst int
+		switch {
+		case len(cs) == 1:
+			dst = cs[0]
+		default:
+			if obj.tagGroup != 0 && len(pr.Task.Params) > 1 {
+				dst = cs[int(obj.tagGroup)%len(cs)]
+			} else {
+				ring := st.ring(pr.Task.Name, cs)
+				key := fmt.Sprintf("%d|%s", fromCore, pr.Task.Name)
+				start := fromCore
+				if start < 0 {
+					start = 0
+				}
+				dst = ring[(st.rr[key]+start)%len(ring)]
+				st.rr[key]++
+			}
+		}
+		var latency int64
+		if fromCore >= 0 {
+			words := 2 + len(obj.class.Fields)
+			latency = st.opts.Machine.MsgCycles(st.cores[fromCore].phys, st.cores[dst].phys, words)
+			cost += st.opts.Machine.EnqueueCycles
+		}
+		var target *hostedTask
+		for _, ht := range st.cores[dst].tasks {
+			if ht.task.Name == pr.Task.Name {
+				target = ht
+				break
+			}
+		}
+		if target == nil {
+			continue
+		}
+		st.push(&event{time: t + latency, kind: 0, core: dst, ht: target, param: pr.Param, obj: obj, fifo: fifo})
+	}
+	return cost
+}
+
+// ring mirrors the execution engine's speed-weighted round-robin
+// destination list (see bamboort.Engine.ring).
+func (st *simState) ring(task string, cores []int) []int {
+	if r, ok := st.destRing[task]; ok {
+		return r
+	}
+	m := st.opts.Machine
+	maxSlow := 1.0
+	for _, c := range cores {
+		if s := m.SlowdownOf(st.cores[c].phys); s > maxSlow {
+			maxSlow = s
+		}
+	}
+	weights := make([]int, len(cores))
+	for i, c := range cores {
+		w := int(maxSlow/m.SlowdownOf(st.cores[c].phys) + 0.5)
+		if w < 1 {
+			w = 1
+		}
+		weights[i] = w
+	}
+	var ring []int
+	for {
+		added := false
+		for i, c := range cores {
+			if weights[i] > 0 {
+				weights[i]--
+				ring = append(ring, c)
+				added = true
+			}
+		}
+		if !added {
+			break
+		}
+	}
+	st.destRing[task] = ring
+	return ring
+}
+

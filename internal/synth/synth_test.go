@@ -1,0 +1,233 @@
+package synth_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+const keywordSrc = `
+class Text {
+	flag process;
+	flag submit;
+	int id;
+	int result;
+	Text(int id) { this.id = id; }
+	void work() {
+		int i;
+		int acc = 0;
+		for (i = 0; i < 2000; i++) { acc = (acc + id * 31 + i) % 65536; }
+		result = acc;
+	}
+}
+class Results {
+	flag finished;
+	int total;
+	int remaining;
+	Results(int n) { remaining = n; }
+	boolean merge(Text tp) {
+		total = (total + tp.result) % 65536;
+		remaining--;
+		return remaining == 0;
+	}
+}
+task startup(StartupObject s in initialstate) {
+	int n = s.args[0].length();
+	int i;
+	for (i = 0; i < n; i++) { Text tp = new Text(i){ process := true }; }
+	Results rp = new Results(n){ finished := false };
+	taskexit(s: initialstate := false);
+}
+task processText(Text tp in process) {
+	tp.work();
+	taskexit(tp: process := false, submit := true);
+}
+task mergeResult(Results rp in !finished, Text tp in submit) {
+	boolean done = rp.merge(tp);
+	if (done) {
+		taskexit(rp: finished := true; tp: submit := false);
+	}
+	taskexit(tp: submit := false);
+}
+`
+
+func nArg(n int) []string { return []string{strings.Repeat("x", n)} }
+
+func buildSynth(t *testing.T, maxCores int) (*core.System, *synth.Synthesis) {
+	t.Helper()
+	sys, err := core.CompileSource(keywordSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _, err := sys.Profile(nArg(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, synth.Build(sys.CSTG(prof), maxCores)
+}
+
+func TestCoreGroups(t *testing.T) {
+	_, syn := buildSynth(t, 4)
+	if len(syn.Groups) != 3 {
+		t.Fatalf("groups = %d, want 3 (startup, processText, mergeResult)", len(syn.Groups))
+	}
+	pt := syn.GroupOf("processText")
+	if pt == nil || len(pt.Tasks) != 1 {
+		t.Fatalf("processText group = %+v", pt)
+	}
+	// Data parallelization: startup allocates 16 Texts per invocation, so
+	// processText may be replicated up to the core count.
+	if pt.MaxReplicas < 4 {
+		t.Errorf("processText MaxReplicas = %d, want >= 4", pt.MaxReplicas)
+	}
+	// mergeResult has two parameters without a common tag: irreplicable.
+	mr := syn.GroupOf("mergeResult")
+	if mr.MaxReplicas != 1 {
+		t.Errorf("mergeResult MaxReplicas = %d, want 1", mr.MaxReplicas)
+	}
+}
+
+func TestCandidatesExhaustive(t *testing.T) {
+	_, syn := buildSynth(t, 4)
+	cands := syn.Candidates(synth.EnumOptions{NumCores: 4})
+	if len(cands) < 10 {
+		t.Fatalf("exhaustive candidates = %d, want a rich space", len(cands))
+	}
+	// All candidates place every task, no duplicates.
+	seen := map[string]bool{}
+	for _, lay := range cands {
+		for _, task := range []string{"startup", "processText", "mergeResult"} {
+			if len(lay.Cores(task)) == 0 {
+				t.Fatalf("candidate misses task %s: %s", task, lay)
+			}
+		}
+		if len(lay.Cores("mergeResult")) != 1 {
+			t.Errorf("mergeResult replicated: %s", lay)
+		}
+		key := lay.CanonicalKey()
+		if seen[key] {
+			t.Errorf("duplicate candidate %s", key)
+		}
+		seen[key] = true
+	}
+	// Figure 4's layout shape must be in the space: processText on all 4
+	// cores, startup and mergeResult together.
+	found := false
+	for _, lay := range cands {
+		if len(lay.Cores("processText")) == 4 &&
+			len(lay.Cores("startup")) == 1 &&
+			lay.Cores("startup")[0] == lay.Cores("mergeResult")[0] {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("Figure 4 style layout missing from candidate space")
+	}
+}
+
+func TestRandomSkipSampling(t *testing.T) {
+	_, syn := buildSynth(t, 4)
+	all := syn.Candidates(synth.EnumOptions{NumCores: 4})
+	rng := rand.New(rand.NewSource(42))
+	sampled := syn.Candidates(synth.EnumOptions{NumCores: 4, SkipProb: 0.7, Rng: rng})
+	if len(sampled) == 0 {
+		t.Fatal("sampling returned nothing")
+	}
+	if len(sampled) >= len(all) {
+		t.Errorf("sampling (%d) did not skip anything of %d", len(sampled), len(all))
+	}
+	// Deterministic under the same seed.
+	rng2 := rand.New(rand.NewSource(42))
+	sampled2 := syn.Candidates(synth.EnumOptions{NumCores: 4, SkipProb: 0.7, Rng: rng2})
+	if len(sampled) != len(sampled2) {
+		t.Errorf("sampling not deterministic: %d vs %d", len(sampled), len(sampled2))
+	}
+}
+
+func TestCandidateCapRespected(t *testing.T) {
+	_, syn := buildSynth(t, 4)
+	cands := syn.Candidates(synth.EnumOptions{NumCores: 4, MaxCandidates: 5})
+	if len(cands) != 5 {
+		t.Errorf("capped candidates = %d, want 5", len(cands))
+	}
+}
+
+func TestFlowSCCs(t *testing.T) {
+	// KMeans-shaped iteration: assign -> collect -> relaunch -> assign is a
+	// flow cycle and must form one SCC.
+	src := `
+class W { flag fresh; flag compute; flag submitted; flag idle; int v; }
+class Co { flag collecting; flag broadcasting; flag finished; int left; int launched; int rounds;
+	Co(int n) { left = n; }
+}
+task startup(StartupObject s in initialstate) {
+	int i;
+	for (i = 0; i < 4; i++) { W w = new W(){ compute := true }; }
+	Co c = new Co(4){ collecting := true };
+	taskexit(s: initialstate := false);
+}
+task assign(W w in compute) { w.v++; taskexit(w: compute := false, submitted := true); }
+task collect(Co c in collecting, W w in submitted) {
+	c.left--;
+	if (c.left == 0) {
+		c.left = 4;
+		c.rounds++;
+		if (c.rounds < 3) {
+			taskexit(c: collecting := false, broadcasting := true; w: submitted := false, idle := true);
+		}
+		taskexit(c: collecting := false, finished := true; w: submitted := false, idle := true);
+	}
+	taskexit(w: submitted := false, idle := true);
+}
+task relaunch(Co c in broadcasting, W w in idle) {
+	c.launched++;
+	if (c.launched == 4) {
+		c.launched = 0;
+		taskexit(c: broadcasting := false, collecting := true; w: idle := false, compute := true);
+	}
+	taskexit(w: idle := false, compute := true);
+}`
+	sys, err := core.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _, err := sys.Profile(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn := synth.Build(sys.CSTG(prof), 4)
+	sccs := syn.FlowSCCs()
+	var cycle []string
+	for _, comp := range sccs {
+		if len(comp) > 1 {
+			cycle = comp
+		}
+	}
+	want := []string{"assign", "collect", "relaunch"}
+	if len(cycle) != 3 || cycle[0] != want[0] || cycle[1] != want[1] || cycle[2] != want[2] {
+		t.Errorf("flow SCC = %v, want %v (sccs: %v)", cycle, want, sccs)
+	}
+	// assign is replicable despite sitting in the cycle (population bound).
+	if got := syn.GroupOf("assign").MaxReplicas; got < 4 {
+		t.Errorf("assign MaxReplicas = %d, want >= 4", got)
+	}
+}
+
+func TestRandomCandidatesFallback(t *testing.T) {
+	_, syn := buildSynth(t, 2)
+	rng := rand.New(rand.NewSource(7))
+	got := syn.RandomCandidates(2, 1000, rng)
+	if len(got) == 0 {
+		t.Fatal("no candidates")
+	}
+	// Small space: fallback should return everything available even though
+	// 1000 were requested.
+	all := syn.Candidates(synth.EnumOptions{NumCores: 2})
+	if len(got) < len(all)/2 {
+		t.Errorf("fallback returned %d of %d", len(got), len(all))
+	}
+}

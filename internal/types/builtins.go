@@ -1,0 +1,170 @@
+package types
+
+import (
+	"repro/internal/ast"
+	"repro/internal/lexer"
+)
+
+// builtinSig describes one builtin function's parameter and result types.
+type builtinSig struct {
+	params []*ast.Type
+	ret    *ast.Type
+}
+
+// mathBuiltins are the static methods of the builtin Math namespace.
+// minI/maxI/absI are the int-typed variants selected by argument types.
+var mathBuiltins = map[string]builtinSig{
+	"sin":   {[]*ast.Type{TypeDouble}, TypeDouble},
+	"cos":   {[]*ast.Type{TypeDouble}, TypeDouble},
+	"tan":   {[]*ast.Type{TypeDouble}, TypeDouble},
+	"asin":  {[]*ast.Type{TypeDouble}, TypeDouble},
+	"acos":  {[]*ast.Type{TypeDouble}, TypeDouble},
+	"atan":  {[]*ast.Type{TypeDouble}, TypeDouble},
+	"atan2": {[]*ast.Type{TypeDouble, TypeDouble}, TypeDouble},
+	"sqrt":  {[]*ast.Type{TypeDouble}, TypeDouble},
+	"exp":   {[]*ast.Type{TypeDouble}, TypeDouble},
+	"log":   {[]*ast.Type{TypeDouble}, TypeDouble},
+	"pow":   {[]*ast.Type{TypeDouble, TypeDouble}, TypeDouble},
+	"floor": {[]*ast.Type{TypeDouble}, TypeDouble},
+	"ceil":  {[]*ast.Type{TypeDouble}, TypeDouble},
+}
+
+// systemBuiltins are the static methods of the builtin System namespace.
+// Output is captured by the interpreter's output buffer.
+var systemBuiltins = map[string]builtinSig{
+	"printString": {[]*ast.Type{TypeString}, TypeVoid},
+	"printInt":    {[]*ast.Type{TypeInt}, TypeVoid},
+	"printDouble": {[]*ast.Type{TypeDouble}, TypeVoid},
+	"println":     {nil, TypeVoid},
+}
+
+// stringBuiltins are the instance methods of String values.
+var stringBuiltins = map[string]builtinSig{
+	"length":    {nil, TypeInt},
+	"charAt":    {[]*ast.Type{TypeInt}, TypeInt},
+	"equals":    {[]*ast.Type{TypeString}, TypeBoolean},
+	"substring": {[]*ast.Type{TypeInt, TypeInt}, TypeString},
+	"indexOf":   {[]*ast.Type{TypeString}, TypeInt},
+	"hashCode":  {nil, TypeInt},
+}
+
+// checkCall resolves and type-checks a call expression: a builtin namespace
+// call (Math.*, System.*), a String method, a user method on an explicit
+// receiver, or an unqualified call on the implicit this.
+func (c *checker) checkCall(e *ast.Call) (*ast.Type, error) {
+	// Namespace builtins: the receiver is an identifier that does not
+	// resolve to any variable and names Math or System.
+	if id, ok := e.Recv.(*ast.Ident); ok && c.lookup(id.Name) == nil {
+		switch id.Name {
+		case "Math":
+			// abs/min/max are polymorphic over int and double: the result
+			// is int when every argument is int, double otherwise.
+			switch e.Name {
+			case "abs", "min", "max":
+				return c.checkPolyMath(e, id.P)
+			}
+			return c.checkBuiltinCall(e, "Math", mathBuiltins, id.P)
+		case "System":
+			return c.checkBuiltinCall(e, "System", systemBuiltins, id.P)
+		}
+	}
+	var recvType *ast.Type
+	if e.Recv == nil {
+		if c.curClass == nil {
+			return nil, errf(e.P, "unqualified call %q outside method body", e.Name)
+		}
+		recvType = &ast.Type{Kind: ast.TClass, Name: c.curClass.Name}
+	} else {
+		t, err := c.checkExpr(e.Recv)
+		if err != nil {
+			return nil, err
+		}
+		recvType = t
+	}
+	if recvType.Kind == ast.TString {
+		return c.checkBuiltinCall(e, "String", stringBuiltins, e.P)
+	}
+	if recvType.Kind != ast.TClass {
+		return nil, errf(e.P, "method call on non-object type %s", typeName(recvType))
+	}
+	cl := c.info.Classes[recvType.Name]
+	m, ok := cl.Methods[e.Name]
+	if !ok {
+		return nil, errf(e.P, "class %q has no method %q", cl.Name, e.Name)
+	}
+	argTypes, err := c.checkArgExprs(e.Args)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.checkArgs(m, e.Args, argTypes, e.P); err != nil {
+		return nil, err
+	}
+	c.info.Calls[e] = &CallTarget{Kind: CallMethod, Method: m}
+	return c.setType(e, m.Ret)
+}
+
+// checkPolyMath handles Math.abs/min/max, which accept int or double
+// operands and return int only when every operand is int.
+func (c *checker) checkPolyMath(e *ast.Call, pos lexer.Pos) (*ast.Type, error) {
+	wantArgs := 2
+	if e.Name == "abs" {
+		wantArgs = 1
+	}
+	argTypes, err := c.checkArgExprs(e.Args)
+	if err != nil {
+		return nil, err
+	}
+	if len(argTypes) != wantArgs {
+		return nil, errf(pos, "Math.%s expects %d arguments, got %d", e.Name, wantArgs, len(argTypes))
+	}
+	allInt := true
+	for i, t := range argTypes {
+		if !isNumeric(t) {
+			return nil, errf(e.Args[i].Pos(), "Math.%s argument %d must be numeric, got %s", e.Name, i+1, typeName(t))
+		}
+		if t.Kind != ast.TInt {
+			allInt = false
+		}
+	}
+	suffix := "F"
+	ret := TypeDouble
+	if allInt {
+		suffix = "I"
+		ret = TypeInt
+	}
+	c.info.Calls[e] = &CallTarget{Kind: CallBuiltin, Builtin: "Math." + e.Name + suffix}
+	return c.setType(e, ret)
+}
+
+func (c *checker) checkArgExprs(args []ast.Expr) ([]*ast.Type, error) {
+	var out []*ast.Type
+	for _, a := range args {
+		t, err := c.checkExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func (c *checker) checkBuiltinCall(e *ast.Call, ns string, table map[string]builtinSig, pos lexer.Pos) (*ast.Type, error) {
+	sig, ok := table[e.Name]
+	if !ok {
+		return nil, errf(pos, "%s has no builtin %q", ns, e.Name)
+	}
+	argTypes, err := c.checkArgExprs(e.Args)
+	if err != nil {
+		return nil, err
+	}
+	if len(argTypes) != len(sig.params) {
+		return nil, errf(pos, "%s.%s expects %d arguments, got %d", ns, e.Name, len(sig.params), len(argTypes))
+	}
+	for i, want := range sig.params {
+		if !c.assignable(want, argTypes[i]) {
+			return nil, errf(e.Args[i].Pos(), "%s.%s argument %d: cannot pass %s as %s", ns, e.Name, i+1, typeName(argTypes[i]), want)
+		}
+	}
+	c.info.Calls[e] = &CallTarget{Kind: CallBuiltin, Builtin: ns + "." + e.Name}
+	return c.setType(e, sig.ret)
+}

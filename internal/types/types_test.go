@@ -1,0 +1,369 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+func check(t *testing.T, src string) *Info {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	info, err := Check(prog)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return info
+}
+
+func checkErr(t *testing.T, src, wantSubstr string) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	_, err = Check(prog)
+	if err == nil {
+		t.Fatalf("Check: expected error containing %q, got none", wantSubstr)
+	}
+	if !strings.Contains(err.Error(), wantSubstr) {
+		t.Fatalf("Check error = %q, want substring %q", err, wantSubstr)
+	}
+}
+
+const goodSrc = `
+class Text {
+	flag process;
+	flag submit;
+	int id;
+	int count;
+	Text(int id) { this.id = id; }
+	void work() { count = count + 1; }
+}
+class Results {
+	flag finished;
+	int total;
+	int remaining;
+	Results(int n) { remaining = n; }
+	boolean merge(Text tp) {
+		total = total + tp.count;
+		remaining = remaining - 1;
+		return remaining == 0;
+	}
+}
+task startup(StartupObject s in initialstate) {
+	int i;
+	for (i = 0; i < 4; i++) {
+		Text tp = new Text(i){ process := true };
+	}
+	Results rp = new Results(4){ finished := false };
+	taskexit(s: initialstate := false);
+}
+task processText(Text tp in process) {
+	tp.work();
+	taskexit(tp: process := false, submit := true);
+}
+task merge(Results rp in !finished, Text tp in submit) {
+	boolean done = rp.merge(tp);
+	if (done) {
+		taskexit(rp: finished := true; tp: submit := false);
+	}
+	taskexit(tp: submit := false);
+}
+`
+
+func TestCheckGoodProgram(t *testing.T) {
+	info := check(t, goodSrc)
+	if len(info.Tasks) != 3 {
+		t.Fatalf("tasks = %d", len(info.Tasks))
+	}
+	// StartupObject is synthesized.
+	so, ok := info.Classes[StartupClass]
+	if !ok {
+		t.Fatal("StartupObject not synthesized")
+	}
+	if !so.HasFlag(StartupFlag) {
+		t.Error("StartupObject missing initialstate flag")
+	}
+	if so.FieldByName["args"] == nil {
+		t.Error("StartupObject missing args field")
+	}
+	text := info.Classes["Text"]
+	if got := text.FlagIndex["submit"]; got != 1 {
+		t.Errorf("submit flag index = %d, want 1", got)
+	}
+	if text.Ctor == nil {
+		t.Error("Text constructor missing")
+	}
+	// Task params are resolved to classes.
+	mt := info.TaskByName["merge"]
+	if mt.Params[0].Class.Name != "Results" || mt.Params[1].Class.Name != "Text" {
+		t.Errorf("merge param classes = %s, %s", mt.Params[0].Class.Name, mt.Params[1].Class.Name)
+	}
+}
+
+func TestCheckPolymorphicMath(t *testing.T) {
+	info := check(t, `
+class C {
+	int f(int x) { return Math.abs(x) + Math.min(x, 3) + Math.max(x, 7); }
+	double g(double x) { return Math.abs(x) + Math.min(x, 3.0) + Math.max(0.5, x); }
+}`)
+	cl := info.Classes["C"]
+	fRet := cl.Methods["f"].Decl.Body.Stmts[0].(*ast.Return)
+	if ty := info.ExprTypes[fRet.Value]; ty.Kind != ast.TInt {
+		t.Errorf("int Math.abs chain type = %s, want int", ty)
+	}
+	gRet := cl.Methods["g"].Decl.Body.Stmts[0].(*ast.Return)
+	if ty := info.ExprTypes[gRet.Value]; ty.Kind != ast.TDouble {
+		t.Errorf("double Math.abs chain type = %s, want double", ty)
+	}
+}
+
+func TestCheckBuiltins(t *testing.T) {
+	info := check(t, `
+class C {
+	double f(double x) {
+		System.printDouble(x);
+		System.printString("hi");
+		System.println();
+		return Math.sin(x) + Math.pow(x, 2.0);
+	}
+	int g(String s) { return s.length() + s.charAt(0) + s.hashCode(); }
+	boolean h(String a, String b) { return a.equals(b); }
+}`)
+	nCalls := 0
+	for _, tgt := range info.Calls {
+		if tgt.Kind == CallBuiltin {
+			nCalls++
+		}
+	}
+	if nCalls < 8 {
+		t.Errorf("builtin call targets = %d, want >= 8", nCalls)
+	}
+}
+
+func TestCheckNumericPromotion(t *testing.T) {
+	info := check(t, `
+class C {
+	double f(int i, double d) { return i + d; }
+	double g(int i) { double x = i; return x; }
+	int h(double d) { return (int) d; }
+}`)
+	cl := info.Classes["C"]
+	f := cl.Methods["f"]
+	ret := f.Decl.Body.Stmts[0].(*ast.Return)
+	if ty := info.ExprTypes[ret.Value]; ty.Kind != ast.TDouble {
+		t.Errorf("i + d type = %s, want double", ty)
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"unknown class param", `task t(Foo f in a) {}`, "unknown class"},
+		{"unknown flag in guard", `class C { flag a; } task t(C c in b) { taskexit(c: a := false); }`, "no flag"},
+		{"primitive task param", `class C { flag a; } task t(int x in a) {}`, "class type"},
+		{"zero params", `task t() {}`, "at least one"},
+		{"taskexit unknown param", `class C { flag a; } task t(C c in a) { taskexit(x: a := false); }`, "not a parameter"},
+		{"taskexit unknown flag", `class C { flag a; } task t(C c in a) { taskexit(c: b := false); }`, "no flag"},
+		{"return in task", `class C { flag a; } task t(C c in a) { return; }`, "not allowed in a task"},
+		{"taskexit in method", `class C { flag a; void m() { taskexit(); } }`, "outside task"},
+		{"dup class", `class C {} class C {}`, "duplicate class"},
+		{"dup flag", `class C { flag a; flag a; }`, "duplicate flag"},
+		{"dup field", `class C { int x; int x; }`, "duplicate field"},
+		{"dup method", `class C { void m() {} void m() {} }`, "duplicate method"},
+		{"dup task", `class C { flag a; } task t(C c in a) {} task t(C c in a) {}`, "duplicate task"},
+		{"undefined var", `class C { int m() { return y; } }`, "undefined identifier"},
+		{"bad arg count", `class C { int m(int x) { return m(); } }`, "expects 1 arguments"},
+		{"bad arg type", `class C { int m(int x) { return m(true); } }`, "cannot pass"},
+		{"assign double to int", `class C { void m() { int x = 1.5; } }`, "cannot initialize"},
+		{"bad condition", `class C { void m() { if (1) {} } }`, "must be boolean"},
+		{"mod on double", `class C { int m() { return 1.0 % 2; } }`, "requires int operands"},
+		{"call on primitive", `class C { void m() { int x = 0; x.foo(); } }`, "non-object"},
+		{"no method", `class C { void m(C o) { o.foo(); } }`, "no method"},
+		{"no field", `class C { int m(C o) { return o.x; } }`, "no field"},
+		{"break outside loop", `class C { void m() { break; } }`, "outside loop"},
+		{"string + bool", `class C { String m(String s) { return s + true; } }`, "invalid string concatenation"},
+		{"new unknown flag", `class C { } task t(StartupObject s in initialstate) { C c = new C(){ zap := true }; taskexit(s: initialstate := false); }`, "no flag"},
+		{"tag action unknown var", `class C { flag a; } task t(C c in a) { taskexit(c: add q); }`, "not a tag variable"},
+		{"unknown builtin", `class C { void m() { Math.frobnicate(1.0); } }`, "no builtin"},
+		{"shadow in same scope", `class C { void m() { int x; int x; } }`, "duplicate declaration"},
+		{"compare bool int", `class C { boolean m() { return true == 1; } }`, "cannot compare"},
+		{"index non-array", `class C { int m() { int x = 0; return x[0]; } }`, "indexing non-array"},
+		{"non-int index", `class C { int m(int[] a) { return a[1.5]; } }`, "index must be int"},
+		{"void return value", `class C { void m() { return 1; } }`, "void method"},
+		{"missing return value", `class C { int m() { return; } }`, "must return"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { checkErr(t, c.src, c.want) })
+	}
+}
+
+func TestCheckFlagLimit(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("class C {\n")
+	for i := 0; i < 65; i++ {
+		fmt.Fprintf(&b, "flag f%d;\n", i)
+	}
+	b.WriteString("}\n")
+	checkErr(t, b.String(), "more than 64 flags")
+}
+
+func TestCheckTags(t *testing.T) {
+	info := check(t, `
+class Drawing { flag dirty; }
+class Image { flag uncompressed; flag compressed; }
+task startsave(Drawing d in dirty) {
+	tag link = new tag(savepair);
+	Image im = new Image(){ uncompressed := true, add link };
+	taskexit(d: dirty := false, add link);
+}
+task compress(Image im in uncompressed) {
+	taskexit(im: uncompressed := false, compressed := true);
+}
+task finishsave(Drawing d in !dirty with savepair t, Image im in compressed with savepair t) {
+	taskexit(d: clear t; im: compressed := false, clear t);
+}`)
+	if len(info.TagTypes) != 1 || info.TagTypes[0] != "savepair" {
+		t.Errorf("tag types = %v", info.TagTypes)
+	}
+	if got := info.TagVarTypes["startsave.link"]; got != "savepair" {
+		t.Errorf("startsave.link tag type = %q", got)
+	}
+	if got := info.TagVarTypes["finishsave.t"]; got != "savepair" {
+		t.Errorf("finishsave.t tag type = %q", got)
+	}
+}
+
+func TestCheckTagTypeConflict(t *testing.T) {
+	checkErr(t, `
+class A { flag f; }
+task t(A x in f with ty1 q, A y in f with ty2 q) { taskexit(x: f := false); }
+`, "conflicting tag types")
+}
+
+func TestCheckArrayLength(t *testing.T) {
+	info := check(t, `
+class C {
+	int sum(int[] a) {
+		int s = 0;
+		int i;
+		for (i = 0; i < a.length; i++) { s += a[i]; }
+		return s;
+	}
+}`)
+	_ = info
+}
+
+func TestCheckStartupArgsField(t *testing.T) {
+	check(t, `
+class Worker { flag ready; }
+task startup(StartupObject s in initialstate) {
+	String first = s.args[0];
+	int n = s.args.length;
+	taskexit(s: initialstate := false);
+}`)
+}
+
+func TestCheckNullComparisons(t *testing.T) {
+	check(t, `
+class Node { Node next; int v; }
+class C {
+	int count(Node head) {
+		int n = 0;
+		Node cur = head;
+		while (cur != null) { n++; cur = cur.next; }
+		return n;
+	}
+}`)
+}
+
+func TestCheckMethodTagParams(t *testing.T) {
+	// Methods can declare tag parameters and receive tag instances
+	// (Section 3), and use them to tag allocations.
+	check(t, `
+class Img { flag fresh; }
+class Factory {
+	flag go;
+	void make(tag t) {
+		Img im = new Img(){ fresh := true, add t };
+	}
+}
+task run(Factory f in go) {
+	tag link = new tag(batch);
+	f.make(tag link);
+	taskexit(f: go := false);
+}`)
+	// Passing a non-tag where a tag is expected is rejected.
+	checkErr(t, `
+class Factory {
+	flag go;
+	void make(tag t) { }
+}
+task run(Factory f in go) {
+	f.make(1);
+	taskexit(f: go := false);
+}`, "must be a tag")
+	// Passing a tag where an int is expected is rejected.
+	checkErr(t, `
+class Factory {
+	flag go;
+	void make(int x) { }
+}
+task run(Factory f in go) {
+	tag link = new tag(batch);
+	f.make(tag link);
+	taskexit(f: go := false);
+}`, "not a tag parameter")
+}
+
+func TestCheckMoreStatementErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"while cond", `class C { void m() { while (1) {} } }`, "must be boolean"},
+		{"for cond", `class C { void m() { int i; for (i = 0; i; i++) {} } }`, "must be boolean"},
+		{"compound non-numeric", `class C { void m(String s) { s += "x"; } }`, "numeric operands"},
+		{"compound int target double value", `class C { void m() { int x = 1; x += 1.5; } }`, "double operand"},
+		{"unary minus bool", `class C { boolean m() { return -true; } }`, "numeric operand"},
+		{"not on int", `class C { boolean m() { return !3; } }`, "boolean operand"},
+		{"cast non numeric", `class C { int m(String s) { return (int) s; } }`, "numeric operand"},
+		{"assign to call", `class C { int g() { return 1; } void m() { g() = 2; } }`, "invalid assignment target"},
+		{"ctor arg count", `class P { P(int x) {} } class C { void m() { P p = new P(); } }`, "expects 1 arguments"},
+		{"no ctor with args", `class P { } class C { void m() { P p = new P(3); } }`, "no constructor"},
+		{"array length type", `class C { void m() { int[] a = new int[1.5]; } }`, "must be int"},
+		{"string concat object", `class P {} class C { String m(P p) { return "x" + p; } }`, "invalid string concatenation"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { checkErr(t, c.src, c.want) })
+	}
+}
+
+func TestCheckIdentResolution(t *testing.T) {
+	info := check(t, `
+class C {
+	int fld;
+	int m(int p) {
+		int loc = p + fld;
+		return loc;
+	}
+}`)
+	var fieldRefs, localRefs int
+	for _, ref := range info.Idents {
+		switch ref.Kind {
+		case VarField:
+			fieldRefs++
+		case VarLocal:
+			localRefs++
+		}
+	}
+	if fieldRefs != 1 {
+		t.Errorf("field refs = %d, want 1", fieldRefs)
+	}
+	if localRefs != 2 { // p and loc uses
+		t.Errorf("local refs = %d, want 2", localRefs)
+	}
+}
