@@ -26,22 +26,23 @@ func main() {
 	dsaRuns := flag.Int("dsa-runs", 60, "DSA starting points for fig10 (paper: 1000)")
 	fig10Cores := flag.Int("fig10-cores", 16, "cores for the fig10 study")
 	maxExhaustive := flag.Int("max-exhaustive", 6000, "cap on enumerated layouts for fig10")
+	workers := flag.Int("workers", 0, "worker goroutines for preparation and the fig10 study (0 = all CPUs); results are identical for any value")
 	flag.Parse()
 
-	if err := run(*exp, *seed, *dsaRuns, *fig10Cores, *maxExhaustive); err != nil {
+	if err := run(*exp, *seed, *dsaRuns, *fig10Cores, *maxExhaustive, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "bamboo-expt:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, seed int64, dsaRuns, fig10Cores, maxExhaustive int) error {
+func run(exp string, seed int64, dsaRuns, fig10Cores, maxExhaustive, workers int) error {
 	cores := machine.TilePro64().NumUsable()
 	needPrep := exp == "all" || exp == "fig7" || exp == "fig9" || exp == "fig11" || exp == "dsatime"
 	var prepared []*expt.Prepared
 	if needPrep {
 		fmt.Fprintf(os.Stderr, "preparing benchmarks (compile, profile, synthesize for %d cores)...\n", cores)
 		var err error
-		prepared, err = expt.PrepareAll(seed)
+		prepared, err = expt.PrepareAll(seed, workers)
 		if err != nil {
 			return err
 		}
@@ -64,7 +65,7 @@ func run(exp string, seed int64, dsaRuns, fig10Cores, maxExhaustive int) error {
 		fmt.Fprintf(os.Stderr, "running fig10 study (%d cores, %d DSA runs per benchmark)...\n", fig10Cores, dsaRuns)
 		results, err := expt.Fig10(expt.Fig10Options{
 			Cores: fig10Cores, DSARuns: dsaRuns, MaxExhaustive: maxExhaustive,
-			Seed: seed, SkipTracking: true,
+			Seed: seed, SkipTracking: true, Workers: workers,
 		})
 		if err != nil {
 			return err

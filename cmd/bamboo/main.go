@@ -101,7 +101,7 @@ func splitArgs(s string) []string {
 }
 
 // prepare compiles, profiles, and (for multicore runs) synthesizes.
-func prepare(src string, args []string, cores int, seed int64) (*core.System, *layout.Layout, *machine.Machine, error) {
+func prepare(src string, args []string, cores int, seed int64, workers int) (*core.System, *layout.Layout, *machine.Machine, error) {
 	sys, err := core.CompileSource(src)
 	if err != nil {
 		return nil, nil, nil, err
@@ -114,11 +114,18 @@ func prepare(src string, args []string, cores int, seed int64) (*core.System, *l
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	res, err := sys.Synthesize(core.SynthesizeConfig{Machine: m, Prof: prof, Seed: seed})
+	res, err := sys.Synthesize(core.SynthesizeConfig{Machine: m, Prof: prof, Seed: seed, Workers: workers})
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	return sys, res.Layout, m, nil
+}
+
+// workersFlag registers the shared -workers knob: how many goroutines the
+// synthesis search may use for candidate evaluation (0 = all CPUs). The
+// synthesized layout is identical for any value.
+func workersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0, "synthesis worker goroutines (0 = all CPUs); result is seed-deterministic for any value")
 }
 
 func cmdRun(argv []string) error {
@@ -129,6 +136,7 @@ func cmdRun(argv []string) error {
 	cores := fs.Int("cores", 1, "number of cores (1 = single-core Bamboo)")
 	seed := fs.Int64("seed", 1, "synthesis search seed")
 	seq := fs.Bool("seq", false, "run the zero-overhead sequential baseline")
+	workers := workersFlag(fs)
 	fs.Parse(argv)
 	src, defaults, err := loadSource(*file, *name)
 	if err != nil {
@@ -150,7 +158,7 @@ func cmdRun(argv []string) error {
 		fmt.Printf("-- sequential: %d cycles, %d invocations\n", res.TotalCycles, res.Invocations)
 		return nil
 	}
-	sys, lay, m, err := prepare(src, args, *cores, *seed)
+	sys, lay, m, err := prepare(src, args, *cores, *seed, *workers)
 	if err != nil {
 		return err
 	}
@@ -205,6 +213,7 @@ func cmdSynthesize(argv []string) error {
 	argStr := fs.String("args", "", "comma-separated StartupObject args")
 	cores := fs.Int("cores", 62, "number of cores")
 	seed := fs.Int64("seed", 1, "synthesis search seed")
+	workers := workersFlag(fs)
 	fs.Parse(argv)
 	src, defaults, err := loadSource(*file, *name)
 	if err != nil {
@@ -223,7 +232,7 @@ func cmdSynthesize(argv []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := sys.Synthesize(core.SynthesizeConfig{Machine: m, Prof: prof, Seed: *seed})
+	res, err := sys.Synthesize(core.SynthesizeConfig{Machine: m, Prof: prof, Seed: *seed, Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -287,6 +296,7 @@ func cmdViz(argv []string) error {
 	argStr := fs.String("args", "", "comma-separated StartupObject args")
 	cores := fs.Int("cores", 4, "cores for trace/layout rendering")
 	seed := fs.Int64("seed", 1, "synthesis seed for trace/layout")
+	workers := workersFlag(fs)
 	fs.Parse(argv)
 	src, defaults, err := loadSource(*file, *name)
 	if err != nil {
@@ -314,7 +324,7 @@ func cmdViz(argv []string) error {
 		}
 		fmt.Print(sys.CSTG(prof).TaskFlowGraph().DOT())
 	case "layout": // Figure 4
-		_, lay, _, err := prepare(src, args, *cores, *seed)
+		_, lay, _, err := prepare(src, args, *cores, *seed, *workers)
 		if err != nil {
 			return err
 		}
@@ -325,7 +335,7 @@ func cmdViz(argv []string) error {
 			return err
 		}
 		m := machine.TilePro64().WithCores(*cores)
-		res, err := sys.Synthesize(core.SynthesizeConfig{Machine: m, Prof: prof, Seed: *seed})
+		res, err := sys.Synthesize(core.SynthesizeConfig{Machine: m, Prof: prof, Seed: *seed, Workers: *workers})
 		if err != nil {
 			return err
 		}
@@ -347,6 +357,7 @@ func cmdBench(argv []string) error {
 	name := fs.String("name", "", "embedded benchmark name")
 	cores := fs.Int("cores", 62, "number of cores")
 	seed := fs.Int64("seed", 1, "synthesis seed")
+	workers := workersFlag(fs)
 	fs.Parse(argv)
 	if *name == "" {
 		return fmt.Errorf("-name is required")
@@ -368,7 +379,7 @@ func cmdBench(argv []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := sys.Synthesize(core.SynthesizeConfig{Machine: m, Prof: prof, Seed: *seed, PerObjectCounts: b.Hints})
+	res, err := sys.Synthesize(core.SynthesizeConfig{Machine: m, Prof: prof, Seed: *seed, Workers: *workers, PerObjectCounts: b.Hints})
 	if err != nil {
 		return err
 	}

@@ -15,6 +15,15 @@
 // consumer) are moved away. When an iteration fails to improve the best
 // layout the search continues with high probability (it may merely sit in
 // a local maximum) and stops after repeated failures.
+//
+// The search is organized as generate-then-evaluate batches so the
+// expensive simulator evaluations can fan out across a worker pool
+// (Options.Workers) without perturbing the result: every stochastic
+// decision — seed layouts, pruning, neighbor selection, the continue
+// draw — is made on the coordinator goroutine from the single Rng before
+// a batch is dispatched, and batch results merge back in submission
+// order. Best, History, and Evaluations are therefore bit-identical for
+// any worker count, a property the determinism regression test pins down.
 package anneal
 
 import (
@@ -27,6 +36,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/layout"
 	"repro/internal/machine"
+	"repro/internal/pool"
 	"repro/internal/profile"
 	"repro/internal/schedsim"
 	"repro/internal/synth"
@@ -57,6 +67,11 @@ type Options struct {
 	// NeighborsPerLayout bounds generated neighbors per survivor
 	// (default 8).
 	NeighborsPerLayout int
+	// Workers bounds the goroutines evaluating candidate layouts
+	// concurrently (<= 0 selects runtime.GOMAXPROCS(0)). The outcome is
+	// identical for every worker count: all randomness stays on the
+	// coordinator and batch results merge in submission order.
+	Workers int
 }
 
 // Outcome reports the search result.
@@ -103,40 +118,25 @@ func Optimize(sim *schedsim.Simulator, syn *synth.Synthesis, opts Options) (*Out
 	}
 
 	out := &Outcome{}
-	evaluate := func(lay *layout.Layout) (*candidate, error) {
-		tr := &schedsim.Trace{}
-		res, err := sim.Run(schedsim.Options{
-			Machine:         opts.Machine,
-			Layout:          lay,
-			Prof:            opts.Prof,
-			PerObjectCounts: opts.PerObjectCounts,
-			Trace:           tr,
-		})
-		if err != nil {
-			return nil, err
-		}
-		out.Evaluations++
-		cycles := res.TotalCycles
-		if !res.Terminated {
-			// Rank non-terminating estimates by inverse utilization.
-			cycles = int64(float64(1<<40) * (1.0 - res.Utilization))
-		}
-		return &candidate{lay: lay, cycles: cycles, trace: tr}, nil
-	}
+	eval := newEvaluator(sim, opts)
 
+	// Draw the seed layouts up front (coordinator Rng), then evaluate the
+	// whole batch concurrently.
 	seedLayouts := syn.RandomCandidates(opts.NumCores, opts.Seeds, opts.Rng)
 	if len(seedLayouts) == 0 {
 		return nil, fmt.Errorf("anneal: no candidate layouts")
 	}
-	var pop []*candidate
 	seen := map[string]bool{}
 	for _, lay := range seedLayouts {
 		seen[lay.CanonicalKey()] = true
-		c, err := evaluate(lay)
-		if err != nil {
-			return nil, err
+	}
+	var pop []*candidate
+	for _, r := range eval.batch(seedLayouts) {
+		if r.err != nil {
+			return nil, r.err
 		}
-		pop = append(pop, c)
+		out.Evaluations++
+		pop = append(pop, r.cand)
 	}
 
 	best := pop[0]
@@ -166,10 +166,10 @@ func Optimize(sim *schedsim.Simulator, syn *synth.Synthesis, opts Options) (*Out
 		if len(kept) == 0 {
 			kept = []*candidate{best}
 		}
-		// Generate critical-path-directed neighbors.
-		improved := false
-		var next []*candidate
-		next = append(next, kept...)
+		// Generate the critical-path-directed neighbor batch on the
+		// coordinator (all Rng draws happen here, in the same order the
+		// serial search made them), then fan the unseen layouts out.
+		var batch []*layout.Layout
 		for _, c := range kept {
 			for _, lay := range neighbors(c, syn, opts) {
 				key := lay.CanonicalKey()
@@ -177,15 +177,22 @@ func Optimize(sim *schedsim.Simulator, syn *synth.Synthesis, opts Options) (*Out
 					continue
 				}
 				seen[key] = true
-				nc, err := evaluate(lay)
-				if err != nil {
-					continue // illegal or failing layouts are discarded
-				}
-				next = append(next, nc)
-				if nc.cycles < best.cycles {
-					best = nc
-					improved = true
-				}
+				batch = append(batch, lay)
+			}
+		}
+		// Merge in submission order: Evaluations, the improvement scan,
+		// and the population contents match the serial search exactly.
+		improved := false
+		next := append([]*candidate(nil), kept...)
+		for _, r := range eval.batch(batch) {
+			if r.err != nil {
+				continue // illegal or failing layouts are discarded
+			}
+			out.Evaluations++
+			next = append(next, r.cand)
+			if r.cand.cycles < best.cycles {
+				best = r.cand
+				improved = true
 			}
 		}
 		pop = next
@@ -197,6 +204,56 @@ func Optimize(sim *schedsim.Simulator, syn *synth.Synthesis, opts Options) (*Out
 	out.Best = best.lay
 	out.BestCycles = best.cycles
 	return out, nil
+}
+
+// evalResult is one batch slot: exactly one of cand/err is set.
+type evalResult struct {
+	cand *candidate
+	err  error
+}
+
+// evaluator fans simulator evaluations across the worker pool.
+type evaluator struct {
+	sim     *schedsim.Simulator
+	opts    Options
+	workers int
+}
+
+func newEvaluator(sim *schedsim.Simulator, opts Options) *evaluator {
+	return &evaluator{sim: sim, opts: opts, workers: pool.Workers(opts.Workers)}
+}
+
+// one runs a single simulator evaluation. schedsim.Simulator.Run is safe
+// for concurrent use, so workers share the one simulator instance.
+func (e *evaluator) one(lay *layout.Layout) evalResult {
+	tr := &schedsim.Trace{}
+	res, err := e.sim.Run(schedsim.Options{
+		Machine:         e.opts.Machine,
+		Layout:          lay,
+		Prof:            e.opts.Prof,
+		PerObjectCounts: e.opts.PerObjectCounts,
+		Trace:           tr,
+	})
+	if err != nil {
+		return evalResult{err: err}
+	}
+	cycles := res.TotalCycles
+	if !res.Terminated {
+		// Rank non-terminating estimates by inverse utilization.
+		cycles = int64(float64(1<<40) * (1.0 - res.Utilization))
+	}
+	return evalResult{cand: &candidate{lay: lay, cycles: cycles, trace: tr}}
+}
+
+// batch evaluates lays concurrently and returns results in submission
+// order (index i holds lays[i]'s outcome regardless of which worker ran
+// it or when it finished).
+func (e *evaluator) batch(lays []*layout.Layout) []evalResult {
+	results := make([]evalResult, len(lays))
+	pool.For(len(lays), e.workers, func(i int) {
+		results[i] = e.one(lays[i])
+	})
+	return results
 }
 
 // neighbors generates candidate layouts addressing the critical path of

@@ -1,0 +1,87 @@
+package anneal_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/benchmarks"
+	"repro/internal/anneal"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/synth"
+)
+
+// TestOptimizeWorkerCountInvariant is the determinism regression test for
+// the parallel search: with the same seed, Workers=1 and Workers=8 must
+// produce bit-identical outcomes — same best layout (canonical key), same
+// estimate, same per-iteration History, same evaluation count. All
+// randomness is drawn on the coordinator goroutine and batch results merge
+// in submission order, so worker count must never leak into the result.
+func TestOptimizeWorkerCountInvariant(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		args []string
+	}{
+		{"Keyword", keywordSrc, nArg(24)},
+		{"Fractal", mustBenchmark(t, "Fractal").Source, mustBenchmark(t, "Fractal").Args},
+		{"MonteCarlo", mustBenchmark(t, "MonteCarlo").Source, mustBenchmark(t, "MonteCarlo").Args},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sys, err := core.CompileSource(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prof, _, err := sys.Profile(tc.args)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const cores = 8
+			m := machine.TilePro64().WithCores(cores)
+			syn := synth.Build(sys.CSTG(prof), cores)
+			run := func(workers int) *anneal.Outcome {
+				outcome, err := anneal.Optimize(sys.Simulator(), syn, anneal.Options{
+					Machine: m, Prof: prof, NumCores: cores,
+					Rng: rand.New(rand.NewSource(7)), Seeds: 6, MaxIterations: 12,
+					Workers: workers,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return outcome
+			}
+			serial := run(1)
+			parallel := run(8)
+			if got, want := parallel.Best.CanonicalKey(), serial.Best.CanonicalKey(); got != want {
+				t.Errorf("best layout differs: workers=8 %q, workers=1 %q", got, want)
+			}
+			if parallel.BestCycles != serial.BestCycles {
+				t.Errorf("BestCycles differs: workers=8 %d, workers=1 %d", parallel.BestCycles, serial.BestCycles)
+			}
+			if parallel.Evaluations != serial.Evaluations {
+				t.Errorf("Evaluations differs: workers=8 %d, workers=1 %d", parallel.Evaluations, serial.Evaluations)
+			}
+			if parallel.Iterations != serial.Iterations {
+				t.Errorf("Iterations differs: workers=8 %d, workers=1 %d", parallel.Iterations, serial.Iterations)
+			}
+			if len(parallel.History) != len(serial.History) {
+				t.Fatalf("History length differs: workers=8 %d, workers=1 %d", len(parallel.History), len(serial.History))
+			}
+			for i := range serial.History {
+				if parallel.History[i] != serial.History[i] {
+					t.Errorf("History[%d] differs: workers=8 %d, workers=1 %d", i, parallel.History[i], serial.History[i])
+				}
+			}
+		})
+	}
+}
+
+func mustBenchmark(t *testing.T, name string) *benchmarks.Benchmark {
+	t.Helper()
+	b, err := benchmarks.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -162,8 +162,12 @@ type SynthesizeConfig struct {
 	// Seed drives the whole search deterministically.
 	Seed int64
 	// Seeds, MaxIterations: forwarded to the annealer (0 = defaults).
-	Seeds           int
-	MaxIterations   int
+	Seeds         int
+	MaxIterations int
+	// Workers bounds the goroutines evaluating candidate layouts
+	// concurrently (<= 0 selects GOMAXPROCS). The search result is
+	// identical for every worker count.
+	Workers         int
 	PerObjectCounts map[string]bool
 }
 
@@ -192,6 +196,7 @@ func (s *System) Synthesize(cfg SynthesizeConfig) (*SynthesisResult, error) {
 		Seeds:           cfg.Seeds,
 		MaxIterations:   cfg.MaxIterations,
 		Rng:             rng,
+		Workers:         cfg.Workers,
 		PerObjectCounts: cfg.PerObjectCounts,
 	})
 	if err != nil {

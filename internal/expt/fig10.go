@@ -10,6 +10,7 @@ import (
 	"repro/internal/anneal"
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/pool"
 	"repro/internal/schedsim"
 	"repro/internal/synth"
 )
@@ -34,6 +35,10 @@ type Fig10Options struct {
 	// does (its space is prohibitively large even at 16 cores); DSA still
 	// runs for it.
 	SkipTracking bool
+	// Workers bounds the goroutines used for the exhaustive evaluation
+	// sweep and the independent DSA runs (<= 0 selects GOMAXPROCS). The
+	// study's results are identical for every worker count.
+	Workers int
 }
 
 // Fig10Result is the DSA efficiency study outcome for one benchmark.
@@ -102,12 +107,22 @@ func fig10One(b *benchmarks.Benchmark, m *machine.Machine, opts Fig10Options) (*
 			rng := rand.New(rand.NewSource(opts.Seed * 31))
 			cands = syn.RandomLayouts(opts.Cores, opts.MaxExhaustive, rng)
 		}
-		for _, lay := range cands {
-			r, err := sim.Run(schedsim.Options{Machine: m, Layout: lay, Prof: prof, PerObjectCounts: b.Hints})
+		// Fan the candidate evaluations across the worker pool; each
+		// estimate lands in its candidate's slot, and the merge walks the
+		// slots in enumeration order.
+		estimates := make([]int64, len(cands))
+		pool.For(len(cands), opts.Workers, func(i int) {
+			r, err := sim.Run(schedsim.Options{Machine: m, Layout: cands[i], Prof: prof, PerObjectCounts: b.Hints})
 			if err != nil || !r.Terminated {
-				continue
+				estimates[i] = -1
+				return
 			}
-			res.Exhaustive = append(res.Exhaustive, r.TotalCycles)
+			estimates[i] = r.TotalCycles
+		})
+		for _, est := range estimates {
+			if est >= 0 {
+				res.Exhaustive = append(res.Exhaustive, est)
+			}
 		}
 		sort.Slice(res.Exhaustive, func(i, j int) bool { return res.Exhaustive[i] < res.Exhaustive[j] })
 		if len(res.Exhaustive) > 0 {
@@ -115,18 +130,31 @@ func fig10One(b *benchmarks.Benchmark, m *machine.Machine, opts Fig10Options) (*
 		}
 	}
 
-	for run := 0; run < opts.DSARuns; run++ {
+	// Every DSA run is seeded independently, so the runs fan out across
+	// the pool; each run's annealer is kept serial (Workers: 1) because
+	// the outer pool already saturates the CPU with independent searches.
+	dsa := make([]int64, opts.DSARuns)
+	dsaErrs := make([]error, opts.DSARuns)
+	pool.For(opts.DSARuns, opts.Workers, func(run int) {
 		rng := rand.New(rand.NewSource(opts.Seed + int64(run)*7919))
 		outcome, err := anneal.Optimize(sim, syn, anneal.Options{
 			Machine: m, Prof: prof, NumCores: opts.Cores,
 			Rng: rng, Seeds: 6, MaxIterations: 25, PerObjectCounts: b.Hints,
+			Workers: 1,
 		})
 		if err != nil {
-			return nil, err
+			dsaErrs[run] = err
+			return
 		}
-		res.DSA = append(res.DSA, outcome.BestCycles)
-		if res.BestDSA == 0 || outcome.BestCycles < res.BestDSA {
-			res.BestDSA = outcome.BestCycles
+		dsa[run] = outcome.BestCycles
+	})
+	for run := 0; run < opts.DSARuns; run++ {
+		if dsaErrs[run] != nil {
+			return nil, dsaErrs[run]
+		}
+		res.DSA = append(res.DSA, dsa[run])
+		if res.BestDSA == 0 || dsa[run] < res.BestDSA {
+			res.BestDSA = dsa[run]
 		}
 	}
 

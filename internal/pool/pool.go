@@ -1,0 +1,63 @@
+// Package pool provides the bounded worker pool used by the synthesis
+// pipeline's fan-out points (candidate evaluation in internal/anneal, the
+// exhaustive enumeration sweep and benchmark preparation in internal/expt).
+//
+// The pattern everywhere is the same: a coordinator builds a deterministic
+// list of independent work items, For fans the items across up to
+// `workers` goroutines, and the coordinator merges the results back in
+// submission order. Item index — not completion order — decides where a
+// result lands, so outcomes are bit-identical for any worker count.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: values <= 0 mean "one worker per
+// available CPU" (runtime.GOMAXPROCS(0)).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// For runs fn(i) for every i in [0, n) on at most workers goroutines
+// (workers <= 0 selects GOMAXPROCS). fn must be safe for concurrent calls
+// with distinct i; writes should go to per-index slots so merge order is
+// the caller's choice, not the scheduler's. With one worker (or one item)
+// everything runs on the calling goroutine — no goroutines, no
+// synchronization, identical stack traces to the old serial code.
+func For(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,54 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 1000
+		counts := make([]int32, n)
+		For(n, workers, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEmptyAndNegative(t *testing.T) {
+	ran := false
+	For(0, 4, func(int) { ran = true })
+	For(-3, 4, func(int) { ran = true })
+	if ran {
+		t.Error("fn ran for n <= 0")
+	}
+}
+
+func TestForSerialOnCallingGoroutine(t *testing.T) {
+	// With one worker, items must run on the calling goroutine in order.
+	var order []int
+	For(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order broken: %v", order)
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(0) != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS", Workers(0))
+	}
+	if Workers(-1) != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-1) = %d, want GOMAXPROCS", Workers(-1))
+	}
+	if Workers(3) != 3 {
+		t.Errorf("Workers(3) = %d", Workers(3))
+	}
+}

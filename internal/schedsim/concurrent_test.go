@@ -1,0 +1,83 @@
+package schedsim_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/machine"
+	"repro/internal/schedsim"
+)
+
+// TestConcurrentRunsAreIndependent hammers one shared Simulator from many
+// goroutines — the usage pattern of the parallel annealer — and checks
+// every run reproduces the serial result exactly. Scratch state is pooled
+// per run, so concurrent runs must neither race (go test -race covers
+// this file) nor bleed exit-count or accumulator state into each other.
+func TestConcurrentRunsAreIndependent(t *testing.T) {
+	sys, err := core.CompileSource(keywordSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _, err := sys.Profile(nArg(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.TilePro64().WithCores(4)
+	sim := schedsim.New(sys.Prog, sys.Dep, sys.Locks)
+
+	// Two distinct layouts with distinct estimates, interleaved across
+	// goroutines so pooled scratch is handed between them constantly.
+	layouts := []*layout.Layout{quadLayout(), layout.Single(sys.TaskNames())}
+	var want [2]int64
+	for i, lay := range layouts {
+		res, err := sim.Run(schedsim.Options{Machine: m, Layout: lay, Prof: prof})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Terminated {
+			t.Fatalf("layout %d did not terminate", i)
+		}
+		want[i] = res.TotalCycles
+	}
+	if want[0] == want[1] {
+		t.Fatal("test layouts should have distinct estimates")
+	}
+
+	const goroutines = 8
+	const runsPer = 20
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < runsPer; r++ {
+				which := (g + r) % 2
+				tr := &schedsim.Trace{}
+				res, err := sim.Run(schedsim.Options{Machine: m, Layout: layouts[which], Prof: prof, Trace: tr})
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if res.TotalCycles != want[which] {
+					t.Errorf("goroutine %d run %d: layout %d estimated %d, want %d",
+						g, r, which, res.TotalCycles, want[which])
+					return
+				}
+				if len(tr.Events) == 0 {
+					t.Errorf("goroutine %d run %d: empty trace", g, r)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+}

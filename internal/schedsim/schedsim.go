@@ -14,14 +14,18 @@
 // from the model, not from protocol differences.
 //
 // The directed simulated annealing search (internal/anneal) evaluates
-// thousands of candidate layouts with this simulator; the Figure 9
-// experiment quantifies its accuracy against the real engine.
+// thousands of candidate layouts with this simulator, fanned across a
+// worker pool; Run is safe for concurrent use. Each call checks a fully
+// reusable scratch state (event freelist, pooled invocations, cleared
+// maps) out of an internal sync.Pool, so steady-state evaluations allocate
+// almost nothing. The Figure 9 experiment quantifies the simulator's
+// accuracy against the real engine.
 package schedsim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/depend"
 	"repro/internal/disjoint"
@@ -110,22 +114,35 @@ type hostedTask struct {
 	inSet     []map[*simObject]bool
 }
 
-func newHostedTask(fn *ir.Func) *hostedTask {
+// reinit points a (possibly recycled) hostedTask at fn, clearing any state
+// left over from a previous simulation.
+func (ht *hostedTask) reinit(fn *ir.Func) {
 	n := len(fn.Task.Params)
-	ht := &hostedTask{task: fn.Task, fn: fn, paramSets: make([][]arrival, n), inSet: make([]map[*simObject]bool, n)}
-	for i := range ht.inSet {
-		ht.inSet[i] = map[*simObject]bool{}
+	ht.task, ht.fn = fn.Task, fn
+	if cap(ht.paramSets) < n {
+		ht.paramSets = make([][]arrival, n)
+		ht.inSet = make([]map[*simObject]bool, n)
+	} else {
+		ht.paramSets = ht.paramSets[:n]
+		ht.inSet = ht.inSet[:n]
 	}
-	return ht
+	for i := 0; i < n; i++ {
+		ht.paramSets[i] = ht.paramSets[i][:0]
+		if ht.inSet[i] == nil {
+			ht.inSet[i] = map[*simObject]bool{}
+		} else {
+			clear(ht.inSet[i])
+		}
+	}
 }
 
 type score struct {
-	id int
-	core int
+	id     int
+	core   int
 	freeAt int64
-	busy int64
-	tasks []*hostedTask
-	phys  int
+	busy   int64
+	tasks  []*hostedTask
+	phys   int
 }
 
 type event struct {
@@ -153,59 +170,82 @@ type simInvocation struct {
 	dur      int64
 }
 
+// eventHeap is a hand-rolled binary min-heap ordered by (time, seq). Using
+// concrete *event methods instead of container/heap avoids the interface
+// boxing on every push/pop in the simulator's hottest loop.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	e := old[len(old)-1]
-	*h = old[:len(old)-1]
-	return e
+
+func (h *eventHeap) push(e *event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
 }
 
-// Simulator estimates layout performance from profile data.
+func (h *eventHeap) pop() *event {
+	old := *h
+	n := len(old) - 1
+	top := old[0]
+	old[0] = old[n]
+	old[n] = nil
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && (*h).less(l, small) {
+			small = l
+		}
+		if r < n && (*h).less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}
+
+// Simulator estimates layout performance from profile data. One Simulator
+// may be shared by any number of goroutines: per-run state lives in pooled
+// scratch structures, and the program analyses it reads are immutable.
 type Simulator struct {
 	prog  *ir.Program
 	dep   *depend.Result
 	locks *disjoint.Result
+	// taskNames is the deterministic hosting order, precomputed once.
+	taskNames []string
+	// maxParams bounds parameter counts across tasks (invocation buffers).
+	maxParams int
+	scratch   sync.Pool // *simState
 }
 
 // New builds a simulator over the compiled program and analyses.
 func New(prog *ir.Program, dep *depend.Result, locks *disjoint.Result) *Simulator {
-	return &Simulator{prog: prog, dep: dep, locks: locks}
-}
-
-type simState struct {
-	sim  *Simulator
-	opts Options
-
-	cores   []*score
-	events  eventHeap
-	seq     int64
-	nextID  int64
-	nextTag int64
-	nInv    int64
-	lastEnd int64
-	nEvents int
-
-	// Exit count matching state.
-	taskTotals map[string]int64
-	exitCounts map[string][]int64          // per task
-	objTotals  map[objTaskKey]int64        // per (object, task)
-	objCounts  map[objTaskKey][]int64
-	// Fractional allocation accumulators per (task, exit, alloc key).
-	allocAcc map[string]float64
-
-	rr       map[string]int
-	destRing map[string][]int
+	s := &Simulator{prog: prog, dep: dep, locks: locks}
+	for _, fn := range prog.Tasks {
+		s.taskNames = append(s.taskNames, fn.Task.Name)
+		if n := len(fn.Task.Params); n > s.maxParams {
+			s.maxParams = n
+		}
+	}
+	sort.Strings(s.taskNames)
+	return s
 }
 
 type objTaskKey struct {
@@ -213,7 +253,64 @@ type objTaskKey struct {
 	task string
 }
 
-// Run simulates the layout and returns the estimate.
+// allocAccKey identifies one fractional-allocation accumulator.
+type allocAccKey struct {
+	task string
+	exit int
+	k    profile.AllocKey
+}
+
+// rrKey identifies one round-robin routing counter.
+type rrKey struct {
+	fromCore int
+	task     string
+}
+
+type taskExitKey struct {
+	task string
+	exit int
+}
+
+// simState is the per-run state. It is pooled: reset clears every logical
+// field while keeping slice capacity, map buckets, and freelists, so a
+// steady-state Run allocates almost nothing.
+type simState struct {
+	sim  *Simulator
+	opts Options
+
+	cores      []*score
+	events     eventHeap
+	seq        int64
+	nextID     int64
+	nextTag    int64
+	nInv       int64
+	lastEnd    int64
+	nEvents    int
+
+	// Exit count matching state.
+	taskTotals map[string]int64
+	exitCounts map[string][]int64   // per task
+	objTotals  map[objTaskKey]int64 // per (object, task)
+	objCounts  map[objTaskKey][]int64
+	// Fractional allocation accumulators per (task, exit, alloc key).
+	allocAcc map[allocAccKey]float64
+
+	rr       map[rrKey]int
+	destRing map[string][]int
+
+	// Freelists and arenas reused across runs.
+	freeEvents []*event
+	freeInvs   []*simInvocation
+	freeHosted []*hostedTask
+	objChunks  [][]simObject
+	objUsed    int // objects handed out from objChunks
+	unchanged  []bool
+	allocKeys  map[taskExitKey][]profile.AllocKey // sorted, cached per profile
+	lastProf   *profile.Profile
+}
+
+// Run simulates the layout and returns the estimate. It is safe to call
+// concurrently from multiple goroutines on one Simulator.
 func (s *Simulator) Run(opts Options) (*Result, error) {
 	if opts.Machine == nil || opts.Layout == nil || opts.Prof == nil {
 		return nil, fmt.Errorf("schedsim: Machine, Layout, and Prof are required")
@@ -225,44 +322,169 @@ func (s *Simulator) Run(opts Options) (*Result, error) {
 	if opts.Layout.NumCores > len(usable) {
 		return nil, fmt.Errorf("schedsim: layout needs %d cores, machine has %d usable", opts.Layout.NumCores, len(usable))
 	}
-	st := &simState{
-		sim:        s,
-		opts:       opts,
-		taskTotals: map[string]int64{},
-		exitCounts: map[string][]int64{},
-		objTotals:  map[objTaskKey]int64{},
-		objCounts:  map[objTaskKey][]int64{},
-		allocAcc:   map[string]float64{},
-		rr:         map[string]int{},
-		destRing:   map[string][]int{},
+	st, _ := s.scratch.Get().(*simState)
+	if st == nil {
+		st = &simState{
+			sim:        s,
+			taskTotals: map[string]int64{},
+			exitCounts: map[string][]int64{},
+			objTotals:  map[objTaskKey]int64{},
+			objCounts:  map[objTaskKey][]int64{},
+			allocAcc:   map[allocAccKey]float64{},
+			rr:         map[rrKey]int{},
+			destRing:   map[string][]int{},
+			allocKeys:  map[taskExitKey][]profile.AllocKey{},
+		}
 	}
-	st.cores = make([]*score, opts.Layout.NumCores)
-	for i := range st.cores {
-		st.cores[i] = &score{id: i, phys: usable[i]}
+	res, err := st.run(opts, usable)
+	st.release()
+	s.scratch.Put(st)
+	return res, err
+}
+
+// release drops the references a finished run no longer needs (so pooled
+// scratch does not pin a caller's Trace, Layout, or Machine) while keeping
+// the reusable capacity.
+func (st *simState) release() {
+	st.opts = Options{}
+}
+
+// reset prepares pooled scratch for a new run.
+func (st *simState) reset(opts Options, usable []int) {
+	st.opts = opts
+	st.seq, st.nextID, st.nextTag, st.nInv, st.lastEnd, st.nEvents = 0, 0, 0, 0, 0, 0
+	// Recycle any events left in the heap (a prior run that stopped at
+	// MaxInvocations exits with pending events).
+	for _, ev := range st.events {
+		if ev != nil {
+			st.freeEvents = append(st.freeEvents, ev)
+		}
 	}
-	taskNames := make([]string, 0, len(s.prog.Tasks))
-	for _, fn := range s.prog.Tasks {
-		taskNames = append(taskNames, fn.Task.Name)
+	st.events = st.events[:0]
+	st.objUsed = 0
+	clear(st.taskTotals)
+	clear(st.exitCounts)
+	clear(st.objTotals)
+	clear(st.objCounts)
+	clear(st.allocAcc)
+	clear(st.rr)
+	clear(st.destRing)
+	if st.lastProf != opts.Prof {
+		clear(st.allocKeys)
+		st.lastProf = opts.Prof
 	}
-	sort.Strings(taskNames)
-	for _, name := range taskNames {
-		fn := s.prog.Funcs[ir.TaskKey(name)]
+	// Reclaim hosted tasks from the previous layout and (re)build cores.
+	for _, c := range st.cores {
+		st.freeHosted = append(st.freeHosted, c.tasks...)
+		c.tasks = c.tasks[:0]
+	}
+	n := opts.Layout.NumCores
+	for len(st.cores) < n {
+		st.cores = append(st.cores, &score{})
+	}
+	st.cores = st.cores[:n]
+	for i, c := range st.cores {
+		c.id, c.core, c.freeAt, c.busy, c.phys = i, i, 0, 0, usable[i]
+	}
+}
+
+// hosted returns a recycled (or fresh) hostedTask for fn.
+func (st *simState) hosted(fn *ir.Func) *hostedTask {
+	var ht *hostedTask
+	if k := len(st.freeHosted); k > 0 {
+		ht = st.freeHosted[k-1]
+		st.freeHosted[k-1] = nil
+		st.freeHosted = st.freeHosted[:k-1]
+	} else {
+		ht = &hostedTask{}
+	}
+	ht.reinit(fn)
+	return ht
+}
+
+// newEvent returns a zeroed event from the freelist.
+func (st *simState) newEvent() *event {
+	if k := len(st.freeEvents); k > 0 {
+		ev := st.freeEvents[k-1]
+		st.freeEvents[k-1] = nil
+		st.freeEvents = st.freeEvents[:k-1]
+		*ev = event{}
+		return ev
+	}
+	return &event{}
+}
+
+// newObject hands out a simObject from the chunked arena. Chunks are never
+// shrunk; objects are valid for the rest of the run and recycled wholesale
+// by reset.
+func (st *simState) newObject() *simObject {
+	const chunkSize = 256
+	ci, off := st.objUsed/chunkSize, st.objUsed%chunkSize
+	if ci == len(st.objChunks) {
+		st.objChunks = append(st.objChunks, make([]simObject, chunkSize))
+	}
+	st.objUsed++
+	o := &st.objChunks[ci][off]
+	*o = simObject{}
+	return o
+}
+
+// newInv returns a pooled invocation with n parameter slots.
+func (st *simState) newInv(ht *hostedTask, n int) *simInvocation {
+	var inv *simInvocation
+	if k := len(st.freeInvs); k > 0 {
+		inv = st.freeInvs[k-1]
+		st.freeInvs[k-1] = nil
+		st.freeInvs = st.freeInvs[:k-1]
+	} else {
+		inv = &simInvocation{}
+	}
+	if cap(inv.objs) < n {
+		inv.objs = make([]*simObject, n)
+		inv.deps = make([]Dep, n)
+		inv.objSeqs = make([]int64, n)
+	}
+	inv.objs = inv.objs[:n]
+	inv.deps = inv.deps[:n]
+	inv.objSeqs = inv.objSeqs[:n]
+	for i := 0; i < n; i++ {
+		inv.objs[i] = nil
+		inv.deps[i] = Dep{}
+		inv.objSeqs[i] = 0
+	}
+	inv.ht, inv.readySeq, inv.exit, inv.dur = ht, 0, 0, 0
+	return inv
+}
+
+func (st *simState) putInv(inv *simInvocation) {
+	inv.ht = nil
+	for i := range inv.objs {
+		inv.objs[i] = nil
+	}
+	st.freeInvs = append(st.freeInvs, inv)
+}
+
+func (st *simState) run(opts Options, usable []int) (*Result, error) {
+	st.reset(opts, usable)
+	for _, name := range st.sim.taskNames {
+		fn := st.sim.prog.Funcs[ir.TaskKey(name)]
 		for _, c := range opts.Layout.Cores(name) {
 			if c < 0 || c >= len(st.cores) {
 				return nil, fmt.Errorf("schedsim: task %s on core %d outside layout", name, c)
 			}
-			st.cores[c].tasks = append(st.cores[c].tasks, newHostedTask(fn))
+			st.cores[c].tasks = append(st.cores[c].tasks, st.hosted(fn))
 		}
 	}
 
 	// Inject the startup object.
-	startCl := s.prog.Info.Classes[types.StartupClass]
+	startCl := st.sim.prog.Info.Classes[types.StartupClass]
 	startState := depend.NewState(1 << uint(startCl.FlagIndex[types.StartupFlag]))
-	so := &simObject{id: st.id(), class: startCl, state: startState, producer: -1}
+	so := st.newObject()
+	so.id, so.class, so.state, so.producer = st.id(), startCl, startState, -1
 	st.route(so, -1, 0, 0)
 
-	for st.events.Len() > 0 {
-		ev := heap.Pop(&st.events).(*event)
+	for len(st.events) > 0 {
+		ev := st.events.pop()
 		switch ev.kind {
 		case 0:
 			st.onArrive(ev)
@@ -271,6 +493,7 @@ func (s *Simulator) Run(opts Options) (*Result, error) {
 		case 2:
 			st.onComplete(ev)
 		}
+		st.freeEvents = append(st.freeEvents, ev)
 		if st.nInv > opts.MaxInvocations {
 			// Report utilization instead of completion time.
 			var busy int64
@@ -295,7 +518,7 @@ func (st *simState) push(ev *event) {
 	if ev.kind == 0 && ev.fifo == 0 {
 		ev.fifo = ev.seq
 	}
-	heap.Push(&st.events, ev)
+	st.events.push(ev)
 }
 
 func (st *simState) onArrive(ev *event) {
@@ -313,7 +536,9 @@ func (st *simState) onArrive(ev *event) {
 	if c.freeAt > at {
 		at = c.freeAt
 	}
-	st.push(&event{time: at, kind: 1, core: ev.core})
+	ne := st.newEvent()
+	ne.time, ne.kind, ne.core = at, 1, ev.core
+	st.push(ne)
 }
 
 func (st *simState) onAttempt(ev *event) {
@@ -338,7 +563,9 @@ func (st *simState) onAttempt(ev *event) {
 	inv.dur = m.ScaleCycles(c.phys, m.DispatchCycles+m.LockCycles*int64(nGroups)+int64(mean+0.5))
 	c.freeAt = ev.time + inv.dur
 	c.busy += inv.dur
-	st.push(&event{time: c.freeAt, kind: 2, core: ev.core, inv: inv, start: ev.time})
+	ne := st.newEvent()
+	ne.time, ne.kind, ne.core, ne.inv, ne.start = c.freeAt, 2, ev.core, inv, ev.time
+	st.push(ne)
 }
 
 // chooseExit picks the destination exit by matching the simulated exit
@@ -412,6 +639,22 @@ func (st *simState) chooseExit(inv *simInvocation) int {
 	return best
 }
 
+// sortedAllocKeys returns the deterministic iteration order over the
+// profiled allocation keys of (task, exit), cached per profile.
+func (st *simState) sortedAllocKeys(task string, exit int, means map[profile.AllocKey]float64) []profile.AllocKey {
+	ck := taskExitKey{task: task, exit: exit}
+	if keys, ok := st.allocKeys[ck]; ok {
+		return keys
+	}
+	keys := make([]profile.AllocKey, 0, len(means))
+	for k := range means {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	st.allocKeys[ck] = keys
+	return keys
+}
+
 func (st *simState) onComplete(ev *event) {
 	inv := ev.inv
 	st.nInv++
@@ -421,15 +664,21 @@ func (st *simState) onComplete(ev *event) {
 	evIdx := st.nEvents
 	st.nEvents++
 	if st.opts.Trace != nil {
+		// The invocation is recycled after this event; the trace gets its
+		// own copy of the dependence records.
+		deps := append([]Dep(nil), inv.deps...)
 		st.opts.Trace.Events = append(st.opts.Trace.Events, Event{
 			Index: evIdx, Task: inv.ht.task.Name, Core: ev.core,
-			Start: ev.start, End: ev.time, Exit: inv.exit, Deps: inv.deps,
+			Start: ev.start, End: ev.time, Exit: inv.exit, Deps: deps,
 		})
 	}
 	// Apply the chosen exit's flag/tag effects to the parameter objects,
 	// remembering which parameters the exit left unchanged.
 	taskFn := inv.ht.fn
-	unchanged := make([]bool, len(inv.objs))
+	if cap(st.unchanged) < len(inv.objs) {
+		st.unchanged = make([]bool, len(inv.objs))
+	}
+	unchanged := st.unchanged[:len(inv.objs)]
 	for i, obj := range inv.objs {
 		before := obj.state.Key()
 		next, ok := depend.ExitEffect(obj.state, taskFn, i, inv.exit)
@@ -445,14 +694,10 @@ func (st *simState) onComplete(ev *event) {
 	var sendCost int64
 	means := st.opts.Prof.MeanAllocs(inv.ht.task.Name, inv.exit)
 	if len(means) > 0 {
-		keys := make([]profile.AllocKey, 0, len(means))
-		for k := range means {
-			keys = append(keys, k)
-		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+		keys := st.sortedAllocKeys(inv.ht.task.Name, inv.exit, means)
 		tagGroup := int64(0)
 		for _, k := range keys {
-			accKey := fmt.Sprintf("%s|%d|%s", inv.ht.task.Name, inv.exit, k.String())
+			accKey := allocAccKey{task: inv.ht.task.Name, exit: inv.exit, k: k}
 			st.allocAcc[accKey] += means[k]
 			for st.allocAcc[accKey] >= 1 {
 				st.allocAcc[accKey]--
@@ -460,7 +705,8 @@ func (st *simState) onComplete(ev *event) {
 				if !ok {
 					continue
 				}
-				obj := &simObject{id: st.id(), class: st.sim.prog.Info.Classes[k.Class], state: state, producer: evIdx}
+				obj := st.newObject()
+				obj.id, obj.class, obj.state, obj.producer = st.id(), st.sim.prog.Info.Classes[k.Class], state, evIdx
 				// Objects allocated by the same invocation into tagged
 				// states share a tag group (approximating shared tags).
 				if len(state.Tags) > 0 {
@@ -488,7 +734,9 @@ func (st *simState) onComplete(ev *event) {
 			st.lastEnd = c.freeAt
 		}
 	}
-	st.push(&event{time: c.freeAt, kind: 1, core: c.id})
+	ne := st.newEvent()
+	ne.time, ne.kind, ne.core = c.freeAt, 1, c.id
+	st.push(ne)
 	for _, other := range st.cores {
 		if other == c {
 			continue
@@ -506,9 +754,12 @@ func (st *simState) onComplete(ev *event) {
 			if other.freeAt > at {
 				at = other.freeAt
 			}
-			st.push(&event{time: at, kind: 1, core: other.id})
+			ne := st.newEvent()
+			ne.time, ne.kind, ne.core = at, 1, other.id
+			st.push(ne)
 		}
 	}
+	st.putInv(inv)
 }
 
 // stateFor resolves a profiled allocation key back to an abstract state via
@@ -537,7 +788,12 @@ func (st *simState) findInvocation(c *score) *simInvocation {
 			continue
 		}
 		if best == nil || inv.readySeq < best.readySeq {
+			if best != nil {
+				st.putInv(best)
+			}
 			best, bestHT = inv, ht
+		} else {
+			st.putInv(inv)
 		}
 	}
 	if best != nil {
@@ -563,8 +819,9 @@ func (st *simState) peek(ht *hostedTask) *simInvocation {
 		}
 		ht.paramSets[pi] = kept
 	}
-	objs := make([]*simObject, len(ht.task.Params))
-	deps := make([]Dep, len(ht.task.Params))
+	inv := st.newInv(ht, len(ht.task.Params))
+	objs := inv.objs
+	deps := inv.deps
 	var rec func(pi int, tagGroup int64) bool
 	rec = func(pi int, tagGroup int64) bool {
 		if pi == len(ht.task.Params) {
@@ -605,9 +862,9 @@ func (st *simState) peek(ht *hostedTask) *simInvocation {
 		return false
 	}
 	if !rec(0, 0) {
+		st.putInv(inv)
 		return nil
 	}
-	inv := &simInvocation{ht: ht, objs: objs, deps: deps, objSeqs: make([]int64, len(objs))}
 	for i := range objs {
 		for _, a := range ht.paramSets[i] {
 			if a.obj == objs[i] {
@@ -654,7 +911,7 @@ func (st *simState) route(obj *simObject, fromCore int, t int64, fifo int64) int
 				dst = cs[int(obj.tagGroup)%len(cs)]
 			} else {
 				ring := st.ring(pr.Task.Name, cs)
-				key := fmt.Sprintf("%d|%s", fromCore, pr.Task.Name)
+				key := rrKey{fromCore: fromCore, task: pr.Task.Name}
 				start := fromCore
 				if start < 0 {
 					start = 0
@@ -679,7 +936,9 @@ func (st *simState) route(obj *simObject, fromCore int, t int64, fifo int64) int
 		if target == nil {
 			continue
 		}
-		st.push(&event{time: t + latency, kind: 0, core: dst, ht: target, param: pr.Param, obj: obj, fifo: fifo})
+		ne := st.newEvent()
+		ne.time, ne.kind, ne.core, ne.ht, ne.param, ne.obj, ne.fifo = t+latency, 0, dst, target, pr.Param, obj, fifo
+		st.push(ne)
 	}
 	return cost
 }
@@ -722,4 +981,3 @@ func (st *simState) ring(task string, cores []int) []int {
 	st.destRing[task] = ring
 	return ring
 }
-

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs the headline synthesis benchmarks and records them in
+# BENCH_synthesis.json (benchmark name -> ns/op, B/op, allocs/op, and any
+# custom metrics such as evals/sec), so successive PRs can track the perf
+# trajectory of the synthesis pipeline.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCH_PATTERN  override the benchmark regexp
+#   BENCH_TIME     override -benchtime (default 5x)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_synthesis.json}"
+pattern="${BENCH_PATTERN:-BenchmarkSynthesis|BenchmarkSchedulingSimulator|BenchmarkDSASearch}"
+benchtime="${BENCH_TIME:-5x}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "running: go test -run '^$' -bench \"$pattern\" -benchmem -benchtime $benchtime" >&2
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" | tee "$raw" >&2
+
+# Parse `go test -bench` lines:
+#   BenchmarkName/sub-8   10   123456 ns/op   7890 B/op   12 allocs/op   345 evals/sec
+awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+    line = sprintf("  \"%s\": {\"iterations\": %s", name, $2)
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/"/, "", unit)
+        line = line sprintf(", \"%s\": %s", unit, $i)
+    }
+    line = line "}"
+    if (!first) printf(",\n")
+    printf("%s", line)
+    first = 0
+}
+END { print "\n}" }
+' "$raw" > "$out"
+
+echo "wrote $out" >&2
