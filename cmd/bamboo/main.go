@@ -6,16 +6,19 @@
 // Usage:
 //
 //	bamboo run        -file prog.bb [-args a,b,c] [-cores N] [-seed S]
+//	                  [-trace] [-trace-out t.json] [-concurrent] [-metrics-out m.json]
 //	bamboo profile    -file prog.bb [-args a,b,c] [-o profile.json]
 //	bamboo synthesize -file prog.bb [-args a,b,c] [-cores N] [-seed S]
 //	bamboo analyze    -file prog.bb            (ASTGs, lock groups, IR)
 //	bamboo viz        -file prog.bb -kind cstg|taskflow|trace|layout [...]
 //	bamboo fmt        -file prog.bb [-w]          (canonical formatter)
 //	bamboo bench      -name Fractal [...]      (run an embedded benchmark)
+//	bamboo fidelity   [-cores N]       (schedsim prediction vs measured run)
 //	bamboo list                                (list embedded benchmarks)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,8 +30,10 @@ import (
 	"repro/internal/bamboort"
 	"repro/internal/core"
 	"repro/internal/critpath"
+	"repro/internal/expt"
 	"repro/internal/layout"
 	"repro/internal/machine"
+	"repro/internal/obsv"
 	"repro/internal/parser"
 	"repro/internal/schedsim"
 	"repro/internal/synth"
@@ -58,6 +63,8 @@ func main() {
 		err = cmdFmt(rest)
 	case "list":
 		err = cmdList()
+	case "fidelity":
+		err = cmdFidelity(rest)
 	default:
 		usage()
 		os.Exit(2)
@@ -69,7 +76,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: bamboo <run|profile|synthesize|analyze|viz|bench|list> [flags]
+	fmt.Fprintln(os.Stderr, `usage: bamboo <run|profile|synthesize|analyze|viz|bench|fidelity|list> [flags]
 run 'bamboo <command> -h' for command flags`)
 }
 
@@ -136,6 +143,10 @@ func cmdRun(argv []string) error {
 	cores := fs.Int("cores", 1, "number of cores (1 = single-core Bamboo)")
 	seed := fs.Int64("seed", 1, "synthesis search seed")
 	seq := fs.Bool("seq", false, "run the zero-overhead sequential baseline")
+	conc := fs.Bool("concurrent", false, "execute on the concurrent engine (goroutine per core, wall-clock trace)")
+	showTrace := fs.Bool("trace", false, "print an execution trace summary to stderr")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON (loads in Perfetto) to this file")
+	metricsOut := fs.String("metrics-out", "", "write runtime counters JSON to this file (implies -concurrent)")
 	workers := workersFlag(fs)
 	fs.Parse(argv)
 	src, defaults, err := loadSource(*file, *name)
@@ -146,28 +157,82 @@ func cmdRun(argv []string) error {
 	if args == nil {
 		args = defaults
 	}
+	if *metricsOut != "" {
+		*conc = true
+	}
+	var tr *obsv.Trace
+	if *showTrace || *traceOut != "" {
+		tr = &obsv.Trace{}
+	}
+	emit := func() error {
+		if tr != nil {
+			if *traceOut != "" {
+				f, err := os.Create(*traceOut)
+				if err != nil {
+					return err
+				}
+				if err := obsv.WriteChromeTrace(f, tr); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "-- wrote Chrome trace to %s (open in ui.perfetto.dev)\n", *traceOut)
+			}
+			if *showTrace {
+				fmt.Fprint(os.Stderr, obsv.Summarize(tr))
+			}
+		}
+		return nil
+	}
+
 	if *seq {
 		sys, err := core.CompileSource(src)
 		if err != nil {
 			return err
 		}
-		res, err := sys.RunSequential(args, os.Stdout)
+		res, err := sys.Run(core.RunConfig{
+			Machine: machine.Sequential(), Layout: layout.Single(sys.TaskNames()),
+			Args: args, Out: os.Stdout, Trace: tr,
+		})
 		if err != nil {
 			return err
 		}
 		fmt.Printf("-- sequential: %d cycles, %d invocations\n", res.TotalCycles, res.Invocations)
-		return nil
+		return emit()
 	}
 	sys, lay, m, err := prepare(src, args, *cores, *seed, *workers)
 	if err != nil {
 		return err
 	}
-	res, err := sys.Run(core.RunConfig{Machine: m, Layout: lay, Args: args, Out: os.Stdout})
+	if *conc {
+		mx := &obsv.Metrics{}
+		res, err := bamboort.RunConcurrent(sys.Prog, sys.Dep, bamboort.Options{
+			Layout: lay, Args: args, Out: os.Stdout, Trace: tr, Metrics: mx,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("-- concurrent, %d cores: %d invocations\n", lay.NumCores, res.Invocations)
+		if *metricsOut != "" {
+			data, err := json.MarshalIndent(mx.Snapshot(), "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*metricsOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "-- wrote runtime counters to %s\n", *metricsOut)
+		}
+		return emit()
+	}
+	res, err := sys.Run(core.RunConfig{Machine: m, Layout: lay, Args: args, Out: os.Stdout, Trace: tr})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("-- %d cores: %d cycles, %d invocations\n", lay.NumCores, res.TotalCycles, res.Invocations)
-	return nil
+	return emit()
 }
 
 func cmdProfile(argv []string) error {
@@ -423,5 +488,36 @@ func cmdList() error {
 	for _, b := range benchmarks.All() {
 		fmt.Printf("%-12s %s (args: %s)\n", b.Name, b.Description, strings.Join(b.Args, ","))
 	}
+	return nil
+}
+
+// cmdFidelity runs every embedded benchmark through the scheduling
+// simulator and through RunConcurrent on the same layout and reports how
+// closely the predicted per-core utilization shares match the measured
+// ones.
+func cmdFidelity(args []string) error {
+	fs := flag.NewFlagSet("fidelity", flag.ExitOnError)
+	cores := fs.Int("cores", 4, "number of cores")
+	name := fs.String("name", "", "restrict to one embedded benchmark")
+	fs.Parse(args)
+	var rows []*expt.FidelityRow
+	if *name != "" {
+		b, err := benchmarks.Get(*name)
+		if err != nil {
+			return err
+		}
+		row, err := expt.Fidelity(b, nil, *cores, nil)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row)
+	} else {
+		var err error
+		rows, err = expt.FidelityAll(*cores)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Print(expt.FormatFidelity(rows))
 	return nil
 }

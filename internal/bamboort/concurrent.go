@@ -10,6 +10,7 @@ import (
 	"repro/internal/depend"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/obsv"
 	"repro/internal/types"
 )
 
@@ -26,6 +27,55 @@ type ccore struct {
 	inbox  chan delivery
 	tasks  []*hostedTask
 	arrSeq int64
+	// mx and trc are the run's shared metrics collector and tracer; both
+	// nil unless the caller asked for observability.
+	mx  *obsv.Metrics
+	trc *ctracer
+}
+
+// ctracer records wall-clock spans for a concurrent run. Spans are
+// appended in completion order under one mutex, which also guards the
+// object -> producer-span map used to attach dependence edges. The mutex
+// is uncontended relative to task execution (one append per invocation)
+// and the tracer is nil when tracing is off, so the instrumented path
+// costs a single nil check per invocation when disabled.
+type ctracer struct {
+	mu       sync.Mutex
+	start    time.Time
+	tr       *obsv.Trace
+	producer map[int64]int // object ID -> span index that produced it
+}
+
+// now returns nanoseconds since the run started (the trace clock).
+func (t *ctracer) now() int64 { return time.Since(t.start).Nanoseconds() }
+
+// record appends one completed invocation. It must be called while the
+// invocation's parameter locks are still held, so the producer map cannot
+// change under the dependence-edge lookups, and before the objects are
+// routed onward, so consumers always observe their producer's span.
+func (t *ctracer) record(core int, inv *invocation, exec *interp.Exec, start, end int64) {
+	t.mu.Lock()
+	idx := len(t.tr.Events)
+	sp := obsv.Span{
+		Index: idx, Task: inv.ht.task.Name, Core: core,
+		Start: start, End: end, Exit: exec.ExitID,
+	}
+	for i, o := range inv.objs {
+		sp.Params = append(sp.Params, o.ID)
+		prod, ok := t.producer[o.ID]
+		if !ok {
+			prod = -1
+		}
+		sp.Deps = append(sp.Deps, obsv.Dep{Obj: o.ID, Arrival: inv.objArrs[i], Producer: prod})
+	}
+	t.tr.Events = append(t.tr.Events, sp)
+	for _, o := range inv.objs {
+		t.producer[o.ID] = idx
+	}
+	for _, o := range exec.NewObjects {
+		t.producer[o.ID] = idx
+	}
+	t.mu.Unlock()
 }
 
 // RunConcurrent executes the program with real parallelism: one goroutine
@@ -35,6 +85,15 @@ type ccore struct {
 // tag routing) is correct under true concurrency. Programs whose observable
 // output is order-independent produce the same output as the deterministic
 // engine.
+//
+// Observability: when opts.Trace is non-nil the run records one wall-clock
+// span (nanoseconds since run start) per invocation, with parameter object
+// IDs and dependence edges, in the unified internal/obsv model — the
+// measured counterpart of schedsim's predicted schedule. When opts.Metrics
+// is non-nil the run additionally counts lock acquisitions, lock-or-skip
+// contention, guard rechecks, deliveries, pokes, and sampled inbox depths.
+// Both default to nil and every instrumentation site is gated on a nil
+// check, so observability costs nothing when off.
 func RunConcurrent(prog *ir.Program, dep *depend.Result, opts Options) (*Result, error) {
 	if opts.Layout == nil {
 		return nil, fmt.Errorf("bamboort: Layout is required")
@@ -50,10 +109,18 @@ func RunConcurrent(prog *ir.Program, dep *depend.Result, opts Options) (*Result,
 		in.MaxCycles = 10_000_000_000
 	}
 
+	var trc *ctracer
+	if opts.Trace != nil {
+		opts.Trace.Source = "concurrent"
+		opts.Trace.TimeUnit = obsv.UnitNanos
+		opts.Trace.NumCores = opts.Layout.NumCores
+		opts.Trace.Metrics = opts.Metrics
+		trc = &ctracer{start: time.Now(), tr: opts.Trace, producer: map[int64]int{}}
+	}
 	n := opts.Layout.NumCores
 	cores := make([]*ccore, n)
 	for i := range cores {
-		cores[i] = &ccore{id: i, inbox: make(chan delivery, 1<<16)}
+		cores[i] = &ccore{id: i, inbox: make(chan delivery, 1<<16), mx: opts.Metrics, trc: trc}
 	}
 	taskNames := make([]string, 0, len(prog.Tasks))
 	for _, fn := range prog.Tasks {
@@ -129,6 +196,11 @@ func RunConcurrent(prog *ir.Program, dep *depend.Result, opts Options) (*Result,
 				// the dispatch loop exhausts local work, so quiescence
 				// detection never observes a transient zero.
 				credits := int64(1)
+				if c.mx != nil {
+					// Sample the inbox depth at drain start (+1 for the
+					// delivery already in hand).
+					c.mx.SampleInbox(len(c.inbox) + 1)
+				}
 				c.receive(d)
 			drain:
 				for {
@@ -145,12 +217,21 @@ func RunConcurrent(prog *ir.Program, dep *depend.Result, opts Options) (*Result,
 					if inv == nil {
 						break
 					}
+					var spanStart int64
+					if c.trc != nil {
+						spanStart = c.trc.now()
+					}
 					exec, err := in.RunTask(inv.ht.fn, inv.params())
 					if err != nil {
 						runErr.Store(err)
 						unlockAll(inv.objs)
 						inFlight.Add(-credits)
 						return
+					}
+					if c.trc != nil {
+						// Record while the parameter locks are held and
+						// before routing, so dependence edges resolve.
+						c.trc.record(c.id, inv, exec, spanStart, c.trc.now())
 					}
 					inv.consume()
 					unlockAll(inv.objs)
@@ -230,14 +311,24 @@ func unlockAll(objs []*interp.Object) {
 // receive files a delivery into the matching parameter set.
 func (c *ccore) receive(d delivery) {
 	if d.obj == nil {
+		if c.mx != nil {
+			c.mx.Pokes.Add(1)
+		}
 		return // poke
+	}
+	if c.mx != nil {
+		c.mx.Deliveries.Add(1)
 	}
 	for _, ht := range c.tasks {
 		if ht.task.Name == d.taskName {
 			p := ht.task.Params[d.param]
 			if StateOf(d.obj).SatisfiesParam(p) {
 				c.arrSeq++
-				ht.add(d.param, d.obj, c.arrSeq)
+				var at int64
+				if c.trc != nil {
+					at = c.trc.now()
+				}
+				ht.add(d.param, d.obj, c.arrSeq, at)
 			}
 			return
 		}
@@ -269,14 +360,24 @@ func (c *ccore) findAndLock() *invocation {
 			}
 			seen[o] = true
 			if !o.TryLock() {
+				// Lock-or-skip: abandon the invocation, never block.
+				if c.mx != nil {
+					c.mx.RecordContention(o.ID)
+				}
 				ok = false
 				break
+			}
+			if c.mx != nil {
+				c.mx.LockAcquisitions.Add(1)
 			}
 			acquired = append(acquired, o)
 		}
 		if ok {
 			for i, o := range inv.objs {
 				if !StateOf(o).SatisfiesParam(ht.task.Params[i]) {
+					if c.mx != nil {
+						c.mx.GuardRechecks.Add(1)
+					}
 					ok = false
 					break
 				}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/layout"
 	"repro/internal/machine"
+	"repro/internal/obsv"
 	"repro/internal/profile"
 	"repro/internal/types"
 )
@@ -24,6 +25,9 @@ type Options struct {
 	Out     io.Writer        // program output; nil discards
 	Profile *profile.Profile // when non-nil, records per-invocation stats
 	Trace   *Trace           // when non-nil, records invocation events
+	// Metrics, when non-nil, collects runtime counters (RunConcurrent
+	// only; the deterministic engine has no lock contention to count).
+	Metrics *obsv.Metrics
 	// MaxInvocations guards against non-terminating task systems; 0 means
 	// the default of 50 million.
 	MaxInvocations int64
@@ -31,20 +35,13 @@ type Options struct {
 	MaxTaskCycles int64
 }
 
-// Trace records the engine's invocation history for analysis and display.
-type Trace struct {
-	Events []TraceEvent
-}
+// Trace records an engine's invocation history in the unified
+// observability model (internal/obsv), so engine traces, simulator traces,
+// and concurrent-runtime traces share one set of consumers.
+type Trace = obsv.Trace
 
 // TraceEvent is one completed task invocation.
-type TraceEvent struct {
-	Task   string
-	Core   int
-	Start  int64
-	End    int64
-	Exit   int
-	Params []int64 // object IDs bound to the parameters
-}
+type TraceEvent = obsv.Span
 
 // Result summarizes an execution.
 type Result struct {
@@ -126,6 +123,10 @@ type Engine struct {
 	lastEnd  int64
 	nInv     int64
 	tasksRun map[string]int64
+	// producerOf maps each routed object to the trace index of the
+	// invocation that created or last transitioned it (dependence edges).
+	// Maintained only when tracing.
+	producerOf map[*interp.Object]int
 	// destRing caches, per replicated task, the round-robin destination
 	// list with each core repeated in proportion to its speed (nominal
 	// cores appear more often than slowed cores on heterogeneous
@@ -198,6 +199,12 @@ func (e *Engine) push(ev *event) {
 
 // Run executes the program to quiescence and returns the result.
 func (e *Engine) Run() (*Result, error) {
+	if e.opts.Trace != nil {
+		e.opts.Trace.Source = "engine"
+		e.opts.Trace.TimeUnit = obsv.UnitCycles
+		e.opts.Trace.NumCores = e.opts.Layout.NumCores
+		e.producerOf = map[*interp.Object]int{}
+	}
 	// Inject the startup object at the core hosting the startup task.
 	startCl := e.prog.Info.Classes[types.StartupClass]
 	so := e.in.Heap.NewObject(startCl)
@@ -234,7 +241,7 @@ func (e *Engine) onArrive(ev *event) {
 	if !StateOf(ev.obj).SatisfiesParam(p) {
 		return
 	}
-	if ev.ht.add(ev.param, ev.obj, ev.fifo) {
+	if ev.ht.add(ev.param, ev.obj, ev.fifo, ev.time) {
 		c := e.cores[ev.core]
 		at := ev.time
 		if c.freeAt > at {
@@ -319,13 +326,29 @@ func (e *Engine) onComplete(ev *event) error {
 		e.opts.Profile.Record(inv.ht.task.Name, exec.ExitID, exec.Cycles, allocs)
 	}
 	if e.opts.Trace != nil {
+		idx := len(e.opts.Trace.Events)
 		te := TraceEvent{
-			Task: inv.ht.task.Name, Core: ev.core, Start: ev.start, End: ev.time, Exit: exec.ExitID,
+			Index: idx,
+			Task:  inv.ht.task.Name, Core: ev.core, Start: ev.start, End: ev.time, Exit: exec.ExitID,
 		}
-		for _, o := range inv.objs {
+		for i, o := range inv.objs {
 			te.Params = append(te.Params, o.ID)
+			// Producer lookup precedes this event's own updates: a
+			// parameter's producer is whoever last transitioned it
+			// before we dispatched (-1 = the environment).
+			prod, ok := e.producerOf[o]
+			if !ok {
+				prod = -1
+			}
+			te.Deps = append(te.Deps, obsv.Dep{Obj: o.ID, Arrival: inv.objArrs[i], Producer: prod})
 		}
 		e.opts.Trace.Events = append(e.opts.Trace.Events, te)
+		for _, o := range inv.objs {
+			e.producerOf[o] = idx
+		}
+		for _, o := range exec.NewObjects {
+			e.producerOf[o] = idx
+		}
 	}
 	// Route transitioned parameters and new objects. Sender-side enqueue
 	// costs extend the core's busy time. Parameters whose abstract state

@@ -11,11 +11,20 @@ import (
 // scheduler dispatch the oldest-ready invocation first across tasks, so a
 // long-running task cannot starve short invocations that were already
 // waiting.
+// arrivalRec is an object's arrival bookkeeping in one parameter set: the
+// global arrival sequence (oldest-ready dispatch order) and the arrival
+// timestamp (engine cycles or, on the concurrent engine, wall-clock
+// nanoseconds — observability only, never scheduling).
+type arrivalRec struct {
+	seq int64
+	at  int64
+}
+
 type hostedTask struct {
 	fn        *ir.Func
 	task      *types.Task
 	paramSets [][]*interp.Object
-	inSet     []map[*interp.Object]int64 // object -> arrival sequence
+	inSet     []map[*interp.Object]arrivalRec
 }
 
 func newHostedTask(fn *ir.Func) *hostedTask {
@@ -24,21 +33,22 @@ func newHostedTask(fn *ir.Func) *hostedTask {
 		fn:        fn,
 		task:      fn.Task,
 		paramSets: make([][]*interp.Object, n),
-		inSet:     make([]map[*interp.Object]int64, n),
+		inSet:     make([]map[*interp.Object]arrivalRec, n),
 	}
 	for i := range ht.inSet {
-		ht.inSet[i] = map[*interp.Object]int64{}
+		ht.inSet[i] = map[*interp.Object]arrivalRec{}
 	}
 	return ht
 }
 
 // add inserts obj into the parameter set (idempotent) with its arrival
-// sequence number. It returns whether the object was newly added.
-func (ht *hostedTask) add(param int, obj *interp.Object, seq int64) bool {
+// sequence number and timestamp. It returns whether the object was newly
+// added.
+func (ht *hostedTask) add(param int, obj *interp.Object, seq, at int64) bool {
 	if _, ok := ht.inSet[param][obj]; ok {
 		return false
 	}
-	ht.inSet[param][obj] = seq
+	ht.inSet[param][obj] = arrivalRec{seq: seq, at: at}
 	ht.paramSets[param] = append(ht.paramSets[param], obj)
 	return true
 }
@@ -82,6 +92,9 @@ type invocation struct {
 	// re-enqueued with its original sequence (it logically never left the
 	// parameter sets).
 	objSeqs []int64
+	// objArrs are the arrival timestamps of the chosen parameter objects
+	// (trace dependence edges).
+	objArrs []int64
 	// preStates snapshots the parameters' abstract state keys at dispatch.
 	preStates []string
 }
@@ -108,11 +121,12 @@ func (ht *hostedTask) assemble(locked func(*interp.Object) bool) *invocation {
 	if ht.tryBind(0, objs, bindings, locked) {
 		inv := &invocation{ht: ht, objs: objs}
 		for i, o := range objs {
-			s := ht.inSet[i][o]
-			inv.objSeqs = append(inv.objSeqs, s)
+			rec := ht.inSet[i][o]
+			inv.objSeqs = append(inv.objSeqs, rec.seq)
+			inv.objArrs = append(inv.objArrs, rec.at)
 			inv.preStates = append(inv.preStates, StateOf(o).Key())
-			if s > inv.readySeq {
-				inv.readySeq = s
+			if rec.seq > inv.readySeq {
+				inv.readySeq = rec.seq
 			}
 		}
 		for _, name := range ht.fn.TagParams() {

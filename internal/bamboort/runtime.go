@@ -21,11 +21,22 @@
 //   - ConcurrentEngine (concurrent.go): true parallel execution with one
 //     goroutine per core, used to validate that the runtime protocol is
 //     correct under real concurrency.
+//
+// All engines record execution traces in the unified observability model
+// of internal/obsv (Options.Trace); the concurrent engine additionally
+// collects runtime counters (Options.Metrics). The simulation-fidelity
+// harness in internal/expt compares the scheduling simulator's predicted
+// schedule against the concurrent engine's measured one through these
+// shared types.
 package bamboort
 
 import (
+	"sort"
+
 	"repro/internal/depend"
 	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/layout"
 	"repro/internal/types"
 )
 
@@ -68,6 +79,37 @@ func CommonTagVar(task *types.Task) string {
 		}
 	}
 	return ""
+}
+
+// SpreadLayout builds a deterministic layout over n cores for differential
+// and fidelity testing without running synthesis: every task the runtime
+// can replicate (single-parameter tasks, and multi-parameter tasks whose
+// parameters share a tag variable, which the runtime routes by tag hash)
+// is placed on all n cores; every other task gets a single core assigned
+// round-robin in sorted task order. The result is always a valid layout
+// for both the deterministic engine and RunConcurrent.
+func SpreadLayout(prog *ir.Program, n int) *layout.Layout {
+	names := make([]string, 0, len(prog.Tasks))
+	for _, fn := range prog.Tasks {
+		names = append(names, fn.Task.Name)
+	}
+	sort.Strings(names)
+	l := layout.New(n)
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	next := 0
+	for _, name := range names {
+		task := prog.Funcs[ir.TaskKey(name)].Task
+		if len(task.Params) <= 1 || CommonTagVar(task) != "" {
+			l.Place(name, all...)
+			continue
+		}
+		l.Place(name, next%n)
+		next++
+	}
+	return l
 }
 
 // CommonTagType returns the tag type of the common tag variable, or "".

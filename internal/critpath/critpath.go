@@ -1,7 +1,9 @@
 // Package critpath implements the critical path analysis of Section 4.5.1.
 //
-// The analysis processes an execution trace from the scheduling simulator
-// and builds a weighted graph whose nodes are the start and end events of
+// The analysis processes a unified execution trace (internal/obsv) — a
+// predicted schedule from the scheduling simulator or a measured one from
+// either execution engine — and builds a weighted graph whose nodes are
+// the start and end events of
 // task invocations. Edges connect (1) the start and end of each invocation
 // (weight = execution time), (2) the end of one task to the start of the
 // next task on the same core when the second had to wait for the first
@@ -17,12 +19,12 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/schedsim"
+	"repro/internal/obsv"
 )
 
 // Analysis is the result of analyzing one trace.
 type Analysis struct {
-	Trace *schedsim.Trace
+	Trace *obsv.Trace
 	// Critical lists the indices (into Trace.Events) of invocations on the
 	// critical path, in execution order.
 	Critical []int
@@ -42,8 +44,8 @@ type Analysis struct {
 	TotalWeight int64
 }
 
-// Analyze computes the critical path of a simulated trace.
-func Analyze(tr *schedsim.Trace) *Analysis {
+// Analyze computes the critical path of a trace (simulated or measured).
+func Analyze(tr *obsv.Trace) *Analysis {
 	a := &Analysis{
 		Trace:    tr,
 		OnPath:   map[int]bool{},
@@ -185,7 +187,7 @@ func (a *Analysis) CompetingGroups() [][]int {
 
 // IdleCores returns the cores that have idle capacity inside [from, to),
 // given the full trace (used to find spare cores for migration).
-func IdleCores(tr *schedsim.Trace, numCores int, from, to int64) []int {
+func IdleCores(tr *obsv.Trace, numCores int, from, to int64) []int {
 	if to <= from {
 		return nil
 	}

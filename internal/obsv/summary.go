@@ -1,0 +1,132 @@
+package obsv
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// histBuckets is the number of power-of-two latency buckets reported per
+// task: bucket k counts spans with duration in [2^k, 2^(k+1)).
+const histBuckets = 40
+
+// taskStats accumulates one task's latency distribution.
+type taskStats struct {
+	count   int64
+	total   int64
+	min     int64
+	max     int64
+	buckets [histBuckets]int64
+}
+
+func bucketOf(d int64) int {
+	if d <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(d)) - 1
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Summarize renders a human-readable report over the trace: per-core
+// utilization, per-task invocation counts with power-of-two latency
+// histograms, and (when the trace carries Metrics) the runtime counters
+// with the most lock-contended objects.
+func Summarize(t *Trace) string {
+	var b strings.Builder
+	unit := t.TimeUnit
+	if unit == "" {
+		unit = UnitCycles
+	}
+	mk := t.Makespan()
+	fmt.Fprintf(&b, "== execution trace (%s) ==\n", t.Source)
+	fmt.Fprintf(&b, "spans=%d makespan=%d %s cores=%d\n", len(t.Events), mk, unit, t.CoreCount())
+
+	fmt.Fprintf(&b, "-- per-core utilization --\n")
+	busy := t.BusyPerCore()
+	shares := t.UtilizationShares()
+	util := t.Utilization()
+	counts := make([]int64, t.CoreCount())
+	for i := range t.Events {
+		counts[t.Events[i].Core]++
+	}
+	for c := range busy {
+		fmt.Fprintf(&b, "core %2d: busy=%-12d util=%5.1f%% share=%5.1f%% invocations=%d\n",
+			c, busy[c], util[c]*100, shares[c]*100, counts[c])
+	}
+
+	fmt.Fprintf(&b, "-- per-task latency (%s) --\n", unit)
+	stats := map[string]*taskStats{}
+	for i := range t.Events {
+		ev := &t.Events[i]
+		st := stats[ev.Task]
+		if st == nil {
+			st = &taskStats{min: ev.Duration()}
+			stats[ev.Task] = st
+		}
+		d := ev.Duration()
+		st.count++
+		st.total += d
+		if d < st.min {
+			st.min = d
+		}
+		if d > st.max {
+			st.max = d
+		}
+		st.buckets[bucketOf(d)]++
+	}
+	names := make([]string, 0, len(stats))
+	for n := range stats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		st := stats[n]
+		fmt.Fprintf(&b, "%-24s n=%-6d mean=%-10d min=%-10d max=%d\n",
+			n, st.count, st.total/st.count, st.min, st.max)
+		lo, hi := -1, -1
+		for k, c := range st.buckets {
+			if c > 0 {
+				if lo < 0 {
+					lo = k
+				}
+				hi = k
+			}
+		}
+		for k := lo; k <= hi; k++ {
+			fmt.Fprintf(&b, "  [2^%-2d,2^%-2d): %s %d\n", k, k+1, bar(st.buckets[k], st.count), st.buckets[k])
+		}
+	}
+
+	if t.Metrics != nil {
+		s := t.Metrics.Snapshot()
+		fmt.Fprintf(&b, "-- runtime counters --\n")
+		fmt.Fprintf(&b, "lock acquisitions=%d contention skips=%d guard rechecks=%d\n",
+			s.LockAcquisitions, s.ContentionSkips, s.GuardRechecks)
+		fmt.Fprintf(&b, "deliveries=%d pokes=%d\n", s.Deliveries, s.Pokes)
+		if s.InboxSamples > 0 {
+			fmt.Fprintf(&b, "inbox depth: samples=%d mean=%.2f max=%d\n",
+				s.InboxSamples, float64(s.InboxDepthSum)/float64(s.InboxSamples), s.InboxDepthMax)
+		}
+		if len(s.TopContended) > 0 {
+			fmt.Fprintf(&b, "top contended objects:\n")
+			for _, oc := range s.TopContended {
+				fmt.Fprintf(&b, "  object %-8d skips=%d\n", oc.Obj, oc.Skips)
+			}
+		}
+	}
+	return b.String()
+}
+
+// bar renders a proportional 20-char histogram bar.
+func bar(count, total int64) string {
+	const width = 20
+	n := int(count * width / total)
+	if n == 0 && count > 0 {
+		n = 1
+	}
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}

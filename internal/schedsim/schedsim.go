@@ -32,6 +32,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/layout"
 	"repro/internal/machine"
+	"repro/internal/obsv"
 	"repro/internal/profile"
 	"repro/internal/types"
 )
@@ -66,30 +67,16 @@ type Result struct {
 	Invocations int64
 }
 
-// Trace is the simulated schedule.
-type Trace struct {
-	Events []Event
-}
+// Trace is the simulated schedule, recorded in the unified observability
+// model so downstream consumers (critical path analysis, exporters, the
+// fidelity report) treat simulated and measured schedules uniformly.
+type Trace = obsv.Trace
 
 // Event is one simulated task invocation.
-type Event struct {
-	Index int
-	Task  string
-	Core  int
-	Start int64
-	End   int64
-	Exit  int
-	// Deps records, per parameter, when the object arrived at this core
-	// and which event produced it (-1 for the environment).
-	Deps []Dep
-}
+type Event = obsv.Span
 
 // Dep is one parameter object dependence of a simulated invocation.
-type Dep struct {
-	Obj      int64
-	Arrival  int64
-	Producer int
-}
+type Dep = obsv.Dep
 
 // simObject is an abstract object: class + abstract state, no fields.
 type simObject struct {
@@ -466,6 +453,11 @@ func (st *simState) putInv(inv *simInvocation) {
 
 func (st *simState) run(opts Options, usable []int) (*Result, error) {
 	st.reset(opts, usable)
+	if opts.Trace != nil {
+		opts.Trace.Source = "schedsim"
+		opts.Trace.TimeUnit = obsv.UnitCycles
+		opts.Trace.NumCores = opts.Layout.NumCores
+	}
 	for _, name := range st.sim.taskNames {
 		fn := st.sim.prog.Funcs[ir.TaskKey(name)]
 		for _, c := range opts.Layout.Cores(name) {

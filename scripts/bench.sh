@@ -2,11 +2,16 @@
 # Runs the headline synthesis benchmarks and records them in
 # BENCH_synthesis.json (benchmark name -> ns/op, B/op, allocs/op, and any
 # custom metrics such as evals/sec), so successive PRs can track the perf
-# trajectory of the synthesis pipeline.
+# trajectory of the synthesis pipeline. Also snapshots the concurrent
+# runtime's contention counters (lock acquisitions, lock-or-skip
+# contention, pokes, inbox depths) for a fixed set of benchmarks into
+# BENCH_runtime.json, so changes to the runtime protocol show up as
+# counter shifts.
 #
-# Usage: scripts/bench.sh [output.json]
+# Usage: scripts/bench.sh [output.json] [runtime-output.json]
 #   BENCH_PATTERN  override the benchmark regexp
 #   BENCH_TIME     override -benchtime (default 5x)
+#   RUNTIME_CORES  cores for the runtime counter snapshot (default 4)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -42,3 +47,28 @@ END { print "\n}" }
 ' "$raw" > "$out"
 
 echo "wrote $out" >&2
+
+# Runtime counter snapshot: run each benchmark on the concurrent engine
+# with metrics enabled and collect the counters JSON per benchmark.
+rtout="${2:-BENCH_runtime.json}"
+cores="${RUNTIME_CORES:-4}"
+mtmp="$(mktemp)"
+trap 'rm -f "$raw" "$mtmp"' EXIT
+
+{
+    echo "{"
+    first=1
+    for bench in Keyword ImagePipe Tracking; do
+        echo "running: bamboo run -name $bench -cores $cores -concurrent" >&2
+        go run ./cmd/bamboo run -name "$bench" -cores "$cores" -concurrent \
+            -metrics-out "$mtmp" >/dev/null 2>&1
+        [ "$first" = 1 ] || echo ","
+        first=0
+        printf '  "%s": {"cores": %s, "counters": ' "$bench" "$cores"
+        # Indent the counters object under its benchmark key.
+        sed '1!s/^/  /' "$mtmp" | sed '$s/$/}/' | sed 's/[[:space:]]*$//'
+    done
+    echo "}"
+} > "$rtout"
+
+echo "wrote $rtout" >&2
