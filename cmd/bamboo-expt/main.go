@@ -8,7 +8,8 @@
 //	bamboo-expt -exp fig10 [...]     DSA efficiency study (16 cores)
 //	bamboo-expt -exp fig11           generality on doubled inputs
 //	bamboo-expt -exp dsatime         DSA synthesis wall-clock times
-//	bamboo-expt -exp all             everything
+//	bamboo-expt -exp fidelity        schedsim prediction vs measured concurrent run
+//	bamboo-expt -exp all             everything except fidelity (wall-clock sensitive)
 package main
 
 import (
@@ -16,12 +17,13 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/bamboort"
 	"repro/internal/expt"
 	"repro/internal/machine"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "fig7 | fig9 | fig10 | fig11 | dsatime | all")
+	exp := flag.String("exp", "all", "fig7 | fig9 | fig10 | fig11 | dsatime | fidelity | all")
 	seed := flag.Int64("seed", 1, "seed for all stochastic searches")
 	dsaRuns := flag.Int("dsa-runs", 60, "DSA starting points for fig10 (paper: 1000)")
 	fig10Cores := flag.Int("fig10-cores", 16, "cores for the fig10 study")
@@ -78,6 +80,13 @@ func run(exp string, seed int64, dsaRuns, fig10Cores, maxExhaustive, workers int
 			return err
 		}
 		fmt.Println(expt.FormatFig11(rows, cores))
+	}
+	if exp == "fidelity" {
+		rows, err := expt.FidelityAll(4, bamboort.SchedPolicy{})
+		if err != nil {
+			return err
+		}
+		fmt.Print(expt.FormatFidelity(rows))
 	}
 	if exp == "all" || exp == "dsatime" {
 		fmt.Println("DSA synthesis time (Section 5.1 reports 1.3 min for Tracking, 10 s for KMeans, <0.2 s for the rest):")

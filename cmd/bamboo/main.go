@@ -7,6 +7,8 @@
 //
 //	bamboo run        -file prog.bb [-args a,b,c] [-cores N] [-seed S]
 //	                  [-trace] [-trace-out t.json] [-concurrent] [-metrics-out m.json]
+//	                  [-no-steal] [-inject-panic-every N] [-inject-delay-every N]
+//	                  [-stall-timeout d]    (Ctrl-C cancels and still flushes outputs)
 //	bamboo profile    -file prog.bb [-args a,b,c] [-o profile.json]
 //	bamboo synthesize -file prog.bb [-args a,b,c] [-cores N] [-seed S]
 //	bamboo analyze    -file prog.bb            (ASTGs, lock groups, IR)
@@ -18,12 +20,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/benchmarks"
 	"repro/internal/ast"
@@ -31,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/critpath"
 	"repro/internal/expt"
+	"repro/internal/faultinject"
 	"repro/internal/layout"
 	"repro/internal/machine"
 	"repro/internal/obsv"
@@ -108,7 +115,7 @@ func splitArgs(s string) []string {
 }
 
 // prepare compiles, profiles, and (for multicore runs) synthesizes.
-func prepare(src string, args []string, cores int, seed int64, workers int) (*core.System, *layout.Layout, *machine.Machine, error) {
+func prepare(ctx context.Context, src string, args []string, cores int, seed int64, workers int) (*core.System, *layout.Layout, *machine.Machine, error) {
 	sys, err := core.CompileSource(src)
 	if err != nil {
 		return nil, nil, nil, err
@@ -121,7 +128,7 @@ func prepare(src string, args []string, cores int, seed int64, workers int) (*co
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	res, err := sys.Synthesize(core.SynthesizeConfig{Machine: m, Prof: prof, Seed: seed, Workers: workers})
+	res, err := sys.SynthesizeContext(ctx, core.SynthesizeConfig{Machine: m, Prof: prof, Seed: seed, Workers: workers})
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -144,6 +151,11 @@ func cmdRun(argv []string) error {
 	seed := fs.Int64("seed", 1, "synthesis search seed")
 	seq := fs.Bool("seq", false, "run the zero-overhead sequential baseline")
 	conc := fs.Bool("concurrent", false, "execute on the concurrent engine (goroutine per core, wall-clock trace)")
+	noSteal := fs.Bool("no-steal", false, "disable work stealing in the concurrent engine")
+	panicEvery := fs.Int("inject-panic-every", 0, "inject a crash into every Nth concurrent invocation (0 = none)")
+	delayEvery := fs.Int("inject-delay-every", 0, "inject a 1ms stall into every Nth concurrent invocation (0 = none)")
+	faultSeed := fs.Int64("fault-seed", 1, "seed for the fault injector")
+	stall := fs.Duration("stall-timeout", 0, "abort the concurrent run as deadlocked after this long without progress (0 = disabled)")
 	showTrace := fs.Bool("trace", false, "print an execution trace summary to stderr")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON (loads in Perfetto) to this file")
 	metricsOut := fs.String("metrics-out", "", "write runtime counters JSON to this file (implies -concurrent)")
@@ -160,9 +172,17 @@ func cmdRun(argv []string) error {
 	if *metricsOut != "" {
 		*conc = true
 	}
+	// Ctrl-C cancels the run; emit() below still flushes -trace-out and
+	// -metrics-out with whatever was recorded before the interrupt.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
 	var tr *obsv.Trace
 	if *showTrace || *traceOut != "" {
 		tr = &obsv.Trace{}
+	}
+	var mx *obsv.Metrics
+	if *conc {
+		mx = &obsv.Metrics{}
 	}
 	emit := func() error {
 		if tr != nil {
@@ -184,38 +204,7 @@ func cmdRun(argv []string) error {
 				fmt.Fprint(os.Stderr, obsv.Summarize(tr))
 			}
 		}
-		return nil
-	}
-
-	if *seq {
-		sys, err := core.CompileSource(src)
-		if err != nil {
-			return err
-		}
-		res, err := sys.Run(core.RunConfig{
-			Machine: machine.Sequential(), Layout: layout.Single(sys.TaskNames()),
-			Args: args, Out: os.Stdout, Trace: tr,
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("-- sequential: %d cycles, %d invocations\n", res.TotalCycles, res.Invocations)
-		return emit()
-	}
-	sys, lay, m, err := prepare(src, args, *cores, *seed, *workers)
-	if err != nil {
-		return err
-	}
-	if *conc {
-		mx := &obsv.Metrics{}
-		res, err := bamboort.RunConcurrent(sys.Prog, sys.Dep, bamboort.Options{
-			Layout: lay, Args: args, Out: os.Stdout, Trace: tr, Metrics: mx,
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("-- concurrent, %d cores: %d invocations\n", lay.NumCores, res.Invocations)
-		if *metricsOut != "" {
+		if mx != nil && *metricsOut != "" {
 			data, err := json.MarshalIndent(mx.Snapshot(), "", "  ")
 			if err != nil {
 				return err
@@ -225,14 +214,72 @@ func cmdRun(argv []string) error {
 			}
 			fmt.Fprintf(os.Stderr, "-- wrote runtime counters to %s\n", *metricsOut)
 		}
-		return emit()
+		return nil
 	}
-	res, err := sys.Run(core.RunConfig{Machine: m, Layout: lay, Args: args, Out: os.Stdout, Trace: tr})
+	// flush runs emit even when the run failed (interrupt, deadlock, fault
+	// exhaustion): partial traces are exactly what one wants to inspect.
+	flush := func(runErr error) error {
+		emitErr := emit()
+		if runErr != nil {
+			if errors.Is(runErr, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "-- interrupted; partial outputs flushed")
+			}
+			return runErr
+		}
+		return emitErr
+	}
+
+	if *seq {
+		sys, err := core.CompileSource(src)
+		if err != nil {
+			return err
+		}
+		res, err := sys.Exec(ctx, core.ExecConfig{
+			Engine: core.Deterministic, Machine: machine.Sequential(),
+			Layout: layout.Single(sys.TaskNames()),
+			Args:   args, Out: os.Stdout, Trace: tr,
+		})
+		if err != nil {
+			return flush(err)
+		}
+		fmt.Printf("-- sequential: %d cycles, %d invocations\n", res.TotalCycles, res.Invocations)
+		return flush(nil)
+	}
+	sys, lay, m, err := prepare(ctx, src, args, *cores, *seed, *workers)
 	if err != nil {
 		return err
 	}
+	if *conc {
+		var inj faultinject.Injector
+		if *panicEvery > 0 || *delayEvery > 0 {
+			inj = &faultinject.Seeded{
+				Seed: *faultSeed, PanicEvery: *panicEvery,
+				DelayEvery: *delayEvery, Delay: time.Millisecond,
+			}
+		}
+		res, err := sys.Exec(ctx, core.ExecConfig{
+			Engine: core.Concurrent,
+			Layout: lay, Args: args, Out: os.Stdout, Trace: tr, Metrics: mx,
+			Sched: bamboort.SchedPolicy{DisableStealing: *noSteal},
+			Fault: bamboort.FaultPolicy{Injector: inj, StallTimeout: *stall},
+		})
+		if err != nil {
+			return flush(err)
+		}
+		snap := mx.Snapshot()
+		fmt.Printf("-- concurrent, %d cores: %d invocations, %d steals, %d retries\n",
+			lay.NumCores, res.Invocations, snap.StealSuccesses, snap.Retries)
+		return flush(nil)
+	}
+	res, err := sys.Exec(ctx, core.ExecConfig{
+		Engine: core.Deterministic, Machine: m, Layout: lay,
+		Args: args, Out: os.Stdout, Trace: tr,
+	})
+	if err != nil {
+		return flush(err)
+	}
 	fmt.Printf("-- %d cores: %d cycles, %d invocations\n", lay.NumCores, res.TotalCycles, res.Invocations)
-	return emit()
+	return flush(nil)
 }
 
 func cmdProfile(argv []string) error {
@@ -389,7 +436,7 @@ func cmdViz(argv []string) error {
 		}
 		fmt.Print(sys.CSTG(prof).TaskFlowGraph().DOT())
 	case "layout": // Figure 4
-		_, lay, _, err := prepare(src, args, *cores, *seed, *workers)
+		_, lay, _, err := prepare(context.Background(), src, args, *cores, *seed, *workers)
 		if err != nil {
 			return err
 		}
@@ -449,7 +496,10 @@ func cmdBench(argv []string) error {
 		return err
 	}
 	tr := &bamboort.Trace{}
-	many, err := sys.Run(core.RunConfig{Machine: m, Layout: res.Layout, Args: b.Args, Out: os.Stdout, Trace: tr})
+	many, err := sys.Exec(context.Background(), core.ExecConfig{
+		Engine: core.Deterministic, Machine: m, Layout: res.Layout,
+		Args: b.Args, Out: os.Stdout, Trace: tr,
+	})
 	if err != nil {
 		return err
 	}
@@ -492,28 +542,30 @@ func cmdList() error {
 }
 
 // cmdFidelity runs every embedded benchmark through the scheduling
-// simulator and through RunConcurrent on the same layout and reports how
-// closely the predicted per-core utilization shares match the measured
-// ones.
+// simulator and through the concurrent engine on the same layout and
+// reports how closely the predicted per-core utilization shares match the
+// measured ones.
 func cmdFidelity(args []string) error {
 	fs := flag.NewFlagSet("fidelity", flag.ExitOnError)
 	cores := fs.Int("cores", 4, "number of cores")
 	name := fs.String("name", "", "restrict to one embedded benchmark")
+	noSteal := fs.Bool("no-steal", false, "disable work stealing in the measured run")
 	fs.Parse(args)
+	sched := bamboort.SchedPolicy{DisableStealing: *noSteal}
 	var rows []*expt.FidelityRow
 	if *name != "" {
 		b, err := benchmarks.Get(*name)
 		if err != nil {
 			return err
 		}
-		row, err := expt.Fidelity(b, nil, *cores, nil)
+		row, err := expt.Fidelity(b, nil, *cores, nil, sched)
 		if err != nil {
 			return err
 		}
 		rows = append(rows, row)
 	} else {
 		var err error
-		rows, err = expt.FidelityAll(*cores)
+		rows, err = expt.FidelityAll(*cores, sched)
 		if err != nil {
 			return err
 		}

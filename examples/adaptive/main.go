@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -55,7 +56,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fresh, err := sys.Run(core.RunConfig{Machine: m, Layout: reopt.Layout, Args: fieldInput})
+	fresh, err := sys.Exec(context.Background(), core.ExecConfig{
+		Engine: core.Deterministic, Machine: m, Layout: reopt.Layout, Args: fieldInput,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,7 +71,9 @@ func main() {
 // optimization library.
 func runWithProfile(sys *core.System, m *machine.Machine, synth *core.SynthesisResult, args []string) (*profile.Profile, int64, error) {
 	prof := profile.New()
-	res, err := sys.Run(core.RunConfig{Machine: m, Layout: synth.Layout, Args: args, Profile: prof})
+	res, err := sys.Exec(context.Background(), core.ExecConfig{
+		Engine: core.Deterministic, Machine: m, Layout: synth.Layout, Args: args, Profile: prof,
+	})
 	if err != nil {
 		return nil, 0, err
 	}

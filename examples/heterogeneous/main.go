@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,11 +46,15 @@ func main() {
 	}
 
 	tr := &bamboort.Trace{}
-	het, err := sys.Run(core.RunConfig{Machine: hetero, Layout: synHet.Layout, Args: b.Args, Trace: tr})
+	het, err := sys.Exec(context.Background(), core.ExecConfig{
+		Engine: core.Deterministic, Machine: hetero, Layout: synHet.Layout, Args: b.Args, Trace: tr,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	hom, err := sys.Run(core.RunConfig{Machine: homog, Layout: synHom.Layout, Args: b.Args})
+	hom, err := sys.Exec(context.Background(), core.ExecConfig{
+		Engine: core.Deterministic, Machine: homog, Layout: synHom.Layout, Args: b.Args,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,7 +41,9 @@ func main() {
 		synth.Layout.Cores("aggregate"), len(synth.Layout.Cores("simulate")))
 
 	tr := &bamboort.Trace{}
-	res, err := sys.Run(core.RunConfig{Machine: m, Layout: synth.Layout, Args: b.Args, Trace: tr})
+	res, err := sys.Exec(context.Background(), core.ExecConfig{
+		Engine: core.Deterministic, Machine: m, Layout: synth.Layout, Args: b.Args, Trace: tr,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

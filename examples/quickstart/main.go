@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -101,7 +102,9 @@ func main() {
 
 	// Execute the synthesized layout on the discrete-event machine.
 	fmt.Println("== 8-core run ==")
-	par, err := sys.Run(core.RunConfig{Machine: m, Layout: synth.Layout, Out: os.Stdout})
+	par, err := sys.Exec(context.Background(), core.ExecConfig{
+		Engine: core.Deterministic, Machine: m, Layout: synth.Layout, Out: os.Stdout,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -50,7 +51,9 @@ func main() {
 		log.Fatal(err)
 	}
 	tr := &bamboort.Trace{}
-	res, err := sys.Run(core.RunConfig{Machine: m, Layout: synth.Layout, Args: b.Args, Trace: tr})
+	res, err := sys.Exec(context.Background(), core.ExecConfig{
+		Engine: core.Deterministic, Machine: m, Layout: synth.Layout, Args: b.Args, Trace: tr,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -27,6 +27,7 @@
 package anneal
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -44,6 +45,9 @@ import (
 
 // Options configures the search.
 type Options struct {
+	// Ctx, when non-nil, cancels the search between iterations; Optimize
+	// returns the context error wrapped.
+	Ctx      context.Context
 	Machine  *machine.Machine
 	Prof     *profile.Profile
 	NumCores int
@@ -147,6 +151,11 @@ func Optimize(sim *schedsim.Simulator, syn *synth.Synthesis, opts Options) (*Out
 	}
 
 	for iter := 0; iter < opts.MaxIterations; iter++ {
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("anneal: search canceled: %w", err)
+			}
+		}
 		out.Iterations = iter + 1
 		// Prune probabilistically, always retaining the global best.
 		sort.Slice(pop, func(i, j int) bool { return pop[i].cycles < pop[j].cycles })

@@ -1,13 +1,17 @@
 package bamboort
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/depend"
+	"repro/internal/faultinject"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/obsv"
@@ -22,15 +26,31 @@ type delivery struct {
 	obj      *interp.Object
 }
 
+// ccore is one core of the concurrent runtime. mu guards the scheduler
+// state — parameter sets, arrival sequencing, and the ready deque — so a
+// thieving core can assemble and claim invocations from a victim's sets;
+// the inbox is drained only by the owning worker (and by the coordinator
+// in degraded drain mode).
 type ccore struct {
-	id     int
-	inbox  chan delivery
-	tasks  []*hostedTask
-	arrSeq int64
+	id    int
+	inbox chan delivery
 	// mx and trc are the run's shared metrics collector and tracer; both
 	// nil unless the caller asked for observability.
 	mx  *obsv.Metrics
 	trc *ctracer
+
+	mu     sync.Mutex
+	tasks  []*hostedTask
+	arrSeq int64
+	// deque is the bounded ready deque: candidate invocations assembled
+	// from the parameter sets, oldest ready first. The owner pops from the
+	// front (FIFO fairness), thieves pop from the back. Entries are views
+	// that are re-validated (locks, guards) at pop time, so a stale entry
+	// is discarded, never executed.
+	deque []*invocation
+	// poisoned marks a core that exhausted an invocation's retry budget;
+	// the run degrades to a sequential drain when any core is poisoned.
+	poisoned bool
 }
 
 // ctracer records wall-clock spans for a concurrent run. Spans are
@@ -78,28 +98,95 @@ func (t *ctracer) record(core int, inv *invocation, exec *interp.Exec, start, en
 	t.mu.Unlock()
 }
 
+// crun is the shared state of one concurrent execution.
+type crun struct {
+	prog *ir.Program
+	dep  *depend.Result
+	opts Options
+	in   *interp.Interp
+
+	cores []*ccore
+	mx    *obsv.Metrics
+	trc   *ctracer
+
+	// inFlight counts undelivered messages plus credits held by workers
+	// that are draining or executing; quiescence is inFlight == 0.
+	inFlight atomic.Int64
+	// progress bumps on every delivery, completion, and contained failure
+	// (the stall watchdog watches it).
+	progress atomic.Int64
+	nInv     atomic.Int64
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	errMu  sync.Mutex
+	runErr error
+
+	tasksMu  sync.Mutex
+	tasksRun map[string]int64
+
+	rrMu sync.Mutex
+	rr   map[string]int
+
+	// degraded flips when a core is poisoned: workers stop dispatching and
+	// the coordinator drains the remaining work sequentially.
+	degraded atomic.Bool
+
+	// attempts tracks per-invocation dispatch attempts (keyed by task name
+	// plus parameter object IDs) for bounded retry; entries are cleared on
+	// success.
+	attemptMu sync.Mutex
+	attempts  map[string]int
+}
+
 // RunConcurrent executes the program with real parallelism: one goroutine
 // per layout core, channels as the on-chip network, and per-object mutexes
 // implementing the runtime's parameter locks. It is not cycle accurate —
 // it validates that the runtime protocol (guarded dispatch, lock-or-skip,
-// tag routing) is correct under true concurrency. Programs whose observable
-// output is order-independent produce the same output as the deterministic
-// engine.
+// tag routing, work stealing) is correct under true concurrency. Programs
+// whose observable output is order-independent produce the same output as
+// the deterministic engine.
+//
+// Scheduling: each core dispatches from a bounded deque of ready
+// invocations assembled from its parameter sets, oldest ready first. When
+// a core's local queue and guard matching both come up empty it probes
+// other cores in random order and steals a ready invocation from the back
+// of a victim's deque (opts.Sched configures the policy). A stolen
+// invocation keeps the paper's transactional semantics: the thief acquires
+// all parameter locks in canonical (ascending object ID) order,
+// re-validates the guards, and only then claims the objects from the
+// victim's parameter sets.
+//
+// Failure containment (opts.Fault): every attempt snapshots its parameter
+// objects' flag/tag state before running; a panic — real or injected via
+// the faultinject hook — is recovered, the snapshot is rolled back, and
+// the invocation is retried with exponential backoff. Injected stalls that
+// exceed the per-invocation timeout fail the attempt with ErrTimeout and
+// retry the same way. When retries are exhausted the executing core is
+// poisoned and the run degrades to a sequential drain on the coordinator;
+// a stall watchdog converts a hung run into ErrDeadlock. The context
+// cancels the run between invocations.
 //
 // Observability: when opts.Trace is non-nil the run records one wall-clock
 // span (nanoseconds since run start) per invocation, with parameter object
 // IDs and dependence edges, in the unified internal/obsv model — the
 // measured counterpart of schedsim's predicted schedule. When opts.Metrics
 // is non-nil the run additionally counts lock acquisitions, lock-or-skip
-// contention, guard rechecks, deliveries, pokes, and sampled inbox depths.
-// Both default to nil and every instrumentation site is gated on a nil
-// check, so observability costs nothing when off.
-func RunConcurrent(prog *ir.Program, dep *depend.Result, opts Options) (*Result, error) {
+// contention, guard rechecks, deliveries, pokes, sampled inbox depths,
+// steal attempts/successes, retries, rollbacks, timeouts, recovered
+// panics, and poisoned cores. Both default to nil and every
+// instrumentation site is gated on a nil check, so observability costs
+// nothing when off.
+func RunConcurrent(ctx context.Context, prog *ir.Program, dep *depend.Result, opts Options) (*Result, error) {
 	if opts.Layout == nil {
 		return nil, fmt.Errorf("bamboort: Layout is required")
 	}
 	if opts.MaxInvocations == 0 {
 		opts.MaxInvocations = 50_000_000
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	in := interp.New(prog)
 	in.Out = opts.Out
@@ -118,9 +205,18 @@ func RunConcurrent(prog *ir.Program, dep *depend.Result, opts Options) (*Result,
 		trc = &ctracer{start: time.Now(), tr: opts.Trace, producer: map[int64]int{}}
 	}
 	n := opts.Layout.NumCores
-	cores := make([]*ccore, n)
-	for i := range cores {
-		cores[i] = &ccore{id: i, inbox: make(chan delivery, 1<<16), mx: opts.Metrics, trc: trc}
+	r := &crun{
+		prog: prog, dep: dep, opts: opts, in: in,
+		cores:    make([]*ccore, n),
+		mx:       opts.Metrics,
+		trc:      trc,
+		stop:     make(chan struct{}),
+		tasksRun: map[string]int64{},
+		rr:       map[string]int{},
+		attempts: map[string]int{},
+	}
+	for i := range r.cores {
+		r.cores[i] = &ccore{id: i, inbox: make(chan delivery, 1<<16), mx: opts.Metrics, trc: trc}
 	}
 	taskNames := make([]string, 0, len(prog.Tasks))
 	for _, fn := range prog.Tasks {
@@ -134,139 +230,13 @@ func RunConcurrent(prog *ir.Program, dep *depend.Result, opts Options) (*Result,
 			return nil, fmt.Errorf("bamboort: task %s cannot be replicated without a common tag", name)
 		}
 		for _, c := range cs {
-			cores[c].tasks = append(cores[c].tasks, newHostedTask(fn))
+			r.cores[c].tasks = append(r.cores[c].tasks, newHostedTask(fn))
 		}
 	}
 
-	var (
-		inFlight atomic.Int64 // undelivered messages + credits held by busy workers
-		nInv     atomic.Int64
-		stop     = make(chan struct{})
-		wg       sync.WaitGroup
-		runErr   atomic.Value
-		tasksMu  sync.Mutex
-		tasksRun = map[string]int64{}
-		rrMu     sync.Mutex
-		rr       = map[string]int{}
-	)
-
-	send := func(dst int, d delivery) {
-		inFlight.Add(1)
-		cores[dst].inbox <- d
-	}
-
-	route := func(obj *interp.Object, fromCore int) {
-		state := StateOf(obj)
-		for _, pr := range dep.Consumers(obj.Class, state) {
-			cs := opts.Layout.Cores(pr.Task.Name)
-			if len(cs) == 0 {
-				continue
-			}
-			var dst int
-			switch {
-			case len(cs) == 1:
-				dst = cs[0]
-			default:
-				dst = -1
-				if tagType := CommonTagType(pr.Task); tagType != "" && len(pr.Task.Params) > 1 {
-					if tag := firstTagOf(obj, tagType); tag != nil {
-						dst = cs[int(tag.ID)%len(cs)]
-					}
-				}
-				if dst < 0 {
-					key := fmt.Sprintf("%d|%s", fromCore, pr.Task.Name)
-					rrMu.Lock()
-					dst = cs[(rr[key]+fromCore)%len(cs)]
-					rr[key]++
-					rrMu.Unlock()
-				}
-			}
-			send(dst, delivery{taskName: pr.Task.Name, param: pr.Param, obj: obj})
-		}
-	}
-
-	worker := func(c *ccore) {
-		defer wg.Done()
-		for {
-			select {
-			case <-stop:
-				return
-			case d := <-c.inbox:
-				// Credits: one per received delivery, released only after
-				// the dispatch loop exhausts local work, so quiescence
-				// detection never observes a transient zero.
-				credits := int64(1)
-				if c.mx != nil {
-					// Sample the inbox depth at drain start (+1 for the
-					// delivery already in hand).
-					c.mx.SampleInbox(len(c.inbox) + 1)
-				}
-				c.receive(d)
-			drain:
-				for {
-					select {
-					case d := <-c.inbox:
-						c.receive(d)
-						credits++
-					default:
-						break drain
-					}
-				}
-				for {
-					inv := c.findAndLock()
-					if inv == nil {
-						break
-					}
-					var spanStart int64
-					if c.trc != nil {
-						spanStart = c.trc.now()
-					}
-					exec, err := in.RunTask(inv.ht.fn, inv.params())
-					if err != nil {
-						runErr.Store(err)
-						unlockAll(inv.objs)
-						inFlight.Add(-credits)
-						return
-					}
-					if c.trc != nil {
-						// Record while the parameter locks are held and
-						// before routing, so dependence edges resolve.
-						c.trc.record(c.id, inv, exec, spanStart, c.trc.now())
-					}
-					inv.consume()
-					unlockAll(inv.objs)
-					nInv.Add(1)
-					tasksMu.Lock()
-					tasksRun[inv.ht.task.Name]++
-					tasksMu.Unlock()
-					for _, o := range inv.objs {
-						route(o, c.id)
-					}
-					for _, o := range exec.NewObjects {
-						if _, ok := dep.Graphs[o.Class.Name]; ok {
-							route(o, c.id)
-						}
-					}
-					// Poke other cores: a released lock may unblock them.
-					for _, other := range cores {
-						if other != c {
-							send(other.id, delivery{})
-						}
-					}
-					if nInv.Load() > opts.MaxInvocations {
-						runErr.Store(fmt.Errorf("bamboort: exceeded %d invocations", opts.MaxInvocations))
-						inFlight.Add(-credits)
-						return
-					}
-				}
-				inFlight.Add(-credits)
-			}
-		}
-	}
-
-	wg.Add(n)
-	for _, c := range cores {
-		go worker(c)
+	r.wg.Add(n)
+	for _, c := range r.cores {
+		go r.worker(c)
 	}
 
 	// Inject the startup object.
@@ -276,39 +246,572 @@ func RunConcurrent(prog *ir.Program, dep *depend.Result, opts Options) (*Result,
 	if f, ok := startCl.FieldByName["args"]; ok {
 		so.Fields[f.Index] = interp.ArrV(in.Heap.NewStringArray(opts.Args))
 	}
-	route(so, 0)
+	r.route(so, 0)
 
-	// Quiescence: no undelivered messages and no worker holding credits.
+	return r.monitor(ctx)
+}
+
+// monitor is the coordinator loop: it waits for quiescence (no undelivered
+// messages, no worker holding credits), watches for terminal errors,
+// cancellation, degradation to sequential drain, and — when the fault
+// policy arms it — the stall watchdog.
+func (r *crun) monitor(ctx context.Context) (*Result, error) {
+	lastProgress := r.progress.Load()
+	lastMove := time.Now()
+	stall := r.opts.Fault.StallTimeout
 	for {
-		if err, _ := runErr.Load().(error); err != nil {
-			close(stop)
-			wg.Wait()
+		if err := r.err(); err != nil {
+			r.shutdown()
 			return nil, err
 		}
-		if inFlight.Load() == 0 {
+		if r.degraded.Load() {
+			r.shutdown()
+			if err := r.drainSequential(); err != nil {
+				return nil, err
+			}
+			return r.result(), nil
+		}
+		if err := ctx.Err(); err != nil {
+			r.shutdown()
+			return nil, fmt.Errorf("bamboort: run canceled: %w", err)
+		}
+		if r.inFlight.Load() == 0 {
+			// A poisoning worker stores the degraded flag before releasing
+			// its credits, so re-checking here cannot miss a degradation
+			// that drained inFlight to zero.
+			if r.degraded.Load() {
+				continue
+			}
 			break
+		}
+		if stall > 0 {
+			if p := r.progress.Load(); p != lastProgress {
+				lastProgress, lastMove = p, time.Now()
+			} else if time.Since(lastMove) > stall {
+				r.shutdown()
+				return nil, fmt.Errorf("%w: no progress for %v with %d messages or credits outstanding",
+					ErrDeadlock, stall, r.inFlight.Load())
+			}
 		}
 		time.Sleep(50 * time.Microsecond)
 	}
-	close(stop)
-	wg.Wait()
-	if err, _ := runErr.Load().(error); err != nil {
+	r.shutdown()
+	if err := r.err(); err != nil {
 		return nil, err
 	}
-	return &Result{Invocations: nInv.Load(), TasksRun: tasksRun}, nil
+	return r.result(), nil
 }
 
-func unlockAll(objs []*interp.Object) {
-	seen := map[*interp.Object]bool{}
-	for _, o := range objs {
-		if !seen[o] {
-			seen[o] = true
-			o.Unlock()
+func (r *crun) result() *Result {
+	return &Result{Invocations: r.nInv.Load(), TasksRun: r.tasksRun}
+}
+
+// shutdown stops the workers and waits for them to exit.
+func (r *crun) shutdown() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+}
+
+func (r *crun) stopped() bool {
+	select {
+	case <-r.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// sleep waits d, cut short by shutdown.
+func (r *crun) sleep(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-r.stop:
+	}
+}
+
+// fail records the run's first terminal error.
+func (r *crun) fail(err error) {
+	r.errMu.Lock()
+	if r.runErr == nil {
+		r.runErr = err
+	}
+	r.errMu.Unlock()
+}
+
+func (r *crun) err() error {
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	return r.runErr
+}
+
+func (r *crun) send(dst int, d delivery) {
+	r.inFlight.Add(1)
+	r.cores[dst].inbox <- d
+}
+
+// route delivers obj to every task parameter its current state can
+// satisfy, per the layout (tag-hash for replicated joins, locality-
+// staggered round-robin otherwise).
+func (r *crun) route(obj *interp.Object, fromCore int) {
+	state := StateOf(obj)
+	for _, pr := range r.dep.Consumers(obj.Class, state) {
+		cs := r.opts.Layout.Cores(pr.Task.Name)
+		if len(cs) == 0 {
+			continue
+		}
+		var dst int
+		switch {
+		case len(cs) == 1:
+			dst = cs[0]
+		default:
+			dst = -1
+			if tagType := CommonTagType(pr.Task); tagType != "" && len(pr.Task.Params) > 1 {
+				if tag := firstTagOf(obj, tagType); tag != nil {
+					dst = cs[int(tag.ID)%len(cs)]
+				}
+			}
+			if dst < 0 {
+				key := fmt.Sprintf("%d|%s", fromCore, pr.Task.Name)
+				r.rrMu.Lock()
+				dst = cs[(r.rr[key]+fromCore)%len(cs)]
+				r.rr[key]++
+				r.rrMu.Unlock()
+			}
+		}
+		r.send(dst, delivery{taskName: pr.Task.Name, param: pr.Param, obj: obj})
+	}
+}
+
+// worker is one core's scheduler loop: drain the inbox into the parameter
+// sets, dispatch local ready work oldest first, and steal when idle.
+// Credits (one per received delivery, one per steal execution) keep
+// quiescence detection from observing a transient zero.
+func (r *crun) worker(c *ccore) {
+	defer r.wg.Done()
+	rng := rand.New(rand.NewSource(r.opts.Sched.Seed<<16 + int64(c.id) + 1))
+	for {
+		select {
+		case <-r.stop:
+			return
+		case d := <-c.inbox:
+			credits := int64(1)
+			if r.mx != nil {
+				// Sample the inbox depth at drain start (+1 for the
+				// delivery already in hand).
+				r.mx.SampleInbox(len(c.inbox) + 1)
+			}
+			c.mu.Lock()
+			c.receive(d)
+		drain:
+			for {
+				select {
+				case d := <-c.inbox:
+					c.receive(d)
+					credits++
+				default:
+					break drain
+				}
+			}
+			c.mu.Unlock()
+			r.dispatchLoop(c, rng)
+			r.inFlight.Add(-credits)
 		}
 	}
 }
 
-// receive files a delivery into the matching parameter set.
+// dispatchLoop runs local ready invocations until the core's queue and
+// guard matching come up empty, then tries to steal; it returns when there
+// is nothing left to execute (or the run is stopping/degraded).
+func (r *crun) dispatchLoop(c *ccore, rng *rand.Rand) {
+	for !r.stopped() && !r.degraded.Load() {
+		inv, owner := r.acquireLocal(c), c
+		if inv == nil && !r.opts.Sched.DisableStealing {
+			inv, owner = r.stealFrom(c, rng)
+		}
+		if inv == nil {
+			return
+		}
+		if !r.execute(c, owner, inv, false) {
+			return
+		}
+	}
+}
+
+// acquireLocal claims the oldest ready invocation from c's own deque.
+func (r *crun) acquireLocal(c *ccore) *invocation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return r.takeFrom(c, false)
+}
+
+// stealFrom probes other cores in random order and steals the newest
+// ready invocation from the first victim with claimable work. The thief
+// still holds its own drain credits while executing stolen work, so
+// quiescence detection keeps counting it.
+func (r *crun) stealFrom(c *ccore, rng *rand.Rand) (*invocation, *ccore) {
+	n := len(r.cores)
+	if n <= 1 {
+		return nil, nil
+	}
+	tries := r.opts.Sched.StealTries
+	if tries <= 0 {
+		tries = n - 1
+	}
+	probed := 0
+	for _, vi := range rng.Perm(n) {
+		v := r.cores[vi]
+		if v == c {
+			continue
+		}
+		if probed >= tries {
+			break
+		}
+		probed++
+		if r.mx != nil {
+			r.mx.StealAttempts.Add(1)
+		}
+		v.mu.Lock()
+		inv := r.takeFrom(v, true)
+		v.mu.Unlock()
+		if inv != nil {
+			if r.mx != nil {
+				r.mx.StealSuccesses.Add(1)
+			}
+			return inv, v
+		}
+	}
+	return nil, nil
+}
+
+// takeFrom refreshes v's ready deque and claims the first entry that
+// survives validation: all parameter locks acquired in canonical order
+// (lock-or-skip — never block), guards re-checked after locking, and the
+// objects consumed from the parameter sets under v's scheduler lock.
+// Local dispatch pops the front (oldest ready), stealing pops the back.
+// Callers hold v.mu.
+func (r *crun) takeFrom(v *ccore, stealing bool) *invocation {
+	v.refreshDeque(r.opts.Sched.dequeCap())
+	for len(v.deque) > 0 {
+		var inv *invocation
+		if stealing {
+			inv = v.deque[len(v.deque)-1]
+			v.deque = v.deque[:len(v.deque)-1]
+		} else {
+			inv = v.deque[0]
+			v.deque = v.deque[1:]
+		}
+		if r.lockAndValidate(inv) {
+			inv.consume()
+			return inv
+		}
+	}
+	return nil
+}
+
+// refreshDeque rebuilds the bounded ready deque from the parameter sets:
+// one candidate invocation per hosted task, oldest ready first, truncated
+// at cap (overflow stays in the parameter sets for the next refresh).
+func (c *ccore) refreshDeque(max int) {
+	c.deque = c.deque[:0]
+	for _, ht := range c.tasks {
+		if inv := ht.assemble(func(*interp.Object) bool { return false }); inv != nil {
+			c.deque = append(c.deque, inv)
+			if len(c.deque) >= max {
+				break
+			}
+		}
+	}
+	sort.Slice(c.deque, func(i, j int) bool { return c.deque[i].readySeq < c.deque[j].readySeq })
+}
+
+// lockAndValidate acquires the invocation's parameter locks in canonical
+// (ascending object ID) order with try-locks and re-validates every guard
+// after locking (another core may have transitioned an object between
+// assembly and acquisition). On failure it releases what it acquired in
+// reverse-canonical order and reports false.
+func (r *crun) lockAndValidate(inv *invocation) bool {
+	ordered := append([]*interp.Object(nil), inv.objs...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+	var acquired []*interp.Object
+	seen := map[*interp.Object]bool{}
+	for _, o := range ordered {
+		if seen[o] {
+			continue
+		}
+		seen[o] = true
+		if !o.TryLock() {
+			// Lock-or-skip: abandon the invocation, never block.
+			if r.mx != nil {
+				r.mx.RecordContention(o.ID)
+			}
+			unlockAll(acquired)
+			return false
+		}
+		if r.mx != nil {
+			r.mx.LockAcquisitions.Add(1)
+		}
+		acquired = append(acquired, o)
+	}
+	for i, o := range inv.objs {
+		if !StateOf(o).SatisfiesParam(inv.ht.task.Params[i]) {
+			if r.mx != nil {
+				r.mx.GuardRechecks.Add(1)
+			}
+			unlockAll(acquired)
+			return false
+		}
+	}
+	inv.locked = acquired
+	return true
+}
+
+// unlockAll releases parameter locks in reverse-canonical order (the
+// mirror of acquisition; locked is already deduplicated and in ascending
+// object ID order).
+func unlockAll(locked []*interp.Object) {
+	for i := len(locked) - 1; i >= 0; i-- {
+		locked[i].Unlock()
+	}
+}
+
+// attemptKey identifies an invocation across re-dispatches: the task plus
+// its parameter object IDs.
+func attemptKey(inv *invocation) string {
+	var b strings.Builder
+	b.WriteString(inv.ht.task.Name)
+	for _, o := range inv.objs {
+		fmt.Fprintf(&b, "|%d", o.ID)
+	}
+	return b.String()
+}
+
+func (r *crun) bumpAttempt(inv *invocation) int {
+	r.attemptMu.Lock()
+	defer r.attemptMu.Unlock()
+	r.attempts[attemptKey(inv)]++
+	return r.attempts[attemptKey(inv)]
+}
+
+func (r *crun) clearAttempt(inv *invocation) {
+	r.attemptMu.Lock()
+	delete(r.attempts, attemptKey(inv))
+	r.attemptMu.Unlock()
+}
+
+// injectedPanic marks a panic raised by the fault-injection hook, so the
+// recovery path can tell a scripted transient crash (safe to retry — the
+// task body never started) from a real panic escaping the interpreter.
+type injectedPanic struct{ task string }
+
+// runProtected executes one invocation attempt under the failure-
+// containment envelope: injected faults fire first (stall, then crash),
+// the per-invocation timeout is enforced on the pre-body phase, and any
+// panic is recovered into a typed error. retryable reports whether the
+// failure is a contained transient (injected) fault.
+func (r *crun) runProtected(coreID int, inv *invocation, attempt int, drain bool) (exec *interp.Exec, err error, retryable bool) {
+	if drain {
+		coreID = faultinject.DrainCore
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			if r.mx != nil {
+				r.mx.TaskPanics.Add(1)
+			}
+			exec = nil
+			_, injected := p.(injectedPanic)
+			retryable = injected
+			err = fmt.Errorf("%w: task %s on core %d (attempt %d): %v",
+				ErrTaskPanic, inv.ht.task.Name, coreID, attempt, p)
+		}
+	}()
+	fp := r.opts.Fault
+	if fp.Injector != nil {
+		start := time.Now()
+		f := fp.Injector.Inject(inv.ht.task.Name, coreID, attempt)
+		if f.Delay > 0 {
+			r.sleep(f.Delay)
+		}
+		// Judge the stall by the injected duration as well as the measured
+		// one: shutdown cuts r.sleep short, and an over-budget stall must
+		// still count as a timeout when re-attempted in the degraded drain.
+		if fp.InvocationTimeout > 0 && (f.Delay > fp.InvocationTimeout || time.Since(start) > fp.InvocationTimeout) {
+			if r.mx != nil {
+				r.mx.Timeouts.Add(1)
+			}
+			return nil, fmt.Errorf("%w: task %s on core %d (attempt %d): stalled %v, budget %v",
+				ErrTimeout, inv.ht.task.Name, coreID, attempt, time.Since(start), fp.InvocationTimeout), true
+		}
+		if f.Panic {
+			panic(injectedPanic{task: inv.ht.task.Name})
+		}
+	}
+	exec, err = r.in.RunTask(inv.ht.fn, inv.params())
+	return exec, err, false
+}
+
+// execute runs one claimed invocation on core c (owner is the core whose
+// parameter sets the invocation was drawn from — different from c when the
+// work was stolen). It returns false when the caller's dispatch loop
+// should stop (terminal error, invocation budget, or degradation).
+func (r *crun) execute(c, owner *ccore, inv *invocation, drain bool) bool {
+	attempt := r.bumpAttempt(inv)
+	snap := snapshotParams(inv.objs)
+	var spanStart int64
+	if r.trc != nil {
+		spanStart = r.trc.now()
+	}
+	exec, err, retryable := r.runProtected(c.id, inv, attempt, drain)
+	if err != nil {
+		// Contained failure: roll the parameter objects back to their
+		// pre-invocation flag/tag snapshot, re-file them into the owner's
+		// parameter sets, and release the locks — then decide between
+		// retry and degradation.
+		snap.restore()
+		if r.mx != nil {
+			r.mx.Rollbacks.Add(1)
+		}
+		owner.mu.Lock()
+		inv.unconsume()
+		owner.mu.Unlock()
+		unlockAll(inv.locked)
+		r.progress.Add(1)
+		return r.handleFailure(c, owner, inv, err, attempt, retryable, drain)
+	}
+	r.clearAttempt(inv)
+	if r.trc != nil {
+		// Record while the parameter locks are held and before routing,
+		// so dependence edges resolve.
+		r.trc.record(c.id, inv, exec, spanStart, r.trc.now())
+	}
+	unlockAll(inv.locked)
+	r.nInv.Add(1)
+	r.progress.Add(1)
+	r.tasksMu.Lock()
+	r.tasksRun[inv.ht.task.Name]++
+	r.tasksMu.Unlock()
+	for _, o := range inv.objs {
+		r.route(o, c.id)
+	}
+	for _, o := range exec.NewObjects {
+		if _, ok := r.dep.Graphs[o.Class.Name]; ok {
+			r.route(o, c.id)
+		}
+	}
+	if !drain {
+		// Poke other cores: a released lock may unblock them, and idle
+		// cores use the wakeup to try stealing.
+		for _, other := range r.cores {
+			if other != c {
+				r.send(other.id, delivery{})
+			}
+		}
+	}
+	if r.nInv.Load() > r.opts.MaxInvocations {
+		r.fail(fmt.Errorf("bamboort: exceeded %d invocations", r.opts.MaxInvocations))
+		return false
+	}
+	return true
+}
+
+// handleFailure implements the retry policy for one contained failure:
+// transient (injected) failures back off exponentially and retry up to the
+// policy's budget; exhaustion poisons the executing core and degrades the
+// run to a sequential drain; non-retryable failures (a real task panic)
+// terminate the run with the typed error.
+func (r *crun) handleFailure(c, owner *ccore, inv *invocation, err error, attempt int, retryable, drain bool) bool {
+	if !retryable {
+		r.fail(err)
+		return false
+	}
+	fp := r.opts.Fault
+	if attempt <= fp.maxRetries() {
+		if r.mx != nil {
+			r.mx.Retries.Add(1)
+		}
+		r.sleep(fp.backoff(attempt))
+		if owner != c && !drain {
+			// Stolen work: wake the owner so the invocation is
+			// re-dispatched even if this thief finds other work.
+			r.send(owner.id, delivery{})
+		}
+		return true
+	}
+	if drain {
+		// Retries exhausted even in sequential drain: the fault is not
+		// transient after all — surface it.
+		r.fail(err)
+		return false
+	}
+	c.mu.Lock()
+	c.poisoned = true
+	c.mu.Unlock()
+	if r.mx != nil {
+		r.mx.PoisonedCores.Add(1)
+	}
+	r.degraded.Store(true)
+	return false
+}
+
+// drainSequential is the degraded mode entered when a core is poisoned:
+// with all workers stopped, the coordinator alone drains every inbox into
+// the parameter sets and executes the remaining invocations one at a time
+// (injectors observe faultinject.DrainCore). Retry budgets reset on entry;
+// an invocation that still exhausts them fails the run with its typed
+// error.
+func (r *crun) drainSequential() error {
+	if r.mx != nil {
+		r.mx.DegradedDrains.Add(1)
+	}
+	r.attemptMu.Lock()
+	r.attempts = map[string]int{}
+	r.attemptMu.Unlock()
+	for {
+		if err := r.err(); err != nil {
+			return err
+		}
+		moved := false
+		for _, c := range r.cores {
+		inbox:
+			for {
+				select {
+				case d := <-c.inbox:
+					c.mu.Lock()
+					c.receive(d)
+					c.mu.Unlock()
+					r.inFlight.Add(-1)
+					moved = true
+				default:
+					break inbox
+				}
+			}
+		}
+		for _, c := range r.cores {
+			c.mu.Lock()
+			inv := r.takeFrom(c, false)
+			c.mu.Unlock()
+			if inv == nil {
+				continue
+			}
+			moved = true
+			// Execute on the owner's identity so trace spans and routing
+			// stay attributed to the core that hosted the work; injectors
+			// see DrainCore via the drain flag.
+			if !r.execute(c, c, inv, true) {
+				if err := r.err(); err != nil {
+					return err
+				}
+			}
+		}
+		if !moved {
+			return r.err()
+		}
+	}
+}
+
+// receive files a delivery into the matching parameter set. Callers hold
+// c.mu.
 func (c *ccore) receive(d delivery) {
 	if d.obj == nil {
 		if c.mx != nil {
@@ -333,63 +836,4 @@ func (c *ccore) receive(d delivery) {
 			return
 		}
 	}
-}
-
-// findAndLock assembles an invocation and acquires all parameter locks,
-// re-validating guards after locking (another core may have transitioned an
-// object between assembly and lock acquisition).
-func (c *ccore) findAndLock() *invocation {
-	// Assemble the oldest-ready invocation across hosted tasks.
-	var cands []*invocation
-	for _, ht := range c.tasks {
-		if inv := ht.assemble(func(*interp.Object) bool { return false }); inv != nil {
-			cands = append(cands, inv)
-		}
-	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].readySeq < cands[j].readySeq })
-	for _, inv := range cands {
-		ht := inv.ht
-		ordered := append([]*interp.Object(nil), inv.objs...)
-		sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
-		var acquired []*interp.Object
-		ok := true
-		seen := map[*interp.Object]bool{}
-		for _, o := range ordered {
-			if seen[o] {
-				continue
-			}
-			seen[o] = true
-			if !o.TryLock() {
-				// Lock-or-skip: abandon the invocation, never block.
-				if c.mx != nil {
-					c.mx.RecordContention(o.ID)
-				}
-				ok = false
-				break
-			}
-			if c.mx != nil {
-				c.mx.LockAcquisitions.Add(1)
-			}
-			acquired = append(acquired, o)
-		}
-		if ok {
-			for i, o := range inv.objs {
-				if !StateOf(o).SatisfiesParam(ht.task.Params[i]) {
-					if c.mx != nil {
-						c.mx.GuardRechecks.Add(1)
-					}
-					ok = false
-					break
-				}
-			}
-		}
-		if !ok {
-			for _, o := range acquired {
-				o.Unlock()
-			}
-			continue
-		}
-		return inv
-	}
-	return nil
 }

@@ -2,6 +2,7 @@ package bamboort_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/benchmarks"
@@ -26,7 +27,7 @@ func TestConcurrentMatchesDeterministic(t *testing.T) {
 		}
 		l.Place("processText", cores...)
 		var out bytes.Buffer
-		res, err := bamboort.RunConcurrent(sys.Prog, sys.Dep, bamboort.Options{
+		res, err := bamboort.RunConcurrent(context.Background(), sys.Prog, sys.Dep, bamboort.Options{
 			Layout: l, Args: nArg(16), Out: &out,
 		})
 		if err != nil {
@@ -65,7 +66,7 @@ func TestConcurrentImagePipe(t *testing.T) {
 	l.Place("compress", 1, 2, 3)
 	l.Place("finishsave", 0, 1, 2, 3) // tag-hash routed join
 	var out bytes.Buffer
-	res, err := bamboort.RunConcurrent(sys.Prog, sys.Dep, bamboort.Options{
+	res, err := bamboort.RunConcurrent(context.Background(), sys.Prog, sys.Dep, bamboort.Options{
 		Layout: l, Args: args, Out: &out,
 	})
 	if err != nil {
@@ -116,7 +117,7 @@ task collect(Tally t in open, Job j in done) {
 	l.Place("step2", 2, 3)
 	l.Place("collect", 0)
 	var out bytes.Buffer
-	if _, err := bamboort.RunConcurrent(sys.Prog, sys.Dep, bamboort.Options{
+	if _, err := bamboort.RunConcurrent(context.Background(), sys.Prog, sys.Dep, bamboort.Options{
 		Layout: l, Args: nArg(20), Out: &out,
 	}); err != nil {
 		t.Fatal(err)

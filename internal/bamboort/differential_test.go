@@ -2,6 +2,7 @@ package bamboort_test
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strconv"
 	"strings"
@@ -97,7 +98,7 @@ func TestDifferentialSweep(t *testing.T) {
 				tr := &obsv.Trace{}
 				mx := &obsv.Metrics{}
 				var out bytes.Buffer
-				res, err := bamboort.RunConcurrent(sys.Prog, sys.Dep, bamboort.Options{
+				res, err := bamboort.RunConcurrent(context.Background(), sys.Prog, sys.Dep, bamboort.Options{
 					Layout: lay, Args: b.Args, Out: &out, Trace: tr, Metrics: mx,
 				})
 				if err != nil {

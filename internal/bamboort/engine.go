@@ -2,6 +2,7 @@ package bamboort
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -28,6 +29,12 @@ type Options struct {
 	// Metrics, when non-nil, collects runtime counters (RunConcurrent
 	// only; the deterministic engine has no lock contention to count).
 	Metrics *obsv.Metrics
+	// Sched configures the concurrent scheduler (RunConcurrent only). The
+	// zero value enables work stealing with default knobs.
+	Sched SchedPolicy
+	// Fault configures failure containment (RunConcurrent only). The zero
+	// value contains panics but injects nothing.
+	Fault FaultPolicy
 	// MaxInvocations guards against non-terminating task systems; 0 means
 	// the default of 50 million.
 	MaxInvocations int64
@@ -198,7 +205,16 @@ func (e *Engine) push(ev *event) {
 }
 
 // Run executes the program to quiescence and returns the result.
-func (e *Engine) Run() (*Result, error) {
+func (e *Engine) Run() (*Result, error) { return e.RunContext(context.Background()) }
+
+// RunContext executes the program to quiescence, checking the context
+// between event batches so long deterministic runs are cancellable.
+func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("bamboort: run canceled: %w", err)
+		}
+	}
 	if e.opts.Trace != nil {
 		e.opts.Trace.Source = "engine"
 		e.opts.Trace.TimeUnit = obsv.UnitCycles
@@ -214,7 +230,13 @@ func (e *Engine) Run() (*Result, error) {
 	}
 	e.routeObject(so, -1, 0, 0, 0)
 
+	var handled int64
 	for e.events.Len() > 0 {
+		if handled++; handled&0xfff == 0 && ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("bamboort: run canceled: %w", err)
+			}
+		}
 		ev := heap.Pop(&e.events).(*event)
 		var err error
 		switch ev.kind {

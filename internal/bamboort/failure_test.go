@@ -1,0 +1,326 @@
+package bamboort_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/benchmarks"
+	"repro/internal/bamboort"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/layout"
+	"repro/internal/machine"
+	"repro/internal/obsv"
+)
+
+// spreadKeyword builds an nc-core layout that replicates processText over
+// every core (startup and mergeResult stay on core 0).
+func spreadKeyword(nc int) *layout.Layout {
+	l := layout.New(nc)
+	l.Place("startup", 0)
+	l.Place("mergeResult", 0)
+	cores := make([]int, nc)
+	for i := range cores {
+		cores[i] = i
+	}
+	l.Place("processText", cores...)
+	return l
+}
+
+// TestTransientPanicRecovered: every invocation's first attempt crashes
+// (injected), the scheduler rolls the parameter objects back and retries,
+// and the run's output still matches the sequential baseline exactly.
+func TestTransientPanicRecovered(t *testing.T) {
+	sys := compileKeyword(t)
+	var seq bytes.Buffer
+	if _, err := sys.RunSequential(nArg(12), &seq); err != nil {
+		t.Fatal(err)
+	}
+	inj := &faultinject.FirstN{N: 1, Fault: faultinject.Fault{Panic: true}}
+	mx := &obsv.Metrics{}
+	var out bytes.Buffer
+	res, err := bamboort.RunConcurrent(context.Background(), sys.Prog, sys.Dep, bamboort.Options{
+		Layout: spreadKeyword(4), Args: nArg(12), Out: &out, Metrics: mx,
+		Fault: bamboort.FaultPolicy{Injector: inj},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != seq.String() {
+		t.Errorf("output %q != sequential %q", out.String(), seq.String())
+	}
+	if res.Invocations != 25 { // 1 startup + 12 process + 12 merge
+		t.Errorf("invocations = %d, want 25", res.Invocations)
+	}
+	if inj.Injected() == 0 {
+		t.Fatal("injector never fired")
+	}
+	if mx.Retries.Load() == 0 || mx.Rollbacks.Load() == 0 || mx.TaskPanics.Load() == 0 {
+		t.Errorf("metrics: retries=%d rollbacks=%d panics=%d, want all > 0",
+			mx.Retries.Load(), mx.Rollbacks.Load(), mx.TaskPanics.Load())
+	}
+}
+
+// TestTimeoutRetried: injected stalls exceeding the per-invocation timeout
+// surface as ErrTimeout failures, are rolled back, and retried to success.
+func TestTimeoutRetried(t *testing.T) {
+	sys := compileKeyword(t)
+	var seq bytes.Buffer
+	if _, err := sys.RunSequential(nArg(6), &seq); err != nil {
+		t.Fatal(err)
+	}
+	inj := &faultinject.FirstN{
+		N: 1, Task: "processText",
+		Fault: faultinject.Fault{Delay: 5 * time.Millisecond},
+	}
+	mx := &obsv.Metrics{}
+	var out bytes.Buffer
+	if _, err := bamboort.RunConcurrent(context.Background(), sys.Prog, sys.Dep, bamboort.Options{
+		Layout: spreadKeyword(2), Args: nArg(6), Out: &out, Metrics: mx,
+		Fault: bamboort.FaultPolicy{
+			Injector:          inj,
+			InvocationTimeout: time.Millisecond,
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != seq.String() {
+		t.Errorf("output %q != sequential %q", out.String(), seq.String())
+	}
+	if mx.Timeouts.Load() == 0 {
+		t.Error("no timeouts recorded")
+	}
+}
+
+// TestPersistentFaultDegradesToDrain: a fault that crashes one task on
+// every worker attempt exhausts the retry budget, poisons the core, and the
+// run degrades to the coordinator's sequential drain — where the injector
+// observes faultinject.DrainCore, stops firing, and the program completes
+// with output identical to the sequential baseline.
+func TestPersistentFaultDegradesToDrain(t *testing.T) {
+	sys := compileKeyword(t)
+	var seq bytes.Buffer
+	if _, err := sys.RunSequential(nArg(10), &seq); err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.Func(func(task string, coreID, attempt int) faultinject.Fault {
+		if task == "mergeResult" && coreID != faultinject.DrainCore {
+			return faultinject.Fault{Panic: true}
+		}
+		return faultinject.Fault{}
+	})
+	mx := &obsv.Metrics{}
+	var out bytes.Buffer
+	res, err := bamboort.RunConcurrent(context.Background(), sys.Prog, sys.Dep, bamboort.Options{
+		Layout: spreadKeyword(4), Args: nArg(10), Out: &out, Metrics: mx,
+		Fault: bamboort.FaultPolicy{Injector: inj, MaxRetries: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != seq.String() {
+		t.Errorf("output %q != sequential %q", out.String(), seq.String())
+	}
+	if res.Invocations != 21 { // 1 startup + 10 process + 10 merge
+		t.Errorf("invocations = %d, want 21", res.Invocations)
+	}
+	if mx.PoisonedCores.Load() == 0 || mx.DegradedDrains.Load() == 0 {
+		t.Errorf("metrics: poisoned=%d drains=%d, want both > 0",
+			mx.PoisonedCores.Load(), mx.DegradedDrains.Load())
+	}
+}
+
+// TestUnrecoverablePanicIsErrTaskPanic: a fault that crashes everywhere —
+// including the degraded drain — terminates the run with a typed error
+// classifiable by errors.Is.
+func TestUnrecoverablePanicIsErrTaskPanic(t *testing.T) {
+	sys := compileKeyword(t)
+	inj := &faultinject.FirstN{N: 1 << 30, Fault: faultinject.Fault{Panic: true}}
+	_, err := bamboort.RunConcurrent(context.Background(), sys.Prog, sys.Dep, bamboort.Options{
+		Layout: spreadKeyword(2), Args: nArg(4),
+		Fault: bamboort.FaultPolicy{Injector: inj, MaxRetries: 1, RetryBackoff: 10 * time.Microsecond},
+	})
+	if !errors.Is(err, bamboort.ErrTaskPanic) {
+		t.Fatalf("err = %v, want errors.Is(err, ErrTaskPanic)", err)
+	}
+}
+
+// TestUnrecoverableStallIsErrTimeout: likewise for a stall that outlives
+// the invocation timeout on every attempt.
+func TestUnrecoverableStallIsErrTimeout(t *testing.T) {
+	sys := compileKeyword(t)
+	inj := &faultinject.FirstN{
+		N: 1 << 30, Fault: faultinject.Fault{Delay: 3 * time.Millisecond},
+	}
+	_, err := bamboort.RunConcurrent(context.Background(), sys.Prog, sys.Dep, bamboort.Options{
+		Layout: spreadKeyword(2), Args: nArg(4),
+		Fault: bamboort.FaultPolicy{
+			Injector: inj, MaxRetries: 1, RetryBackoff: 10 * time.Microsecond,
+			InvocationTimeout: 500 * time.Microsecond,
+		},
+	})
+	if !errors.Is(err, bamboort.ErrTimeout) {
+		t.Fatalf("err = %v, want errors.Is(err, ErrTimeout)", err)
+	}
+}
+
+// TestStallWatchdogIsErrDeadlock: with the stall watchdog armed, a run
+// whose workers stop making progress (every attempt stalls far longer than
+// the watchdog window, with no timeout to contain it) aborts with
+// ErrDeadlock instead of hanging.
+func TestStallWatchdogIsErrDeadlock(t *testing.T) {
+	sys := compileKeyword(t)
+	inj := &faultinject.FirstN{
+		N: 1 << 30, Fault: faultinject.Fault{Delay: 30 * time.Second},
+	}
+	start := time.Now()
+	_, err := bamboort.RunConcurrent(context.Background(), sys.Prog, sys.Dep, bamboort.Options{
+		Layout: spreadKeyword(2), Args: nArg(4),
+		Fault: bamboort.FaultPolicy{
+			Injector:     inj,
+			StallTimeout: 20 * time.Millisecond,
+		},
+	})
+	if !errors.Is(err, bamboort.ErrDeadlock) {
+		t.Fatalf("err = %v, want errors.Is(err, ErrDeadlock)", err)
+	}
+	if wall := time.Since(start); wall > 10*time.Second {
+		t.Errorf("watchdog took %v to fire", wall)
+	}
+}
+
+// TestRunCanceled: cancellation surfaces context.Canceled from both
+// engines through the unified Exec entry point.
+func TestRunCanceled(t *testing.T) {
+	sys := compileKeyword(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, engine := range []core.Engine{core.Deterministic, core.Concurrent} {
+		cfg := core.ExecConfig{Engine: engine, Layout: spreadKeyword(2), Args: nArg(64)}
+		if engine == core.Deterministic {
+			cfg.Machine = machine.TilePro64().WithCores(2)
+			// Stall one attempt so the concurrent monitor observes the
+			// canceled context before quiescence; the deterministic engine
+			// checks between event batches instead.
+		} else {
+			cfg.Fault = bamboort.FaultPolicy{
+				Injector: &faultinject.FirstN{N: 1, Fault: faultinject.Fault{Delay: 2 * time.Millisecond}},
+			}
+		}
+		_, err := sys.Exec(ctx, cfg)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: err = %v, want context.Canceled on the chain", engine, err)
+		}
+	}
+}
+
+// TestFaultDifferentialSweep is the randomized fault-injection
+// differential check: every embedded benchmark, at 2, 4, and 8 cores, with
+// seeded pseudo-random crashes and stalls injected into first attempts,
+// must produce output equal to the sequential baseline (exact integers,
+// 1e-9 relative tolerance on floats — the sameOutput rules) and execute
+// exactly the same number of invocations.
+func TestFaultDifferentialSweep(t *testing.T) {
+	for _, b := range benchmarks.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			sys, err := core.CompileSource(b.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var seqOut bytes.Buffer
+			seqRes, err := sys.RunSequential(b.Args, &seqOut)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, nc := range []int{2, 4, 8} {
+				inj := &faultinject.Seeded{
+					Seed: int64(nc), PanicEvery: 5, DelayEvery: 7,
+					Delay: 100 * time.Microsecond,
+				}
+				mx := &obsv.Metrics{}
+				var out bytes.Buffer
+				res, err := sys.Exec(context.Background(), core.ExecConfig{
+					Engine: core.Concurrent,
+					Layout: bamboort.SpreadLayout(sys.Prog, nc),
+					Args:   b.Args, Out: &out, Metrics: mx,
+					Fault: bamboort.FaultPolicy{
+						Injector:     inj,
+						RetryBackoff: 20 * time.Microsecond,
+					},
+				})
+				if err != nil {
+					t.Fatalf("%d cores: %v", nc, err)
+				}
+				if !sameOutput(t, out.String(), seqOut.String()) {
+					t.Errorf("%d cores: output diverged under fault injection", nc)
+				}
+				if res.Invocations != seqRes.Invocations {
+					t.Errorf("%d cores: %d invocations, sequential ran %d",
+						nc, res.Invocations, seqRes.Invocations)
+				}
+				if mx.TaskPanics.Load()+mx.Timeouts.Load() > 0 && mx.Rollbacks.Load() == 0 {
+					t.Errorf("%d cores: failures without rollbacks", nc)
+				}
+			}
+		})
+	}
+}
+
+// TestLockContentionStress hammers the multi-parameter lock path: a single
+// shared Tally object is a parameter of a task replicated over every core,
+// so every collect invocation contends on it against 8 cores' worth of
+// producers and thieves. Canonical-order acquisition plus reverse-canonical
+// release (unlockAll) must neither deadlock nor corrupt the totals. Run
+// with -race for the full effect.
+func TestLockContentionStress(t *testing.T) {
+	src := `
+class Job { flag todo; flag done; int v; Job(int v) { this.v = v; } }
+class Tally { flag open; int sum; int left; Tally(int n) { left = n; } }
+task startup(StartupObject s in initialstate) {
+	int n = s.args[0].length();
+	int i;
+	for (i = 0; i < n; i++) { Job j = new Job(i){ todo := true }; }
+	Tally t = new Tally(n){ open := true };
+	taskexit(s: initialstate := false);
+}
+task step(Job j in todo) { j.v = j.v * 3 + 1; taskexit(j: todo := false, done := true); }
+task collect(Tally t in open, Job j in done) {
+	t.sum += j.v;
+	t.left--;
+	if (t.left == 0) {
+		System.printString("sum=");
+		System.printInt(t.sum);
+		taskexit(t: open := false; j: done := false);
+	}
+	taskexit(j: done := false);
+}`
+	sys, err := core.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seq bytes.Buffer
+	if _, err := sys.RunSequential(nArg(40), &seq); err != nil {
+		t.Fatal(err)
+	}
+	l := layout.New(8)
+	l.Place("startup", 0)
+	l.Place("step", 0, 1, 2, 3, 4, 5, 6, 7)
+	l.Place("collect", 0) // single instance: the Tally is the hot object
+	for trial := 0; trial < 5; trial++ {
+		mx := &obsv.Metrics{}
+		var out bytes.Buffer
+		if _, err := bamboort.RunConcurrent(context.Background(), sys.Prog, sys.Dep, bamboort.Options{
+			Layout: l, Args: nArg(40), Out: &out, Metrics: mx,
+		}); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if out.String() != seq.String() {
+			t.Fatalf("trial %d: output %q != sequential %q", trial, out.String(), seq.String())
+		}
+	}
+}

@@ -97,6 +97,11 @@ type invocation struct {
 	objArrs []int64
 	// preStates snapshots the parameters' abstract state keys at dispatch.
 	preStates []string
+	// locked is the deduplicated parameter-object set in canonical
+	// (ascending object ID) acquisition order, populated by the concurrent
+	// scheduler when the invocation's locks are acquired; release walks it
+	// in reverse.
+	locked []*interp.Object
 }
 
 // params returns the interpreter argument vector.
@@ -227,5 +232,16 @@ func (ht *hostedTask) prune(param int) {
 func (inv *invocation) consume() {
 	for i, obj := range inv.objs {
 		inv.ht.remove(i, obj)
+	}
+}
+
+// unconsume re-files the invocation's objects into the parameter sets they
+// were drawn from (the inverse of consume), preserving their original
+// arrival sequences and timestamps. The concurrent scheduler calls it when
+// an attempt fails and the invocation must become dispatchable again;
+// callers hold the owning core's scheduler lock.
+func (inv *invocation) unconsume() {
+	for i, obj := range inv.objs {
+		inv.ht.add(i, obj, inv.objSeqs[i], inv.objArrs[i])
 	}
 }

@@ -5,11 +5,14 @@
 // Typical use:
 //
 //	sys, err := core.CompileSource(src)
-//	prof, _, err := sys.Profile(args)            // single-core profiling run
-//	res, err := sys.Run(core.RunConfig{...})     // execute on a layout
+//	prof, _, err := sys.Profile(args)  // single-core profiling run
+//	res, err := sys.Exec(ctx, core.ExecConfig{ // execute on a layout
+//		Engine: core.Deterministic, Machine: m, Layout: lay,
+//	})
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -39,22 +42,24 @@ type System struct {
 }
 
 // CompileSource parses, checks, lowers, and analyzes a Bamboo program.
+// Failures wrap ErrCompile (classify with errors.Is) around the stage
+// error (inspect with errors.As).
 func CompileSource(src string) (*System, error) {
 	astProg, err := parser.Parse(src)
 	if err != nil {
-		return nil, fmt.Errorf("parse: %w", err)
+		return nil, fmt.Errorf("%w: parse: %w", ErrCompile, err)
 	}
 	info, err := types.Check(astProg)
 	if err != nil {
-		return nil, fmt.Errorf("typecheck: %w", err)
+		return nil, fmt.Errorf("%w: typecheck: %w", ErrCompile, err)
 	}
 	irProg, err := ir.Lower(info)
 	if err != nil {
-		return nil, fmt.Errorf("lower: %w", err)
+		return nil, fmt.Errorf("%w: lower: %w", ErrCompile, err)
 	}
 	dep, err := depend.Analyze(irProg)
 	if err != nil {
-		return nil, fmt.Errorf("dependence analysis: %w", err)
+		return nil, fmt.Errorf("%w: dependence analysis: %w", ErrCompile, err)
 	}
 	locks := disjoint.Analyze(irProg)
 	return &System{Info: info, Prog: irProg, Dep: dep, Locks: locks}, nil
@@ -69,7 +74,11 @@ func (s *System) TaskNames() []string {
 	return out
 }
 
-// RunConfig configures one execution.
+// RunConfig configures one execution on the deterministic engine.
+//
+// Deprecated: use ExecConfig with Exec, which unifies both engines behind
+// one entry point and adds context cancellation, scheduling policy, and
+// fault policy. RunConfig remains as a thin compatibility shim.
 type RunConfig struct {
 	Machine *machine.Machine
 	Layout  *layout.Layout
@@ -81,8 +90,11 @@ type RunConfig struct {
 
 // Run executes the program on the given machine and layout with the
 // deterministic discrete-event engine.
+//
+// Deprecated: use Exec with ExecConfig{Engine: Deterministic, ...}.
 func (s *System) Run(cfg RunConfig) (*bamboort.Result, error) {
-	eng, err := bamboort.NewEngine(s.Prog, s.Dep, s.Locks, bamboort.Options{
+	return s.Exec(context.Background(), ExecConfig{
+		Engine:  Deterministic,
 		Machine: cfg.Machine,
 		Layout:  cfg.Layout,
 		Args:    cfg.Args,
@@ -90,16 +102,13 @@ func (s *System) Run(cfg RunConfig) (*bamboort.Result, error) {
 		Profile: cfg.Profile,
 		Trace:   cfg.Trace,
 	})
-	if err != nil {
-		return nil, err
-	}
-	return eng.Run()
 }
 
 // RunSequential executes the paper's single-core baseline: one core, zero
 // runtime overhead (the stand-in for the hand-written C version).
 func (s *System) RunSequential(args []string, out io.Writer) (*bamboort.Result, error) {
-	return s.Run(RunConfig{
+	return s.Exec(context.Background(), ExecConfig{
+		Engine:  Deterministic,
 		Machine: machine.Sequential(),
 		Layout:  layout.Single(s.TaskNames()),
 		Args:    args,
@@ -110,7 +119,8 @@ func (s *System) RunSequential(args []string, out io.Writer) (*bamboort.Result, 
 // RunSingleCoreBamboo executes the 1-core Bamboo version: one core with the
 // full runtime overheads.
 func (s *System) RunSingleCoreBamboo(args []string, out io.Writer) (*bamboort.Result, error) {
-	return s.Run(RunConfig{
+	return s.Exec(context.Background(), ExecConfig{
+		Engine:  Deterministic,
 		Machine: machine.SingleCoreBamboo(),
 		Layout:  layout.Single(s.TaskNames()),
 		Args:    args,
@@ -122,7 +132,8 @@ func (s *System) RunSingleCoreBamboo(args []string, out io.Writer) (*bamboort.Re
 // used to bootstrap implementation synthesis.
 func (s *System) Profile(args []string) (*profile.Profile, *bamboort.Result, error) {
 	prof := profile.New()
-	res, err := s.Run(RunConfig{
+	res, err := s.Exec(context.Background(), ExecConfig{
+		Engine:  Deterministic,
 		Machine: machine.SingleCoreBamboo(),
 		Layout:  layout.Single(s.TaskNames()),
 		Args:    args,
@@ -180,16 +191,26 @@ type SynthesisResult struct {
 	Synthesis   *synth.Synthesis
 }
 
-// Synthesize runs the full implementation synthesis pipeline of Section 4:
-// CSTG construction, core grouping with the parallelization rules, random
-// candidate generation, and directed simulated annealing driven by the
-// scheduling simulator and critical path analysis.
+// Synthesize runs the full implementation synthesis pipeline of Section 4
+// with a background context.
+//
+// Deprecated: use SynthesizeContext so long searches are cancellable.
 func (s *System) Synthesize(cfg SynthesizeConfig) (*SynthesisResult, error) {
+	return s.SynthesizeContext(context.Background(), cfg)
+}
+
+// SynthesizeContext runs the full implementation synthesis pipeline of
+// Section 4: CSTG construction, core grouping with the parallelization
+// rules, random candidate generation, and directed simulated annealing
+// driven by the scheduling simulator and critical path analysis. The
+// context cancels the search between annealing iterations.
+func (s *System) SynthesizeContext(ctx context.Context, cfg SynthesizeConfig) (*SynthesisResult, error) {
 	numCores := cfg.Machine.NumUsable()
 	graph := cstg.Build(s.Prog, s.Dep, cfg.Prof)
 	syn := synth.Build(graph, numCores)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	outcome, err := anneal.Optimize(s.Simulator(), syn, anneal.Options{
+		Ctx:             ctx,
 		Machine:         cfg.Machine,
 		Prof:            cfg.Prof,
 		NumCores:        numCores,

@@ -1,10 +1,13 @@
 package core_test
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/machine"
 )
 
 func TestCompileSourceErrors(t *testing.T) {
@@ -19,10 +22,40 @@ func TestCompileSourceErrors(t *testing.T) {
 			if err == nil {
 				t.Fatal("expected error")
 			}
+			if !errors.Is(err, core.ErrCompile) {
+				t.Errorf("err = %q, want errors.Is(err, core.ErrCompile)", err)
+			}
 			if !strings.Contains(err.Error(), c.want) {
 				t.Errorf("err = %q, want substring %q", err, c.want)
 			}
 		})
+	}
+}
+
+// TestSynthesizeCanceled: a pre-canceled context aborts the annealing
+// search and surfaces context.Canceled on the chain.
+func TestSynthesizeCanceled(t *testing.T) {
+	sys, err := core.CompileSource(`
+class C { flag a; }
+task t(StartupObject s in initialstate) {
+	C c = new C(){ a := true };
+	taskexit(s: initialstate := false);
+}
+task u(C c in a) { taskexit(c: a := false); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _, err := sys.Profile(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = sys.SynthesizeContext(ctx, core.SynthesizeConfig{
+		Machine: machine.TilePro64().WithCores(4), Prof: prof, Seed: 1,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled on the chain", err)
 	}
 }
 

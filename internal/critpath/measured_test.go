@@ -1,6 +1,7 @@
 package critpath_test
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"testing"
@@ -35,7 +36,7 @@ func measuredTraces(t *testing.T, name string) []*obsv.Trace {
 		t.Fatal(err)
 	}
 	conc := &obsv.Trace{}
-	if _, err := bamboort.RunConcurrent(sys.Prog, sys.Dep, bamboort.Options{
+	if _, err := bamboort.RunConcurrent(context.Background(), sys.Prog, sys.Dep, bamboort.Options{
 		Layout: lay, Args: b.Args, Out: io.Discard, Trace: conc,
 	}); err != nil {
 		t.Fatal(err)

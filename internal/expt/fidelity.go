@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -53,14 +54,20 @@ type FidelityRow struct {
 	// PredMakespan is in cycles; MeasMakespan is in nanoseconds.
 	PredMakespan int64
 	MeasMakespan int64
+	// StealAttempts/Steals/Retries surface the measured run's scheduler
+	// counters (zero when stealing is disabled and no faults fire).
+	StealAttempts int64
+	Steals        int64
+	Retries       int64
 }
 
-// Fidelity runs b through the scheduling simulator and through
-// RunConcurrent on the same layout and compares the predicted schedule
-// against the measured one. A nil layout selects the deterministic
-// bamboort.SpreadLayout over cores cores; nil args select the benchmark's
-// default input.
-func Fidelity(b *benchmarks.Benchmark, lay *layout.Layout, cores int, args []string) (*FidelityRow, error) {
+// Fidelity runs b through the scheduling simulator and through the
+// concurrent engine on the same layout and compares the predicted
+// schedule against the measured one. A nil layout selects the
+// deterministic bamboort.SpreadLayout over cores cores; nil args select
+// the benchmark's default input; sched configures the concurrent
+// scheduler (the zero value steals).
+func Fidelity(b *benchmarks.Benchmark, lay *layout.Layout, cores int, args []string, sched bamboort.SchedPolicy) (*FidelityRow, error) {
 	sys, err := core.CompileSource(b.Source)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", b.Name, err)
@@ -85,12 +92,14 @@ func Fidelity(b *benchmarks.Benchmark, lay *layout.Layout, cores int, args []str
 	}
 	meas := &obsv.Trace{}
 	mx := &obsv.Metrics{}
-	measRes, err := bamboort.RunConcurrent(sys.Prog, sys.Dep, bamboort.Options{
-		Layout: lay, Args: args, Trace: meas, Metrics: mx,
+	measRes, err := sys.Exec(context.Background(), core.ExecConfig{
+		Engine: core.Concurrent,
+		Layout: lay, Args: args, Trace: meas, Metrics: mx, Sched: sched,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%s concurrent: %w", b.Name, err)
 	}
+	snap := mx.Snapshot()
 	row := &FidelityRow{
 		Benchmark:       b.Name,
 		Cores:           lay.NumCores,
@@ -100,6 +109,9 @@ func Fidelity(b *benchmarks.Benchmark, lay *layout.Layout, cores int, args []str
 		MeasShares:      meas.UtilizationShares(),
 		PredMakespan:    pred.Makespan(),
 		MeasMakespan:    meas.Makespan(),
+		StealAttempts:   snap.StealAttempts,
+		Steals:          snap.StealSuccesses,
+		Retries:         snap.Retries,
 	}
 	for c := 0; c < lay.NumCores; c++ {
 		var p, q float64
@@ -136,10 +148,10 @@ func absf(x float64) float64 {
 
 // FidelityAll runs the fidelity comparison for every embedded benchmark at
 // the given core count and returns one row per benchmark.
-func FidelityAll(cores int) ([]*FidelityRow, error) {
+func FidelityAll(cores int, sched bamboort.SchedPolicy) ([]*FidelityRow, error) {
 	var rows []*FidelityRow
 	for _, b := range benchmarks.InPaper() {
-		row, err := Fidelity(b, nil, cores, nil)
+		row, err := Fidelity(b, nil, cores, nil, sched)
 		if err != nil {
 			return nil, err
 		}
@@ -153,13 +165,14 @@ func FormatFidelity(rows []*FidelityRow) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Simulation fidelity: schedsim prediction vs measured concurrent run\n")
 	fmt.Fprintf(&b, "(per-core utilization shares; tolerance %.2f)\n", FidelityShareTolerance)
-	fmt.Fprintf(&b, "%-12s %5s %6s | %-28s %-28s %9s | %9s %9s\n",
-		"Benchmark", "cores", "inv", "predicted shares", "measured shares", "max diff", "crit/pred", "crit/meas")
+	fmt.Fprintf(&b, "%-12s %5s %6s | %-28s %-28s %9s | %9s %9s | %6s %6s\n",
+		"Benchmark", "cores", "inv", "predicted shares", "measured shares", "max diff", "crit/pred", "crit/meas", "steals", "retry")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-12s %5d %6d | %-28s %-28s %8.3f%s | %9.3f %9.3f\n",
+		fmt.Fprintf(&b, "%-12s %5d %6d | %-28s %-28s %8.3f%s | %9.3f %9.3f | %6d %6d\n",
 			r.Benchmark, r.Cores, r.MeasInvocations,
 			shareStr(r.PredShares), shareStr(r.MeasShares),
-			r.ShareMaxDiff, passMark(r.ShareMaxDiff), r.PredCritFrac, r.MeasCritFrac)
+			r.ShareMaxDiff, passMark(r.ShareMaxDiff), r.PredCritFrac, r.MeasCritFrac,
+			r.Steals, r.Retries)
 	}
 	return b.String()
 }

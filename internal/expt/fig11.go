@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -42,13 +43,14 @@ func Fig11(prepared []*Prepared, seed int64) ([]Fig11Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		synthD, err := p.Sys.Synthesize(core.SynthesizeConfig{
+		synthD, err := p.Sys.SynthesizeContext(context.Background(), core.SynthesizeConfig{
 			Machine: p.Machine, Prof: profD, Seed: seed, PerObjectCounts: p.Bench.Hints,
 		})
 		if err != nil {
 			return nil, err
 		}
-		doubleRun, err := p.Sys.Run(core.RunConfig{
+		doubleRun, err := p.Sys.Exec(context.Background(), core.ExecConfig{
+			Engine:  core.Deterministic,
 			Machine: p.Machine, Layout: synthD.Layout, Args: p.Bench.ArgsDouble,
 		})
 		if err != nil {

@@ -1,0 +1,130 @@
+// Package faultinject provides the fault-injection hook of the concurrent
+// runtime's failure-containment layer.
+//
+// An Injector decides, at each invocation attempt, whether the attempt
+// experiences a simulated fault before the task body runs: a crash (the
+// worker panics and the scheduler's recovery path rolls the parameter
+// objects back), a stall (the worker sleeps, exercising the per-invocation
+// timeout), or nothing. Faults fire at dispatch time — after the parameter
+// locks are acquired but before the task body executes — so a faulted
+// attempt has no partial effects beyond the flag/tag snapshot the
+// scheduler restores, and retrying it is always safe.
+//
+// Injectors see the task name, the executing core (or DrainCore during the
+// degraded sequential drain), and the attempt number (1-based), so tests
+// can script transient faults ("fail the first two attempts"), targeted
+// faults ("only on stolen work"), or core-local faults ("core 3 is bad")
+// deterministically.
+package faultinject
+
+import (
+	"hash/fnv"
+	"sync/atomic"
+	"time"
+)
+
+// DrainCore is the core ID injectors observe while the runtime is in
+// degraded sequential-drain mode (a poisoned run draining on the
+// coordinator rather than on the worker pool).
+const DrainCore = -1
+
+// Fault is the outcome of one injection decision. The zero value means
+// "no fault".
+type Fault struct {
+	// Panic makes the attempt panic before the task body runs.
+	Panic bool
+	// Delay stalls the attempt before the task body runs. Delays longer
+	// than the run's per-invocation timeout surface as timeout failures.
+	Delay time.Duration
+}
+
+// None reports whether the fault is empty.
+func (f Fault) None() bool { return !f.Panic && f.Delay == 0 }
+
+// Injector decides the fault for one invocation attempt. Implementations
+// must be safe for concurrent use: every worker goroutine consults the
+// injector.
+type Injector interface {
+	Inject(task string, core int, attempt int) Fault
+}
+
+// Func adapts a function to the Injector interface.
+type Func func(task string, core int, attempt int) Fault
+
+// Inject implements Injector.
+func (fn Func) Inject(task string, core int, attempt int) Fault {
+	return fn(task, core, attempt)
+}
+
+// FirstN injects a fault on the first N attempts of every invocation (the
+// canonical transient fault: retries eventually succeed). Attempts are
+// counted per (task, parameter objects) invocation by the scheduler, so
+// "first N" means the first N tries of each distinct piece of work.
+type FirstN struct {
+	N     int
+	Fault Fault
+	// Task, when non-empty, restricts injection to one task.
+	Task string
+	// injected counts fired faults (observability for tests).
+	injected atomic.Int64
+}
+
+// Inject implements Injector.
+func (i *FirstN) Inject(task string, core int, attempt int) Fault {
+	if i.Task != "" && task != i.Task {
+		return Fault{}
+	}
+	if attempt > i.N {
+		return Fault{}
+	}
+	i.injected.Add(1)
+	return i.Fault
+}
+
+// Injected returns how many faults have fired.
+func (i *FirstN) Injected() int64 { return i.injected.Load() }
+
+// Seeded injects faults pseudo-randomly: each decision hashes the seed,
+// the task name, and a global decision counter, so a fixed fraction of
+// first attempts fault without any shared RNG lock. PanicEvery and
+// DelayEvery select roughly one in that many first attempts (0 disables
+// the respective fault kind); retries of a faulted invocation are left
+// alone so bounded retry always converges.
+type Seeded struct {
+	Seed       int64
+	PanicEvery int // ~1/PanicEvery first attempts panic (0 = never)
+	DelayEvery int // ~1/DelayEvery first attempts stall (0 = never)
+	Delay      time.Duration
+	seq        atomic.Int64
+}
+
+// Inject implements Injector.
+func (s *Seeded) Inject(task string, core int, attempt int) Fault {
+	if attempt > 1 {
+		return Fault{} // transient: retries succeed
+	}
+	n := s.seq.Add(1)
+	h := fnv.New64a()
+	var buf [16]byte
+	put64 := func(off int, v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[off+i] = byte(v >> (8 * i))
+		}
+	}
+	put64(0, uint64(s.Seed))
+	put64(8, uint64(n))
+	h.Write(buf[:])
+	h.Write([]byte(task))
+	v := h.Sum64()
+	if s.PanicEvery > 0 && v%uint64(s.PanicEvery) == 0 {
+		return Fault{Panic: true}
+	}
+	if s.DelayEvery > 0 && (v>>32)%uint64(s.DelayEvery) == 0 {
+		d := s.Delay
+		if d == 0 {
+			d = 200 * time.Microsecond
+		}
+		return Fault{Delay: d}
+	}
+	return Fault{}
+}

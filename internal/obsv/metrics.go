@@ -35,6 +35,26 @@ type Metrics struct {
 	InboxDepthSum atomic.Int64
 	InboxDepthMax atomic.Int64
 
+	// StealAttempts counts work-stealing probes (a core whose local queue
+	// and guard matching came up empty inspecting a victim's deque);
+	// StealSuccesses counts probes that dispatched a stolen invocation.
+	StealAttempts  atomic.Int64
+	StealSuccesses atomic.Int64
+	// Retries counts invocation attempts re-dispatched after a contained
+	// failure (panic or timeout); Rollbacks counts parameter snapshot
+	// restorations (one per contained failure).
+	Retries   atomic.Int64
+	Rollbacks atomic.Int64
+	// Timeouts counts attempts that exceeded the per-invocation timeout;
+	// TaskPanics counts recovered invocation panics.
+	Timeouts   atomic.Int64
+	TaskPanics atomic.Int64
+	// PoisonedCores counts cores that exhausted an invocation's retry
+	// budget and were taken out of the worker pool; DegradedDrains counts
+	// runs that fell back to the sequential drain.
+	PoisonedCores  atomic.Int64
+	DegradedDrains atomic.Int64
+
 	mu       sync.Mutex
 	objSkips map[int64]int64 // object ID -> contention skips
 }
@@ -100,6 +120,14 @@ type MetricsSnapshot struct {
 	InboxSamples     int64           `json:"inbox_samples"`
 	InboxDepthSum    int64           `json:"inbox_depth_sum"`
 	InboxDepthMax    int64           `json:"inbox_depth_max"`
+	StealAttempts    int64           `json:"steal_attempts"`
+	StealSuccesses   int64           `json:"steal_successes"`
+	Retries          int64           `json:"retries"`
+	Rollbacks        int64           `json:"rollbacks"`
+	Timeouts         int64           `json:"timeouts"`
+	TaskPanics       int64           `json:"task_panics"`
+	PoisonedCores    int64           `json:"poisoned_cores"`
+	DegradedDrains   int64           `json:"degraded_drains"`
 	TopContended     []ObjContention `json:"top_contended,omitempty"`
 }
 
@@ -115,6 +143,14 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		InboxSamples:     m.InboxSamples.Load(),
 		InboxDepthSum:    m.InboxDepthSum.Load(),
 		InboxDepthMax:    m.InboxDepthMax.Load(),
+		StealAttempts:    m.StealAttempts.Load(),
+		StealSuccesses:   m.StealSuccesses.Load(),
+		Retries:          m.Retries.Load(),
+		Rollbacks:        m.Rollbacks.Load(),
+		Timeouts:         m.Timeouts.Load(),
+		TaskPanics:       m.TaskPanics.Load(),
+		PoisonedCores:    m.PoisonedCores.Load(),
+		DegradedDrains:   m.DegradedDrains.Load(),
 		TopContended:     m.TopContended(10),
 	}
 }

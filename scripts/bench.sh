@@ -49,9 +49,14 @@ END { print "\n}" }
 echo "wrote $out" >&2
 
 # Runtime counter snapshot: run each benchmark on the concurrent engine
-# with metrics enabled and collect the counters JSON per benchmark.
+# with metrics enabled and collect the counters JSON per benchmark. The
+# default 8 cores leaves some cores under-loaded on the imbalanced
+# benchmarks (e.g. ImagePipe's pipeline stages), so the work-stealing
+# counters come out nonzero; a light injected-crash rate exercises the
+# rollback/retry path so the retry counters are nonzero too.
 rtout="${2:-BENCH_runtime.json}"
-cores="${RUNTIME_CORES:-4}"
+cores="${RUNTIME_CORES:-8}"
+panic_every="${RUNTIME_PANIC_EVERY:-13}"
 mtmp="$(mktemp)"
 trap 'rm -f "$raw" "$mtmp"' EXIT
 
@@ -59,8 +64,9 @@ trap 'rm -f "$raw" "$mtmp"' EXIT
     echo "{"
     first=1
     for bench in Keyword ImagePipe Tracking; do
-        echo "running: bamboo run -name $bench -cores $cores -concurrent" >&2
+        echo "running: bamboo run -name $bench -cores $cores -concurrent -inject-panic-every $panic_every" >&2
         go run ./cmd/bamboo run -name "$bench" -cores "$cores" -concurrent \
+            -inject-panic-every "$panic_every" \
             -metrics-out "$mtmp" >/dev/null 2>&1
         [ "$first" = 1 ] || echo ","
         first=0
