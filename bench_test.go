@@ -35,7 +35,7 @@ var prepared []*expt.Prepared
 func TestMain(m *testing.M) {
 	flag.Parse()
 	if f := flag.Lookup("test.bench"); f != nil && f.Value.String() != "" {
-		p, err := expt.PrepareAll(1, 0)
+		p, err := expt.PrepareAll(1, 0, false)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchmark preparation failed:", err)
 			os.Exit(1)
@@ -49,7 +49,7 @@ func getPrepared(b *testing.B) []*expt.Prepared {
 	b.Helper()
 	if prepared == nil {
 		// Fallback for callers outside TestMain's -bench gate.
-		p, err := expt.PrepareAll(1, 0)
+		p, err := expt.PrepareAll(1, 0, false)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,48 @@
+package benchmarks_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/benchmarks"
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/machine"
+)
+
+// BenchmarkInterpSequential measures the end-to-end host wall-clock of each
+// benchmark's sequential baseline on both interpreter dispatch paths: the
+// flattened fast path ("fast", the default) and the reference tree walker
+// ("walker"). The fast/walker ratio per benchmark is the headline dispatch
+// speedup recorded in BENCH_interp.json; virtual cycle counts are
+// identical on both paths (TestDispatchDifferential proves it).
+func BenchmarkInterpSequential(b *testing.B) {
+	for _, bench := range benchmarks.All() {
+		bench := bench
+		sys, err := core.CompileSource(bench.Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range []struct {
+			name   string
+			walker bool
+		}{{"fast", false}, {"walker", true}} {
+			b.Run(bench.Name+"/"+mode.name, func(b *testing.B) {
+				cfg := core.ExecConfig{
+					Engine:         core.Deterministic,
+					Machine:        machine.Sequential(),
+					Layout:         layout.Single(sys.TaskNames()),
+					Args:           bench.Args,
+					NoFastDispatch: mode.walker,
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sys.Exec(context.Background(), cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -29,22 +29,23 @@ func main() {
 	fig10Cores := flag.Int("fig10-cores", 16, "cores for the fig10 study")
 	maxExhaustive := flag.Int("max-exhaustive", 6000, "cap on enumerated layouts for fig10")
 	workers := flag.Int("workers", 0, "worker goroutines for preparation and the fig10 study (0 = all CPUs); results are identical for any value")
+	optimize := flag.Bool("O", false, "optimize the IR before profiling and execution; virtual-cycle counts diverge from the paper-calibrated baseline")
 	flag.Parse()
 
-	if err := run(*exp, *seed, *dsaRuns, *fig10Cores, *maxExhaustive, *workers); err != nil {
+	if err := run(*exp, *seed, *dsaRuns, *fig10Cores, *maxExhaustive, *workers, *optimize); err != nil {
 		fmt.Fprintln(os.Stderr, "bamboo-expt:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, seed int64, dsaRuns, fig10Cores, maxExhaustive, workers int) error {
+func run(exp string, seed int64, dsaRuns, fig10Cores, maxExhaustive, workers int, optimize bool) error {
 	cores := machine.TilePro64().NumUsable()
 	needPrep := exp == "all" || exp == "fig7" || exp == "fig9" || exp == "fig11" || exp == "dsatime"
 	var prepared []*expt.Prepared
 	if needPrep {
 		fmt.Fprintf(os.Stderr, "preparing benchmarks (compile, profile, synthesize for %d cores)...\n", cores)
 		var err error
-		prepared, err = expt.PrepareAll(seed, workers)
+		prepared, err = expt.PrepareAll(seed, workers, optimize)
 		if err != nil {
 			return err
 		}

@@ -5,12 +5,12 @@
 //
 // Usage:
 //
-//	bamboo run        -file prog.bb [-args a,b,c] [-cores N] [-seed S]
+//	bamboo run        -file prog.bb [-args a,b,c] [-cores N] [-seed S] [-O]
 //	                  [-trace] [-trace-out t.json] [-concurrent] [-metrics-out m.json]
 //	                  [-no-steal] [-inject-panic-every N] [-inject-delay-every N]
 //	                  [-stall-timeout d]    (Ctrl-C cancels and still flushes outputs)
-//	bamboo profile    -file prog.bb [-args a,b,c] [-o profile.json]
-//	bamboo synthesize -file prog.bb [-args a,b,c] [-cores N] [-seed S]
+//	bamboo profile    -file prog.bb [-args a,b,c] [-o profile.json] [-O]
+//	bamboo synthesize -file prog.bb [-args a,b,c] [-cores N] [-seed S] [-O]
 //	bamboo analyze    -file prog.bb            (ASTGs, lock groups, IR)
 //	bamboo viz        -file prog.bb -kind cstg|taskflow|trace|layout [...]
 //	bamboo fmt        -file prog.bb [-w]          (canonical formatter)
@@ -114,11 +114,15 @@ func splitArgs(s string) []string {
 	return strings.Split(s, ",")
 }
 
-// prepare compiles, profiles, and (for multicore runs) synthesizes.
-func prepare(ctx context.Context, src string, args []string, cores int, seed int64, workers int) (*core.System, *layout.Layout, *machine.Machine, error) {
+// prepare compiles, optionally optimizes, profiles, and (for multicore
+// runs) synthesizes.
+func prepare(ctx context.Context, src string, args []string, cores int, seed int64, workers int, optimize bool) (*core.System, *layout.Layout, *machine.Machine, error) {
 	sys, err := core.CompileSource(src)
 	if err != nil {
 		return nil, nil, nil, err
+	}
+	if optimize {
+		sys.OptimizeIR()
 	}
 	if cores <= 1 {
 		return sys, layout.Single(sys.TaskNames()), machine.SingleCoreBamboo(), nil
@@ -142,6 +146,14 @@ func workersFlag(fs *flag.FlagSet) *int {
 	return fs.Int("workers", 0, "synthesis worker goroutines (0 = all CPUs); result is seed-deterministic for any value")
 }
 
+// optFlag registers the shared -O knob: run the IR optimizer before
+// execution. Off by default so virtual-cycle counts stay calibrated to the
+// paper's unoptimized baseline; with -O the shrunken counts model a
+// smarter compiler backend.
+func optFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("O", false, "optimize the IR before running (constant folding, copy propagation, DCE, block straightening); changes virtual-cycle counts")
+}
+
 func cmdRun(argv []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	file := fs.String("file", "", "Bamboo source file")
@@ -160,6 +172,7 @@ func cmdRun(argv []string) error {
 	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON (loads in Perfetto) to this file")
 	metricsOut := fs.String("metrics-out", "", "write runtime counters JSON to this file (implies -concurrent)")
 	workers := workersFlag(fs)
+	optimize := optFlag(fs)
 	fs.Parse(argv)
 	src, defaults, err := loadSource(*file, *name)
 	if err != nil {
@@ -234,6 +247,9 @@ func cmdRun(argv []string) error {
 		if err != nil {
 			return err
 		}
+		if *optimize {
+			sys.OptimizeIR()
+		}
 		res, err := sys.Exec(ctx, core.ExecConfig{
 			Engine: core.Deterministic, Machine: machine.Sequential(),
 			Layout: layout.Single(sys.TaskNames()),
@@ -245,7 +261,7 @@ func cmdRun(argv []string) error {
 		fmt.Printf("-- sequential: %d cycles, %d invocations\n", res.TotalCycles, res.Invocations)
 		return flush(nil)
 	}
-	sys, lay, m, err := prepare(ctx, src, args, *cores, *seed, *workers)
+	sys, lay, m, err := prepare(ctx, src, args, *cores, *seed, *workers, *optimize)
 	if err != nil {
 		return err
 	}
@@ -288,6 +304,7 @@ func cmdProfile(argv []string) error {
 	name := fs.String("name", "", "embedded benchmark name")
 	argStr := fs.String("args", "", "comma-separated StartupObject args")
 	out := fs.String("o", "", "write profile JSON to this file (default stdout)")
+	optimize := optFlag(fs)
 	fs.Parse(argv)
 	src, defaults, err := loadSource(*file, *name)
 	if err != nil {
@@ -300,6 +317,9 @@ func cmdProfile(argv []string) error {
 	sys, err := core.CompileSource(src)
 	if err != nil {
 		return err
+	}
+	if *optimize {
+		sys.OptimizeIR()
 	}
 	prof, res, err := sys.Profile(args)
 	if err != nil {
@@ -326,6 +346,7 @@ func cmdSynthesize(argv []string) error {
 	cores := fs.Int("cores", 62, "number of cores")
 	seed := fs.Int64("seed", 1, "synthesis search seed")
 	workers := workersFlag(fs)
+	optimize := optFlag(fs)
 	fs.Parse(argv)
 	src, defaults, err := loadSource(*file, *name)
 	if err != nil {
@@ -338,6 +359,9 @@ func cmdSynthesize(argv []string) error {
 	sys, err := core.CompileSource(src)
 	if err != nil {
 		return err
+	}
+	if *optimize {
+		sys.OptimizeIR()
 	}
 	m := machine.TilePro64().WithCores(*cores)
 	prof, _, err := sys.Profile(args)
@@ -436,7 +460,7 @@ func cmdViz(argv []string) error {
 		}
 		fmt.Print(sys.CSTG(prof).TaskFlowGraph().DOT())
 	case "layout": // Figure 4
-		_, lay, _, err := prepare(context.Background(), src, args, *cores, *seed, *workers)
+		_, lay, _, err := prepare(context.Background(), src, args, *cores, *seed, *workers, false)
 		if err != nil {
 			return err
 		}
@@ -470,6 +494,7 @@ func cmdBench(argv []string) error {
 	cores := fs.Int("cores", 62, "number of cores")
 	seed := fs.Int64("seed", 1, "synthesis seed")
 	workers := workersFlag(fs)
+	optimize := optFlag(fs)
 	fs.Parse(argv)
 	if *name == "" {
 		return fmt.Errorf("-name is required")
@@ -481,6 +506,9 @@ func cmdBench(argv []string) error {
 	sys, err := core.CompileSource(b.Source)
 	if err != nil {
 		return err
+	}
+	if *optimize {
+		sys.OptimizeIR()
 	}
 	seq, err := sys.RunSequential(b.Args, nil)
 	if err != nil {

@@ -195,6 +195,12 @@ func RunConcurrent(ctx context.Context, prog *ir.Program, dep *depend.Result, op
 	} else {
 		in.MaxCycles = 10_000_000_000
 	}
+	if opts.NoFastDispatch {
+		in.DisableFastDispatch()
+	}
+	if opts.Heap != nil {
+		in.Heap = opts.Heap
+	}
 
 	var trc *ctracer
 	if opts.Trace != nil {

@@ -1,0 +1,159 @@
+package bamboort_test
+
+import (
+	"bytes"
+	"context"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/benchmarks"
+	"repro/internal/bamboort"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/machine"
+)
+
+// objState is the observable final state of one heap object: identity,
+// class, flag bit vector, and the multiset of bound tag types. This is
+// exactly the state the runtime's guard evaluation sees, so two executions
+// with equal snapshots are indistinguishable to the task system.
+type objState struct {
+	id    int64
+	class string
+	flags uint64
+	tags  string
+}
+
+func heapSnapshot(h *interp.Heap) []objState {
+	objs := h.Objects()
+	out := make([]objState, len(objs))
+	for i, o := range objs {
+		tt := make([]string, 0, len(o.Tags()))
+		for _, tg := range o.Tags() {
+			tt = append(tt, tg.Type)
+		}
+		sort.Strings(tt)
+		out[i] = objState{id: o.ID, class: o.Class.Name, flags: o.Flags(), tags: strings.Join(tt, ",")}
+	}
+	return out
+}
+
+// runDet executes b's program on the deterministic engine at nc cores with
+// a tracking heap and returns the program output, the engine result, and
+// the final heap snapshot.
+func runDet(t *testing.T, sys *core.System, b *benchmarks.Benchmark, nc int, noFast bool) (string, *bamboort.Result, []objState) {
+	t.Helper()
+	heap := interp.NewHeap()
+	heap.TrackObjects()
+	var out bytes.Buffer
+	res, err := sys.Exec(context.Background(), core.ExecConfig{
+		Engine:         core.Deterministic,
+		Machine:        machine.TilePro64().WithCores(nc),
+		Layout:         bamboort.SpreadLayout(sys.Prog, nc),
+		Args:           b.Args,
+		Out:            &out,
+		NoFastDispatch: noFast,
+		Heap:           heap,
+	})
+	if err != nil {
+		t.Fatalf("%d cores (noFast=%v): %v", nc, noFast, err)
+	}
+	return out.String(), res, heapSnapshot(heap)
+}
+
+func sameSnapshot(t *testing.T, label string, got, want []objState) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: allocated %d objects, reference allocated %d", label, len(got), len(want))
+		return
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("%s: object %d state %+v, reference %+v", label, i, got[i], want[i])
+			return
+		}
+	}
+}
+
+// TestDispatchDifferential proves the flattened fast dispatch path is
+// observationally identical to the reference tree walker: for every
+// embedded benchmark at 1, 2, 4, and 8 cores on the deterministic engine,
+// both paths must produce byte-identical program output, the same virtual
+// cycle total, the same invocation count, and the same final heap state
+// (every object's flags and tag bindings, in allocation order).
+func TestDispatchDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full differential sweep is not short")
+	}
+	for _, b := range benchmarks.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			sys, err := core.CompileSource(b.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, nc := range []int{1, 2, 4, 8} {
+				refOut, refRes, refSnap := runDet(t, sys, b, nc, true)
+				fastOut, fastRes, fastSnap := runDet(t, sys, b, nc, false)
+				if fastOut != refOut {
+					t.Errorf("%d cores: fast-dispatch output diverged from walker\nfast: %q\nwalk: %q",
+						nc, fastOut, refOut)
+				}
+				if fastRes.TotalCycles != refRes.TotalCycles {
+					t.Errorf("%d cores: fast dispatch took %d cycles, walker %d",
+						nc, fastRes.TotalCycles, refRes.TotalCycles)
+				}
+				if fastRes.Invocations != refRes.Invocations {
+					t.Errorf("%d cores: fast dispatch ran %d invocations, walker %d",
+						nc, fastRes.Invocations, refRes.Invocations)
+				}
+				sameSnapshot(t, "fast dispatch", fastSnap, refSnap)
+			}
+		})
+	}
+}
+
+// TestDispatchDifferentialOptimized runs the same sweep against a program
+// compiled with the IR optimizer. The optimizer only removes taken control
+// transfers and folds pure scalar computation, so the result values, the
+// printed output, and the final heap state must be unchanged; only the
+// virtual cycle totals may drop (never rise).
+func TestDispatchDifferentialOptimized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full differential sweep is not short")
+	}
+	for _, b := range benchmarks.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			sys, err := core.CompileSource(b.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			osys, err := core.CompileSource(b.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			osys.OptimizeIR()
+			for _, nc := range []int{1, 2, 4, 8} {
+				refOut, refRes, refSnap := runDet(t, sys, b, nc, true)
+				optOut, optRes, optSnap := runDet(t, osys, b, nc, false)
+				if optOut != refOut {
+					t.Errorf("%d cores: -O output diverged from unoptimized\nopt:   %q\nplain: %q",
+						nc, optOut, refOut)
+				}
+				if optRes.TotalCycles > refRes.TotalCycles {
+					t.Errorf("%d cores: -O took %d cycles, more than unoptimized %d",
+						nc, optRes.TotalCycles, refRes.TotalCycles)
+				}
+				if optRes.Invocations != refRes.Invocations {
+					t.Errorf("%d cores: -O ran %d invocations, unoptimized %d",
+						nc, optRes.Invocations, refRes.Invocations)
+				}
+				sameSnapshot(t, "-O", optSnap, refSnap)
+			}
+		})
+	}
+}

@@ -40,6 +40,15 @@ type Options struct {
 	MaxInvocations int64
 	// MaxTaskCycles bounds a single task invocation; 0 = 10 billion.
 	MaxTaskCycles int64
+	// NoFastDispatch routes execution through the interpreter's reference
+	// tree walker instead of the flattened fast path. Results are
+	// identical either way (the dispatch differential tests enforce it);
+	// the walker's host time also tracks virtual cycles more closely, so
+	// wall-clock measurement harnesses use this mode.
+	NoFastDispatch bool
+	// Heap, when non-nil, replaces the interpreter's fresh heap (e.g. one
+	// with object tracking enabled for final-state snapshots).
+	Heap *interp.Heap
 }
 
 // Trace records an engine's invocation history in the unified
@@ -169,6 +178,12 @@ func NewEngine(prog *ir.Program, dep *depend.Result, locks *disjoint.Result, opt
 	}
 	e.in.Out = opts.Out
 	e.in.MaxCycles = opts.MaxTaskCycles
+	if opts.NoFastDispatch {
+		e.in.DisableFastDispatch()
+	}
+	if opts.Heap != nil {
+		e.in.Heap = opts.Heap
+	}
 	e.cores = make([]*core, opts.Layout.NumCores)
 	for i := range e.cores {
 		e.cores[i] = &core{id: i, phys: usable[i]}

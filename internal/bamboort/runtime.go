@@ -73,12 +73,17 @@ func CommonTagVar(task *types.Task) string {
 			}
 		}
 	}
+	// When more than one tag variable is shared by every parameter, pick
+	// the lexicographically smallest: map iteration order is randomized,
+	// and the chosen routing tag determines the layout, so a random pick
+	// made layouts (and thus whole runs) vary between executions.
+	best := ""
 	for name, n := range counts {
-		if n == len(task.Params) {
-			return name
+		if n == len(task.Params) && (best == "" || name < best) {
+			best = name
 		}
 	}
-	return ""
+	return best
 }
 
 // SpreadLayout builds a deterministic layout over n cores for differential

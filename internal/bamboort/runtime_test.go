@@ -1,0 +1,61 @@
+package bamboort
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/types"
+)
+
+// taskWithSharedTags builds a two-parameter task where the given tag
+// variables are shared by both parameters.
+func taskWithSharedTags(shared ...string) *types.Task {
+	mkParam := func(name string) *types.TaskParam {
+		p := &types.TaskParam{Name: name}
+		for _, tv := range shared {
+			p.Tags = append(p.Tags, &ast.TagGuard{TagType: "t", Name: tv})
+		}
+		return p
+	}
+	return &types.Task{
+		Name:   "work",
+		Params: []*types.TaskParam{mkParam("a"), mkParam("b")},
+	}
+}
+
+// CommonTagVar picks the routing tag for replicated multi-parameter tasks,
+// and the choice determines the layout. When several tag variables qualify
+// it must pick deterministically (the lexicographically smallest), not
+// whichever a Go map iteration yields first.
+func TestCommonTagVarDeterministic(t *testing.T) {
+	task := taskWithSharedTags("zz", "mm", "aa", "kk")
+	for i := 0; i < 100; i++ {
+		if got := CommonTagVar(task); got != "aa" {
+			t.Fatalf("iteration %d: CommonTagVar = %q, want \"aa\"", i, got)
+		}
+	}
+}
+
+func TestCommonTagVarNoShared(t *testing.T) {
+	// Tag variables that only appear on one parameter never qualify.
+	task := &types.Task{
+		Name: "work",
+		Params: []*types.TaskParam{
+			{Name: "a", Tags: []*ast.TagGuard{{TagType: "t", Name: "x"}}},
+			{Name: "b", Tags: []*ast.TagGuard{{TagType: "t", Name: "y"}}},
+		},
+	}
+	if got := CommonTagVar(task); got != "" {
+		t.Fatalf("CommonTagVar = %q, want \"\"", got)
+	}
+	if got := CommonTagVar(&types.Task{Name: "empty"}); got != "" {
+		t.Fatalf("CommonTagVar(no params) = %q, want \"\"", got)
+	}
+}
+
+func TestCommonTagVarSingle(t *testing.T) {
+	task := taskWithSharedTags("only")
+	if got := CommonTagVar(task); got != "only" {
+		t.Fatalf("CommonTagVar = %q, want \"only\"", got)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/layout"
 	"repro/internal/machine"
+	"repro/internal/opt"
 	"repro/internal/parser"
 	"repro/internal/profile"
 	"repro/internal/schedsim"
@@ -149,12 +150,13 @@ func (s *System) Profile(args []string) (*profile.Profile, *bamboort.Result, err
 // tooling).
 func (s *System) Interp() *interp.Interp { return interp.New(s.Prog) }
 
-// OptimizeIR runs the scalar IR optimizer (constant folding, copy
-// propagation, branch folding, dead code elimination) over the compiled
-// program in place. The evaluation harness runs unoptimized IR so its cost
-// model matches the paper's baseline; call this to measure the optimizer's
+// OptimizeIR runs the IR optimizer pipeline (constant folding, copy
+// propagation, branch folding, block straightening, dead code elimination)
+// over the compiled program in place. The evaluation harness runs
+// unoptimized IR by default so its cost model matches the paper's baseline;
+// call this — or pass -O to the drivers — to measure the optimizer's
 // effect (BenchmarkOptimizerAblation) or to speed up large runs.
-func (s *System) OptimizeIR() ir.OptStats { return ir.Optimize(s.Prog) }
+func (s *System) OptimizeIR() opt.Stats { return opt.Optimize(s.Prog) }
 
 // CSTG builds the profile-annotated combined state transition graph.
 func (s *System) CSTG(prof *profile.Profile) *cstg.Graph {

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"repro/internal/bamboort"
+	"repro/internal/interp"
 	"repro/internal/layout"
 	"repro/internal/machine"
 	"repro/internal/obsv"
@@ -80,6 +81,13 @@ type ExecConfig struct {
 	MaxInvocations int64
 	// MaxTaskCycles bounds one task invocation (0 = 10 billion).
 	MaxTaskCycles int64
+	// NoFastDispatch executes task bodies through the interpreter's
+	// reference tree walker instead of the flattened fast path (identical
+	// results; used by differential tests and wall-clock measurement).
+	NoFastDispatch bool
+	// Heap, when non-nil, replaces the engine interpreter's heap (e.g. a
+	// heap with object tracking enabled for final-state snapshots).
+	Heap *interp.Heap
 }
 
 // Exec executes the program on the engine selected by cfg. The context
@@ -98,6 +106,8 @@ func (s *System) Exec(ctx context.Context, cfg ExecConfig) (*bamboort.Result, er
 		Fault:          cfg.Fault,
 		MaxInvocations: cfg.MaxInvocations,
 		MaxTaskCycles:  cfg.MaxTaskCycles,
+		NoFastDispatch: cfg.NoFastDispatch,
+		Heap:           cfg.Heap,
 	}
 	switch cfg.Engine {
 	case Deterministic:

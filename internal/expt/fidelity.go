@@ -92,9 +92,15 @@ func Fidelity(b *benchmarks.Benchmark, lay *layout.Layout, cores int, args []str
 	}
 	meas := &obsv.Trace{}
 	mx := &obsv.Metrics{}
+	// Measure with fast dispatch off: the tree walker's host time per
+	// instruction tracks the virtual cycle model, so wall-clock shares stay
+	// comparable to the cycle-level prediction. With the flattened fast
+	// path, invocations complete so quickly that fixed scheduler overhead
+	// and timer granularity dominate the measured shares.
 	measRes, err := sys.Exec(context.Background(), core.ExecConfig{
 		Engine: core.Concurrent,
 		Layout: lay, Args: args, Trace: meas, Metrics: mx, Sched: sched,
+		NoFastDispatch: true,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%s concurrent: %w", b.Name, err)

@@ -1,0 +1,143 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/parser"
+	"repro/internal/types"
+)
+
+// benchCompile is the benchmark-side twin of compile (testing.B instead of
+// testing.T).
+func benchCompile(b *testing.B, src string) *ir.Program {
+	b.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		b.Fatalf("Parse: %v", err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		b.Fatalf("Check: %v", err)
+	}
+	irp, err := ir.Lower(info)
+	if err != nil {
+		b.Fatalf("Lower: %v", err)
+	}
+	return irp
+}
+
+// benchDispatch benchmarks one method on both dispatch paths: the
+// flattened fast path ("fast") and the reference tree walker ("walker").
+// The ratio between the two sub-benchmarks is the dispatch speedup; the
+// allocs/op column shows the effect of frame pooling.
+func benchDispatch(b *testing.B, src, class, method string, args ...Value) {
+	irp := benchCompile(b, src)
+	fn := irp.Funcs[ir.MethodKey(class, method)]
+	if fn == nil {
+		b.Fatalf("no method %s.%s", class, method)
+	}
+	for _, mode := range []struct {
+		name   string
+		walker bool
+	}{{"fast", false}, {"walker", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			in := New(irp)
+			in.MaxCycles = 1 << 60
+			if mode.walker {
+				in.DisableFastDispatch()
+			}
+			obj := in.Heap.NewObject(irp.Info.Classes[class])
+			callArgs := append([]Value{ObjV(obj)}, args...)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := in.CallMethod(fn, callArgs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInterpArithLoop exercises the integer/float ALU fast path: a
+// tight loop of adds, multiplies, and compares with no memory traffic.
+func BenchmarkInterpArithLoop(b *testing.B) {
+	benchDispatch(b, `class C {
+		int run(int n) {
+			int s = 0;
+			double f = 1.0;
+			int i;
+			for (i = 0; i < n; i++) {
+				s = s + i * 3 - (i >> 1);
+				f = f * 1.000001 + 0.5;
+			}
+			if (f > 0.0) { return s; }
+			return 0 - s;
+		}
+	}`, "C", "run", IntV(1000))
+}
+
+// BenchmarkInterpMethodCall exercises call dispatch and frame setup: a
+// loop whose body is one small method call.
+func BenchmarkInterpMethodCall(b *testing.B) {
+	benchDispatch(b, `class C {
+		int add3(int a, int b, int c) { return a + b + c; }
+		int run(int n) {
+			int s = 0;
+			int i;
+			for (i = 0; i < n; i++) { s = add3(s, i, 1); }
+			return s;
+		}
+	}`, "C", "run", IntV(500))
+}
+
+// BenchmarkInterpFieldAccess exercises interned field loads and stores.
+func BenchmarkInterpFieldAccess(b *testing.B) {
+	benchDispatch(b, `class C {
+		int a; int b; int c;
+		int run(int n) {
+			int i;
+			for (i = 0; i < n; i++) {
+				a = a + 1;
+				b = b + a;
+				c = c + b;
+			}
+			return c;
+		}
+	}`, "C", "run", IntV(500))
+}
+
+// BenchmarkInterpTaskExit exercises the task path: guard-satisfying setup,
+// task body, and taskexit flag application.
+func BenchmarkInterpTaskExit(b *testing.B) {
+	src := `
+	class T { flag ready; int n; }
+	task work(T t in ready) {
+		t.n = t.n + 1;
+		taskexit(t: ready := false);
+	}`
+	irp := benchCompile(b, src)
+	fn := irp.Funcs[ir.TaskKey("work")]
+	for _, mode := range []struct {
+		name   string
+		walker bool
+	}{{"fast", false}, {"walker", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			in := New(irp)
+			in.MaxCycles = 1 << 60
+			if mode.walker {
+				in.DisableFastDispatch()
+			}
+			obj := in.Heap.NewObject(irp.Info.Classes["T"])
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				obj.SetFlag(0, true)
+				if _, err := in.RunTask(fn, []Value{ObjV(obj)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

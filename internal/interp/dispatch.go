@@ -1,0 +1,515 @@
+package interp
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// frame is a pooled register file. Frames recycle across calls and task
+// invocations, which removes the dominant allocation of the tree walker
+// (a fresh []Value per call).
+type frame struct {
+	regs []Value
+}
+
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
+// getFrame returns a frame with n zeroed registers.
+func getFrame(n int) *frame {
+	f := framePool.Get().(*frame)
+	if cap(f.regs) < n {
+		f.regs = make([]Value, n)
+	} else {
+		f.regs = f.regs[:n]
+		clear(f.regs)
+	}
+	return f
+}
+
+func putFrame(f *frame) { framePool.Put(f) }
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// cleanValue rebuilds a Value from its Kind-relevant payload, dropping
+// whatever stale cold fields the in-place register writes left behind, so
+// values returned to callers are bit-identical to the walker's.
+func cleanValue(v Value) Value {
+	switch v.Kind {
+	case KInt:
+		return IntV(v.I)
+	case KFloat:
+		return FloatV(v.F)
+	case KBool:
+		return Value{Kind: KBool, I: v.I}
+	case KString:
+		return StrV(v.S)
+	case KNull:
+		return NullV()
+	case KObject:
+		return ObjV(v.O)
+	case KArray:
+		return ArrV(v.A)
+	case KTag:
+		return TagV(v.T)
+	}
+	return v
+}
+
+// execFlat runs one flattened function body. regs is the caller-managed
+// frame (len == ff.numRegs). The cycle accounting, value semantics, heap
+// effects, and error strings replicate Interp.exec exactly.
+//
+// The cycle counter lives in a local so hot ops never read-modify-write
+// ex.Cycles through the pointer; it is flushed back to ex at every exit
+// point and around every operation that hands ex to other code (calls,
+// builtins, taskexit), and reloaded afterwards.
+func (in *Interp) execFlat(ff *flatFunc, regs []Value, ex *Exec) (Value, error) {
+	fn := ff.fn
+	code := ff.code
+	cycles := ex.Cycles
+	maxC := in.MaxCycles
+	pc := int32(0)
+	for {
+		ins := &code[pc]
+		cycles += ins.cost
+		if maxC > 0 && cycles > maxC {
+			ex.Cycles = cycles
+			return Value{}, in.errf(fn, ins.aux.pos, "cycle budget exhausted (%d cycles)", maxC)
+		}
+		switch ins.op {
+		// Numeric and boolean results are written in place (Kind plus one
+		// payload field) instead of assigning a whole Value: the full
+		// 64-byte store drags four pointer fields through the GC write
+		// barrier on every arithmetic instruction. Stale cold fields left
+		// in a register slot are invisible — every consumer of a Value is
+		// Kind-directed (valueEq included) — and the one value that escapes
+		// to callers is scrubbed by cleanValue in run().
+		case fConstInt:
+			r := &regs[ins.dst]
+			r.Kind, r.I = KInt, ins.i
+		case fConstFloat:
+			r := &regs[ins.dst]
+			r.Kind, r.F = KFloat, ins.f
+		case fConstBool:
+			r := &regs[ins.dst]
+			r.Kind, r.I = KBool, ins.i
+		case fConstStr:
+			regs[ins.dst] = StrV(ins.aux.s)
+		case fConstNull:
+			regs[ins.dst] = NullV()
+		case fMove:
+			regs[ins.dst] = regs[ins.a]
+
+		case fAddI:
+			x := regs[ins.a].I + regs[ins.b].I
+			r := &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+		case fAddF:
+			x := regs[ins.a].F + regs[ins.b].F
+			r := &regs[ins.dst]
+			r.Kind, r.F = KFloat, x
+		case fSubI:
+			x := regs[ins.a].I - regs[ins.b].I
+			r := &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+		case fSubF:
+			x := regs[ins.a].F - regs[ins.b].F
+			r := &regs[ins.dst]
+			r.Kind, r.F = KFloat, x
+		case fMulI:
+			x := regs[ins.a].I * regs[ins.b].I
+			r := &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+		case fMulF:
+			x := regs[ins.a].F * regs[ins.b].F
+			r := &regs[ins.dst]
+			r.Kind, r.F = KFloat, x
+		case fDivI:
+			d := regs[ins.b].I
+			if d == 0 {
+				ex.Cycles = cycles
+				return Value{}, in.errf(fn, ins.aux.pos, "integer division by zero")
+			}
+			x := regs[ins.a].I / d
+			r := &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+		case fDivF:
+			x := regs[ins.a].F / regs[ins.b].F
+			r := &regs[ins.dst]
+			r.Kind, r.F = KFloat, x
+		case fRem:
+			d := regs[ins.b].I
+			if d == 0 {
+				ex.Cycles = cycles
+				return Value{}, in.errf(fn, ins.aux.pos, "integer modulo by zero")
+			}
+			x := regs[ins.a].I % d
+			r := &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+		case fNegI:
+			x := -regs[ins.a].I
+			r := &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+		case fNegF:
+			x := -regs[ins.a].F
+			r := &regs[ins.dst]
+			r.Kind, r.F = KFloat, x
+		case fShl:
+			x := regs[ins.a].I << uint(regs[ins.b].I)
+			r := &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+		case fShr:
+			x := regs[ins.a].I >> uint(regs[ins.b].I)
+			r := &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+		case fBitAnd:
+			x := regs[ins.a].I & regs[ins.b].I
+			r := &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+		case fBitOr:
+			x := regs[ins.a].I | regs[ins.b].I
+			r := &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+		case fBitXor:
+			x := regs[ins.a].I ^ regs[ins.b].I
+			r := &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+		case fNot:
+			x := b2i(regs[ins.a].I == 0)
+			r := &regs[ins.dst]
+			r.Kind, r.I = KBool, x
+
+		case fCmpEq:
+			x := b2i(valueEq(regs[ins.a], regs[ins.b]))
+			r := &regs[ins.dst]
+			r.Kind, r.I = KBool, x
+		case fCmpNe:
+			x := b2i(!valueEq(regs[ins.a], regs[ins.b]))
+			r := &regs[ins.dst]
+			r.Kind, r.I = KBool, x
+		case fLtI:
+			x := b2i(regs[ins.a].I < regs[ins.b].I)
+			r := &regs[ins.dst]
+			r.Kind, r.I = KBool, x
+		case fLtF:
+			x := b2i(regs[ins.a].F < regs[ins.b].F)
+			r := &regs[ins.dst]
+			r.Kind, r.I = KBool, x
+		case fLeI:
+			x := b2i(regs[ins.a].I <= regs[ins.b].I)
+			r := &regs[ins.dst]
+			r.Kind, r.I = KBool, x
+		case fLeF:
+			x := b2i(regs[ins.a].F <= regs[ins.b].F)
+			r := &regs[ins.dst]
+			r.Kind, r.I = KBool, x
+		case fGtI:
+			x := b2i(regs[ins.a].I > regs[ins.b].I)
+			r := &regs[ins.dst]
+			r.Kind, r.I = KBool, x
+		case fGtF:
+			x := b2i(regs[ins.a].F > regs[ins.b].F)
+			r := &regs[ins.dst]
+			r.Kind, r.I = KBool, x
+		case fGeI:
+			x := b2i(regs[ins.a].I >= regs[ins.b].I)
+			r := &regs[ins.dst]
+			r.Kind, r.I = KBool, x
+		case fGeF:
+			x := b2i(regs[ins.a].F >= regs[ins.b].F)
+			r := &regs[ins.dst]
+			r.Kind, r.I = KBool, x
+
+		case fI2F:
+			x := float64(regs[ins.a].I)
+			r := &regs[ins.dst]
+			r.Kind, r.F = KFloat, x
+		case fF2I:
+			x := int64(regs[ins.a].F)
+			r := &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+		case fI2S:
+			s := strconv.FormatInt(regs[ins.a].I, 10)
+			cycles += in.Cost.StrPerChar * int64(len(s))
+			regs[ins.dst] = StrV(s)
+		case fF2S:
+			s := strconv.FormatFloat(regs[ins.a].F, 'g', -1, 64)
+			cycles += in.Cost.StrPerChar * int64(len(s))
+			regs[ins.dst] = StrV(s)
+		case fConcat:
+			s := regs[ins.a].S + regs[ins.b].S
+			cycles += in.Cost.StrPerChar * int64(len(s))
+			regs[ins.dst] = StrV(s)
+
+		case fGetField:
+			recv := regs[ins.a]
+			if recv.Kind != KObject {
+				ex.Cycles = cycles
+				return Value{}, in.errf(fn, ins.aux.pos, "null dereference reading field %s", ins.aux.s)
+			}
+			regs[ins.dst] = recv.O.Fields[ins.idx]
+		case fSetField:
+			recv := regs[ins.a]
+			if recv.Kind != KObject {
+				ex.Cycles = cycles
+				return Value{}, in.errf(fn, ins.aux.pos, "null dereference writing field %s", ins.aux.s)
+			}
+			recv.O.Fields[ins.idx] = regs[ins.b]
+		case fArrGet:
+			arr := regs[ins.a]
+			if arr.Kind != KArray {
+				ex.Cycles = cycles
+				return Value{}, in.errf(fn, ins.aux.pos, "null array dereference")
+			}
+			idx := regs[ins.b].I
+			if idx < 0 || idx >= int64(len(arr.A.Elems)) {
+				ex.Cycles = cycles
+				return Value{}, in.errf(fn, ins.aux.pos, "array index %d out of bounds [0,%d)", idx, len(arr.A.Elems))
+			}
+			regs[ins.dst] = arr.A.Elems[idx]
+		case fArrSet:
+			arr := regs[ins.a]
+			if arr.Kind != KArray {
+				ex.Cycles = cycles
+				return Value{}, in.errf(fn, ins.aux.pos, "null array dereference")
+			}
+			idx := regs[ins.b].I
+			if idx < 0 || idx >= int64(len(arr.A.Elems)) {
+				ex.Cycles = cycles
+				return Value{}, in.errf(fn, ins.aux.pos, "array index %d out of bounds [0,%d)", idx, len(arr.A.Elems))
+			}
+			arr.A.Elems[idx] = regs[ins.c]
+		case fArrLen:
+			arr := regs[ins.a]
+			if arr.Kind != KArray {
+				ex.Cycles = cycles
+				return Value{}, in.errf(fn, ins.aux.pos, "null array dereference")
+			}
+			r := &regs[ins.dst]
+			r.Kind, r.I = KInt, int64(len(arr.A.Elems))
+
+		case fNewObj:
+			ax := ins.aux
+			cl := ax.cls
+			o := in.Heap.NewObject(cl)
+			cycles += in.Cost.AllocWord * int64(len(cl.Fields))
+			for _, fi := range ax.flagInits {
+				o.SetFlag(fi.Index, fi.Value)
+			}
+			for _, tr := range ax.args {
+				tv := regs[tr]
+				if tv.Kind != KTag {
+					ex.Cycles = cycles
+					return Value{}, in.errf(fn, ax.pos, "tag binding with non-tag value")
+				}
+				o.AddTag(tv.T)
+				cycles += in.Cost.TagOp
+			}
+			ex.NewObjects = append(ex.NewObjects, o)
+			regs[ins.dst] = ObjV(o)
+		case fNewArr:
+			n := regs[ins.a].I
+			if n < 0 {
+				ex.Cycles = cycles
+				return Value{}, in.errf(fn, ins.aux.pos, "negative array length %d", n)
+			}
+			cycles += in.Cost.AllocWord * n
+			regs[ins.dst] = ArrV(in.Heap.NewArray(int(n), ins.aux.zero))
+		case fNewTag:
+			regs[ins.dst] = TagV(in.Heap.NewTag(ins.aux.s))
+
+		case fCall:
+			ax := ins.aux
+			callee := ax.callee
+			if callee == nil {
+				ex.Cycles = cycles
+				return Value{}, in.errf(fn, ax.pos, "unknown method %s", ax.s)
+			}
+			if regs[ax.args[0]].Kind != KObject {
+				ex.Cycles = cycles
+				return Value{}, in.errf(fn, ax.pos, "null dereference calling %s", ax.s)
+			}
+			cf := getFrame(callee.numRegs)
+			for i, a := range ax.args {
+				cf.regs[i] = regs[a]
+			}
+			ex.Cycles = cycles
+			ret, err := in.execFlat(callee, cf.regs, ex)
+			putFrame(cf)
+			if err != nil {
+				return Value{}, err
+			}
+			cycles = ex.Cycles
+			if ins.dst >= 0 {
+				regs[ins.dst] = ret
+			}
+		case fCallBuiltin:
+			ex.Cycles = cycles
+			ret, err := in.builtinFast(ff, ins, regs, ex)
+			if err != nil {
+				return Value{}, err
+			}
+			cycles = ex.Cycles
+			if ins.dst >= 0 {
+				regs[ins.dst] = ret
+			}
+
+		case fJump:
+			pc = ins.jmp
+			continue
+		case fBranch:
+			if regs[ins.a].I != 0 {
+				pc = ins.jmp
+			} else {
+				pc = ins.jmp2
+			}
+			continue
+		case fRet:
+			ex.Cycles = cycles
+			return regs[ins.a], nil
+		case fRetVoid:
+			ex.Cycles = cycles
+			return Value{}, nil
+		case fTaskExit:
+			ex.Cycles = cycles
+			in.applyExit(fn, ins.aux.exit, regs, ex)
+			return Value{}, nil
+
+		case fTrap:
+			ex.Cycles = cycles
+			if ins.idx < 0 {
+				return Value{}, in.errf(fn, ins.aux.pos, "unhandled op %s", ins.aux.s)
+			}
+			return Value{}, in.errf(fn, ins.aux.pos, "block b%d has no terminator", ins.idx)
+		}
+		pc++
+	}
+}
+
+// builtinFast dispatches builtins by interned ID, charging the same cycle
+// costs as the walker's name-switch dispatcher.
+func (in *Interp) builtinFast(ff *flatFunc, ins *finstr, regs []Value, ex *Exec) (Value, error) {
+	ax := ins.aux
+	arg := func(i int) Value { return regs[ax.args[i]] }
+	switch ins.bi {
+	// --- Math (double) ---
+	case bMathSin:
+		ex.Cycles += in.Cost.MathBuiltin
+		return FloatV(math.Sin(arg(0).F)), nil
+	case bMathCos:
+		ex.Cycles += in.Cost.MathBuiltin
+		return FloatV(math.Cos(arg(0).F)), nil
+	case bMathTan:
+		ex.Cycles += in.Cost.MathBuiltin
+		return FloatV(math.Tan(arg(0).F)), nil
+	case bMathAsin:
+		ex.Cycles += in.Cost.MathBuiltin
+		return FloatV(math.Asin(arg(0).F)), nil
+	case bMathAcos:
+		ex.Cycles += in.Cost.MathBuiltin
+		return FloatV(math.Acos(arg(0).F)), nil
+	case bMathAtan:
+		ex.Cycles += in.Cost.MathBuiltin
+		return FloatV(math.Atan(arg(0).F)), nil
+	case bMathAtan2:
+		ex.Cycles += in.Cost.MathBuiltin
+		return FloatV(math.Atan2(arg(0).F, arg(1).F)), nil
+	case bMathSqrt:
+		ex.Cycles += in.Cost.MathBuiltin
+		return FloatV(math.Sqrt(arg(0).F)), nil
+	case bMathExp:
+		ex.Cycles += in.Cost.MathBuiltin
+		return FloatV(math.Exp(arg(0).F)), nil
+	case bMathLog:
+		ex.Cycles += in.Cost.MathBuiltin
+		return FloatV(math.Log(arg(0).F)), nil
+	case bMathPow:
+		ex.Cycles += in.Cost.MathBuiltin
+		return FloatV(math.Pow(arg(0).F, arg(1).F)), nil
+	case bMathFloor:
+		ex.Cycles += in.Cost.MathBuiltin
+		return FloatV(math.Floor(arg(0).F)), nil
+	case bMathCeil:
+		ex.Cycles += in.Cost.MathBuiltin
+		return FloatV(math.Ceil(arg(0).F)), nil
+	case bMathAbsF:
+		ex.Cycles += in.Cost.FloatAdd
+		return FloatV(math.Abs(toF(arg(0)))), nil
+	case bMathMinF:
+		ex.Cycles += in.Cost.FloatAdd
+		return FloatV(math.Min(toF(arg(0)), toF(arg(1)))), nil
+	case bMathMaxF:
+		ex.Cycles += in.Cost.FloatAdd
+		return FloatV(math.Max(toF(arg(0)), toF(arg(1)))), nil
+	case bMathAbsI:
+		ex.Cycles += in.Cost.IntALU
+		v := arg(0).I
+		if v < 0 {
+			v = -v
+		}
+		return IntV(v), nil
+	case bMathMinI:
+		ex.Cycles += in.Cost.IntALU
+		return IntV(min(arg(0).I, arg(1).I)), nil
+	case bMathMaxI:
+		ex.Cycles += in.Cost.IntALU
+		return IntV(max(arg(0).I, arg(1).I)), nil
+
+	// --- System output ---
+	case bPrintString:
+		in.print(arg(0).S, ex)
+		return Value{}, nil
+	case bPrintInt:
+		in.print(strconv.FormatInt(arg(0).I, 10), ex)
+		return Value{}, nil
+	case bPrintDouble:
+		in.print(strconv.FormatFloat(arg(0).F, 'g', -1, 64), ex)
+		return Value{}, nil
+	case bPrintln:
+		in.print("\n", ex)
+		return Value{}, nil
+
+	// --- String ---
+	case bStrLength:
+		ex.Cycles += in.Cost.IntALU
+		return IntV(int64(len(arg(0).S))), nil
+	case bStrCharAt:
+		ex.Cycles += in.Cost.Mem
+		s, i := arg(0).S, arg(1).I
+		if i < 0 || i >= int64(len(s)) {
+			return Value{}, in.errf(ff.fn, ax.pos, "charAt index %d out of bounds [0,%d)", i, len(s))
+		}
+		return IntV(int64(s[i])), nil
+	case bStrEquals:
+		a, b := arg(0).S, arg(1).S
+		ex.Cycles += in.Cost.StrPerChar * int64(min(int64(len(a)), int64(len(b)))+1)
+		return BoolV(a == b), nil
+	case bStrSubstring:
+		s, lo, hi := arg(0).S, arg(1).I, arg(2).I
+		if lo < 0 || hi > int64(len(s)) || lo > hi {
+			return Value{}, in.errf(ff.fn, ax.pos, "substring bounds [%d,%d) invalid for length %d", lo, hi, len(s))
+		}
+		ex.Cycles += in.Cost.StrPerChar * (hi - lo)
+		return StrV(s[lo:hi]), nil
+	case bStrIndexOf:
+		s, sub := arg(0).S, arg(1).S
+		ex.Cycles += in.Cost.StrPerChar * int64(len(s))
+		return IntV(int64(strings.Index(s, sub))), nil
+	case bStrHashCode:
+		s := arg(0).S
+		ex.Cycles += in.Cost.StrPerChar * int64(len(s))
+		var h int64
+		for i := 0; i < len(s); i++ {
+			h = h*31 + int64(s[i])
+		}
+		return IntV(h), nil
+	}
+	return Value{}, in.errf(ff.fn, ax.pos, "unknown builtin %s", ax.s)
+}

@@ -1,0 +1,394 @@
+package interp
+
+import (
+	"repro/internal/ir"
+	"repro/internal/lexer"
+	"repro/internal/types"
+)
+
+// The fast dispatch path pre-flattens each ir.Func into one contiguous
+// instruction array (flatFunc.code) the first time the interpreter runs
+// anything. Flattening resolves everything the tree walker looks up per
+// instruction — jump targets become program counters, callees become
+// *flatFunc pointers, builtin names become small integer IDs, field
+// accesses carry their precomputed index, per-instruction cycle costs are
+// baked in — and splits the int/float variants of arithmetic and compare
+// ops into distinct opcodes so the hot loop never re-examines Instr
+// payload fields. Execution semantics (value results, heap effects,
+// cycle accounting, error messages) are identical to Interp.exec; the
+// differential tests in internal/bamboort hold the two paths to
+// byte-identical output and equal cycle totals.
+
+// fop is a flattened opcode.
+type fop uint8
+
+const (
+	fConstInt fop = iota
+	fConstFloat
+	fConstBool
+	fConstStr
+	fConstNull
+	fMove
+
+	fAddI
+	fAddF
+	fSubI
+	fSubF
+	fMulI
+	fMulF
+	fDivI
+	fDivF
+	fRem
+	fNegI
+	fNegF
+	fShl
+	fShr
+	fBitAnd
+	fBitOr
+	fBitXor
+	fNot
+
+	fCmpEq
+	fCmpNe
+	fLtI
+	fLtF
+	fLeI
+	fLeF
+	fGtI
+	fGtF
+	fGeI
+	fGeF
+
+	fI2F
+	fF2I
+	fI2S
+	fF2S
+	fConcat
+
+	fGetField
+	fSetField
+	fArrGet
+	fArrSet
+	fArrLen
+
+	fNewObj
+	fNewArr
+	fNewTag
+
+	fCall
+	fCallBuiltin
+
+	fJump
+	fBranch
+	fRet
+	fRetVoid
+	fTaskExit
+
+	// fTrap marks the end of a block that lowering left without a
+	// terminator; executing it reproduces the walker's diagnostic.
+	fTrap
+)
+
+// builtinID is an interned builtin name.
+type builtinID uint8
+
+const (
+	bUnknown builtinID = iota
+	bMathSin
+	bMathCos
+	bMathTan
+	bMathAsin
+	bMathAcos
+	bMathAtan
+	bMathAtan2
+	bMathSqrt
+	bMathExp
+	bMathLog
+	bMathPow
+	bMathFloor
+	bMathCeil
+	bMathAbsF
+	bMathMinF
+	bMathMaxF
+	bMathAbsI
+	bMathMinI
+	bMathMaxI
+	bPrintString
+	bPrintInt
+	bPrintDouble
+	bPrintln
+	bStrLength
+	bStrCharAt
+	bStrEquals
+	bStrSubstring
+	bStrIndexOf
+	bStrHashCode
+)
+
+var builtinIDs = map[string]builtinID{
+	"Math.sin": bMathSin, "Math.cos": bMathCos, "Math.tan": bMathTan,
+	"Math.asin": bMathAsin, "Math.acos": bMathAcos, "Math.atan": bMathAtan,
+	"Math.atan2": bMathAtan2, "Math.sqrt": bMathSqrt, "Math.exp": bMathExp,
+	"Math.log": bMathLog, "Math.pow": bMathPow, "Math.floor": bMathFloor,
+	"Math.ceil": bMathCeil, "Math.absF": bMathAbsF, "Math.minF": bMathMinF,
+	"Math.maxF": bMathMaxF, "Math.absI": bMathAbsI, "Math.minI": bMathMinI,
+	"Math.maxI": bMathMaxI,
+	"System.printString": bPrintString, "System.printInt": bPrintInt,
+	"System.printDouble": bPrintDouble, "System.println": bPrintln,
+	"String.length": bStrLength, "String.charAt": bStrCharAt,
+	"String.equals": bStrEquals, "String.substring": bStrSubstring,
+	"String.indexOf": bStrIndexOf, "String.hashCode": bStrHashCode,
+}
+
+// finstr is one flattened instruction. dst/a/b/c are register indices
+// (a/b/c mirror Args[0..2]); jmp/jmp2 are resolved program counters. The
+// struct is laid out to fit one 64-byte cache line: everything the hot
+// ops (constants, arithmetic, compares, moves, field/array access, control
+// transfer) read is inline, and the cold payload — strings, resolved
+// callees, allocation specs, source positions for error paths — lives
+// behind the aux pointer, allocated contiguously per function.
+type finstr struct {
+	op   fop
+	bi   builtinID
+	dst  int32
+	a    int32
+	b    int32
+	c    int32
+	idx  int32 // field index; trap block ID
+	jmp  int32
+	jmp2 int32
+	cost int64 // baked instrCost
+	i    int64
+	f    float64
+	aux  *fauxInstr
+}
+
+// fauxInstr is the cold payload of one flattened instruction, touched only
+// by allocation, call, string, taskexit, and error paths.
+type fauxInstr struct {
+	s         string // const string; tag type; method/field/builtin name for errors
+	cls       *types.Class
+	callee    *flatFunc
+	args      []int32 // call/builtin arguments; newobj tag registers
+	flagInits []ir.FlagInit
+	exit      *ir.ExitSpec
+	zero      Value // newarr element zero value
+	pos       lexer.Pos
+}
+
+// flatFunc is a pre-flattened function body.
+type flatFunc struct {
+	fn      *ir.Func
+	code    []finstr
+	numRegs int
+}
+
+// flattenAll builds the flat form of every function. It runs exactly once
+// per interpreter (guarded by flatOnce), lazily at the first execution so
+// callers that tweak in.Cost after New still get their model baked in.
+func (in *Interp) flattenAll() {
+	flat := make(map[*ir.Func]*flatFunc, len(in.Prog.Funcs))
+	for _, fn := range in.Prog.Funcs {
+		flat[fn] = &flatFunc{fn: fn, numRegs: fn.NumRegs}
+	}
+	for fn, ff := range flat {
+		ff.code = in.flattenFunc(fn, flat)
+	}
+	in.flat = flat
+}
+
+func regArgs(args []ir.Reg) []int32 {
+	if len(args) == 0 {
+		return nil
+	}
+	out := make([]int32, len(args))
+	for i, a := range args {
+		out[i] = int32(a)
+	}
+	return out
+}
+
+func (in *Interp) flattenFunc(fn *ir.Func, flat map[*ir.Func]*flatFunc) []finstr {
+	// Pass 1: lay blocks out back to back and record each block's entry pc.
+	// Blocks missing a terminator get a trailing fTrap so control cannot
+	// run off the end of one block into the next.
+	starts := make([]int32, len(fn.Blocks))
+	n := 0
+	terminated := make([]bool, len(fn.Blocks))
+	for i, b := range fn.Blocks {
+		starts[i] = int32(n)
+		n += len(b.Instrs)
+		if t := b.Terminator(); t != nil {
+			switch t.Op {
+			case ir.OpJump, ir.OpBranch, ir.OpRet, ir.OpTaskExit:
+				terminated[i] = true
+			}
+		}
+		if !terminated[i] {
+			n++
+		}
+	}
+	// The aux slice is sized exactly and never grows, so the &auxs[k]
+	// pointers stored in the instructions stay valid.
+	code := make([]finstr, 0, n)
+	auxs := make([]fauxInstr, n)
+	for bi, b := range fn.Blocks {
+		for ii := range b.Instrs {
+			ins, aux := in.flattenInstr(&b.Instrs[ii], starts, flat)
+			k := len(code)
+			auxs[k] = aux
+			ins.aux = &auxs[k]
+			code = append(code, ins)
+		}
+		if !terminated[bi] {
+			k := len(code)
+			code = append(code, finstr{op: fTrap, idx: int32(b.ID), aux: &auxs[k]})
+		}
+	}
+	return code
+}
+
+func (in *Interp) flattenInstr(instr *ir.Instr, starts []int32, flat map[*ir.Func]*flatFunc) (finstr, fauxInstr) {
+	out := finstr{
+		dst:  int32(instr.Dst),
+		cost: in.Cost.instrCost(instr),
+	}
+	aux := fauxInstr{pos: instr.Pos}
+	if len(instr.Args) > 0 {
+		out.a = int32(instr.Args[0])
+	}
+	if len(instr.Args) > 1 {
+		out.b = int32(instr.Args[1])
+	}
+	if len(instr.Args) > 2 {
+		out.c = int32(instr.Args[2])
+	}
+	iff := func(f, g fop) fop {
+		if instr.Float {
+			return f
+		}
+		return g
+	}
+	switch instr.Op {
+	case ir.OpConstInt:
+		out.op, out.i = fConstInt, instr.Int
+	case ir.OpConstFloat:
+		out.op, out.f = fConstFloat, instr.F
+	case ir.OpConstBool:
+		out.op = fConstBool
+		if instr.B {
+			out.i = 1
+		}
+	case ir.OpConstStr:
+		out.op, aux.s = fConstStr, instr.Str
+	case ir.OpConstNull:
+		out.op = fConstNull
+	case ir.OpMove:
+		out.op = fMove
+	case ir.OpAdd:
+		out.op = iff(fAddF, fAddI)
+	case ir.OpSub:
+		out.op = iff(fSubF, fSubI)
+	case ir.OpMul:
+		out.op = iff(fMulF, fMulI)
+	case ir.OpDiv:
+		out.op = iff(fDivF, fDivI)
+	case ir.OpRem:
+		out.op = fRem
+	case ir.OpNeg:
+		out.op = iff(fNegF, fNegI)
+	case ir.OpShl:
+		out.op = fShl
+	case ir.OpShr:
+		out.op = fShr
+	case ir.OpBitAnd:
+		out.op = fBitAnd
+	case ir.OpBitOr:
+		out.op = fBitOr
+	case ir.OpBitXor:
+		out.op = fBitXor
+	case ir.OpNot:
+		out.op = fNot
+	case ir.OpCmpEq:
+		out.op = fCmpEq
+	case ir.OpCmpNe:
+		out.op = fCmpNe
+	case ir.OpCmpLt:
+		out.op = iff(fLtF, fLtI)
+	case ir.OpCmpLe:
+		out.op = iff(fLeF, fLeI)
+	case ir.OpCmpGt:
+		out.op = iff(fGtF, fGtI)
+	case ir.OpCmpGe:
+		out.op = iff(fGeF, fGeI)
+	case ir.OpI2F:
+		out.op = fI2F
+	case ir.OpF2I:
+		out.op = fF2I
+	case ir.OpI2S:
+		out.op = fI2S
+	case ir.OpF2S:
+		out.op = fF2S
+	case ir.OpConcat:
+		out.op = fConcat
+	case ir.OpGetField:
+		out.op = fGetField
+		out.idx = int32(instr.Field.Index)
+		aux.s = instr.Field.Name
+	case ir.OpSetField:
+		out.op = fSetField
+		out.idx = int32(instr.Field.Index)
+		aux.s = instr.Field.Name
+	case ir.OpArrGet:
+		out.op = fArrGet
+	case ir.OpArrSet:
+		out.op = fArrSet
+	case ir.OpArrLen:
+		out.op = fArrLen
+	case ir.OpNewObj:
+		out.op = fNewObj
+		aux.cls = in.Prog.Info.Classes[instr.Class]
+		aux.flagInits = instr.FlagInits
+		aux.args = regArgs(instr.TagRegs)
+	case ir.OpNewArr:
+		out.op = fNewArr
+		aux.zero = ZeroOf(instr.Elem)
+	case ir.OpNewTag:
+		out.op = fNewTag
+		aux.s = instr.Str
+	case ir.OpCall:
+		out.op = fCall
+		aux.s = instr.Method
+		aux.args = regArgs(instr.Args)
+		if callee, ok := in.Prog.Funcs[instr.Method]; ok {
+			aux.callee = flat[callee]
+		}
+	case ir.OpCallBuiltin:
+		out.op = fCallBuiltin
+		aux.s = instr.Builtin
+		out.bi = builtinIDs[instr.Builtin] // missing -> bUnknown
+		aux.args = regArgs(instr.Args)
+	case ir.OpJump:
+		out.op = fJump
+		out.jmp = starts[instr.Blk]
+	case ir.OpBranch:
+		out.op = fBranch
+		out.jmp = starts[instr.Blk]
+		out.jmp2 = starts[instr.Blk2]
+	case ir.OpRet:
+		if len(instr.Args) == 1 {
+			out.op = fRet
+		} else {
+			out.op = fRetVoid
+		}
+	case ir.OpTaskExit:
+		out.op = fTaskExit
+		aux.exit = instr.Exit
+	default:
+		// Mirror the walker's "unhandled op" diagnostic at execution time.
+		out.op = fTrap
+		out.idx = -1
+		aux.s = instr.Op.String()
+	}
+	return out, aux
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/ast"
@@ -36,7 +37,8 @@ type Exec struct {
 
 // Interp executes Bamboo IR. One Interp may be shared across goroutines
 // (the concurrent engine runs one task per core goroutine); the heap's ID
-// counter is atomic and output writes are serialized.
+// counter is atomic, output writes are serialized, and the flattened code
+// is built exactly once and read-only afterwards.
 type Interp struct {
 	Prog *ir.Program
 	Cost *CostModel
@@ -46,11 +48,46 @@ type Interp struct {
 	MaxCycles int64
 
 	outMu sync.Mutex
+
+	// Fast dispatch state: each ir.Func is flattened to a contiguous
+	// instruction array on first execution (lazily, so cost-model tweaks
+	// made after New are baked in). noFast routes execution through the
+	// reference tree walker instead; the differential tests hold the two
+	// paths to identical results.
+	noFast   bool
+	flatOnce sync.Once
+	flat     map[*ir.Func]*flatFunc
 }
 
 // New returns an interpreter over prog with the default cost model.
 func New(prog *ir.Program) *Interp {
 	return &Interp{Prog: prog, Cost: DefaultCost(), Heap: NewHeap()}
+}
+
+// DisableFastDispatch routes all execution through the reference tree
+// walker instead of the flattened fast path. It must be called before the
+// first RunTask/CallMethod and exists for differential testing and
+// debugging; results are identical either way.
+func (in *Interp) DisableFastDispatch() { in.noFast = true }
+
+// run executes one function body through the fast path unless disabled.
+func (in *Interp) run(fn *ir.Func, args []Value, ex *Exec) (Value, error) {
+	if in.noFast {
+		return in.exec(fn, args, ex)
+	}
+	in.flatOnce.Do(in.flattenAll)
+	ff := in.flat[fn]
+	if ff == nil {
+		// A Func outside Prog.Funcs (tests construct these); fall back.
+		return in.exec(fn, args, ex)
+	}
+	f := getFrame(ff.numRegs)
+	copy(f.regs, args)
+	v, err := in.execFlat(ff, f.regs, ex)
+	putFrame(f)
+	// Scrub stale register cold fields so callers see the same Value bits
+	// the walker would return.
+	return cleanValue(v), err
 }
 
 // RunTask executes a task with the given parameter values: first the object
@@ -65,7 +102,7 @@ func (in *Interp) RunTask(fn *ir.Func, params []Value) (*Exec, error) {
 		return nil, fmt.Errorf("interp: task %s expects %d parameters, got %d", fn.Name, fn.NumParams, len(params))
 	}
 	ex := &Exec{ExitID: -1}
-	_, err := in.exec(fn, params, ex)
+	_, err := in.run(fn, params, ex)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +112,7 @@ func (in *Interp) RunTask(fn *ir.Func, params []Value) (*Exec, error) {
 // CallMethod executes a plain method for testing and sequential baselines.
 func (in *Interp) CallMethod(fn *ir.Func, args []Value) (Value, *Exec, error) {
 	ex := &Exec{ExitID: -1}
-	v, err := in.exec(fn, args, ex)
+	v, err := in.run(fn, args, ex)
 	return v, ex, err
 }
 
@@ -496,7 +533,7 @@ func (in *Interp) builtin(fn *ir.Func, instr *ir.Instr, regs []Value, ex *Exec) 
 	case "String.indexOf":
 		s, sub := arg(0).S, arg(1).S
 		ex.Cycles += in.Cost.StrPerChar * int64(len(s))
-		return IntV(int64(indexOf(s, sub))), nil
+		return IntV(int64(strings.Index(s, sub))), nil
 	case "String.hashCode":
 		s := arg(0).S
 		ex.Cycles += in.Cost.StrPerChar * int64(len(s))
@@ -514,15 +551,6 @@ func toF(v Value) float64 {
 		return float64(v.I)
 	}
 	return v.F
-}
-
-func indexOf(s, sub string) int {
-	for i := 0; i+len(sub) <= len(s); i++ {
-		if s[i:i+len(sub)] == sub {
-			return i
-		}
-	}
-	return -1
 }
 
 func (in *Interp) print(s string, ex *Exec) {

@@ -244,6 +244,12 @@ func (t *Tag) unbind(o *Object) {
 // concurrent use.
 type Heap struct {
 	nextID atomic.Int64
+
+	// Object tracking (off by default; differential harnesses switch it on
+	// to snapshot final flag/tag state across execution modes).
+	track  atomic.Bool
+	objsMu sync.Mutex
+	objs   []*Object
 }
 
 // NewHeap returns an empty heap.
@@ -251,11 +257,28 @@ func NewHeap() *Heap { return &Heap{} }
 
 func (h *Heap) id() int64 { return h.nextID.Add(1) }
 
+// TrackObjects makes the heap retain a reference to every object it
+// allocates, retrievable via Objects. Call before execution starts.
+func (h *Heap) TrackObjects() { h.track.Store(true) }
+
+// Objects returns a snapshot of all objects allocated since TrackObjects
+// was enabled, in allocation order.
+func (h *Heap) Objects() []*Object {
+	h.objsMu.Lock()
+	defer h.objsMu.Unlock()
+	return append([]*Object(nil), h.objs...)
+}
+
 // NewObject allocates an instance of cl with zeroed fields and flags.
 func (h *Heap) NewObject(cl *types.Class) *Object {
 	o := &Object{ID: h.id(), Class: cl, Fields: make([]Value, len(cl.Fields))}
 	for i, f := range cl.Fields {
 		o.Fields[i] = ZeroOf(f.Type)
+	}
+	if h.track.Load() {
+		h.objsMu.Lock()
+		h.objs = append(h.objs, o)
+		h.objsMu.Unlock()
 	}
 	return o
 }

@@ -1,14 +1,32 @@
-package ir
+package opt
 
 import (
 	"strings"
 	"testing"
 
+	"repro/internal/ir"
 	"repro/internal/parser"
 	"repro/internal/types"
 )
 
-func lowerOpt(t *testing.T, src string) (*Program, OptStats) {
+func lower(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	irp, err := ir.Lower(info)
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	return irp
+}
+
+func lowerOpt(t *testing.T, src string) (*ir.Program, Stats) {
 	t.Helper()
 	irp := lower(t, src)
 	stats := Optimize(irp)
@@ -28,7 +46,7 @@ class C {
 		t.Fatalf("nothing folded: %+v", stats)
 	}
 	// f must reduce to a single const + ret.
-	f := irp.Funcs[MethodKey("C", "f")]
+	f := irp.Funcs[ir.MethodKey("C", "f")]
 	text := f.String()
 	if !strings.Contains(text, "const.i 14") {
 		t.Errorf("f not folded to 14:\n%s", text)
@@ -38,7 +56,7 @@ class C {
 			t.Errorf("f retains arithmetic:\n%s", text)
 		}
 	}
-	s := irp.Funcs[MethodKey("C", "s")]
+	s := irp.Funcs[ir.MethodKey("C", "s")]
 	if !strings.Contains(s.String(), `"ab"`) {
 		t.Errorf("string concat not folded:\n%s", s)
 	}
@@ -53,7 +71,7 @@ class C {
 	int g() { return 7 % 2; }
 }`)
 	for _, m := range []string{"f", "g"} {
-		text := irp.Funcs[MethodKey("C", m)].String()
+		text := irp.Funcs[ir.MethodKey("C", m)].String()
 		if !strings.Contains(text, "div") && !strings.Contains(text, "rem") {
 			t.Errorf("%s: faulting op folded away:\n%s", m, text)
 		}
@@ -74,7 +92,7 @@ class C {
 	if stats.BlocksRemoved == 0 {
 		t.Fatalf("no blocks removed: %+v", stats)
 	}
-	f := irp.Funcs[MethodKey("C", "f")]
+	f := irp.Funcs[ir.MethodKey("C", "f")]
 	if strings.Contains(f.String(), "branch") {
 		t.Errorf("branch survived:\n%s", f)
 	}
@@ -102,6 +120,64 @@ class C {
 }`)
 	if stats.DeadRemoved == 0 {
 		t.Fatalf("dead arithmetic kept: %+v", stats)
+	}
+}
+
+func TestStraighteningCollapsesDiamonds(t *testing.T) {
+	// After the constant branch folds, the jump chains it leaves behind
+	// must thread and merge away: the whole body collapses into the entry
+	// block with no jumps or branches left.
+	irp, stats := lowerOpt(t, `
+class C {
+	int f(int x) {
+		int acc = x;
+		if (1 < 2) { acc = acc + 1; } else { acc = acc - 1; }
+		if (false) { acc = 0; }
+		return acc;
+	}
+}`)
+	if stats.JumpsThreaded == 0 && stats.BlocksMerged == 0 {
+		t.Fatalf("no straightening happened: %+v", stats)
+	}
+	f := irp.Funcs[ir.MethodKey("C", "f")]
+	text := f.String()
+	if strings.Contains(text, "branch") || strings.Contains(text, "jump") {
+		t.Errorf("control flow not straightened:\n%s", text)
+	}
+	if len(f.Blocks) != 1 {
+		t.Errorf("expected a single straight-line block, got %d:\n%s", len(f.Blocks), text)
+	}
+}
+
+func TestStraighteningKeepsLoops(t *testing.T) {
+	// A real loop has a back edge that must survive straightening, and the
+	// loop body must keep its guarding branch.
+	irp, _ := lowerOpt(t, `
+class C {
+	int f(int n) {
+		int acc = 0;
+		int i;
+		for (i = 0; i < n; i++) { acc = acc + i; }
+		return acc;
+	}
+}`)
+	f := irp.Funcs[ir.MethodKey("C", "f")]
+	text := f.String()
+	if !strings.Contains(text, "branch") {
+		t.Errorf("loop branch disappeared:\n%s", text)
+	}
+	if len(f.Blocks) < 2 {
+		t.Errorf("loop collapsed to %d blocks:\n%s", len(f.Blocks), text)
+	}
+	for _, b := range f.Blocks {
+		if b.Terminator() == nil {
+			t.Fatalf("b%d lost its terminator:\n%s", b.ID, text)
+		}
+		for _, s := range b.Succs() {
+			if s < 0 || s >= len(f.Blocks) {
+				t.Fatalf("dangling successor %d:\n%s", s, text)
+			}
+		}
 	}
 }
 
@@ -136,7 +212,7 @@ task work(Acc a in open) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	irp, err := Lower(info)
+	irp, err := ir.Lower(info)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +224,7 @@ task work(Acc a in open) {
 				t.Fatalf("%s b%d lost its terminator", fn.Name, b.ID)
 			}
 			switch term.Op {
-			case OpJump, OpBranch, OpRet, OpTaskExit:
+			case ir.OpJump, ir.OpBranch, ir.OpRet, ir.OpTaskExit:
 			default:
 				t.Fatalf("%s b%d ends with %s", fn.Name, b.ID, term.Op)
 			}
@@ -170,7 +246,7 @@ class C {
 }`)
 	Optimize(irp)
 	second := Optimize(irp)
-	if second.Folded != 0 || second.DeadRemoved != 0 || second.BranchesFixed != 0 || second.BlocksRemoved != 0 {
+	if second.Changed() {
 		t.Errorf("second optimize pass still changed code: %+v", second)
 	}
 }

@@ -1,10 +1,11 @@
-package ir
+package opt
 
 import (
 	"fmt"
 	"math/rand"
 	"testing"
 
+	"repro/internal/ir"
 	"repro/internal/parser"
 	"repro/internal/types"
 )
@@ -74,23 +75,23 @@ func TestQuickOptimizerEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d check: %v\n%s", trial, err, src)
 		}
-		plain, err := Lower(info1)
+		plain, err := ir.Lower(info1)
 		if err != nil {
 			t.Fatal(err)
 		}
 		prog2, _ := parser.Parse(src)
 		info2, _ := types.Check(prog2)
-		opt, err := Lower(info2)
+		optimized, err := ir.Lower(info2)
 		if err != nil {
 			t.Fatal(err)
 		}
-		Optimize(opt)
+		Optimize(optimized)
 
 		for probe := 0; probe < 5; probe++ {
 			a := int64(rng.Intn(2001) - 1000)
 			b := int64(rng.Intn(2001) - 1000)
 			r1, err1 := evalF(t, plain, a, b)
-			r2, err2 := evalF(t, opt, a, b)
+			r2, err2 := evalF(t, optimized, a, b)
 			if (err1 == nil) != (err2 == nil) {
 				t.Fatalf("trial %d: fault behavior diverged: %v vs %v\n%s", trial, err1, err2, src)
 			}
@@ -103,9 +104,9 @@ func TestQuickOptimizerEquivalence(t *testing.T) {
 
 // evalF executes C.f(a, b) with a tiny register machine sufficient for the
 // generated programs (no heap operations besides the receiver).
-func evalF(t *testing.T, prog *Program, a, b int64) (int64, error) {
+func evalF(t *testing.T, prog *ir.Program, a, b int64) (int64, error) {
 	t.Helper()
-	fn := prog.Funcs[MethodKey("C", "f")]
+	fn := prog.Funcs[ir.MethodKey("C", "f")]
 	regs := make([]int64, fn.NumRegs)
 	isBool := make([]bool, fn.NumRegs)
 	regs[1], regs[2] = a, b
@@ -116,57 +117,57 @@ func evalF(t *testing.T, prog *Program, a, b int64) (int64, error) {
 		if steps > 100000 {
 			return 0, fmt.Errorf("runaway")
 		}
-		var next *Block
+		var next *ir.Block
 		for i := range blk.Instrs {
 			in := &blk.Instrs[i]
 			switch in.Op {
-			case OpConstInt:
+			case ir.OpConstInt:
 				regs[in.Dst] = in.Int
-			case OpConstBool:
+			case ir.OpConstBool:
 				regs[in.Dst] = 0
 				if in.B {
 					regs[in.Dst] = 1
 				}
 				isBool[in.Dst] = true
-			case OpMove:
+			case ir.OpMove:
 				regs[in.Dst] = regs[in.Args[0]]
-			case OpNeg:
+			case ir.OpNeg:
 				regs[in.Dst] = -regs[in.Args[0]]
-			case OpAdd:
+			case ir.OpAdd:
 				regs[in.Dst] = regs[in.Args[0]] + regs[in.Args[1]]
-			case OpSub:
+			case ir.OpSub:
 				regs[in.Dst] = regs[in.Args[0]] - regs[in.Args[1]]
-			case OpMul:
+			case ir.OpMul:
 				regs[in.Dst] = regs[in.Args[0]] * regs[in.Args[1]]
-			case OpBitAnd:
+			case ir.OpBitAnd:
 				regs[in.Dst] = regs[in.Args[0]] & regs[in.Args[1]]
-			case OpBitOr:
+			case ir.OpBitOr:
 				regs[in.Dst] = regs[in.Args[0]] | regs[in.Args[1]]
-			case OpBitXor:
+			case ir.OpBitXor:
 				regs[in.Dst] = regs[in.Args[0]] ^ regs[in.Args[1]]
-			case OpNot:
+			case ir.OpNot:
 				regs[in.Dst] = 1 - regs[in.Args[0]]
-			case OpCmpEq:
+			case ir.OpCmpEq:
 				regs[in.Dst] = b2i(regs[in.Args[0]] == regs[in.Args[1]])
-			case OpCmpNe:
+			case ir.OpCmpNe:
 				regs[in.Dst] = b2i(regs[in.Args[0]] != regs[in.Args[1]])
-			case OpCmpLt:
+			case ir.OpCmpLt:
 				regs[in.Dst] = b2i(regs[in.Args[0]] < regs[in.Args[1]])
-			case OpCmpLe:
+			case ir.OpCmpLe:
 				regs[in.Dst] = b2i(regs[in.Args[0]] <= regs[in.Args[1]])
-			case OpCmpGt:
+			case ir.OpCmpGt:
 				regs[in.Dst] = b2i(regs[in.Args[0]] > regs[in.Args[1]])
-			case OpCmpGe:
+			case ir.OpCmpGe:
 				regs[in.Dst] = b2i(regs[in.Args[0]] >= regs[in.Args[1]])
-			case OpJump:
+			case ir.OpJump:
 				next = fn.Blocks[in.Blk]
-			case OpBranch:
+			case ir.OpBranch:
 				if regs[in.Args[0]] != 0 {
 					next = fn.Blocks[in.Blk]
 				} else {
 					next = fn.Blocks[in.Blk2]
 				}
-			case OpRet:
+			case ir.OpRet:
 				if len(in.Args) == 1 {
 					return regs[in.Args[0]], nil
 				}
@@ -191,4 +192,3 @@ func b2i(b bool) int64 {
 	}
 	return 0
 }
-

@@ -8,10 +8,16 @@
 # BENCH_runtime.json, so changes to the runtime protocol show up as
 # counter shifts.
 #
-# Usage: scripts/bench.sh [output.json] [runtime-output.json]
+# Also records the interpreter dispatch benchmarks (hot-op micro plus
+# end-to-end per benchmark, each on the flattened fast path and the
+# reference tree walker) into BENCH_interp.json; the fast/walker ratio per
+# name is the dispatch speedup and allocs/op shows the frame pooling.
+#
+# Usage: scripts/bench.sh [output.json] [runtime-output.json] [interp-output.json]
 #   BENCH_PATTERN  override the benchmark regexp
 #   BENCH_TIME     override -benchtime (default 5x)
 #   RUNTIME_CORES  cores for the runtime counter snapshot (default 4)
+#   INTERP_TIME    override -benchtime for the interpreter section (default 5x)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,12 +28,10 @@ benchtime="${BENCH_TIME:-5x}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-echo "running: go test -run '^$' -bench \"$pattern\" -benchmem -benchtime $benchtime" >&2
-go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" | tee "$raw" >&2
-
 # Parse `go test -bench` lines:
 #   BenchmarkName/sub-8   10   123456 ns/op   7890 B/op   12 allocs/op   345 evals/sec
-awk '
+parse_bench() {
+    awk '
 BEGIN { print "{"; first = 1 }
 /^Benchmark/ {
     name = $1
@@ -44,7 +48,13 @@ BEGIN { print "{"; first = 1 }
     first = 0
 }
 END { print "\n}" }
-' "$raw" > "$out"
+' "$1"
+}
+
+echo "running: go test -run '^$' -bench \"$pattern\" -benchmem -benchtime $benchtime" >&2
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" | tee "$raw" >&2
+
+parse_bench "$raw" > "$out"
 
 echo "wrote $out" >&2
 
@@ -78,3 +88,19 @@ trap 'rm -f "$raw" "$mtmp"' EXIT
 } > "$rtout"
 
 echo "wrote $rtout" >&2
+
+# Interpreter dispatch benchmarks: the hot-op microbenchmarks in
+# internal/interp plus the end-to-end sequential runs in benchmarks/, each
+# as a fast/walker pair so the JSON carries both sides of the speedup
+# ratio (and the allocs/op drop from frame pooling) per name.
+iout="${3:-BENCH_interp.json}"
+ibenchtime="${INTERP_TIME:-5x}"
+iraw="$(mktemp)"
+trap 'rm -f "$raw" "$mtmp" "$iraw"' EXIT
+
+echo "running: go test -run '^\$' -bench BenchmarkInterp -benchmem -benchtime $ibenchtime ./internal/interp ./benchmarks" >&2
+go test -run '^$' -bench 'BenchmarkInterp' -benchmem -benchtime "$ibenchtime" ./internal/interp ./benchmarks | tee "$iraw" >&2
+
+parse_bench "$iraw" > "$iout"
+
+echo "wrote $iout" >&2
