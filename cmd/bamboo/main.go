@@ -43,6 +43,7 @@ import (
 	"repro/internal/obsv"
 	"repro/internal/parser"
 	"repro/internal/schedsim"
+	"repro/internal/server"
 	"repro/internal/synth"
 )
 
@@ -115,28 +116,17 @@ func splitArgs(s string) []string {
 }
 
 // prepare compiles, optionally optimizes, profiles, and (for multicore
-// runs) synthesizes.
+// runs) synthesizes, via the cacheable compile/execute split in core.
 func prepare(ctx context.Context, src string, args []string, cores int, seed int64, workers int, optimize bool) (*core.System, *layout.Layout, *machine.Machine, error) {
-	sys, err := core.CompileSource(src)
+	sys, err := core.Compile(src, core.CompileOptions{Optimize: optimize})
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	if optimize {
-		sys.OptimizeIR()
-	}
-	if cores <= 1 {
-		return sys, layout.Single(sys.TaskNames()), machine.SingleCoreBamboo(), nil
-	}
-	m := machine.TilePro64().WithCores(cores)
-	prof, _, err := sys.Profile(args)
+	prep, err := sys.Prepare(ctx, core.PrepareConfig{Cores: cores, Seed: seed, Workers: workers, Args: args})
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	res, err := sys.SynthesizeContext(ctx, core.SynthesizeConfig{Machine: m, Prof: prof, Seed: seed, Workers: workers})
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	return sys, res.Layout, m, nil
+	return sys, prep.Layout, prep.Machine, nil
 }
 
 // workersFlag registers the shared -workers knob: how many goroutines the
@@ -185,9 +175,11 @@ func cmdRun(argv []string) error {
 	if *metricsOut != "" {
 		*conc = true
 	}
-	// Ctrl-C cancels the run; emit() below still flushes -trace-out and
-	// -metrics-out with whatever was recorded before the interrupt.
-	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Ctrl-C or a service manager's SIGTERM cancels the run (the same
+	// signal set bambood drains on); emit() below still flushes
+	// -trace-out and -metrics-out with whatever was recorded before the
+	// interrupt.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), server.ShutdownSignals...)
 	defer stopSignals()
 	var tr *obsv.Trace
 	if *showTrace || *traceOut != "" {

@@ -1,0 +1,102 @@
+// Command bambood is the Bamboo execution daemon: a long-running
+// multi-tenant HTTP/JSON service that compiles and executes Bamboo
+// programs on the deterministic and concurrent engines, with a
+// content-addressed compiled-program cache, bounded-queue admission
+// control, per-job deadlines, and live observability.
+//
+// Usage:
+//
+//	bambood -addr :8080 [-exec-workers N] [-queue N] [-cache-entries N]
+//	        [-cache-bytes N] [-default-timeout d] [-drain-timeout d]
+//
+// API (see DESIGN.md §11 and the README quick-start):
+//
+//	POST   /api/v1/jobs              submit {"benchmark":"Keyword","cores":4}
+//	GET    /api/v1/jobs/{id}         status + result
+//	GET    /api/v1/jobs/{id}/output  program stdout
+//	GET    /api/v1/jobs/{id}/trace   Chrome trace-event JSON (trace:true jobs)
+//	GET    /api/v1/jobs/{id}/metrics per-job runtime counters
+//	DELETE /api/v1/jobs/{id}         cancel
+//	GET    /healthz                  liveness (503 while draining)
+//	GET    /varz                     cache/queue/latency/runtime aggregates
+//
+// SIGINT/SIGTERM starts a graceful drain: new submissions get 503 +
+// Retry-After, accepted jobs run to completion, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bambood:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("exec-workers", 0, "execution worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 256, "admission queue depth; a full queue rejects with 429")
+	cacheEntries := flag.Int("cache-entries", 128, "compiled-program cache entry bound")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "compiled-program cache source-byte bound")
+	defTimeout := flag.Duration("default-timeout", time.Minute, "per-job deadline when the request sets none")
+	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "largest per-job deadline a request may ask for")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long a drain may wait for in-flight jobs before canceling them")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheEntries,
+		CacheBytes:     *cacheBytes,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// SIGINT and SIGTERM take the same path: stop accepting, drain, exit.
+	ctx, stop := signal.NotifyContext(context.Background(), server.ShutdownSignals...)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "bambood: listening on %s\n", *addr)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal behavior: a second signal kills us
+	fmt.Fprintln(os.Stderr, "bambood: draining (in-flight jobs run to completion)")
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(drainCtx)
+	if err := httpSrv.Shutdown(drainCtx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	<-errc
+	if drainErr != nil {
+		return fmt.Errorf("drain: %w", drainErr)
+	}
+	fmt.Fprintln(os.Stderr, "bambood: drained cleanly")
+	return nil
+}

@@ -172,21 +172,6 @@ func (b *Block) Terminator() *Instr {
 	return &b.Instrs[len(b.Instrs)-1]
 }
 
-// Succs returns the IDs of successor blocks.
-func (b *Block) Succs() []int {
-	t := b.Terminator()
-	if t == nil {
-		return nil
-	}
-	switch t.Op {
-	case OpJump:
-		return []int{t.Blk}
-	case OpBranch:
-		return []int{t.Blk, t.Blk2}
-	}
-	return nil
-}
-
 // Func is one lowered method, constructor, or task body.
 type Func struct {
 	Name      string // qualified: "Class.method", "Class.<init>", or "task:name"

@@ -66,7 +66,14 @@ task work(C c in ready) {
 					t.Errorf("%s b%d has terminator %s mid-block", fn.Name, b.ID, b.Instrs[i].Op)
 				}
 			}
-			for _, s := range b.Succs() {
+			var succs []int
+			switch term.Op {
+			case OpJump:
+				succs = []int{term.Blk}
+			case OpBranch:
+				succs = []int{term.Blk, term.Blk2}
+			}
+			for _, s := range succs {
 				if s < 0 || s >= len(fn.Blocks) {
 					t.Errorf("%s b%d successor %d out of range", fn.Name, b.ID, s)
 				}

@@ -90,7 +90,7 @@ func TestKeysAndOpString(t *testing.T) {
 	}
 }
 
-func TestBlockSuccs(t *testing.T) {
+func TestBlockTerminatorTargets(t *testing.T) {
 	irp := lower(t, `
 class C {
 	int f(int x) {
@@ -100,17 +100,19 @@ class C {
 }`)
 	fn := irp.Funcs[MethodKey("C", "f")]
 	entry := fn.Blocks[0]
-	succs := entry.Succs()
-	if len(succs) != 2 {
-		t.Fatalf("branch successors = %v", succs)
+	term := entry.Terminator()
+	if term == nil || term.Op != OpBranch {
+		t.Fatalf("entry terminator = %v, want a branch", term)
+	}
+	for _, blk := range []int{term.Blk, term.Blk2} {
+		if blk <= 0 || blk >= len(fn.Blocks) {
+			t.Errorf("branch target b%d out of range", blk)
+		}
 	}
 	var retBlocks int
 	for _, b := range fn.Blocks {
-		if term := b.Terminator(); term != nil && term.Op == OpRet {
+		if tm := b.Terminator(); tm != nil && tm.Op == OpRet {
 			retBlocks++
-			if len(b.Succs()) != 0 {
-				t.Error("return block has successors")
-			}
 		}
 	}
 	if retBlocks == 0 {

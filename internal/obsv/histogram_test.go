@@ -1,0 +1,99 @@
+package obsv
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.P50 != 0 || s.P99 != 0 || s.Max != 0 || s.Mean != 0 {
+		t.Errorf("empty snapshot = %+v, want zeros", s)
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	// Uniform 1..1000: every reported percentile must stay within the
+	// power-of-two bucket of the true quantile, i.e. within 2x.
+	var h Histogram
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 || s.Max != 1000 {
+		t.Fatalf("count=%d max=%d, want 1000/1000", s.Count, s.Max)
+	}
+	checks := []struct {
+		got  int64
+		want float64
+	}{{s.P50, 500}, {s.P95, 950}, {s.P99, 990}}
+	for _, c := range checks {
+		lo, hi := c.want/2, c.want*2
+		if float64(c.got) < lo || float64(c.got) > hi {
+			t.Errorf("quantile estimate %d outside [%g, %g]", c.got, lo, hi)
+		}
+	}
+	if s.Mean < 499 || s.Mean > 502 {
+		t.Errorf("mean = %g, want ~500.5", s.Mean)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(64)
+	}
+	s := h.Snapshot()
+	// All mass in bucket [64,128), clipped at max=64: every quantile is 64.
+	if s.P50 != 64 || s.P95 != 64 || s.P99 != 64 || s.Max != 64 {
+		t.Errorf("snapshot = %+v, want all quantiles 64", s)
+	}
+}
+
+func TestHistogramZeroAndHuge(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-5) // clamped into the zero bucket rather than corrupting state
+	h.Observe(math.MaxInt64)
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3", s.Count)
+	}
+	if s.Max != math.MaxInt64 {
+		t.Errorf("max = %d", s.Max)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("q0 = %d, want 0", got)
+	}
+	if got := h.Quantile(1); got <= 0 {
+		t.Errorf("q1 = %d, want positive", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(w*per + i + 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Errorf("count = %d, want %d", s.Count, workers*per)
+	}
+	if s.Max != workers*per {
+		t.Errorf("max = %d, want %d", s.Max, workers*per)
+	}
+	if s.P50 <= 0 || s.P50 > s.P95 || s.P95 > s.P99 || s.P99 > s.Max {
+		t.Errorf("quantiles not monotone: %+v", s)
+	}
+}

@@ -424,7 +424,7 @@ func straightenPass(fn *ir.Func, stats *Stats) bool {
 		preds := make([]int, len(fn.Blocks))
 		preds[0]++ // the entry has an implicit predecessor (the caller)
 		for _, b := range fn.Blocks {
-			for _, s := range b.Succs() {
+			for _, s := range succs(b) {
 				preds[s]++
 			}
 		}
@@ -512,6 +512,22 @@ func dcePass(fn *ir.Func, stats *Stats) bool {
 	return changed
 }
 
+// succs returns the IDs of b's successor blocks — the CFG edge set the
+// optimizer traverses (jump: one target, branch: two, ret/taskexit: none).
+func succs(b *ir.Block) []int {
+	t := b.Terminator()
+	if t == nil {
+		return nil
+	}
+	switch t.Op {
+	case ir.OpJump:
+		return []int{t.Blk}
+	case ir.OpBranch:
+		return []int{t.Blk, t.Blk2}
+	}
+	return nil
+}
+
 // pruneBlocks removes unreachable blocks and renumbers the rest.
 func pruneBlocks(fn *ir.Func, stats *Stats) bool {
 	reachable := make([]bool, len(fn.Blocks))
@@ -521,7 +537,7 @@ func pruneBlocks(fn *ir.Func, stats *Stats) bool {
 	for len(stack) > 0 {
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, s := range fn.Blocks[id].Succs() {
+		for _, s := range succs(fn.Blocks[id]) {
 			if !reachable[s] {
 				reachable[s] = true
 				stack = append(stack, s)

@@ -101,7 +101,7 @@ class C {
 		if b.ID != i {
 			t.Errorf("block %d has ID %d after pruning", i, b.ID)
 		}
-		for _, s := range b.Succs() {
+		for _, s := range succs(b) {
 			if s < 0 || s >= len(f.Blocks) {
 				t.Errorf("dangling successor %d", s)
 			}
@@ -173,7 +173,7 @@ class C {
 		if b.Terminator() == nil {
 			t.Fatalf("b%d lost its terminator:\n%s", b.ID, text)
 		}
-		for _, s := range b.Succs() {
+		for _, s := range succs(b) {
 			if s < 0 || s >= len(f.Blocks) {
 				t.Fatalf("dangling successor %d:\n%s", s, text)
 			}

@@ -1,0 +1,91 @@
+// Package server is bambood's serving layer: a multi-tenant HTTP/JSON
+// execution service over the core compile/execute split. It adds the
+// three things a one-shot CLI lacks:
+//
+//   - a content-addressed compiled-program cache (ProgramCache), so hot
+//     programs skip parsing, checking, lowering, analysis, and layout
+//     synthesis entirely;
+//   - admission control: a bounded job queue feeding a fixed worker pool,
+//     with 429/503 + Retry-After when saturated and per-job deadlines and
+//     cancellation flowing through context into the engines;
+//   - a job lifecycle API with live observability: submit / status /
+//     output / Chrome trace / runtime counters per job, plus /healthz,
+//     /varz aggregates, and graceful drain on SIGTERM.
+package server
+
+// SubmitRequest is the body of POST /api/v1/jobs. Exactly one of Source
+// and Benchmark must be set.
+type SubmitRequest struct {
+	// Source is the Bamboo program text to execute.
+	Source string `json:"source,omitempty"`
+	// Benchmark names an embedded benchmark instead of inline source.
+	Benchmark string `json:"benchmark,omitempty"`
+	// Args populate StartupObject.args (benchmark defaults when empty).
+	Args []string `json:"args,omitempty"`
+	// Engine is "deterministic" (default) or "concurrent".
+	Engine string `json:"engine,omitempty"`
+	// Cores selects the layout's core count (default 1). Multicore
+	// deterministic runs synthesize a layout on first compile; the result
+	// is cached under the job's content address.
+	Cores int `json:"cores,omitempty"`
+	// Seed drives layout synthesis deterministically (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Optimize runs the IR optimizer at compile time.
+	Optimize bool `json:"optimize,omitempty"`
+	// TimeoutMS bounds the job from admission to completion; 0 uses the
+	// server default. The deadline covers queue wait, compile, and run.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Trace records an execution trace, served at /api/v1/jobs/{id}/trace
+	// as Chrome trace-event JSON.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// SubmitResponse is the body of a successful job submission (202).
+type SubmitResponse struct {
+	ID         string `json:"id"`
+	Status     string `json:"status"`
+	QueueDepth int    `json:"queue_depth"`
+	// CacheKey is the job's content address (program + flags + placement).
+	CacheKey string `json:"cache_key"`
+}
+
+// Job statuses.
+const (
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusSucceeded = "succeeded"
+	StatusFailed    = "failed"
+	StatusCanceled  = "canceled"
+)
+
+// ResultView is the execution result embedded in a finished JobView.
+type ResultView struct {
+	TotalCycles     int64            `json:"total_cycles"`
+	Invocations     int64            `json:"invocations"`
+	TasksRun        map[string]int64 `json:"tasks_run,omitempty"`
+	Output          string           `json:"output"`
+	OutputTruncated bool             `json:"output_truncated,omitempty"`
+}
+
+// JobView is the body of GET /api/v1/jobs/{id}.
+type JobView struct {
+	ID       string `json:"id"`
+	Status   string `json:"status"`
+	Engine   string `json:"engine"`
+	Cores    int    `json:"cores"`
+	CacheKey string `json:"cache_key"`
+	CacheHit bool   `json:"cache_hit"`
+	// QueueNS is time from admission to dispatch; RunNS from dispatch to
+	// completion (0 while pending).
+	QueueNS int64       `json:"queue_ns"`
+	RunNS   int64       `json:"run_ns"`
+	Error   string      `json:"error,omitempty"`
+	Result  *ResultView `json:"result,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx API response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// RetryAfterSec mirrors the Retry-After header on 429/503.
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
+}

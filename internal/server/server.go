@@ -1,0 +1,667 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/benchmarks"
+	"repro/internal/bamboort"
+	"repro/internal/core"
+	"repro/internal/obsv"
+)
+
+// ShutdownSignals are the signals that trigger a graceful drain. The
+// bamboo CLI's run command listens on the same set, so Ctrl-C and a
+// service manager's SIGTERM take the identical shutdown path in both
+// binaries.
+var ShutdownSignals = []os.Signal{os.Interrupt, syscall.SIGTERM}
+
+// Config sizes the service. The zero value is usable: every field has a
+// production-minded default applied by New.
+type Config struct {
+	// Workers is the execution pool size (default: GOMAXPROCS, min 2).
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet running (default 256).
+	// A full queue rejects submissions with 429 + Retry-After.
+	QueueDepth int
+	// CacheEntries / CacheBytes bound the compiled-program cache
+	// (defaults 128 entries, 64 MiB of source bytes).
+	CacheEntries int
+	CacheBytes   int64
+	// DefaultTimeout applies to jobs that do not set one; MaxTimeout caps
+	// what a job may request (defaults 60s / 10m). The deadline spans
+	// admission to completion.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxSourceBytes bounds one submitted program (default 1 MiB).
+	MaxSourceBytes int64
+	// MaxOutputBytes bounds one job's buffered program output
+	// (default 1 MiB).
+	MaxOutputBytes int
+	// RetainJobs bounds finished jobs kept for polling (default 8192);
+	// the oldest finished jobs are forgotten first.
+	RetainJobs int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Workers < 2 {
+			c.Workers = 2
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 128
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = 1 << 20
+	}
+	if c.MaxOutputBytes <= 0 {
+		c.MaxOutputBytes = 1 << 20
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 8192
+	}
+}
+
+// Server is the bambood execution service: a program cache, a bounded
+// admission queue, a worker pool, and the HTTP API over them.
+type Server struct {
+	cfg   Config
+	cache *ProgramCache
+	start time.Time
+
+	baseCtx  context.Context
+	baseStop context.CancelFunc
+
+	// admission: queue sends happen under submitMu.RLock after checking
+	// closed, so Drain can close the channel without racing a send.
+	submitMu sync.RWMutex
+	closed   bool
+	queue    chan *Job
+	wg       sync.WaitGroup
+
+	jobMu    sync.Mutex
+	jobs     map[string]*Job
+	doneRing []string // finished job IDs, oldest first
+	nextID   atomic.Int64
+
+	// counters for /varz
+	submitted atomic.Int64
+	rejected  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+	running   atomic.Int64
+	draining  atomic.Bool
+
+	e2eLat   obsv.Histogram // admission → completion, ns
+	execLat  obsv.Histogram // dispatch → completion, ns
+	queueLat obsv.Histogram // admission → dispatch, ns
+
+	aggMu sync.Mutex
+	agg   obsv.MetricsSnapshot // summed concurrent-engine counters
+}
+
+// New builds the service and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg.applyDefaults()
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		cache:    NewProgramCache(cfg.CacheEntries, cfg.CacheBytes),
+		start:    time.Now(),
+		baseCtx:  ctx,
+		baseStop: stop,
+		queue:    make(chan *Job, cfg.QueueDepth),
+		jobs:     map[string]*Job{},
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.work()
+	}
+	return s
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/output", s.handleOutput)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/metrics", s.handleJobMetrics)
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /varz", s.handleVarz)
+	return mux
+}
+
+// Drain performs the graceful shutdown: stop admitting (503), let the
+// workers finish every job already accepted, then return. ctx bounds the
+// wait; when it fires, still-running jobs are canceled and Drain waits
+// for the workers to observe the cancellation before returning ctx's
+// error. Accepted jobs are never silently dropped: each reaches a
+// terminal status.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.submitMu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.submitMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelAll()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close hard-stops the server (tests): cancel everything, then drain.
+func (s *Server) Close() {
+	s.cancelAll()
+	s.baseStop()
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = s.Drain(drainCtx)
+}
+
+func (s *Server) cancelAll() {
+	s.jobMu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.jobMu.Unlock()
+	for _, j := range jobs {
+		if j.markCanceled() {
+			s.canceled.Add(1)
+		}
+	}
+}
+
+// Draining reports whether a drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Cache exposes the program cache (tests, loadgen assertions).
+func (s *Server) Cache() *ProgramCache { return s.cache }
+
+// ---- admission ----
+
+// resolve validates a SubmitRequest and fills a Job's execution fields.
+func (s *Server) resolve(req *SubmitRequest) (*Job, error) {
+	if (req.Source == "") == (req.Benchmark == "") {
+		return nil, fmt.Errorf("exactly one of source and benchmark is required")
+	}
+	src, args := req.Source, req.Args
+	if req.Benchmark != "" {
+		b, err := benchmarks.Get(req.Benchmark)
+		if err != nil {
+			return nil, err
+		}
+		src = b.Source
+		if args == nil {
+			args = b.Args
+		}
+	}
+	if int64(len(src)) > s.cfg.MaxSourceBytes {
+		return nil, fmt.Errorf("source exceeds %d bytes", s.cfg.MaxSourceBytes)
+	}
+	engine := req.Engine
+	if engine == "" {
+		engine = "deterministic"
+	}
+	if engine != "deterministic" && engine != "concurrent" {
+		return nil, fmt.Errorf("unknown engine %q", req.Engine)
+	}
+	cores := req.Cores
+	if cores <= 0 {
+		cores = 1
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	j := &Job{
+		req:     *req,
+		source:  src,
+		args:    args,
+		engine:  engine,
+		cores:   cores,
+		timeout: timeout,
+		status:  StatusQueued,
+		out:     limitWriter{max: s.cfg.MaxOutputBytes},
+	}
+	j.creq = CompileRequest{
+		Source: src,
+		Opts:   core.CompileOptions{Optimize: req.Optimize},
+		Prep:   core.PrepareConfig{Cores: cores, Seed: seed, Args: args},
+	}
+	j.key = j.creq.Key()
+	if req.Trace {
+		j.trace = &obsv.Trace{}
+	}
+	if engine == "concurrent" {
+		j.metrics = &obsv.Metrics{}
+	}
+	return j, nil
+}
+
+// admit enqueues the job, or reports the reason it cannot:
+// ErrDraining during shutdown, ErrSaturated when the queue is full.
+func (s *Server) admit(j *Job) error {
+	s.submitMu.RLock()
+	defer s.submitMu.RUnlock()
+	if s.closed || s.draining.Load() {
+		return errDraining
+	}
+	select {
+	case s.queue <- j:
+		return nil
+	default:
+		return errSaturated
+	}
+}
+
+var (
+	errDraining  = fmt.Errorf("server is draining")
+	errSaturated = fmt.Errorf("job queue is full")
+)
+
+// retryAfter estimates how long a client should back off before the
+// queue has room: queue length times mean execution latency divided by
+// the pool width, clamped to [1s, 30s].
+func (s *Server) retryAfter() int {
+	mean := time.Duration(0)
+	if snap := s.execLat.Snapshot(); snap.Count > 0 {
+		mean = time.Duration(int64(snap.Mean))
+	}
+	if mean <= 0 {
+		mean = 50 * time.Millisecond
+	}
+	est := time.Duration(len(s.queue)) * mean / time.Duration(s.cfg.Workers)
+	sec := int(est / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 30 {
+		sec = 30
+	}
+	return sec
+}
+
+// register stores the job and enforces finished-job retention.
+func (s *Server) register(j *Job) {
+	s.jobMu.Lock()
+	s.jobs[j.ID] = j
+	s.jobMu.Unlock()
+}
+
+func (s *Server) retire(j *Job) {
+	s.jobMu.Lock()
+	s.doneRing = append(s.doneRing, j.ID)
+	for len(s.doneRing) > s.cfg.RetainJobs {
+		old := s.doneRing[0]
+		s.doneRing = s.doneRing[1:]
+		delete(s.jobs, old)
+	}
+	s.jobMu.Unlock()
+}
+
+func (s *Server) job(id string) *Job {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	return s.jobs[id]
+}
+
+// ---- execution ----
+
+func (s *Server) work() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.execute(j)
+	}
+}
+
+func (s *Server) execute(j *Job) {
+	if !j.begin() {
+		// canceled while queued; it is already terminal
+		s.retire(j)
+		return
+	}
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	res, err := s.runJob(j)
+	j.finish(res, err)
+
+	q, r, e2e := j.latencies()
+	s.queueLat.Observe(q)
+	s.execLat.Observe(r)
+	s.e2eLat.Observe(e2e)
+	switch {
+	case err == nil && !j.terminalCanceled():
+		s.completed.Add(1)
+	case j.terminalCanceled():
+		// counted when canceled
+	default:
+		s.failed.Add(1)
+	}
+	if j.metrics != nil {
+		s.aggregate(j.metrics.Snapshot())
+	}
+	s.retire(j)
+}
+
+func (j *Job) terminalCanceled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status == StatusCanceled
+}
+
+// runJob compiles (or cache-hits) and executes one job under its
+// deadline. The deadline is anchored at admission, so time spent waiting
+// in the queue counts against it: a saturated server fails old work fast
+// instead of running jobs nobody is still waiting for.
+func (s *Server) runJob(j *Job) (*bamboort.Result, error) {
+	remaining := j.timeout - time.Since(j.submitted)
+	if remaining <= 0 {
+		return nil, context.DeadlineExceeded
+	}
+	ctx, cancel := context.WithTimeout(j.ctx, remaining)
+	defer cancel()
+
+	compiled, hit, err := s.cache.GetOrCompile(ctx, j.creq)
+	if err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	j.cacheHit = hit
+	j.mu.Unlock()
+
+	engine := core.Deterministic
+	if j.engine == "concurrent" {
+		engine = core.Concurrent
+	}
+	return compiled.Sys.Exec(ctx, core.ExecConfig{
+		Engine:  engine,
+		Machine: compiled.Prep.Machine,
+		Layout:  compiled.Prep.Layout,
+		Args:    j.args,
+		Out:     &j.out,
+		Trace:   j.trace,
+		Metrics: j.metrics,
+	})
+}
+
+func (s *Server) aggregate(m obsv.MetricsSnapshot) {
+	s.aggMu.Lock()
+	defer s.aggMu.Unlock()
+	a := &s.agg
+	a.LockAcquisitions += m.LockAcquisitions
+	a.ContentionSkips += m.ContentionSkips
+	a.GuardRechecks += m.GuardRechecks
+	a.Deliveries += m.Deliveries
+	a.Pokes += m.Pokes
+	a.InboxSamples += m.InboxSamples
+	a.InboxDepthSum += m.InboxDepthSum
+	if m.InboxDepthMax > a.InboxDepthMax {
+		a.InboxDepthMax = m.InboxDepthMax
+	}
+	a.StealAttempts += m.StealAttempts
+	a.StealSuccesses += m.StealSuccesses
+	a.Retries += m.Retries
+	a.Rollbacks += m.Rollbacks
+	a.Timeouts += m.Timeouts
+	a.TaskPanics += m.TaskPanics
+	a.PoisonedCores += m.PoisonedCores
+	a.DegradedDrains += m.DegradedDrains
+}
+
+// ---- handlers ----
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, ErrorResponse{Error: msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes+4096)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	j, err := s.resolve(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	j.ID = fmt.Sprintf("j%08d", s.nextID.Add(1))
+	j.submitted = time.Now()
+	j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+	s.submitted.Add(1)
+
+	s.register(j)
+	if err := s.admit(j); err != nil {
+		s.jobMu.Lock()
+		delete(s.jobs, j.ID)
+		s.jobMu.Unlock()
+		j.cancel()
+		s.rejected.Add(1)
+		sec := s.retryAfter()
+		w.Header().Set("Retry-After", strconv.Itoa(sec))
+		code := http.StatusTooManyRequests
+		if err == errDraining {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, ErrorResponse{Error: err.Error(), RetryAfterSec: sec})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{
+		ID:         j.ID,
+		Status:     StatusQueued,
+		QueueDepth: len(s.queue),
+		CacheKey:   j.key,
+	})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleOutput(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if !j.terminal() {
+		writeError(w, http.StatusConflict, "job has not finished")
+		return
+	}
+	out, _ := j.out.snapshot()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte(out))
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if j.trace == nil {
+		writeError(w, http.StatusNotFound, "job was not submitted with trace=true")
+		return
+	}
+	if !j.terminal() {
+		writeError(w, http.StatusConflict, "job has not finished")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := obsv.WriteChromeTrace(w, j.trace); err != nil {
+		// headers are gone; nothing better to do than log-by-response
+		_, _ = fmt.Fprintf(w, `{"error":%q}`, err.Error())
+	}
+}
+
+// jobMetricsView is the per-job observability document.
+type jobMetricsView struct {
+	ID       string                `json:"id"`
+	Status   string                `json:"status"`
+	CacheHit bool                  `json:"cache_hit"`
+	QueueNS  int64                 `json:"queue_ns"`
+	RunNS    int64                 `json:"run_ns"`
+	Counters *obsv.MetricsSnapshot `json:"counters,omitempty"`
+}
+
+func (s *Server) handleJobMetrics(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	v := j.view()
+	mv := jobMetricsView{
+		ID: v.ID, Status: v.Status, CacheHit: v.CacheHit,
+		QueueNS: v.QueueNS, RunNS: v.RunNS,
+	}
+	if j.metrics != nil {
+		snap := j.metrics.Snapshot()
+		mv.Counters = &snap
+	}
+	writeJSON(w, http.StatusOK, mv)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if j.markCanceled() {
+		s.canceled.Add(1)
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+// Varz is the aggregated live-observability document at /varz.
+type Varz struct {
+	UptimeMS  int64            `json:"uptime_ms"`
+	Draining  bool             `json:"draining"`
+	Workers   int              `json:"workers"`
+	Queue     QueueStats       `json:"queue"`
+	Jobs      map[string]int64 `json:"jobs"`
+	Cache     CacheStats       `json:"cache"`
+	LatencyNS LatencyStats     `json:"latency_ns"`
+	// Runtime sums the concurrent-engine counters (steals, retries,
+	// rollbacks, ...) over every finished concurrent job.
+	Runtime obsv.MetricsSnapshot `json:"runtime_counters"`
+}
+
+// QueueStats describes the admission queue.
+type QueueStats struct {
+	Depth    int `json:"depth"`
+	Capacity int `json:"capacity"`
+}
+
+// LatencyStats carries the three latency histograms in nanoseconds.
+type LatencyStats struct {
+	E2E   obsv.HistogramSnapshot `json:"e2e"`
+	Exec  obsv.HistogramSnapshot `json:"exec"`
+	Queue obsv.HistogramSnapshot `json:"queue"`
+}
+
+// VarzSnapshot builds the /varz document (also used by the load harness
+// directly).
+func (s *Server) VarzSnapshot() Varz {
+	s.aggMu.Lock()
+	agg := s.agg
+	s.aggMu.Unlock()
+	return Varz{
+		UptimeMS: time.Since(s.start).Milliseconds(),
+		Draining: s.draining.Load(),
+		Workers:  s.cfg.Workers,
+		Queue:    QueueStats{Depth: len(s.queue), Capacity: s.cfg.QueueDepth},
+		Jobs: map[string]int64{
+			"submitted": s.submitted.Load(),
+			"rejected":  s.rejected.Load(),
+			"running":   s.running.Load(),
+			"completed": s.completed.Load(),
+			"failed":    s.failed.Load(),
+			"canceled":  s.canceled.Load(),
+		},
+		Cache: s.cache.Stats(),
+		LatencyNS: LatencyStats{
+			E2E:   s.e2eLat.Snapshot(),
+			Exec:  s.execLat.Snapshot(),
+			Queue: s.queueLat.Snapshot(),
+		},
+		Runtime: agg,
+	}
+}
+
+func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.VarzSnapshot())
+}

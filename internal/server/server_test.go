@@ -1,0 +1,424 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+type testService struct {
+	srv *server.Server
+	ts  *httptest.Server
+}
+
+func newTestService(t *testing.T, cfg server.Config) *testService {
+	t.Helper()
+	s := server.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return &testService{srv: s, ts: ts}
+}
+
+func (s *testService) submit(t *testing.T, req server.SubmitRequest) (server.SubmitResponse, *http.Response) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(s.ts.URL+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sub server.SubmitResponse
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sub, resp
+}
+
+func (s *testService) status(t *testing.T, id string) server.JobView {
+	t.Helper()
+	resp, err := http.Get(s.ts.URL + "/api/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s: HTTP %d", id, resp.StatusCode)
+	}
+	var v server.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func (s *testService) await(t *testing.T, id string, timeout time.Duration) server.JobView {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		v := s.status(t, id)
+		switch v.Status {
+		case server.StatusSucceeded, server.StatusFailed, server.StatusCanceled:
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %v", id, v.Status, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestSubmitPollResult(t *testing.T) {
+	s := newTestService(t, server.Config{})
+	sub, resp := s.submit(t, server.SubmitRequest{Source: testProgram(50)})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	if sub.CacheKey == "" || sub.ID == "" {
+		t.Fatalf("submit response incomplete: %+v", sub)
+	}
+	v := s.await(t, sub.ID, 10*time.Second)
+	if v.Status != server.StatusSucceeded {
+		t.Fatalf("job = %+v", v)
+	}
+	if v.CacheHit {
+		t.Error("first submission should be a cache miss")
+	}
+	if v.Result == nil || v.Result.TotalCycles <= 0 || v.Result.Invocations <= 0 {
+		t.Fatalf("result = %+v, want nonzero cycles and invocations", v.Result)
+	}
+	if !strings.Contains(v.Result.Output, "total=") {
+		t.Errorf("output = %q", v.Result.Output)
+	}
+
+	// Same program again: front-end skipped, identical result.
+	sub2, _ := s.submit(t, server.SubmitRequest{Source: testProgram(50)})
+	v2 := s.await(t, sub2.ID, 10*time.Second)
+	if !v2.CacheHit {
+		t.Error("second submission should hit the cache")
+	}
+	if v2.Result.TotalCycles != v.Result.TotalCycles || v2.Result.Output != v.Result.Output {
+		t.Errorf("cached run diverged: %+v vs %+v", v2.Result, v.Result)
+	}
+	if sub2.CacheKey != sub.CacheKey {
+		t.Errorf("cache keys differ for identical submissions")
+	}
+
+	// Output endpoint serves the raw program stdout.
+	resp3, err := http.Get(s.ts.URL + "/api/v1/jobs/" + sub.ID + "/output")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp3.Body); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != v.Result.Output {
+		t.Errorf("output endpoint %q != result output %q", out.String(), v.Result.Output)
+	}
+}
+
+func TestBenchmarkJobWithTraceAndMetrics(t *testing.T) {
+	s := newTestService(t, server.Config{})
+	sub, resp := s.submit(t, server.SubmitRequest{
+		Benchmark: "Series", Args: []string{"2", "2", "8"},
+		Engine: "concurrent", Cores: 2, Trace: true,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	v := s.await(t, sub.ID, 30*time.Second)
+	if v.Status != server.StatusSucceeded {
+		t.Fatalf("job = %+v", v)
+	}
+	tr, err := http.Get(s.ts.URL + "/api/v1/jobs/" + sub.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Body.Close()
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("trace: HTTP %d", tr.StatusCode)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(tr.Body).Decode(&doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace has no events")
+	}
+	mr, err := http.Get(s.ts.URL + "/api/v1/jobs/" + sub.ID + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	var m struct {
+		CacheHit bool            `json:"cache_hit"`
+		RunNS    int64           `json:"run_ns"`
+		Counters map[string]any  `json:"counters"`
+	}
+	if err := json.NewDecoder(mr.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.RunNS <= 0 || m.Counters == nil {
+		t.Errorf("metrics = %+v, want run_ns > 0 and concurrent counters", m)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := newTestService(t, server.Config{})
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"empty", `{}`},
+		{"both", fmt.Sprintf(`{"source":%q,"benchmark":"Series"}`, testProgram(1))},
+		{"unknown benchmark", `{"benchmark":"NoSuch"}`},
+		{"unknown engine", `{"benchmark":"Series","engine":"quantum"}`},
+		{"malformed", `{`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, err := http.Post(s.ts.URL+"/api/v1/jobs", "application/json", strings.NewReader(c.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("HTTP %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+	resp, err := http.Get(s.ts.URL + "/api/v1/jobs/j99999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: HTTP %d, want 404", resp.StatusCode)
+	}
+}
+
+// slowProgram keeps a worker occupied across many cheap task invocations
+// (one giant in-task loop would be uncancellable: the engine polls the
+// context between events, not inside a task body). It still finishes on
+// its own if never canceled.
+func slowProgram(steps int) string {
+	return fmt.Sprintf(`
+class Work {
+	flag run;
+	int left;
+	int total;
+	Work(int left) { this.left = left; }
+}
+task boot(StartupObject s in initialstate) {
+	Work w = new Work(%d){ run := true };
+	taskexit(s: initialstate := false);
+}
+task step(Work w in run) {
+	w.left = w.left - 1;
+	int i;
+	for (i = 0; i < 100; i++) { w.total += i; }
+	if (w.left <= 0) {
+		System.printInt(w.total);
+		taskexit(w: run := false);
+	}
+	taskexit(w: run := true);
+}`, steps)
+}
+
+func TestBackpressure429(t *testing.T) {
+	s := newTestService(t, server.Config{Workers: 1, QueueDepth: 1})
+	// Occupy the lone worker.
+	running, resp := s.submit(t, server.SubmitRequest{Source: slowProgram(400_000), TimeoutMS: 60_000})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	waitForStatus(t, s, running.ID, server.StatusRunning, 10*time.Second)
+	// Fill the queue.
+	queued, resp := s.submit(t, server.SubmitRequest{Source: testProgram(60)})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queue fill: HTTP %d", resp.StatusCode)
+	}
+	// Next submission must bounce with 429 + Retry-After.
+	_, resp = s.submit(t, server.SubmitRequest{Source: testProgram(61)})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("HTTP %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Errorf("Retry-After = %q, want a positive integer", ra)
+	}
+	// A rejected submission is not a job: polling it 404s.
+	if s.srv.VarzSnapshot().Jobs["rejected"] == 0 {
+		t.Error("varz should count the rejection")
+	}
+	// Cancel the spinner so cleanup is fast; the queued job then runs.
+	httpDelete(t, s.ts.URL+"/api/v1/jobs/"+running.ID)
+	v := s.await(t, queued.ID, 20*time.Second)
+	if v.Status != server.StatusSucceeded {
+		t.Errorf("queued job after unblock = %+v", v)
+	}
+	rv := s.await(t, running.ID, 10*time.Second)
+	if rv.Status != server.StatusCanceled {
+		t.Errorf("spinner = %+v, want canceled", rv)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	s := newTestService(t, server.Config{Workers: 1, QueueDepth: 4})
+	spinner, _ := s.submit(t, server.SubmitRequest{Source: slowProgram(400_000), TimeoutMS: 60_000})
+	waitForStatus(t, s, spinner.ID, server.StatusRunning, 10*time.Second)
+	queued, resp := s.submit(t, server.SubmitRequest{Source: testProgram(70)})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	httpDelete(t, s.ts.URL+"/api/v1/jobs/"+queued.ID)
+	if v := s.status(t, queued.ID); v.Status != server.StatusCanceled {
+		t.Errorf("canceled queued job = %+v", v)
+	}
+	httpDelete(t, s.ts.URL+"/api/v1/jobs/"+spinner.ID)
+	s.await(t, spinner.ID, 10*time.Second)
+	// The canceled queued job must stay canceled (the worker skips it).
+	if v := s.status(t, queued.ID); v.Status != server.StatusCanceled {
+		t.Errorf("after drain-through = %+v, want canceled", v)
+	}
+}
+
+func TestJobDeadline(t *testing.T) {
+	s := newTestService(t, server.Config{})
+	sub, _ := s.submit(t, server.SubmitRequest{Source: slowProgram(2_000_000), TimeoutMS: 50})
+	v := s.await(t, sub.ID, 20*time.Second)
+	if v.Status != server.StatusFailed {
+		t.Fatalf("job = %+v, want failed by deadline", v)
+	}
+	if !strings.Contains(v.Error, "deadline") && !strings.Contains(v.Error, "canceled") {
+		t.Errorf("error = %q, want a deadline/cancellation error", v.Error)
+	}
+}
+
+func waitForStatus(t *testing.T, s *testService, id, want string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		v := s.status(t, id)
+		if v.Status == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s is %s, wanted %s within %v", id, v.Status, want, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func httpDelete(t *testing.T, url string) {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodDelete, url, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+}
+
+func TestHealthzAndVarz(t *testing.T) {
+	s := newTestService(t, server.Config{})
+	resp, err := http.Get(s.ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", resp.StatusCode)
+	}
+	for i := 0; i < 3; i++ {
+		sub, _ := s.submit(t, server.SubmitRequest{Source: testProgram(80)})
+		s.await(t, sub.ID, 10*time.Second)
+	}
+	vr, err := http.Get(s.ts.URL + "/varz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vr.Body.Close()
+	var varz server.Varz
+	if err := json.NewDecoder(vr.Body).Decode(&varz); err != nil {
+		t.Fatal(err)
+	}
+	if varz.Jobs["submitted"] != 3 || varz.Jobs["completed"] != 3 {
+		t.Errorf("varz jobs = %v", varz.Jobs)
+	}
+	if varz.Cache.Misses != 1 || varz.Cache.Hits != 2 {
+		t.Errorf("varz cache = %+v, want 1 miss + 2 hits", varz.Cache)
+	}
+	lat := varz.LatencyNS.E2E
+	if lat.Count != 3 || lat.P50 <= 0 || lat.P50 > lat.P95 || lat.P95 > lat.P99 {
+		t.Errorf("varz latency = %+v", lat)
+	}
+}
+
+// TestGracefulDrain: accepted work survives a drain, new work is turned
+// away with 503 + Retry-After, and Drain returns once the queue is empty.
+func TestGracefulDrain(t *testing.T) {
+	s := newTestService(t, server.Config{Workers: 2, QueueDepth: 16})
+	var ids []string
+	for i := 0; i < 6; i++ {
+		sub, resp := s.submit(t, server.SubmitRequest{Source: testProgram(90 + i)})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("HTTP %d", resp.StatusCode)
+		}
+		ids = append(ids, sub.ID)
+	}
+	drainDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drainDone <- s.srv.Drain(ctx)
+	}()
+	// Submissions during the drain bounce with 503.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, resp := s.submit(t, server.SubmitRequest{Source: testProgram(99)})
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if ra := resp.Header.Get("Retry-After"); ra == "" {
+				t.Error("503 without Retry-After")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("drain never started rejecting submissions")
+		}
+	}
+	// healthz flips to 503 while draining.
+	hr, err := http.Get(s.ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz during drain: HTTP %d, want 503", hr.StatusCode)
+	}
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// Every accepted job reached a terminal state, none dropped.
+	for _, id := range ids {
+		v := s.status(t, id)
+		if v.Status != server.StatusSucceeded {
+			t.Errorf("job %s after drain = %+v", id, v)
+		}
+	}
+}

@@ -13,11 +13,19 @@
 # reference tree walker) into BENCH_interp.json; the fast/walker ratio per
 # name is the dispatch speedup and allocs/op shows the frame pooling.
 #
-# Usage: scripts/bench.sh [output.json] [runtime-output.json] [interp-output.json]
+# Finally, drives the bambood serving layer with the load harness
+# (scripts/loadgen.go): N concurrent clients over the benchmark suite
+# against an in-process server, recording throughput, client-observed
+# p50/p95/p99 latency, backpressure retries, and the steady-state cache
+# hit rate into BENCH_server.json.
+#
+# Usage: scripts/bench.sh [output.json] [runtime-output.json] [interp-output.json] [server-output.json]
 #   BENCH_PATTERN  override the benchmark regexp
 #   BENCH_TIME     override -benchtime (default 5x)
 #   RUNTIME_CORES  cores for the runtime counter snapshot (default 4)
 #   INTERP_TIME    override -benchtime for the interpreter section (default 5x)
+#   SERVER_CLIENTS concurrent load-harness clients (default 64)
+#   SERVER_JOBS    jobs per client (default 3)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -104,3 +112,17 @@ go test -run '^$' -bench 'BenchmarkInterp' -benchmem -benchtime "$ibenchtime" ./
 parse_bench "$iraw" > "$iout"
 
 echo "wrote $iout" >&2
+
+# Server load benchmark: the load harness starts an in-process bambood
+# server (same code path as the daemon), warms the compiled-program
+# cache over the benchmark suite, then measures a concurrent-client
+# steady state. The JSON carries throughput, latency quantiles, retry
+# counts, and the server's own /varz snapshot.
+sout="${4:-BENCH_server.json}"
+sclients="${SERVER_CLIENTS:-64}"
+sjobs="${SERVER_JOBS:-3}"
+
+echo "running: go run ./scripts -clients $sclients -jobs $sjobs -out $sout" >&2
+go run ./scripts -clients "$sclients" -jobs "$sjobs" -out "$sout"
+
+echo "wrote $sout" >&2

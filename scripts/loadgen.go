@@ -1,0 +1,380 @@
+// Command loadgen is the bambood load harness: it drives N concurrent
+// clients over the embedded benchmark suite against a bambood instance
+// and emits BENCH_server.json with throughput, client-observed latency
+// quantiles, retry/backpressure counts, and the server's own /varz view
+// (cache hit rate, queue, latency histograms).
+//
+// By default it starts an in-process server (same code path as bambood)
+// on a loopback listener, so `go run ./scripts` needs no running daemon;
+// -addr points it at an external bambood instead.
+//
+// Usage:
+//
+//	go run ./scripts [-addr host:port] [-clients 64] [-jobs 3]
+//	                 [-engine deterministic] [-cores 1] [-out BENCH_server.json]
+//
+// The harness has two phases. The warmup phase submits each benchmark
+// once and waits, populating the compiled-program cache; the load phase
+// then runs clients×jobs submissions, so the steady-state cache hit rate
+// (reported separately from the lifetime rate) reflects a warm server.
+// Clients honor Retry-After on 429/503 and resubmit, so accepted work is
+// never abandoned; a job that is accepted but fails to reach a terminal
+// status within the harness deadline is counted as dropped — the run
+// fails if any job is.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/benchmarks"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+type totals struct {
+	submitted  atomic.Int64 // POST attempts, including retried ones
+	accepted   atomic.Int64
+	rejected   atomic.Int64 // 429/503 bounces (each is retried)
+	succeeded  atomic.Int64
+	failed     atomic.Int64
+	dropped    atomic.Int64 // accepted but never reached a terminal status
+	inFlight   atomic.Int64 // accepted, not yet terminal
+	maxInFlight atomic.Int64
+}
+
+func (t *totals) noteInFlight(d int64) {
+	cur := t.inFlight.Add(d)
+	for {
+		max := t.maxInFlight.Load()
+		if cur <= max || t.maxInFlight.CompareAndSwap(max, cur) {
+			return
+		}
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "", "bambood base URL (empty: start an in-process server)")
+	clients := flag.Int("clients", 64, "concurrent clients")
+	jobsPer := flag.Int("jobs", 3, "jobs per client in the load phase")
+	engine := flag.String("engine", "deterministic", "execution engine for submitted jobs")
+	cores := flag.Int("cores", 1, "cores per job")
+	seed := flag.Int64("seed", 1, "layout synthesis seed")
+	timeout := flag.Duration("job-timeout", 2*time.Minute, "per-job deadline sent with each submission")
+	deadline := flag.Duration("deadline", 10*time.Minute, "overall harness deadline")
+	out := flag.String("out", "BENCH_server.json", "output JSON path")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		srv := server.New(server.Config{})
+		ts := httptest.NewServer(srv.Handler())
+		defer func() {
+			ts.Close()
+			srv.Close()
+		}()
+		base = ts.URL
+		fmt.Fprintf(os.Stderr, "loadgen: in-process server at %s\n", base)
+	} else if base[0] == ':' {
+		base = "http://localhost" + base
+	} else if len(base) < 4 || base[:4] != "http" {
+		base = "http://" + base
+	}
+
+	var suite []string
+	for _, b := range benchmarks.All() {
+		suite = append(suite, b.Name)
+	}
+	if len(suite) == 0 {
+		return fmt.Errorf("no embedded benchmarks")
+	}
+	hardStop := time.Now().Add(*deadline)
+
+	// Warmup: one submission per benchmark fills the cache, so the load
+	// phase measures a warm server.
+	fmt.Fprintf(os.Stderr, "loadgen: warmup over %d benchmarks\n", len(suite))
+	var warm totals
+	for _, name := range suite {
+		if _, err := oneJob(base, name, *engine, *cores, *seed, *timeout, hardStop, &warm, nil); err != nil {
+			return fmt.Errorf("warmup %s: %w", name, err)
+		}
+	}
+	preVarz, err := fetchVarz(base)
+	if err != nil {
+		return err
+	}
+
+	// Load phase.
+	fmt.Fprintf(os.Stderr, "loadgen: load phase, %d clients x %d jobs\n", *clients, *jobsPer)
+	var tot totals
+	latCh := make(chan time.Duration, *clients**jobsPer)
+	errCh := make(chan error, *clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < *jobsPer; i++ {
+				name := suite[(c+i)%len(suite)]
+				lat, err := oneJob(base, name, *engine, *cores, *seed, *timeout, hardStop, &tot, nil)
+				if err != nil {
+					select {
+					case errCh <- fmt.Errorf("client %d job %d (%s): %w", c, i, name, err):
+					default:
+					}
+					return
+				}
+				latCh <- lat
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(latCh)
+	close(errCh)
+	for err := range errCh {
+		return err
+	}
+
+	var lats []time.Duration
+	for l := range latCh {
+		lats = append(lats, l)
+	}
+	postVarz, err := fetchVarz(base)
+	if err != nil {
+		return err
+	}
+
+	doc := report(*clients, *jobsPer, *engine, *cores, suite, &tot, lats, wall, preVarz, postVarz)
+	if tot.dropped.Load() > 0 {
+		return fmt.Errorf("%d accepted jobs were dropped", tot.dropped.Load())
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"loadgen: %d jobs in %.1fs (%.1f jobs/s), p50=%.1fms p95=%.1fms p99=%.1fms, steady hit rate %.1f%%, max in-flight %d\n",
+		len(lats), wall.Seconds(), doc.ThroughputJobsPerSec,
+		doc.LatencyMS.P50, doc.LatencyMS.P95, doc.LatencyMS.P99,
+		doc.SteadyCacheHitRate*100, tot.maxInFlight.Load())
+	fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", *out)
+	return nil
+}
+
+// oneJob submits one benchmark job, retrying 429/503 bounces with the
+// server's Retry-After hint, then polls it to a terminal status and
+// returns the accepted-to-terminal latency.
+func oneJob(base, bench, engine string, cores int, seed int64, timeout time.Duration, hardStop time.Time, tot *totals, args []string) (time.Duration, error) {
+	body, _ := json.Marshal(map[string]any{
+		"benchmark":  bench,
+		"args":       args,
+		"engine":     engine,
+		"cores":      cores,
+		"seed":       seed,
+		"timeout_ms": timeout.Milliseconds(),
+	})
+	var id string
+	for {
+		if time.Now().After(hardStop) {
+			return 0, fmt.Errorf("harness deadline while submitting")
+		}
+		tot.submitted.Add(1)
+		resp, err := http.Post(base+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var sub server.SubmitResponse
+			err := json.NewDecoder(resp.Body).Decode(&sub)
+			resp.Body.Close()
+			if err != nil {
+				return 0, err
+			}
+			id = sub.ID
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			tot.rejected.Add(1)
+			after := time.Second
+			if s := resp.Header.Get("Retry-After"); s != "" {
+				if sec, err := strconv.Atoi(s); err == nil && sec > 0 {
+					after = time.Duration(sec) * time.Second
+				}
+			}
+			resp.Body.Close()
+			time.Sleep(after)
+			continue
+		default:
+			resp.Body.Close()
+			return 0, fmt.Errorf("submit: HTTP %d", resp.StatusCode)
+		}
+		break
+	}
+
+	tot.accepted.Add(1)
+	tot.noteInFlight(1)
+	defer tot.noteInFlight(-1)
+	accepted := time.Now()
+	for {
+		if time.Now().After(hardStop) {
+			tot.dropped.Add(1)
+			return 0, fmt.Errorf("job %s never reached a terminal status", id)
+		}
+		resp, err := http.Get(base + "/api/v1/jobs/" + id)
+		if err != nil {
+			return 0, err
+		}
+		var v server.JobView
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			return 0, err
+		}
+		switch v.Status {
+		case server.StatusSucceeded:
+			tot.succeeded.Add(1)
+			if v.Result == nil || v.Result.TotalCycles <= 0 {
+				return 0, fmt.Errorf("job %s succeeded with empty result", id)
+			}
+			return time.Since(accepted), nil
+		case server.StatusFailed, server.StatusCanceled:
+			tot.failed.Add(1)
+			return 0, fmt.Errorf("job %s: %s (%s)", id, v.Status, v.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func fetchVarz(base string) (*server.Varz, error) {
+	resp, err := http.Get(base + "/varz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var v server.Varz
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return nil, fmt.Errorf("varz: %w", err)
+	}
+	return &v, nil
+}
+
+// quantiles is the client-observed latency summary in milliseconds.
+type quantiles struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+func summarize(lats []time.Duration) quantiles {
+	if len(lats) == 0 {
+		return quantiles{}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	at := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(lats)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return ms(lats[i])
+	}
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	return quantiles{
+		Count: len(lats),
+		Mean:  ms(sum) / float64(len(lats)),
+		P50:   at(0.50),
+		P95:   at(0.95),
+		P99:   at(0.99),
+		Max:   ms(lats[len(lats)-1]),
+	}
+}
+
+// benchDoc is the BENCH_server.json schema.
+type benchDoc struct {
+	Config struct {
+		Clients       int      `json:"clients"`
+		JobsPerClient int      `json:"jobs_per_client"`
+		Engine        string   `json:"engine"`
+		Cores         int      `json:"cores"`
+		Benchmarks    []string `json:"benchmarks"`
+	} `json:"config"`
+	WallMS               float64     `json:"wall_ms"`
+	ThroughputJobsPerSec float64     `json:"throughput_jobs_per_sec"`
+	LatencyMS            quantiles   `json:"latency_ms"`
+	Totals               totalsDoc   `json:"totals"`
+	SteadyCacheHitRate   float64     `json:"steady_cache_hit_rate"`
+	Varz                 server.Varz `json:"server_varz"`
+}
+
+type totalsDoc struct {
+	Submitted   int64 `json:"submitted"`
+	Accepted    int64 `json:"accepted"`
+	Rejected    int64 `json:"rejected_429_503"`
+	Succeeded   int64 `json:"succeeded"`
+	Failed      int64 `json:"failed"`
+	Dropped     int64 `json:"dropped_accepted"`
+	MaxInFlight int64 `json:"max_in_flight"`
+}
+
+func report(clients, jobsPer int, engine string, cores int, suite []string, tot *totals, lats []time.Duration, wall time.Duration, pre, post *server.Varz) *benchDoc {
+	doc := &benchDoc{}
+	doc.Config.Clients = clients
+	doc.Config.JobsPerClient = jobsPer
+	doc.Config.Engine = engine
+	doc.Config.Cores = cores
+	doc.Config.Benchmarks = suite
+	doc.WallMS = float64(wall.Nanoseconds()) / 1e6
+	if wall > 0 {
+		doc.ThroughputJobsPerSec = float64(len(lats)) / wall.Seconds()
+	}
+	doc.LatencyMS = summarize(lats)
+	doc.Totals = totalsDoc{
+		Submitted:   tot.submitted.Load(),
+		Accepted:    tot.accepted.Load(),
+		Rejected:    tot.rejected.Load(),
+		Succeeded:   tot.succeeded.Load(),
+		Failed:      tot.failed.Load(),
+		Dropped:     tot.dropped.Load(),
+		MaxInFlight: tot.maxInFlight.Load(),
+	}
+	hits := post.Cache.Hits - pre.Cache.Hits
+	misses := post.Cache.Misses - pre.Cache.Misses
+	if hits+misses > 0 {
+		doc.SteadyCacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	doc.Varz = *post
+	return doc
+}

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for bambood: build it, start it, submit one
+# benchmark job over HTTP, poll to completion, assert a successful result
+# with nonzero total_cycles, then SIGTERM the daemon and assert it drains
+# cleanly (exit 0). CI runs this as the `server` job's last step.
+#
+# Usage: scripts/smoke_server.sh [port]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+port="${1:-8377}"
+base="http://127.0.0.1:$port"
+bin="$(mktemp -d)/bambood"
+log="$(mktemp)"
+
+cleanup() {
+    [ -n "${daemon_pid:-}" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$(dirname "$bin")" "$log"
+}
+trap cleanup EXIT
+
+go build -o "$bin" ./cmd/bambood
+"$bin" -addr ":$port" >"$log" 2>&1 &
+daemon_pid=$!
+
+# Wait for the daemon to come up.
+for _ in $(seq 1 100); do
+    if curl -fsS "$base/healthz" >/dev/null 2>&1; then break; fi
+    if ! kill -0 "$daemon_pid" 2>/dev/null; then
+        echo "bambood exited during startup:" >&2; cat "$log" >&2; exit 1
+    fi
+    sleep 0.1
+done
+curl -fsS "$base/healthz" >/dev/null
+
+# Submit a benchmark job.
+submit="$(curl -fsS -X POST "$base/api/v1/jobs" \
+    -H 'Content-Type: application/json' \
+    -d '{"benchmark":"Series","args":["4","4","16"]}')"
+id="$(echo "$submit" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')"
+[ -n "$id" ] || { echo "no job id in: $submit" >&2; exit 1; }
+echo "submitted job $id" >&2
+
+# Poll to a terminal status (HTTP 200 asserted by curl -f).
+status=""
+for _ in $(seq 1 300); do
+    view="$(curl -fsS "$base/api/v1/jobs/$id")"
+    status="$(echo "$view" | sed -n 's/.*"status": *"\([^"]*\)".*/\1/p' | head -1)"
+    case "$status" in
+        succeeded|failed|canceled) break ;;
+    esac
+    sleep 0.1
+done
+[ "$status" = succeeded ] || { echo "job ended as '$status': $view" >&2; exit 1; }
+
+cycles="$(echo "$view" | sed -n 's/.*"total_cycles": *\([0-9]*\).*/\1/p' | head -1)"
+[ -n "$cycles" ] && [ "$cycles" -gt 0 ] || { echo "total_cycles=$cycles, want > 0" >&2; exit 1; }
+echo "job succeeded with total_cycles=$cycles" >&2
+
+# /varz should report the completed job and a cache miss.
+curl -fsS "$base/varz" | grep -q '"submitted": 1'
+
+# Graceful drain on SIGTERM: the daemon must exit 0 on its own.
+kill -TERM "$daemon_pid"
+drain_ok=0
+for _ in $(seq 1 100); do
+    if ! kill -0 "$daemon_pid" 2>/dev/null; then drain_ok=1; break; fi
+    sleep 0.1
+done
+[ "$drain_ok" = 1 ] || { echo "bambood did not exit after SIGTERM" >&2; exit 1; }
+wait "$daemon_pid" || { echo "bambood exited nonzero after SIGTERM:" >&2; cat "$log" >&2; exit 1; }
+grep -q "drained cleanly" "$log" || { echo "missing drain message:" >&2; cat "$log" >&2; exit 1; }
+daemon_pid=""
+echo "smoke_server: OK" >&2
