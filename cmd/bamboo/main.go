@@ -161,6 +161,7 @@ func cmdRun(argv []string) error {
 	showTrace := fs.Bool("trace", false, "print an execution trace summary to stderr")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON (loads in Perfetto) to this file")
 	metricsOut := fs.String("metrics-out", "", "write runtime counters JSON to this file (implies -concurrent)")
+	interpStats := fs.Bool("interpstats", false, "print interpreter dispatch statistics (superinstruction coverage, inline-cache hit rate, arena reuse) to stderr")
 	workers := workersFlag(fs)
 	optimize := optFlag(fs)
 	fs.Parse(argv)
@@ -186,7 +187,7 @@ func cmdRun(argv []string) error {
 		tr = &obsv.Trace{}
 	}
 	var mx *obsv.Metrics
-	if *conc {
+	if *conc || *interpStats {
 		mx = &obsv.Metrics{}
 	}
 	emit := func() error {
@@ -208,6 +209,20 @@ func cmdRun(argv []string) error {
 			if *showTrace {
 				fmt.Fprint(os.Stderr, obsv.Summarize(tr))
 			}
+		}
+		if *interpStats && mx != nil {
+			snap := mx.Snapshot()
+			total := snap.ICHits + snap.ICMisses
+			hitPct := 0.0
+			if total > 0 {
+				hitPct = 100 * float64(snap.ICHits) / float64(total)
+			}
+			cov := 0.0
+			if snap.FlatInstrs > 0 {
+				cov = 100 * float64(snap.FusedInstrs) / float64(snap.FlatInstrs)
+			}
+			fmt.Fprintf(os.Stderr, "-- interp: %d fused of %d flat instrs (%.1f%% superinstruction coverage), IC %d hits / %d misses (%.1f%% hit rate), %d arena bytes reused\n",
+				snap.FusedInstrs, snap.FlatInstrs, cov, snap.ICHits, snap.ICMisses, hitPct, snap.ArenaReusedBytes)
 		}
 		if mx != nil && *metricsOut != "" {
 			data, err := json.MarshalIndent(mx.Snapshot(), "", "  ")
@@ -245,7 +260,7 @@ func cmdRun(argv []string) error {
 		res, err := sys.Exec(ctx, core.ExecConfig{
 			Engine: core.Deterministic, Machine: machine.Sequential(),
 			Layout: layout.Single(sys.TaskNames()),
-			Args:   args, Out: os.Stdout, Trace: tr,
+			Args:   args, Out: os.Stdout, Trace: tr, Metrics: mx,
 		})
 		if err != nil {
 			return flush(err)
@@ -281,7 +296,7 @@ func cmdRun(argv []string) error {
 	}
 	res, err := sys.Exec(ctx, core.ExecConfig{
 		Engine: core.Deterministic, Machine: m, Layout: lay,
-		Args: args, Out: os.Stdout, Trace: tr,
+		Args: args, Out: os.Stdout, Trace: tr, Metrics: mx,
 	})
 	if err != nil {
 		return flush(err)

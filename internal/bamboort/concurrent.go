@@ -308,7 +308,21 @@ func (r *crun) monitor(ctx context.Context) (*Result, error) {
 	return r.result(), nil
 }
 
+// result finalizes a successful run: it folds the interpreter's dispatch
+// statistics into the run's metrics and, when the run owns its heap, hands
+// the arena back to the process-wide pools before building the Result.
 func (r *crun) result() *Result {
+	if m := r.mx; m != nil {
+		st := r.in.Stats()
+		m.ICHits.Add(st.ICHits)
+		m.ICMisses.Add(st.ICMisses)
+		m.FlatInstrs.Add(st.FlatInstrs)
+		m.FusedInstrs.Add(st.FusedInstrs)
+		m.ArenaReusedBytes.Add(st.ArenaReusedBytes)
+	}
+	if r.opts.Heap == nil {
+		r.in.Heap.Release()
+	}
 	return &Result{Invocations: r.nInv.Load(), TasksRun: r.tasksRun}
 }
 

@@ -133,6 +133,7 @@ type Engine struct {
 	in       *interp.Interp
 	cores    []*core
 	events   eventHeap
+	evFree   []*event // recycled event records (popped and fully handled)
 	seq      int64
 	lockedBy map[*interp.Object]*invocation
 	rr       map[string]int // round-robin counters, keyed fromCore|task
@@ -210,13 +211,23 @@ func NewEngine(prog *ir.Program, dep *depend.Result, locks *disjoint.Result, opt
 	return e, nil
 }
 
-func (e *Engine) push(ev *event) {
+// push copies ev into a pooled record (popped events are recycled once
+// handled, so a steady-state run allocates no event objects) and queues it.
+func (e *Engine) push(ev event) {
 	ev.seq = e.seq
 	e.seq++
 	if ev.kind == evArrive && ev.fifo == 0 {
 		ev.fifo = ev.seq
 	}
-	heap.Push(&e.events, ev)
+	var p *event
+	if n := len(e.evFree); n > 0 {
+		p = e.evFree[n-1]
+		e.evFree = e.evFree[:n-1]
+	} else {
+		p = new(event)
+	}
+	*p = ev
+	heap.Push(&e.events, p)
 }
 
 // Run executes the program to quiescence and returns the result.
@@ -265,11 +276,31 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		*ev = event{}
+		e.evFree = append(e.evFree, ev)
 		if e.nInv > e.opts.MaxInvocations {
 			return nil, fmt.Errorf("bamboort: exceeded %d task invocations; task system may not terminate", e.opts.MaxInvocations)
 		}
 	}
+	e.finishRun()
 	return &Result{TotalCycles: e.lastEnd, Invocations: e.nInv, TasksRun: e.tasksRun}, nil
+}
+
+// finishRun folds the interpreter's dispatch statistics into the run's
+// metrics and, when the engine owns its heap, hands the arena back to the
+// process-wide pools for the next execution.
+func (e *Engine) finishRun() {
+	if m := e.opts.Metrics; m != nil {
+		st := e.in.Stats()
+		m.ICHits.Add(st.ICHits)
+		m.ICMisses.Add(st.ICMisses)
+		m.FlatInstrs.Add(st.FlatInstrs)
+		m.FusedInstrs.Add(st.FusedInstrs)
+		m.ArenaReusedBytes.Add(st.ArenaReusedBytes)
+	}
+	if e.opts.Heap == nil {
+		e.in.Heap.Release()
+	}
 }
 
 func (e *Engine) onArrive(ev *event) {
@@ -284,7 +315,7 @@ func (e *Engine) onArrive(ev *event) {
 		if c.freeAt > at {
 			at = c.freeAt
 		}
-		e.push(&event{time: at, kind: evAttempt, core: ev.core})
+		e.push(event{time: at, kind: evAttempt, core: ev.core})
 	}
 }
 
@@ -317,7 +348,7 @@ func (e *Engine) onAttempt(ev *event) error {
 	// invocation's execution time (Section 4.6).
 	dur := m.ScaleCycles(c.phys, overhead+exec.Cycles)
 	c.freeAt = start + dur
-	e.push(&event{time: c.freeAt, kind: evComplete, core: ev.core, inv: inv, exec: exec, start: start})
+	e.push(event{time: c.freeAt, kind: evComplete, core: ev.core, inv: inv, exec: exec, start: start})
 	return nil
 }
 
@@ -412,7 +443,7 @@ func (e *Engine) onComplete(ev *event) error {
 	}
 	// Wake this core and any core with pending work (locked objects may
 	// have been released, enabling stalled invocations).
-	e.push(&event{time: c.freeAt, kind: evAttempt, core: c.id})
+	e.push(event{time: c.freeAt, kind: evAttempt, core: c.id})
 	for _, other := range e.cores {
 		if other == c || !e.hasPending(other) {
 			continue
@@ -421,7 +452,7 @@ func (e *Engine) onComplete(ev *event) error {
 		if other.freeAt > at {
 			at = other.freeAt
 		}
-		e.push(&event{time: at, kind: evAttempt, core: other.id})
+		e.push(event{time: at, kind: evAttempt, core: other.id})
 	}
 	return nil
 }
@@ -494,7 +525,7 @@ func (e *Engine) routeObject(obj *interp.Object, fromCore int, t int64, enqueueC
 		if ht == nil {
 			continue
 		}
-		e.push(&event{time: t + latency, kind: evArrive, core: dst, ht: ht, param: pr.Param, obj: obj, fifo: fifo})
+		e.push(event{time: t + latency, kind: evArrive, core: dst, ht: ht, param: pr.Param, obj: obj, fifo: fifo})
 	}
 	return cost
 }

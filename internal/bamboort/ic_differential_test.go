@@ -1,0 +1,65 @@
+package bamboort_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"testing"
+
+	"repro/internal/bamboort"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/machine"
+)
+
+// TestInlineCacheDifferential runs the icflip fixture — eight classes
+// sharing the member names "v"/"step" at different slots, re-arming tasks,
+// and a fan-in collector — on both dispatch paths at 1, 2, 4, and 8 cores.
+// The fixture's IC sites are installed concurrently at >1 core and any
+// stale slot or callee served from a cache would shift the printed total,
+// the cycle count, or the final flag state, so walker/VM equality here is
+// the engine-level inline-cache correctness check. (Per-site class flips
+// and the megamorphic freeze are driven directly in
+// internal/interp's TestInlineCache* tests; the nominally-typed surface
+// language cannot express a flipping call site.)
+func TestInlineCacheDifferential(t *testing.T) {
+	src, err := os.ReadFile("testdata/icflip.bb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.CompileSource(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(nc int, noFast bool) (string, *bamboort.Result, []objState) {
+		heap := interp.NewHeap()
+		heap.TrackObjects()
+		var out bytes.Buffer
+		res, err := sys.Exec(context.Background(), core.ExecConfig{
+			Engine:         core.Deterministic,
+			Machine:        machine.TilePro64().WithCores(nc),
+			Layout:         bamboort.SpreadLayout(sys.Prog, nc),
+			Out:            &out,
+			NoFastDispatch: noFast,
+			Heap:           heap,
+		})
+		if err != nil {
+			t.Fatalf("%d cores (noFast=%v): %v", nc, noFast, err)
+		}
+		return out.String(), res, heapSnapshot(heap)
+	}
+	for _, nc := range []int{1, 2, 4, 8} {
+		refOut, refRes, refSnap := run(nc, true)
+		fastOut, fastRes, fastSnap := run(nc, false)
+		if fastOut != refOut {
+			t.Errorf("%d cores: fast-dispatch output diverged\nfast: %q\nwalk: %q", nc, fastOut, refOut)
+		}
+		if fastRes.TotalCycles != refRes.TotalCycles {
+			t.Errorf("%d cores: fast dispatch took %d cycles, walker %d", nc, fastRes.TotalCycles, refRes.TotalCycles)
+		}
+		if fastRes.Invocations != refRes.Invocations {
+			t.Errorf("%d cores: fast dispatch ran %d invocations, walker %d", nc, fastRes.Invocations, refRes.Invocations)
+		}
+		sameSnapshot(t, "fast dispatch", fastSnap, refSnap)
+	}
+}

@@ -1,0 +1,292 @@
+// icflip.bb -- inline-cache churn fixture for the dispatch differential.
+// Eight worker classes share the member names "v" and "step" but place
+// "v" at a different field slot in each class, so any cross-class
+// confusion in the interpreter's field/call inline caches (which key on
+// the receiver's runtime class) would change the printed total. Each
+// worker re-arms itself several times and all cores share one flattened
+// program, so at >1 core the IC sites absorb concurrent installs.
+// args: none.
+
+class Hub {
+	flag open;
+	int total;
+	int n;
+	Hub() {}
+}
+
+class W0 {
+	flag go;
+	flag done;
+	int v;
+	int rounds;
+	W0(int v, int rounds) { this.v = v; this.rounds = rounds; }
+	int step() { return this.v * 2 + 1; }
+}
+
+task run0(W0 w in go) {
+	w.v = w.step();
+	w.rounds = w.rounds - 1;
+	if (w.rounds > 0) {
+		taskexit(w: go := true);
+	}
+	taskexit(w: go := false, done := true);
+}
+
+task collect0(Hub h in open, W0 w in done) {
+	h.total = h.total + w.v;
+	h.n = h.n + 1;
+	if (h.n == 32) {
+		System.printString("icflip total=");
+		System.printInt(h.total);
+		System.println();
+		taskexit(h: open := false; w: done := false);
+	}
+	taskexit(w: done := false);
+}
+
+class W1 {
+	flag go;
+	flag done;
+	int p0;
+	int v;
+	int rounds;
+	W1(int v, int rounds) { this.v = v; this.rounds = rounds; }
+	int step() { return this.v * 2 + 2; }
+}
+
+task run1(W1 w in go) {
+	w.v = w.step();
+	w.rounds = w.rounds - 1;
+	if (w.rounds > 0) {
+		taskexit(w: go := true);
+	}
+	taskexit(w: go := false, done := true);
+}
+
+task collect1(Hub h in open, W1 w in done) {
+	h.total = h.total + w.v;
+	h.n = h.n + 1;
+	if (h.n == 32) {
+		System.printString("icflip total=");
+		System.printInt(h.total);
+		System.println();
+		taskexit(h: open := false; w: done := false);
+	}
+	taskexit(w: done := false);
+}
+
+class W2 {
+	flag go;
+	flag done;
+	int p0; int p1;
+	int v;
+	int rounds;
+	W2(int v, int rounds) { this.v = v; this.rounds = rounds; }
+	int step() { return this.v * 2 + 3; }
+}
+
+task run2(W2 w in go) {
+	w.v = w.step();
+	w.rounds = w.rounds - 1;
+	if (w.rounds > 0) {
+		taskexit(w: go := true);
+	}
+	taskexit(w: go := false, done := true);
+}
+
+task collect2(Hub h in open, W2 w in done) {
+	h.total = h.total + w.v;
+	h.n = h.n + 1;
+	if (h.n == 32) {
+		System.printString("icflip total=");
+		System.printInt(h.total);
+		System.println();
+		taskexit(h: open := false; w: done := false);
+	}
+	taskexit(w: done := false);
+}
+
+class W3 {
+	flag go;
+	flag done;
+	int p0; int p1; int p2;
+	int v;
+	int rounds;
+	W3(int v, int rounds) { this.v = v; this.rounds = rounds; }
+	int step() { return this.v * 2 + 4; }
+}
+
+task run3(W3 w in go) {
+	w.v = w.step();
+	w.rounds = w.rounds - 1;
+	if (w.rounds > 0) {
+		taskexit(w: go := true);
+	}
+	taskexit(w: go := false, done := true);
+}
+
+task collect3(Hub h in open, W3 w in done) {
+	h.total = h.total + w.v;
+	h.n = h.n + 1;
+	if (h.n == 32) {
+		System.printString("icflip total=");
+		System.printInt(h.total);
+		System.println();
+		taskexit(h: open := false; w: done := false);
+	}
+	taskexit(w: done := false);
+}
+
+class W4 {
+	flag go;
+	flag done;
+	int p0; int p1; int p2; int p3;
+	int v;
+	int rounds;
+	W4(int v, int rounds) { this.v = v; this.rounds = rounds; }
+	int step() { return this.v * 2 + 5; }
+}
+
+task run4(W4 w in go) {
+	w.v = w.step();
+	w.rounds = w.rounds - 1;
+	if (w.rounds > 0) {
+		taskexit(w: go := true);
+	}
+	taskexit(w: go := false, done := true);
+}
+
+task collect4(Hub h in open, W4 w in done) {
+	h.total = h.total + w.v;
+	h.n = h.n + 1;
+	if (h.n == 32) {
+		System.printString("icflip total=");
+		System.printInt(h.total);
+		System.println();
+		taskexit(h: open := false; w: done := false);
+	}
+	taskexit(w: done := false);
+}
+
+class W5 {
+	flag go;
+	flag done;
+	int p0; int p1; int p2; int p3; int p4;
+	int v;
+	int rounds;
+	W5(int v, int rounds) { this.v = v; this.rounds = rounds; }
+	int step() { return this.v * 2 + 6; }
+}
+
+task run5(W5 w in go) {
+	w.v = w.step();
+	w.rounds = w.rounds - 1;
+	if (w.rounds > 0) {
+		taskexit(w: go := true);
+	}
+	taskexit(w: go := false, done := true);
+}
+
+task collect5(Hub h in open, W5 w in done) {
+	h.total = h.total + w.v;
+	h.n = h.n + 1;
+	if (h.n == 32) {
+		System.printString("icflip total=");
+		System.printInt(h.total);
+		System.println();
+		taskexit(h: open := false; w: done := false);
+	}
+	taskexit(w: done := false);
+}
+
+class W6 {
+	flag go;
+	flag done;
+	int p0; int p1; int p2; int p3; int p4; int p5;
+	int v;
+	int rounds;
+	W6(int v, int rounds) { this.v = v; this.rounds = rounds; }
+	int step() { return this.v * 2 + 7; }
+}
+
+task run6(W6 w in go) {
+	w.v = w.step();
+	w.rounds = w.rounds - 1;
+	if (w.rounds > 0) {
+		taskexit(w: go := true);
+	}
+	taskexit(w: go := false, done := true);
+}
+
+task collect6(Hub h in open, W6 w in done) {
+	h.total = h.total + w.v;
+	h.n = h.n + 1;
+	if (h.n == 32) {
+		System.printString("icflip total=");
+		System.printInt(h.total);
+		System.println();
+		taskexit(h: open := false; w: done := false);
+	}
+	taskexit(w: done := false);
+}
+
+class W7 {
+	flag go;
+	flag done;
+	int p0; int p1; int p2; int p3; int p4; int p5; int p6;
+	int v;
+	int rounds;
+	W7(int v, int rounds) { this.v = v; this.rounds = rounds; }
+	int step() { return this.v * 2 + 8; }
+}
+
+task run7(W7 w in go) {
+	w.v = w.step();
+	w.rounds = w.rounds - 1;
+	if (w.rounds > 0) {
+		taskexit(w: go := true);
+	}
+	taskexit(w: go := false, done := true);
+}
+
+task collect7(Hub h in open, W7 w in done) {
+	h.total = h.total + w.v;
+	h.n = h.n + 1;
+	if (h.n == 32) {
+		System.printString("icflip total=");
+		System.printInt(h.total);
+		System.println();
+		taskexit(h: open := false; w: done := false);
+	}
+	taskexit(w: done := false);
+}
+
+task startup(StartupObject s in initialstate) {
+	Hub h = new Hub(){ open := true };
+	int j;
+	for (j = 0; j < 4; j++) {
+		W0 w0 = new W0(j * 8 + 0, 4){ go := true };
+	}
+	for (j = 0; j < 4; j++) {
+		W1 w1 = new W1(j * 8 + 1, 4){ go := true };
+	}
+	for (j = 0; j < 4; j++) {
+		W2 w2 = new W2(j * 8 + 2, 4){ go := true };
+	}
+	for (j = 0; j < 4; j++) {
+		W3 w3 = new W3(j * 8 + 3, 4){ go := true };
+	}
+	for (j = 0; j < 4; j++) {
+		W4 w4 = new W4(j * 8 + 4, 4){ go := true };
+	}
+	for (j = 0; j < 4; j++) {
+		W5 w5 = new W5(j * 8 + 5, 4){ go := true };
+	}
+	for (j = 0; j < 4; j++) {
+		W6 w6 = new W6(j * 8 + 6, 4){ go := true };
+	}
+	for (j = 0; j < 4; j++) {
+		W7 w7 = new W7(j * 8 + 7, 4){ go := true };
+	}
+	taskexit(s: initialstate := false);
+}

@@ -68,7 +68,9 @@ type ExecConfig struct {
 	// Trace, when non-nil, records one span per invocation in the unified
 	// observability model.
 	Trace *obsv.Trace
-	// Metrics, when non-nil, collects runtime counters (Concurrent only).
+	// Metrics, when non-nil, collects runtime counters: interpreter
+	// dispatch statistics on both engines, scheduler/lock counters on
+	// Concurrent.
 	Metrics *obsv.Metrics
 	// Sched configures the concurrent scheduler; the zero value enables
 	// work stealing with default knobs (Concurrent only).

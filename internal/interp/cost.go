@@ -74,6 +74,9 @@ func DefaultCost() *CostModel {
 
 // instrCost returns the fixed cost of an instruction. Size-dependent parts
 // (allocation length, string length) are added by the interpreter.
+// Superinstructions charge the exact sum of their components' instrCost in
+// one step, so fusion never changes a program's cycle total — only the
+// point inside a fused pair at which a cycle-budget overrun is noticed.
 func (c *CostModel) instrCost(in *ir.Instr) int64 {
 	switch in.Op {
 	case ir.OpConstInt, ir.OpConstFloat, ir.OpConstBool, ir.OpConstStr, ir.OpConstNull, ir.OpMove:

@@ -4,31 +4,9 @@ import (
 	"math"
 	"strconv"
 	"strings"
-	"sync"
+
+	"repro/internal/types"
 )
-
-// frame is a pooled register file. Frames recycle across calls and task
-// invocations, which removes the dominant allocation of the tree walker
-// (a fresh []Value per call).
-type frame struct {
-	regs []Value
-}
-
-var framePool = sync.Pool{New: func() any { return new(frame) }}
-
-// getFrame returns a frame with n zeroed registers.
-func getFrame(n int) *frame {
-	f := framePool.Get().(*frame)
-	if cap(f.regs) < n {
-		f.regs = make([]Value, n)
-	} else {
-		f.regs = f.regs[:n]
-		clear(f.regs)
-	}
-	return f
-}
-
-func putFrame(f *frame) { framePool.Put(f) }
 
 func b2i(b bool) int64 {
 	if b {
@@ -62,6 +40,35 @@ func cleanValue(v Value) Value {
 	return v
 }
 
+// icFieldSlot is the inline-cache hit test for field sites: tiny so it
+// inlines into every dispatch arm that touches a field IC.
+func icFieldSlot(site *icSite, cls *types.Class) (int32, bool) {
+	if e := site.entry.Load(); e != nil && e.cls == cls {
+		return e.slot, true
+	}
+	return 0, false
+}
+
+// icFieldMiss is the interned-lookup slow path for field sites: resolve
+// the field by name on the receiver's runtime class and install the
+// result. Reports false when the class has no such field.
+func icFieldMiss(site *icSite, cls *types.Class, name string) (int32, bool) {
+	f, ok := cls.FieldByName[name]
+	if !ok {
+		return 0, false
+	}
+	site.install(&icEntry{cls: cls, slot: int32(f.Index)})
+	return int32(f.Index), true
+}
+
+// icCallee is the inline-cache hit test for call sites.
+func icCallee(site *icSite, cls *types.Class) (*flatFunc, bool) {
+	if e := site.entry.Load(); e != nil && e.cls == cls {
+		return e.callee, true
+	}
+	return nil, false
+}
+
 // execFlat runs one flattened function body. regs is the caller-managed
 // frame (len == ff.numRegs). The cycle accounting, value semantics, heap
 // effects, and error strings replicate Interp.exec exactly.
@@ -69,11 +76,15 @@ func cleanValue(v Value) Value {
 // The cycle counter lives in a local so hot ops never read-modify-write
 // ex.Cycles through the pointer; it is flushed back to ex at every exit
 // point and around every operation that hands ex to other code (calls,
-// builtins, taskexit), and reloaded afterwards.
+// builtins, taskexit), and reloaded afterwards. The inline-cache hit/miss
+// counters follow the same discipline, flushed as deltas at returns and
+// before calls (error aborts may drop the final delta; stats are best-
+// effort on failed runs).
 func (in *Interp) execFlat(ff *flatFunc, regs []Value, ex *Exec) (Value, error) {
 	fn := ff.fn
 	code := ff.code
 	cycles := ex.Cycles
+	var ich, icm int64
 	maxC := in.MaxCycles
 	pc := int32(0)
 	for {
@@ -81,6 +92,8 @@ func (in *Interp) execFlat(ff *flatFunc, regs []Value, ex *Exec) (Value, error) 
 		cycles += ins.cost
 		if maxC > 0 && cycles > maxC {
 			ex.Cycles = cycles
+			ex.ICHits += ich
+			ex.ICMisses += icm
 			return Value{}, in.errf(fn, ins.aux.pos, "cycle budget exhausted (%d cycles)", maxC)
 		}
 		switch ins.op {
@@ -105,7 +118,25 @@ func (in *Interp) execFlat(ff *flatFunc, regs []Value, ex *Exec) (Value, error) 
 		case fConstNull:
 			regs[ins.dst] = NullV()
 		case fMove:
-			regs[ins.dst] = regs[ins.a]
+			// Kind-directed copy, open-coded here and in the other generic
+			// load arms (the compiler refuses to inline a helper this size
+			// into a function as large as execFlat): write only the payload
+			// the Kind uses, so at most one pointer goes through the write
+			// barrier instead of four via the bulk path.
+			sv := &regs[ins.a]
+			dv := &regs[ins.dst]
+			switch sv.Kind {
+			case KString:
+				dv.Kind, dv.S = KString, sv.S
+			case KObject:
+				dv.Kind, dv.O = KObject, sv.O
+			case KArray:
+				dv.Kind, dv.A = KArray, sv.A
+			case KTag:
+				dv.Kind, dv.T = KTag, sv.T
+			default:
+				dv.Kind, dv.I, dv.F = sv.Kind, sv.I, sv.F
+			}
 
 		case fAddI:
 			x := regs[ins.a].I + regs[ins.b].I
@@ -135,6 +166,7 @@ func (in *Interp) execFlat(ff *flatFunc, regs []Value, ex *Exec) (Value, error) 
 			d := regs[ins.b].I
 			if d == 0 {
 				ex.Cycles = cycles
+				ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
 				return Value{}, in.errf(fn, ins.aux.pos, "integer division by zero")
 			}
 			x := regs[ins.a].I / d
@@ -148,6 +180,7 @@ func (in *Interp) execFlat(ff *flatFunc, regs []Value, ex *Exec) (Value, error) 
 			d := regs[ins.b].I
 			if d == 0 {
 				ex.Cycles = cycles
+				ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
 				return Value{}, in.errf(fn, ins.aux.pos, "integer modulo by zero")
 			}
 			x := regs[ins.a].I % d
@@ -249,47 +282,106 @@ func (in *Interp) execFlat(ff *flatFunc, regs []Value, ex *Exec) (Value, error) 
 			regs[ins.dst] = StrV(s)
 
 		case fGetField:
-			recv := regs[ins.a]
+			recv := &regs[ins.a]
 			if recv.Kind != KObject {
 				ex.Cycles = cycles
+				ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
 				return Value{}, in.errf(fn, ins.aux.pos, "null dereference reading field %s", ins.aux.s)
 			}
-			regs[ins.dst] = recv.O.Fields[ins.idx]
+			slot, hit := icFieldSlot(&ff.ics[ins.idx], recv.O.Class)
+			if hit {
+				ich++
+			} else {
+				icm++
+				var ok bool
+				slot, ok = icFieldMiss(&ff.ics[ins.idx], recv.O.Class, ins.aux.s)
+				if !ok {
+					ex.Cycles = cycles
+					ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+					return Value{}, in.errf(fn, ins.aux.pos, "class %s has no field %s", recv.O.Class.Name, ins.aux.s)
+				}
+			}
+			sv := &recv.O.Fields[slot]
+			dv := &regs[ins.dst]
+			switch sv.Kind {
+			case KString:
+				dv.Kind, dv.S = KString, sv.S
+			case KObject:
+				dv.Kind, dv.O = KObject, sv.O
+			case KArray:
+				dv.Kind, dv.A = KArray, sv.A
+			case KTag:
+				dv.Kind, dv.T = KTag, sv.T
+			default:
+				dv.Kind, dv.I, dv.F = sv.Kind, sv.I, sv.F
+			}
 		case fSetField:
-			recv := regs[ins.a]
+			recv := &regs[ins.a]
 			if recv.Kind != KObject {
 				ex.Cycles = cycles
+				ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
 				return Value{}, in.errf(fn, ins.aux.pos, "null dereference writing field %s", ins.aux.s)
 			}
-			recv.O.Fields[ins.idx] = regs[ins.b]
+			slot, hit := icFieldSlot(&ff.ics[ins.idx], recv.O.Class)
+			if hit {
+				ich++
+			} else {
+				icm++
+				var ok bool
+				slot, ok = icFieldMiss(&ff.ics[ins.idx], recv.O.Class, ins.aux.s)
+				if !ok {
+					ex.Cycles = cycles
+					ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+					return Value{}, in.errf(fn, ins.aux.pos, "class %s has no field %s", recv.O.Class.Name, ins.aux.s)
+				}
+			}
+			recv.O.Fields[slot] = regs[ins.b]
 		case fArrGet:
-			arr := regs[ins.a]
+			arr := &regs[ins.a]
 			if arr.Kind != KArray {
 				ex.Cycles = cycles
+				ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
 				return Value{}, in.errf(fn, ins.aux.pos, "null array dereference")
 			}
 			idx := regs[ins.b].I
 			if idx < 0 || idx >= int64(len(arr.A.Elems)) {
 				ex.Cycles = cycles
+				ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
 				return Value{}, in.errf(fn, ins.aux.pos, "array index %d out of bounds [0,%d)", idx, len(arr.A.Elems))
 			}
-			regs[ins.dst] = arr.A.Elems[idx]
+			sv := &arr.A.Elems[idx]
+			dv := &regs[ins.dst]
+			switch sv.Kind {
+			case KString:
+				dv.Kind, dv.S = KString, sv.S
+			case KObject:
+				dv.Kind, dv.O = KObject, sv.O
+			case KArray:
+				dv.Kind, dv.A = KArray, sv.A
+			case KTag:
+				dv.Kind, dv.T = KTag, sv.T
+			default:
+				dv.Kind, dv.I, dv.F = sv.Kind, sv.I, sv.F
+			}
 		case fArrSet:
-			arr := regs[ins.a]
+			arr := &regs[ins.a]
 			if arr.Kind != KArray {
 				ex.Cycles = cycles
+				ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
 				return Value{}, in.errf(fn, ins.aux.pos, "null array dereference")
 			}
 			idx := regs[ins.b].I
 			if idx < 0 || idx >= int64(len(arr.A.Elems)) {
 				ex.Cycles = cycles
+				ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
 				return Value{}, in.errf(fn, ins.aux.pos, "array index %d out of bounds [0,%d)", idx, len(arr.A.Elems))
 			}
 			arr.A.Elems[idx] = regs[ins.c]
 		case fArrLen:
-			arr := regs[ins.a]
+			arr := &regs[ins.a]
 			if arr.Kind != KArray {
 				ex.Cycles = cycles
+				ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
 				return Value{}, in.errf(fn, ins.aux.pos, "null array dereference")
 			}
 			r := &regs[ins.dst]
@@ -307,6 +399,7 @@ func (in *Interp) execFlat(ff *flatFunc, regs []Value, ex *Exec) (Value, error) 
 				tv := regs[tr]
 				if tv.Kind != KTag {
 					ex.Cycles = cycles
+					ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
 					return Value{}, in.errf(fn, ax.pos, "tag binding with non-tag value")
 				}
 				o.AddTag(tv.T)
@@ -318,6 +411,7 @@ func (in *Interp) execFlat(ff *flatFunc, regs []Value, ex *Exec) (Value, error) 
 			n := regs[ins.a].I
 			if n < 0 {
 				ex.Cycles = cycles
+				ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
 				return Value{}, in.errf(fn, ins.aux.pos, "negative array length %d", n)
 			}
 			cycles += in.Cost.AllocWord * n
@@ -327,38 +421,175 @@ func (in *Interp) execFlat(ff *flatFunc, regs []Value, ex *Exec) (Value, error) 
 
 		case fCall:
 			ax := ins.aux
-			callee := ax.callee
-			if callee == nil {
+			recv := regs[ax.args[0]]
+			if recv.Kind != KObject {
 				ex.Cycles = cycles
-				return Value{}, in.errf(fn, ax.pos, "unknown method %s", ax.s)
-			}
-			if regs[ax.args[0]].Kind != KObject {
-				ex.Cycles = cycles
+				ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
 				return Value{}, in.errf(fn, ax.pos, "null dereference calling %s", ax.s)
 			}
-			cf := getFrame(callee.numRegs)
+			callee, hit := icCallee(&ff.ics[ins.idx], recv.O.Class)
+			if hit {
+				ich++
+			} else {
+				icm++
+				callee = ff.fp.resolveMethod(recv.O.Class, ax.simple, &ff.ics[ins.idx])
+				if callee == nil {
+					ex.Cycles = cycles
+					ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+					return Value{}, in.errf(fn, ax.pos, "unknown method %s", ax.s)
+				}
+			}
+			fs := ex.fs
+			ci, sp := fs.ci, fs.sp
+			cregs := fs.alloc(callee.numRegs)
 			for i, a := range ax.args {
-				cf.regs[i] = regs[a]
+				sv := &regs[a]
+				dv := &cregs[i]
+				switch sv.Kind {
+				case KString:
+					dv.Kind, dv.S = KString, sv.S
+				case KObject:
+					dv.Kind, dv.O = KObject, sv.O
+				case KArray:
+					dv.Kind, dv.A = KArray, sv.A
+				case KTag:
+					dv.Kind, dv.T = KTag, sv.T
+				default:
+					dv.Kind, dv.I, dv.F = sv.Kind, sv.I, sv.F
+				}
 			}
 			ex.Cycles = cycles
-			ret, err := in.execFlat(callee, cf.regs, ex)
-			putFrame(cf)
+			ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+			ich, icm = 0, 0
+			ret, err := in.execFlat(callee, cregs, ex)
+			fs.ci, fs.sp = ci, sp
 			if err != nil {
 				return Value{}, err
 			}
 			cycles = ex.Cycles
 			if ins.dst >= 0 {
-				regs[ins.dst] = ret
+				sv := &ret
+				dv := &regs[ins.dst]
+				switch sv.Kind {
+				case KString:
+					dv.Kind, dv.S = KString, sv.S
+				case KObject:
+					dv.Kind, dv.O = KObject, sv.O
+				case KArray:
+					dv.Kind, dv.A = KArray, sv.A
+				case KTag:
+					dv.Kind, dv.T = KTag, sv.T
+				default:
+					dv.Kind, dv.I, dv.F = sv.Kind, sv.I, sv.F
+				}
 			}
+		case fMathUnary:
+			x := regs[ins.a].F
+			var y float64
+			switch ins.bi {
+			case bMathSin:
+				y = math.Sin(x)
+			case bMathCos:
+				y = math.Cos(x)
+			case bMathTan:
+				y = math.Tan(x)
+			case bMathAsin:
+				y = math.Asin(x)
+			case bMathAcos:
+				y = math.Acos(x)
+			case bMathAtan:
+				y = math.Atan(x)
+			case bMathSqrt:
+				y = math.Sqrt(x)
+			case bMathExp:
+				y = math.Exp(x)
+			case bMathLog:
+				y = math.Log(x)
+			case bMathFloor:
+				y = math.Floor(x)
+			default:
+				y = math.Ceil(x)
+			}
+			d := &regs[ins.dst]
+			d.Kind, d.F = KFloat, y
+
+		case fMathUnaryMv:
+			x := regs[ins.a].F
+			var y float64
+			switch ins.bi {
+			case bMathSin:
+				y = math.Sin(x)
+			case bMathCos:
+				y = math.Cos(x)
+			case bMathTan:
+				y = math.Tan(x)
+			case bMathAsin:
+				y = math.Asin(x)
+			case bMathAcos:
+				y = math.Acos(x)
+			case bMathAtan:
+				y = math.Atan(x)
+			case bMathSqrt:
+				y = math.Sqrt(x)
+			case bMathExp:
+				y = math.Exp(x)
+			case bMathLog:
+				y = math.Log(x)
+			case bMathFloor:
+				y = math.Floor(x)
+			default:
+				y = math.Ceil(x)
+			}
+			d := &regs[ins.dst]
+			d.Kind, d.F = KFloat, y
+			m := &regs[ins.jmp2]
+			m.Kind, m.F = KFloat, y
+
+		case fMathBinary:
+			var y float64
+			if ins.bi == bMathAtan2 {
+				y = math.Atan2(regs[ins.a].F, regs[ins.b].F)
+			} else {
+				y = math.Pow(regs[ins.a].F, regs[ins.b].F)
+			}
+			d := &regs[ins.dst]
+			d.Kind, d.F = KFloat, y
+
+		case fMathBinaryMv:
+			var y float64
+			if ins.bi == bMathAtan2 {
+				y = math.Atan2(regs[ins.a].F, regs[ins.b].F)
+			} else {
+				y = math.Pow(regs[ins.a].F, regs[ins.b].F)
+			}
+			d := &regs[ins.dst]
+			d.Kind, d.F = KFloat, y
+			m := &regs[ins.jmp2]
+			m.Kind, m.F = KFloat, y
+
 		case fCallBuiltin:
 			ex.Cycles = cycles
 			ret, err := in.builtinFast(ff, ins, regs, ex)
 			if err != nil {
+				ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
 				return Value{}, err
 			}
 			cycles = ex.Cycles
 			if ins.dst >= 0 {
-				regs[ins.dst] = ret
+				sv := &ret
+				dv := &regs[ins.dst]
+				switch sv.Kind {
+				case KString:
+					dv.Kind, dv.S = KString, sv.S
+				case KObject:
+					dv.Kind, dv.O = KObject, sv.O
+				case KArray:
+					dv.Kind, dv.A = KArray, sv.A
+				case KTag:
+					dv.Kind, dv.T = KTag, sv.T
+				default:
+					dv.Kind, dv.I, dv.F = sv.Kind, sv.I, sv.F
+				}
 			}
 
 		case fJump:
@@ -373,21 +604,1138 @@ func (in *Interp) execFlat(ff *flatFunc, regs []Value, ex *Exec) (Value, error) 
 			continue
 		case fRet:
 			ex.Cycles = cycles
+			ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
 			return regs[ins.a], nil
 		case fRetVoid:
 			ex.Cycles = cycles
+			ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
 			return Value{}, nil
 		case fTaskExit:
 			ex.Cycles = cycles
+			ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
 			in.applyExit(fn, ins.aux.exit, regs, ex)
 			return Value{}, nil
 
 		case fTrap:
 			ex.Cycles = cycles
+			ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
 			if ins.idx < 0 {
 				return Value{}, in.errf(fn, ins.aux.pos, "unhandled op %s", ins.aux.s)
 			}
 			return Value{}, in.errf(fn, ins.aux.pos, "block b%d has no terminator", ins.idx)
+
+		// --- Superinstructions. Each arm executes its two halves in exact
+		// sequential order: the first half's destination (register c) is
+		// written before the second half reads any register, so aliased
+		// operands behave identically to unfused execution.
+
+		case fEqBr:
+			x := b2i(valueEq(regs[ins.a], regs[ins.b]))
+			r := &regs[ins.c]
+			r.Kind, r.I = KBool, x
+			if x != 0 {
+				pc = ins.jmp
+			} else {
+				pc = ins.jmp2
+			}
+			continue
+		case fNeBr:
+			x := b2i(!valueEq(regs[ins.a], regs[ins.b]))
+			r := &regs[ins.c]
+			r.Kind, r.I = KBool, x
+			if x != 0 {
+				pc = ins.jmp
+			} else {
+				pc = ins.jmp2
+			}
+			continue
+		case fLtIBr:
+			x := b2i(regs[ins.a].I < regs[ins.b].I)
+			r := &regs[ins.c]
+			r.Kind, r.I = KBool, x
+			if x != 0 {
+				pc = ins.jmp
+			} else {
+				pc = ins.jmp2
+			}
+			continue
+		case fLtFBr:
+			x := b2i(regs[ins.a].F < regs[ins.b].F)
+			r := &regs[ins.c]
+			r.Kind, r.I = KBool, x
+			if x != 0 {
+				pc = ins.jmp
+			} else {
+				pc = ins.jmp2
+			}
+			continue
+		case fLeIBr:
+			x := b2i(regs[ins.a].I <= regs[ins.b].I)
+			r := &regs[ins.c]
+			r.Kind, r.I = KBool, x
+			if x != 0 {
+				pc = ins.jmp
+			} else {
+				pc = ins.jmp2
+			}
+			continue
+		case fLeFBr:
+			x := b2i(regs[ins.a].F <= regs[ins.b].F)
+			r := &regs[ins.c]
+			r.Kind, r.I = KBool, x
+			if x != 0 {
+				pc = ins.jmp
+			} else {
+				pc = ins.jmp2
+			}
+			continue
+		case fGtIBr:
+			x := b2i(regs[ins.a].I > regs[ins.b].I)
+			r := &regs[ins.c]
+			r.Kind, r.I = KBool, x
+			if x != 0 {
+				pc = ins.jmp
+			} else {
+				pc = ins.jmp2
+			}
+			continue
+		case fGtFBr:
+			x := b2i(regs[ins.a].F > regs[ins.b].F)
+			r := &regs[ins.c]
+			r.Kind, r.I = KBool, x
+			if x != 0 {
+				pc = ins.jmp
+			} else {
+				pc = ins.jmp2
+			}
+			continue
+		case fGeIBr:
+			x := b2i(regs[ins.a].I >= regs[ins.b].I)
+			r := &regs[ins.c]
+			r.Kind, r.I = KBool, x
+			if x != 0 {
+				pc = ins.jmp
+			} else {
+				pc = ins.jmp2
+			}
+			continue
+		case fGeFBr:
+			x := b2i(regs[ins.a].F >= regs[ins.b].F)
+			r := &regs[ins.c]
+			r.Kind, r.I = KBool, x
+			if x != 0 {
+				pc = ins.jmp
+			} else {
+				pc = ins.jmp2
+			}
+			continue
+
+		// Move-absorbing variants: the base op, then the pair's trailing
+		// "local = move result" copies the whole register (like fMove) into
+		// jmp2.
+		case fConstMvI:
+			r := &regs[ins.dst]
+			r.Kind, r.I = KInt, ins.i
+			m := &regs[ins.jmp2]
+			m.Kind, m.I = KInt, ins.i
+		case fConstMvF:
+			r := &regs[ins.dst]
+			r.Kind, r.F = KFloat, ins.f
+			m := &regs[ins.jmp2]
+			m.Kind, m.F = KFloat, ins.f
+		case fAddMvI:
+			x := regs[ins.a].I + regs[ins.b].I
+			r := &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+			m := &regs[ins.jmp2]
+			m.Kind, m.I = KInt, x
+		case fSubMvI:
+			x := regs[ins.a].I - regs[ins.b].I
+			r := &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+			m := &regs[ins.jmp2]
+			m.Kind, m.I = KInt, x
+		case fMulMvI:
+			x := regs[ins.a].I * regs[ins.b].I
+			r := &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+			m := &regs[ins.jmp2]
+			m.Kind, m.I = KInt, x
+		case fAddMvF:
+			x := regs[ins.a].F + regs[ins.b].F
+			r := &regs[ins.dst]
+			r.Kind, r.F = KFloat, x
+			m := &regs[ins.jmp2]
+			m.Kind, m.F = KFloat, x
+		case fSubMvF:
+			x := regs[ins.a].F - regs[ins.b].F
+			r := &regs[ins.dst]
+			r.Kind, r.F = KFloat, x
+			m := &regs[ins.jmp2]
+			m.Kind, m.F = KFloat, x
+		case fMulMvF:
+			x := regs[ins.a].F * regs[ins.b].F
+			r := &regs[ins.dst]
+			r.Kind, r.F = KFloat, x
+			m := &regs[ins.jmp2]
+			m.Kind, m.F = KFloat, x
+
+		case fAddImmI:
+			r := &regs[ins.c]
+			r.Kind, r.I = KInt, ins.i
+			x := regs[ins.a].I + ins.i
+			r = &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+		case fAddImmMvI:
+			r := &regs[ins.c]
+			r.Kind, r.I = KInt, ins.i
+			x := regs[ins.a].I + ins.i
+			r = &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+			m := &regs[ins.jmp2]
+			m.Kind, m.I = KInt, x
+		case fSubImmI:
+			r := &regs[ins.c]
+			r.Kind, r.I = KInt, ins.i
+			x := regs[ins.a].I - ins.i
+			r = &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+		case fSubImmMvI:
+			r := &regs[ins.c]
+			r.Kind, r.I = KInt, ins.i
+			x := regs[ins.a].I - ins.i
+			r = &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+			m := &regs[ins.jmp2]
+			m.Kind, m.I = KInt, x
+		case fMulImmI:
+			r := &regs[ins.c]
+			r.Kind, r.I = KInt, ins.i
+			x := regs[ins.a].I * ins.i
+			r = &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+		case fMulImmMvI:
+			r := &regs[ins.c]
+			r.Kind, r.I = KInt, ins.i
+			x := regs[ins.a].I * ins.i
+			r = &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+			m := &regs[ins.jmp2]
+			m.Kind, m.I = KInt, x
+		case fShlImm:
+			r := &regs[ins.c]
+			r.Kind, r.I = KInt, ins.i
+			x := regs[ins.a].I << uint(ins.i)
+			r = &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+		case fShrImm:
+			r := &regs[ins.c]
+			r.Kind, r.I = KInt, ins.i
+			x := regs[ins.a].I >> uint(ins.i)
+			r = &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+		case fAddImmF:
+			r := &regs[ins.c]
+			r.Kind, r.F = KFloat, ins.f
+			x := regs[ins.a].F + ins.f
+			r = &regs[ins.dst]
+			r.Kind, r.F = KFloat, x
+		case fAddImmMvF:
+			r := &regs[ins.c]
+			r.Kind, r.F = KFloat, ins.f
+			x := regs[ins.a].F + ins.f
+			r = &regs[ins.dst]
+			r.Kind, r.F = KFloat, x
+			m := &regs[ins.jmp2]
+			m.Kind, m.F = KFloat, x
+		case fSubImmF:
+			r := &regs[ins.c]
+			r.Kind, r.F = KFloat, ins.f
+			x := regs[ins.a].F - ins.f
+			r = &regs[ins.dst]
+			r.Kind, r.F = KFloat, x
+		case fSubImmMvF:
+			r := &regs[ins.c]
+			r.Kind, r.F = KFloat, ins.f
+			x := regs[ins.a].F - ins.f
+			r = &regs[ins.dst]
+			r.Kind, r.F = KFloat, x
+			m := &regs[ins.jmp2]
+			m.Kind, m.F = KFloat, x
+		case fMulImmF:
+			r := &regs[ins.c]
+			r.Kind, r.F = KFloat, ins.f
+			x := regs[ins.a].F * ins.f
+			r = &regs[ins.dst]
+			r.Kind, r.F = KFloat, x
+		case fMulImmMvF:
+			r := &regs[ins.c]
+			r.Kind, r.F = KFloat, ins.f
+			x := regs[ins.a].F * ins.f
+			r = &regs[ins.dst]
+			r.Kind, r.F = KFloat, x
+			m := &regs[ins.jmp2]
+			m.Kind, m.F = KFloat, x
+
+		// const+div/rem: the immediate is nonzero by construction (fusion
+		// skips zero), so these arms cannot raise division-by-zero.
+		case fDivImmI:
+			r := &regs[ins.c]
+			r.Kind, r.I = KInt, ins.i
+			x := regs[ins.a].I / ins.i
+			r = &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+		case fDivImmMvI:
+			r := &regs[ins.c]
+			r.Kind, r.I = KInt, ins.i
+			x := regs[ins.a].I / ins.i
+			r = &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+			m := &regs[ins.jmp2]
+			m.Kind, m.I = KInt, x
+		case fRemImm:
+			r := &regs[ins.c]
+			r.Kind, r.I = KInt, ins.i
+			x := regs[ins.a].I % ins.i
+			r = &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+		case fRemImmMv:
+			r := &regs[ins.c]
+			r.Kind, r.I = KInt, ins.i
+			x := regs[ins.a].I % ins.i
+			r = &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+			m := &regs[ins.jmp2]
+			m.Kind, m.I = KInt, x
+		case fDivImmF:
+			r := &regs[ins.c]
+			r.Kind, r.F = KFloat, ins.f
+			x := regs[ins.a].F / ins.f
+			r = &regs[ins.dst]
+			r.Kind, r.F = KFloat, x
+		case fDivImmMvF:
+			r := &regs[ins.c]
+			r.Kind, r.F = KFloat, ins.f
+			x := regs[ins.a].F / ins.f
+			r = &regs[ins.dst]
+			r.Kind, r.F = KFloat, x
+			m := &regs[ins.jmp2]
+			m.Kind, m.F = KFloat, x
+
+		case fDivMvI:
+			d := regs[ins.b].I
+			if d == 0 {
+				ex.Cycles = cycles
+				ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+				return Value{}, in.errf(fn, ins.aux.pos, "integer division by zero")
+			}
+			x := regs[ins.a].I / d
+			r := &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+			m := &regs[ins.jmp2]
+			m.Kind, m.I = KInt, x
+		case fDivMvF:
+			x := regs[ins.a].F / regs[ins.b].F
+			r := &regs[ins.dst]
+			r.Kind, r.F = KFloat, x
+			m := &regs[ins.jmp2]
+			m.Kind, m.F = KFloat, x
+		case fRemMv:
+			d := regs[ins.b].I
+			if d == 0 {
+				ex.Cycles = cycles
+				ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+				return Value{}, in.errf(fn, ins.aux.pos, "integer modulo by zero")
+			}
+			x := regs[ins.a].I % d
+			r := &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+			m := &regs[ins.jmp2]
+			m.Kind, m.I = KInt, x
+
+		case fMulSubI, fMulSubMvI:
+			x := regs[ins.a].I * regs[ins.b].I
+			r := &regs[ins.c]
+			r.Kind, r.I = KInt, x
+			var y int64
+			if ins.bi == fvLoadLeft {
+				y = regs[ins.c].I - regs[ins.jmp].I
+			} else {
+				y = regs[ins.jmp].I - regs[ins.c].I
+			}
+			r = &regs[ins.dst]
+			r.Kind, r.I = KInt, y
+			if ins.op == fMulSubMvI {
+				m := &regs[ins.jmp2]
+				m.Kind, m.I = KInt, y
+			}
+
+		// const+compare: the immediate is the compare's right operand by
+		// construction; the const temp (c) is written through first.
+		case fEqImm:
+			r := &regs[ins.c]
+			r.Kind, r.I = KInt, ins.i
+			x := b2i(valueEq(regs[ins.a], regs[ins.c]))
+			r = &regs[ins.dst]
+			r.Kind, r.I = KBool, x
+		case fNeImm:
+			r := &regs[ins.c]
+			r.Kind, r.I = KInt, ins.i
+			x := b2i(!valueEq(regs[ins.a], regs[ins.c]))
+			r = &regs[ins.dst]
+			r.Kind, r.I = KBool, x
+		case fLtImm:
+			r := &regs[ins.c]
+			r.Kind, r.I = KInt, ins.i
+			x := b2i(regs[ins.a].I < ins.i)
+			r = &regs[ins.dst]
+			r.Kind, r.I = KBool, x
+		case fLeImm:
+			r := &regs[ins.c]
+			r.Kind, r.I = KInt, ins.i
+			x := b2i(regs[ins.a].I <= ins.i)
+			r = &regs[ins.dst]
+			r.Kind, r.I = KBool, x
+		case fGtImm:
+			r := &regs[ins.c]
+			r.Kind, r.I = KInt, ins.i
+			x := b2i(regs[ins.a].I > ins.i)
+			r = &regs[ins.dst]
+			r.Kind, r.I = KBool, x
+		case fGeImm:
+			r := &regs[ins.c]
+			r.Kind, r.I = KInt, ins.i
+			x := b2i(regs[ins.a].I >= ins.i)
+			r = &regs[ins.dst]
+			r.Kind, r.I = KBool, x
+
+		// const+compare+branch: write the const temp (c) and the compare
+		// temp (b) through, then transfer.
+		case fEqImmBr:
+			r := &regs[ins.c]
+			r.Kind, r.I = KInt, ins.i
+			x := b2i(valueEq(regs[ins.a], regs[ins.c]))
+			r = &regs[ins.b]
+			r.Kind, r.I = KBool, x
+			if x != 0 {
+				pc = ins.jmp
+			} else {
+				pc = ins.jmp2
+			}
+			continue
+		case fNeImmBr:
+			r := &regs[ins.c]
+			r.Kind, r.I = KInt, ins.i
+			x := b2i(!valueEq(regs[ins.a], regs[ins.c]))
+			r = &regs[ins.b]
+			r.Kind, r.I = KBool, x
+			if x != 0 {
+				pc = ins.jmp
+			} else {
+				pc = ins.jmp2
+			}
+			continue
+		case fLtImmBr:
+			r := &regs[ins.c]
+			r.Kind, r.I = KInt, ins.i
+			x := b2i(regs[ins.a].I < ins.i)
+			r = &regs[ins.b]
+			r.Kind, r.I = KBool, x
+			if x != 0 {
+				pc = ins.jmp
+			} else {
+				pc = ins.jmp2
+			}
+			continue
+		case fLeImmBr:
+			r := &regs[ins.c]
+			r.Kind, r.I = KInt, ins.i
+			x := b2i(regs[ins.a].I <= ins.i)
+			r = &regs[ins.b]
+			r.Kind, r.I = KBool, x
+			if x != 0 {
+				pc = ins.jmp
+			} else {
+				pc = ins.jmp2
+			}
+			continue
+		case fGtImmBr:
+			r := &regs[ins.c]
+			r.Kind, r.I = KInt, ins.i
+			x := b2i(regs[ins.a].I > ins.i)
+			r = &regs[ins.b]
+			r.Kind, r.I = KBool, x
+			if x != 0 {
+				pc = ins.jmp
+			} else {
+				pc = ins.jmp2
+			}
+			continue
+		case fGeImmBr:
+			r := &regs[ins.c]
+			r.Kind, r.I = KInt, ins.i
+			x := b2i(regs[ins.a].I >= ins.i)
+			r = &regs[ins.b]
+			r.Kind, r.I = KBool, x
+			if x != 0 {
+				pc = ins.jmp
+			} else {
+				pc = ins.jmp2
+			}
+			continue
+
+		// i2f+mul/div: the converted value (c) is written through; bi
+		// keeps the original operand order for bit-identical floats.
+		case fI2FMulF, fI2FMulMvF:
+			xf := float64(regs[ins.a].I)
+			r := &regs[ins.c]
+			r.Kind, r.F = KFloat, xf
+			var x float64
+			if ins.bi == fvLoadLeft {
+				x = xf * regs[ins.b].F
+			} else {
+				x = regs[ins.b].F * xf
+			}
+			r = &regs[ins.dst]
+			r.Kind, r.F = KFloat, x
+			if ins.op == fI2FMulMvF {
+				m := &regs[ins.jmp2]
+				m.Kind, m.F = KFloat, x
+			}
+		case fI2FDivF, fI2FDivMvF:
+			xf := float64(regs[ins.a].I)
+			r := &regs[ins.c]
+			r.Kind, r.F = KFloat, xf
+			var x float64
+			if ins.bi == fvLoadLeft {
+				x = xf / regs[ins.b].F
+			} else {
+				x = regs[ins.b].F / xf
+			}
+			r = &regs[ins.dst]
+			r.Kind, r.F = KFloat, x
+			if ins.op == fI2FDivMvF {
+				m := &regs[ins.jmp2]
+				m.Kind, m.F = KFloat, x
+			}
+
+		case fMulAddI, fMulAddMvI:
+			x := regs[ins.a].I * regs[ins.b].I
+			r := &regs[ins.c]
+			r.Kind, r.I = KInt, x
+			y := regs[ins.c].I + regs[ins.jmp].I
+			r = &regs[ins.dst]
+			r.Kind, r.I = KInt, y
+			if ins.op == fMulAddMvI {
+				m := &regs[ins.jmp2]
+				m.Kind, m.I = KInt, y
+			}
+		case fMulAddF, fMulAddMvF:
+			x := regs[ins.a].F * regs[ins.b].F
+			r := &regs[ins.c]
+			r.Kind, r.F = KFloat, x
+			var y float64
+			if ins.bi == fvLoadLeft {
+				y = regs[ins.c].F + regs[ins.jmp].F
+			} else {
+				y = regs[ins.jmp].F + regs[ins.c].F
+			}
+			r = &regs[ins.dst]
+			r.Kind, r.F = KFloat, y
+			if ins.op == fMulAddMvF {
+				m := &regs[ins.jmp2]
+				m.Kind, m.F = KFloat, y
+			}
+		case fMulSubF, fMulSubMvF:
+			x := regs[ins.a].F * regs[ins.b].F
+			r := &regs[ins.c]
+			r.Kind, r.F = KFloat, x
+			var y float64
+			if ins.bi == fvLoadLeft {
+				y = regs[ins.c].F - regs[ins.jmp].F
+			} else {
+				y = regs[ins.jmp].F - regs[ins.c].F
+			}
+			r = &regs[ins.dst]
+			r.Kind, r.F = KFloat, y
+			if ins.op == fMulSubMvF {
+				m := &regs[ins.jmp2]
+				m.Kind, m.F = KFloat, y
+			}
+
+		case fGetMv:
+			recv := &regs[ins.a]
+			if recv.Kind != KObject {
+				ex.Cycles = cycles
+				ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+				return Value{}, in.errf(fn, ins.aux.pos, "null dereference reading field %s", ins.aux.s)
+			}
+			slot, hit := icFieldSlot(&ff.ics[ins.idx], recv.O.Class)
+			if hit {
+				ich++
+			} else {
+				icm++
+				var ok bool
+				slot, ok = icFieldMiss(&ff.ics[ins.idx], recv.O.Class, ins.aux.s)
+				if !ok {
+					ex.Cycles = cycles
+					ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+					return Value{}, in.errf(fn, ins.aux.pos, "class %s has no field %s", recv.O.Class.Name, ins.aux.s)
+				}
+			}
+			sv := &recv.O.Fields[slot]
+			dv := &regs[ins.dst]
+			switch sv.Kind {
+			case KString:
+				dv.Kind, dv.S = KString, sv.S
+			case KObject:
+				dv.Kind, dv.O = KObject, sv.O
+			case KArray:
+				dv.Kind, dv.A = KArray, sv.A
+			case KTag:
+				dv.Kind, dv.T = KTag, sv.T
+			default:
+				dv.Kind, dv.I, dv.F = sv.Kind, sv.I, sv.F
+			}
+			sv = &regs[ins.dst]
+			dv = &regs[ins.jmp2]
+			switch sv.Kind {
+			case KString:
+				dv.Kind, dv.S = KString, sv.S
+			case KObject:
+				dv.Kind, dv.O = KObject, sv.O
+			case KArray:
+				dv.Kind, dv.A = KArray, sv.A
+			case KTag:
+				dv.Kind, dv.T = KTag, sv.T
+			default:
+				dv.Kind, dv.I, dv.F = sv.Kind, sv.I, sv.F
+			}
+		case fArrGetMv:
+			arr := &regs[ins.a]
+			if arr.Kind != KArray {
+				ex.Cycles = cycles
+				ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+				return Value{}, in.errf(fn, ins.aux.pos, "null array dereference")
+			}
+			idx := regs[ins.b].I
+			if idx < 0 || idx >= int64(len(arr.A.Elems)) {
+				ex.Cycles = cycles
+				ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+				return Value{}, in.errf(fn, ins.aux.pos, "array index %d out of bounds [0,%d)", idx, len(arr.A.Elems))
+			}
+			sv := &arr.A.Elems[idx]
+			dv := &regs[ins.dst]
+			switch sv.Kind {
+			case KString:
+				dv.Kind, dv.S = KString, sv.S
+			case KObject:
+				dv.Kind, dv.O = KObject, sv.O
+			case KArray:
+				dv.Kind, dv.A = KArray, sv.A
+			case KTag:
+				dv.Kind, dv.T = KTag, sv.T
+			default:
+				dv.Kind, dv.I, dv.F = sv.Kind, sv.I, sv.F
+			}
+			sv = &regs[ins.dst]
+			dv = &regs[ins.jmp2]
+			switch sv.Kind {
+			case KString:
+				dv.Kind, dv.S = KString, sv.S
+			case KObject:
+				dv.Kind, dv.O = KObject, sv.O
+			case KArray:
+				dv.Kind, dv.A = KArray, sv.A
+			case KTag:
+				dv.Kind, dv.T = KTag, sv.T
+			default:
+				dv.Kind, dv.I, dv.F = sv.Kind, sv.I, sv.F
+			}
+
+		case fGetGet, fGetGetMv:
+			recv := &regs[ins.a]
+			if recv.Kind != KObject {
+				ex.Cycles = cycles
+				ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+				return Value{}, in.errf(fn, ins.aux.pos, "null dereference reading field %s", ins.aux.s)
+			}
+			slot, hit := icFieldSlot(&ff.ics[ins.idx], recv.O.Class)
+			if hit {
+				ich++
+			} else {
+				icm++
+				var ok bool
+				slot, ok = icFieldMiss(&ff.ics[ins.idx], recv.O.Class, ins.aux.s)
+				if !ok {
+					ex.Cycles = cycles
+					ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+					return Value{}, in.errf(fn, ins.aux.pos, "class %s has no field %s", recv.O.Class.Name, ins.aux.s)
+				}
+			}
+			sv := &recv.O.Fields[slot]
+			dv := &regs[ins.c]
+			switch sv.Kind {
+			case KString:
+				dv.Kind, dv.S = KString, sv.S
+			case KObject:
+				dv.Kind, dv.O = KObject, sv.O
+			case KArray:
+				dv.Kind, dv.A = KArray, sv.A
+			case KTag:
+				dv.Kind, dv.T = KTag, sv.T
+			default:
+				dv.Kind, dv.I, dv.F = sv.Kind, sv.I, sv.F
+			}
+			ax2 := ins.aux.aux2
+			mid := &regs[ins.c]
+			if mid.Kind != KObject {
+				ex.Cycles = cycles
+				ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+				return Value{}, in.errf(fn, ax2.pos, "null dereference reading field %s", ax2.s)
+			}
+			slot2, hit2 := icFieldSlot(&ff.ics[ins.jmp], mid.O.Class)
+			if hit2 {
+				ich++
+			} else {
+				icm++
+				var ok bool
+				slot2, ok = icFieldMiss(&ff.ics[ins.jmp], mid.O.Class, ax2.s)
+				if !ok {
+					ex.Cycles = cycles
+					ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+					return Value{}, in.errf(fn, ax2.pos, "class %s has no field %s", mid.O.Class.Name, ax2.s)
+				}
+			}
+			sv = &mid.O.Fields[slot2]
+			dv = &regs[ins.dst]
+			switch sv.Kind {
+			case KString:
+				dv.Kind, dv.S = KString, sv.S
+			case KObject:
+				dv.Kind, dv.O = KObject, sv.O
+			case KArray:
+				dv.Kind, dv.A = KArray, sv.A
+			case KTag:
+				dv.Kind, dv.T = KTag, sv.T
+			default:
+				dv.Kind, dv.I, dv.F = sv.Kind, sv.I, sv.F
+			}
+			if ins.op == fGetGetMv {
+				sv := &regs[ins.dst]
+				dv := &regs[ins.jmp2]
+				switch sv.Kind {
+				case KString:
+					dv.Kind, dv.S = KString, sv.S
+				case KObject:
+					dv.Kind, dv.O = KObject, sv.O
+				case KArray:
+					dv.Kind, dv.A = KArray, sv.A
+				case KTag:
+					dv.Kind, dv.T = KTag, sv.T
+				default:
+					dv.Kind, dv.I, dv.F = sv.Kind, sv.I, sv.F
+				}
+			}
+
+		case fGetAddI, fGetSubI, fGetMulI, fGetAddF, fGetSubF, fGetMulF:
+			recv := &regs[ins.a]
+			if recv.Kind != KObject {
+				ex.Cycles = cycles
+				ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+				return Value{}, in.errf(fn, ins.aux.pos, "null dereference reading field %s", ins.aux.s)
+			}
+			slot, hit := icFieldSlot(&ff.ics[ins.idx], recv.O.Class)
+			if hit {
+				ich++
+			} else {
+				icm++
+				var ok bool
+				slot, ok = icFieldMiss(&ff.ics[ins.idx], recv.O.Class, ins.aux.s)
+				if !ok {
+					ex.Cycles = cycles
+					ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+					return Value{}, in.errf(fn, ins.aux.pos, "class %s has no field %s", recv.O.Class.Name, ins.aux.s)
+				}
+			}
+			// The loaded value feeds arithmetic, so it is statically
+			// numeric: copying only the scalar fields skips the pointer
+			// write barrier a whole-Value copy would incur.
+			fv := &recv.O.Fields[slot]
+			rc := &regs[ins.c]
+			rc.Kind, rc.I, rc.F = fv.Kind, fv.I, fv.F
+			// The variant byte keeps the original operand order so float
+			// results (and NaN propagation) stay bit-identical; int add
+			// and mul are fully commutative and skip the check.
+			switch ins.op {
+			case fGetAddI:
+				x := regs[ins.c].I + regs[ins.b].I
+				r := &regs[ins.dst]
+				r.Kind, r.I = KInt, x
+			case fGetSubI:
+				var x int64
+				if ins.bi == fvLoadLeft {
+					x = regs[ins.c].I - regs[ins.b].I
+				} else {
+					x = regs[ins.b].I - regs[ins.c].I
+				}
+				r := &regs[ins.dst]
+				r.Kind, r.I = KInt, x
+			case fGetMulI:
+				x := regs[ins.c].I * regs[ins.b].I
+				r := &regs[ins.dst]
+				r.Kind, r.I = KInt, x
+			case fGetAddF:
+				var x float64
+				if ins.bi == fvLoadLeft {
+					x = regs[ins.c].F + regs[ins.b].F
+				} else {
+					x = regs[ins.b].F + regs[ins.c].F
+				}
+				r := &regs[ins.dst]
+				r.Kind, r.F = KFloat, x
+			case fGetSubF:
+				var x float64
+				if ins.bi == fvLoadLeft {
+					x = regs[ins.c].F - regs[ins.b].F
+				} else {
+					x = regs[ins.b].F - regs[ins.c].F
+				}
+				r := &regs[ins.dst]
+				r.Kind, r.F = KFloat, x
+			case fGetMulF:
+				var x float64
+				if ins.bi == fvLoadLeft {
+					x = regs[ins.c].F * regs[ins.b].F
+				} else {
+					x = regs[ins.b].F * regs[ins.c].F
+				}
+				r := &regs[ins.dst]
+				r.Kind, r.F = KFloat, x
+			}
+
+		case fGetLtI2, fGetLeI2, fGetGtI2, fGetGeI2,
+			fGetLtIBr, fGetLeIBr, fGetGtIBr, fGetGeIBr:
+			recv := &regs[ins.a]
+			if recv.Kind != KObject {
+				ex.Cycles = cycles
+				ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+				return Value{}, in.errf(fn, ins.aux.pos, "null dereference reading field %s", ins.aux.s)
+			}
+			slot, hit := icFieldSlot(&ff.ics[ins.idx], recv.O.Class)
+			if hit {
+				ich++
+			} else {
+				icm++
+				var ok bool
+				slot, ok = icFieldMiss(&ff.ics[ins.idx], recv.O.Class, ins.aux.s)
+				if !ok {
+					ex.Cycles = cycles
+					ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+					return Value{}, in.errf(fn, ins.aux.pos, "class %s has no field %s", recv.O.Class.Name, ins.aux.s)
+				}
+			}
+			// Integer order compare: the field is statically numeric, so the
+			// write-through copies only the scalar payload.
+			fv := &recv.O.Fields[slot]
+			rc := &regs[ins.c]
+			rc.Kind, rc.I, rc.F = fv.Kind, fv.I, fv.F
+			var l, r int64
+			if ins.bi == fvLoadLeft {
+				l, r = regs[ins.c].I, regs[ins.b].I
+			} else {
+				l, r = regs[ins.b].I, regs[ins.c].I
+			}
+			var x int64
+			switch ins.op {
+			case fGetLtI2, fGetLtIBr:
+				x = b2i(l < r)
+			case fGetLeI2, fGetLeIBr:
+				x = b2i(l <= r)
+			case fGetGtI2, fGetGtIBr:
+				x = b2i(l > r)
+			default:
+				x = b2i(l >= r)
+			}
+			d := &regs[ins.dst]
+			d.Kind, d.I = KBool, x
+			switch ins.op {
+			case fGetLtIBr, fGetLeIBr, fGetGtIBr, fGetGeIBr:
+				if x != 0 {
+					pc = ins.jmp
+				} else {
+					pc = ins.jmp2
+				}
+				continue
+			}
+
+		case fAddImmISt, fSubImmISt, fMulImmISt:
+			r := &regs[ins.c]
+			r.Kind, r.I = KInt, ins.i
+			var x int64
+			switch ins.op {
+			case fAddImmISt:
+				x = regs[ins.a].I + ins.i
+			case fSubImmISt:
+				x = regs[ins.a].I - ins.i
+			default:
+				x = regs[ins.a].I * ins.i
+			}
+			r = &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+			obj := &regs[ins.jmp]
+			ax2 := ins.aux.aux2
+			if obj.Kind != KObject {
+				ex.Cycles = cycles
+				ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+				return Value{}, in.errf(fn, ax2.pos, "null dereference writing field %s", ax2.s)
+			}
+			slot2, hit2 := icFieldSlot(&ff.ics[ins.jmp2], obj.O.Class)
+			if hit2 {
+				ich++
+			} else {
+				icm++
+				var ok bool
+				slot2, ok = icFieldMiss(&ff.ics[ins.jmp2], obj.O.Class, ax2.s)
+				if !ok {
+					ex.Cycles = cycles
+					ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+					return Value{}, in.errf(fn, ax2.pos, "class %s has no field %s", obj.O.Class.Name, ax2.s)
+				}
+			}
+			fv2 := &obj.O.Fields[slot2]
+			fv2.Kind, fv2.I = KInt, x
+
+		case fAddISt, fSubISt, fMulISt:
+			var x int64
+			switch ins.op {
+			case fAddISt:
+				x = regs[ins.a].I + regs[ins.b].I
+			case fSubISt:
+				x = regs[ins.a].I - regs[ins.b].I
+			default:
+				x = regs[ins.a].I * regs[ins.b].I
+			}
+			r := &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+			obj := &regs[ins.jmp]
+			ax2 := ins.aux.aux2
+			if obj.Kind != KObject {
+				ex.Cycles = cycles
+				ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+				return Value{}, in.errf(fn, ax2.pos, "null dereference writing field %s", ax2.s)
+			}
+			slot2, hit2 := icFieldSlot(&ff.ics[ins.jmp2], obj.O.Class)
+			if hit2 {
+				ich++
+			} else {
+				icm++
+				var ok bool
+				slot2, ok = icFieldMiss(&ff.ics[ins.jmp2], obj.O.Class, ax2.s)
+				if !ok {
+					ex.Cycles = cycles
+					ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+					return Value{}, in.errf(fn, ax2.pos, "class %s has no field %s", obj.O.Class.Name, ax2.s)
+				}
+			}
+			fv2 := &obj.O.Fields[slot2]
+			fv2.Kind, fv2.I = KInt, x
+
+		case fGetAddISt, fGetSubISt, fGetMulISt:
+			recv := &regs[ins.a]
+			if recv.Kind != KObject {
+				ex.Cycles = cycles
+				ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+				return Value{}, in.errf(fn, ins.aux.pos, "null dereference reading field %s", ins.aux.s)
+			}
+			slot, hit := icFieldSlot(&ff.ics[ins.idx], recv.O.Class)
+			if hit {
+				ich++
+			} else {
+				icm++
+				var ok bool
+				slot, ok = icFieldMiss(&ff.ics[ins.idx], recv.O.Class, ins.aux.s)
+				if !ok {
+					ex.Cycles = cycles
+					ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+					return Value{}, in.errf(fn, ins.aux.pos, "class %s has no field %s", recv.O.Class.Name, ins.aux.s)
+				}
+			}
+			fv := &recv.O.Fields[slot]
+			rc := &regs[ins.c]
+			rc.Kind, rc.I, rc.F = fv.Kind, fv.I, fv.F
+			var x int64
+			switch ins.op {
+			case fGetAddISt:
+				x = regs[ins.c].I + regs[ins.b].I
+			case fGetSubISt:
+				if ins.bi == fvLoadLeft {
+					x = regs[ins.c].I - regs[ins.b].I
+				} else {
+					x = regs[ins.b].I - regs[ins.c].I
+				}
+			default:
+				x = regs[ins.c].I * regs[ins.b].I
+			}
+			r := &regs[ins.dst]
+			r.Kind, r.I = KInt, x
+			obj := &regs[ins.jmp]
+			ax2 := ins.aux.aux2
+			if obj.Kind != KObject {
+				ex.Cycles = cycles
+				ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+				return Value{}, in.errf(fn, ax2.pos, "null dereference writing field %s", ax2.s)
+			}
+			slot2, hit2 := icFieldSlot(&ff.ics[ins.jmp2], obj.O.Class)
+			if hit2 {
+				ich++
+			} else {
+				icm++
+				var ok bool
+				slot2, ok = icFieldMiss(&ff.ics[ins.jmp2], obj.O.Class, ax2.s)
+				if !ok {
+					ex.Cycles = cycles
+					ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+					return Value{}, in.errf(fn, ax2.pos, "class %s has no field %s", obj.O.Class.Name, ax2.s)
+				}
+			}
+			fv2 := &obj.O.Fields[slot2]
+			fv2.Kind, fv2.I = KInt, x
+
+		case fArrAddI, fArrSubI, fArrMulI, fArrAddF, fArrSubF, fArrMulF,
+			fArrAddMvI, fArrSubMvI, fArrMulMvI, fArrAddMvF, fArrSubMvF, fArrMulMvF:
+			arr := &regs[ins.a]
+			if arr.Kind != KArray {
+				ex.Cycles = cycles
+				ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+				return Value{}, in.errf(fn, ins.aux.pos, "null array dereference")
+			}
+			idx := regs[ins.b].I
+			if idx < 0 || idx >= int64(len(arr.A.Elems)) {
+				ex.Cycles = cycles
+				ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+				return Value{}, in.errf(fn, ins.aux.pos, "array index %d out of bounds [0,%d)", idx, len(arr.A.Elems))
+			}
+			// Statically numeric (feeds arithmetic): scalar-only copy, as
+			// on getfield+arith.
+			ev := &arr.A.Elems[idx]
+			rc := &regs[ins.c]
+			rc.Kind, rc.I, rc.F = ev.Kind, ev.I, ev.F
+			// Variant byte as on getfield+arith: original operand order.
+			// The Mv variants additionally copy the result into jmp2.
+			switch ins.op {
+			case fArrAddI, fArrAddMvI:
+				x := regs[ins.c].I + regs[ins.jmp].I
+				r := &regs[ins.dst]
+				r.Kind, r.I = KInt, x
+				if ins.op == fArrAddMvI {
+					m := &regs[ins.jmp2]
+					m.Kind, m.I = KInt, x
+				}
+			case fArrSubI, fArrSubMvI:
+				var x int64
+				if ins.bi == fvLoadLeft {
+					x = regs[ins.c].I - regs[ins.jmp].I
+				} else {
+					x = regs[ins.jmp].I - regs[ins.c].I
+				}
+				r := &regs[ins.dst]
+				r.Kind, r.I = KInt, x
+				if ins.op == fArrSubMvI {
+					m := &regs[ins.jmp2]
+					m.Kind, m.I = KInt, x
+				}
+			case fArrMulI, fArrMulMvI:
+				x := regs[ins.c].I * regs[ins.jmp].I
+				r := &regs[ins.dst]
+				r.Kind, r.I = KInt, x
+				if ins.op == fArrMulMvI {
+					m := &regs[ins.jmp2]
+					m.Kind, m.I = KInt, x
+				}
+			case fArrAddF, fArrAddMvF:
+				var x float64
+				if ins.bi == fvLoadLeft {
+					x = regs[ins.c].F + regs[ins.jmp].F
+				} else {
+					x = regs[ins.jmp].F + regs[ins.c].F
+				}
+				r := &regs[ins.dst]
+				r.Kind, r.F = KFloat, x
+				if ins.op == fArrAddMvF {
+					m := &regs[ins.jmp2]
+					m.Kind, m.F = KFloat, x
+				}
+			case fArrSubF, fArrSubMvF:
+				var x float64
+				if ins.bi == fvLoadLeft {
+					x = regs[ins.c].F - regs[ins.jmp].F
+				} else {
+					x = regs[ins.jmp].F - regs[ins.c].F
+				}
+				r := &regs[ins.dst]
+				r.Kind, r.F = KFloat, x
+				if ins.op == fArrSubMvF {
+					m := &regs[ins.jmp2]
+					m.Kind, m.F = KFloat, x
+				}
+			case fArrMulF, fArrMulMvF:
+				var x float64
+				if ins.bi == fvLoadLeft {
+					x = regs[ins.c].F * regs[ins.jmp].F
+				} else {
+					x = regs[ins.jmp].F * regs[ins.c].F
+				}
+				r := &regs[ins.dst]
+				r.Kind, r.F = KFloat, x
+				if ins.op == fArrMulMvF {
+					m := &regs[ins.jmp2]
+					m.Kind, m.F = KFloat, x
+				}
+			}
+
+		case fGetSet:
+			src := &regs[ins.a]
+			if src.Kind != KObject {
+				ex.Cycles = cycles
+				ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+				return Value{}, in.errf(fn, ins.aux.pos, "null dereference reading field %s", ins.aux.s)
+			}
+			slot, hit := icFieldSlot(&ff.ics[ins.idx], src.O.Class)
+			if hit {
+				ich++
+			} else {
+				icm++
+				var ok bool
+				slot, ok = icFieldMiss(&ff.ics[ins.idx], src.O.Class, ins.aux.s)
+				if !ok {
+					ex.Cycles = cycles
+					ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+					return Value{}, in.errf(fn, ins.aux.pos, "class %s has no field %s", src.O.Class.Name, ins.aux.s)
+				}
+			}
+			regs[ins.c] = src.O.Fields[slot]
+			ax2 := ins.aux.aux2
+			dst := &regs[ins.b]
+			if dst.Kind != KObject {
+				ex.Cycles = cycles
+				ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+				return Value{}, in.errf(fn, ax2.pos, "null dereference writing field %s", ax2.s)
+			}
+			slot2, hit2 := icFieldSlot(&ff.ics[ins.jmp], dst.O.Class)
+			if hit2 {
+				ich++
+			} else {
+				icm++
+				var ok bool
+				slot2, ok = icFieldMiss(&ff.ics[ins.jmp], dst.O.Class, ax2.s)
+				if !ok {
+					ex.Cycles = cycles
+					ex.ICHits, ex.ICMisses = ex.ICHits+ich, ex.ICMisses+icm
+					return Value{}, in.errf(fn, ax2.pos, "class %s has no field %s", dst.O.Class.Name, ax2.s)
+				}
+			}
+			dst.O.Fields[slot2] = regs[ins.c]
 		}
 		pc++
 	}

@@ -1,0 +1,166 @@
+package interp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// The inline-cache tests drive one method body with receivers of many
+// different classes. Bamboo's surface language is nominally typed, so a
+// checked program cannot flip a call site between classes — but both
+// dispatch paths resolve fields and methods by the receiver's *runtime*
+// class (the IC memoizes exactly that lookup), and the interpreter API
+// accepts any receiver. Calling Probe.read with C0..C9 receivers
+// therefore exercises precisely the transitions the IC must survive:
+// invalidation on a class change, and the megamorphic freeze once a site
+// has churned past its transition budget.
+//
+// icFlipClasses generates C0..C9: each declares field "v" at a different
+// slot (i pad fields come first) and a "step" method with a
+// class-distinct result, so a stale cached slot or callee would produce a
+// visibly wrong value.
+func icFlipSrc(n int) string {
+	var sb strings.Builder
+	sb.WriteString(`class Probe {
+		int v;
+		int step() { return v; }
+		int read(int k) { return this.step() * 100 + this.v + k; }
+	}
+	`)
+	for i := 0; i < n; i++ {
+		sb.WriteString(fmt.Sprintf("class C%d { ", i))
+		for p := 0; p < i; p++ {
+			sb.WriteString(fmt.Sprintf("int p%d; ", p))
+		}
+		sb.WriteString(fmt.Sprintf("int v; int step() { return v + %d; } }\n", i))
+	}
+	return sb.String()
+}
+
+// icProbe builds one interpreter over the fixture plus a receiver object
+// per class with a class-distinct v value.
+func icProbe(t *testing.T, irp *ir.Program, in *Interp, n int) []Value {
+	t.Helper()
+	recvs := make([]Value, n)
+	for i := 0; i < n; i++ {
+		cl := irp.Info.Classes[fmt.Sprintf("C%d", i)]
+		if cl == nil {
+			t.Fatalf("class C%d missing", i)
+		}
+		o := in.Heap.NewObject(cl)
+		f := cl.FieldByName["v"]
+		o.Fields[f.Index] = IntV(int64(10 * (i + 1)))
+		recvs[i] = ObjV(o)
+	}
+	return recvs
+}
+
+// runFlipSequence calls Probe.read with the given receiver sequence on
+// both dispatch paths and requires identical values and cycle totals.
+func runFlipSequence(t *testing.T, src string, nClasses int, seq []int) (fast *Interp) {
+	t.Helper()
+	irp := compile(t, src)
+	fn := irp.Funcs[ir.MethodKey("Probe", "read")]
+	if fn == nil {
+		t.Fatal("no Probe.read")
+	}
+	fast = New(irp)
+	fast.MaxCycles = 1 << 60
+	walker := New(irp)
+	walker.MaxCycles = 1 << 60
+	walker.DisableFastDispatch()
+	fastRecvs := icProbe(t, irp, fast, nClasses)
+	walkRecvs := icProbe(t, irp, walker, nClasses)
+	for step, ci := range seq {
+		k := IntV(int64(step))
+		fv, fex, ferr := fast.CallMethod(fn, []Value{fastRecvs[ci], k})
+		wv, wex, werr := walker.CallMethod(fn, []Value{walkRecvs[ci], k})
+		if (ferr == nil) != (werr == nil) || (ferr != nil && ferr.Error() != werr.Error()) {
+			t.Fatalf("step %d (C%d): fast err %v, walker err %v", step, ci, ferr, werr)
+		}
+		if ferr != nil {
+			continue
+		}
+		if fv != wv {
+			t.Fatalf("step %d (C%d): fast %v, walker %v", step, ci, fv, wv)
+		}
+		if fex.Cycles != wex.Cycles {
+			t.Fatalf("step %d (C%d): fast %d cycles, walker %d", step, ci, fex.Cycles, wex.Cycles)
+		}
+	}
+	return fast
+}
+
+// TestInlineCacheInvalidation ping-pongs one site between two classes:
+// every flip invalidates the monomorphic entry, every repeat hits it, and
+// the values/cycles must track the walker throughout.
+func TestInlineCacheInvalidation(t *testing.T) {
+	src := icFlipSrc(2)
+	// Warm on C0 (repeat hits), then alternate C0/C1 (every call
+	// re-installs), then settle on C1.
+	seq := []int{0, 0, 0, 1, 0, 1, 0, 1, 1, 1}
+	fast := runFlipSequence(t, src, 2, seq)
+	st := fast.Stats()
+	if st.ICMisses == 0 {
+		t.Fatal("class flips produced no IC misses")
+	}
+	if st.ICHits == 0 {
+		t.Fatal("repeated receivers produced no IC hits")
+	}
+}
+
+// TestInlineCacheMegamorphic cycles ten classes through the same sites:
+// after icMegamorphic transitions the sites freeze and every further
+// foreign-class call takes the interned-lookup slow path — misses keep
+// accruing in steady state, and results still match the walker exactly.
+func TestInlineCacheMegamorphic(t *testing.T) {
+	const n = 10
+	src := icFlipSrc(n)
+	var seq []int
+	for round := 0; round < 3; round++ {
+		for ci := 0; ci < n; ci++ {
+			seq = append(seq, ci)
+		}
+	}
+	fast := runFlipSequence(t, src, n, seq)
+	before := fast.Stats().ICMisses
+
+	// One more full cycle on the now-frozen sites: a monomorphic cache
+	// cannot serve ten classes, so misses must still grow.
+	irp := fast.Prog
+	fn := irp.Funcs[ir.MethodKey("Probe", "read")]
+	recvs := icProbe(t, irp, fast, n)
+	for ci := 0; ci < n; ci++ {
+		if _, _, err := fast.CallMethod(fn, []Value{recvs[ci], IntV(0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := fast.Stats().ICMisses
+	if after <= before {
+		t.Fatalf("megamorphic sites stopped recording misses: %d then %d", before, after)
+	}
+}
+
+// TestInlineCacheMissingMember sends a receiver whose class lacks the
+// probed field and method: the IC slow path and the walker must fail with
+// the same runtime error.
+func TestInlineCacheMissingMember(t *testing.T) {
+	src := icFlipSrc(1) + "\nclass Bare { int unrelated; }\n"
+	irp := compile(t, src)
+	fn := irp.Funcs[ir.MethodKey("Probe", "read")]
+	fast := New(irp)
+	walker := New(irp)
+	walker.DisableFastDispatch()
+	mk := func(in *Interp) Value { return ObjV(in.Heap.NewObject(irp.Info.Classes["Bare"])) }
+	_, _, ferr := fast.CallMethod(fn, []Value{mk(fast), IntV(0)})
+	_, _, werr := walker.CallMethod(fn, []Value{mk(walker), IntV(0)})
+	if ferr == nil || werr == nil {
+		t.Fatalf("missing member did not fail: fast %v, walker %v", ferr, werr)
+	}
+	if ferr.Error() != werr.Error() {
+		t.Fatalf("fast error %q, walker error %q", ferr, werr)
+	}
+}

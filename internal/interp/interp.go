@@ -7,10 +7,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/ir"
 	"repro/internal/lexer"
+	"repro/internal/types"
 )
 
 // RuntimeError reports a Bamboo runtime failure (null dereference, bounds
@@ -27,18 +29,25 @@ func (e *RuntimeError) Error() string {
 }
 
 // Exec accumulates the observable effects of one task invocation (or one
-// plain method call tree): cycles consumed, objects allocated, and the
-// taskexit taken.
+// plain method call tree): cycles consumed, objects allocated, the
+// taskexit taken, and inline-cache traffic.
 type Exec struct {
 	Cycles     int64
 	NewObjects []*Object
-	ExitID     int // taskexit index taken; -1 for non-task executions
+	ExitID     int   // taskexit index taken; -1 for non-task executions
+	ICHits     int64 // inline-cache hits (fast dispatch only)
+	ICMisses   int64 // inline-cache misses / slow-path resolutions
+
+	// fs is the register stack for nested calls, owned by run() for the
+	// duration of one invocation.
+	fs *frameStack
 }
 
 // Interp executes Bamboo IR. One Interp may be shared across goroutines
 // (the concurrent engine runs one task per core goroutine); the heap's ID
 // counter is atomic, output writes are serialized, and the flattened code
-// is built exactly once and read-only afterwards.
+// is built exactly once and read-only afterwards (inline-cache sites
+// update atomically).
 type Interp struct {
 	Prog *ir.Program
 	Cost *CostModel
@@ -49,14 +58,25 @@ type Interp struct {
 
 	outMu sync.Mutex
 
-	// Fast dispatch state: each ir.Func is flattened to a contiguous
-	// instruction array on first execution (lazily, so cost-model tweaks
-	// made after New are baked in). noFast routes execution through the
-	// reference tree walker instead; the differential tests hold the two
-	// paths to identical results.
-	noFast   bool
-	flatOnce sync.Once
-	flat     map[*ir.Func]*flatFunc
+	// Fast dispatch state: the program's flattened form is resolved on
+	// first execution (lazily, so cost-model tweaks made after New are
+	// baked in) through the cache on ir.Program. noFast routes execution
+	// through the reference tree walker instead; the differential tests
+	// hold the two paths to identical results.
+	noFast bool
+	fpOnce sync.Once
+	fp     *flatProgram
+
+	// Walker-side name-resolution table: per-class method tables keyed by
+	// simple name. (Field resolution uses types.Class.FieldByName
+	// directly.) Built lazily; the walker is the interned-lookup slow
+	// path that the fast path's inline caches memoize.
+	nameOnce sync.Once
+	mtab     map[*types.Class]map[string]*ir.Func
+
+	// Cumulative inline-cache traffic across all invocations.
+	icHits   atomic.Int64
+	icMisses atomic.Int64
 }
 
 // New returns an interpreter over prog with the default cost model.
@@ -73,21 +93,100 @@ func (in *Interp) DisableFastDispatch() { in.noFast = true }
 // run executes one function body through the fast path unless disabled.
 func (in *Interp) run(fn *ir.Func, args []Value, ex *Exec) (Value, error) {
 	if in.noFast {
+		in.nameOnce.Do(in.buildNameTables)
 		return in.exec(fn, args, ex)
 	}
-	in.flatOnce.Do(in.flattenAll)
-	ff := in.flat[fn]
+	in.fpOnce.Do(in.prepare)
+	ff := in.fp.flat[fn]
 	if ff == nil {
 		// A Func outside Prog.Funcs (tests construct these); fall back.
+		in.nameOnce.Do(in.buildNameTables)
 		return in.exec(fn, args, ex)
 	}
-	f := getFrame(ff.numRegs)
-	copy(f.regs, args)
-	v, err := in.execFlat(ff, f.regs, ex)
-	putFrame(f)
+	if ff.trivial {
+		// Fast path for short bodies (the common trivial taskexit): the
+		// register file lives in a stack buffer and no frame stack is set
+		// up, because trivial bodies cannot call. The only allocation per
+		// invocation is the caller's Exec.
+		var buf [trivialRegs]Value
+		regs := buf[:ff.numRegs]
+		copy(regs, args)
+		v, err := in.execFlat(ff, regs, ex)
+		in.finish(ex)
+		return cleanValue(v), err
+	}
+	fs := getFrameStack()
+	ex.fs = fs
+	regs := fs.alloc(ff.numRegs)
+	copy(regs, args)
+	v, err := in.execFlat(ff, regs, ex)
+	ex.fs = nil
+	putFrameStack(fs)
+	in.finish(ex)
 	// Scrub stale register cold fields so callers see the same Value bits
 	// the walker would return.
 	return cleanValue(v), err
+}
+
+// finish folds one invocation's inline-cache traffic into the
+// interpreter-wide counters.
+func (in *Interp) finish(ex *Exec) {
+	if ex.ICHits != 0 {
+		in.icHits.Add(ex.ICHits)
+	}
+	if ex.ICMisses != 0 {
+		in.icMisses.Add(ex.ICMisses)
+	}
+}
+
+// buildNameTables constructs the walker's per-class method tables from the
+// program's qualified function names.
+func (in *Interp) buildNameTables() {
+	mtab := make(map[*types.Class]map[string]*ir.Func)
+	for name, fn := range in.Prog.Funcs {
+		cname, simple, ok := strings.Cut(name, ".")
+		if !ok {
+			continue // tasks are not callable methods
+		}
+		cl := in.Prog.Info.Classes[cname]
+		if cl == nil {
+			continue
+		}
+		t := mtab[cl]
+		if t == nil {
+			t = make(map[string]*ir.Func)
+			mtab[cl] = t
+		}
+		t[simple] = fn
+	}
+	in.mtab = mtab
+}
+
+// DispatchStats summarizes the fast path's behavior for observability:
+// inline-cache traffic, how much of the flattened program the
+// superinstruction pass covered, and how much arena memory the heap
+// recycled.
+type DispatchStats struct {
+	ICHits           int64
+	ICMisses         int64
+	FlatInstrs       int64
+	FusedInstrs      int64
+	ArenaReusedBytes int64
+}
+
+// Stats reports cumulative dispatch statistics. Call after executions
+// complete (engines read it once a run has quiesced).
+func (in *Interp) Stats() DispatchStats {
+	s := DispatchStats{
+		ICHits:           in.icHits.Load(),
+		ICMisses:         in.icMisses.Load(),
+		ArenaReusedBytes: in.Heap.ArenaReused(),
+	}
+	if fp := in.fp; fp != nil {
+		s.FlatInstrs = fp.flatInstrs
+		s.FusedInstrs = fp.fusedInstrs
+	}
+	return s
 }
 
 // RunTask executes a task with the given parameter values: first the object
@@ -114,6 +213,15 @@ func (in *Interp) CallMethod(fn *ir.Func, args []Value) (Value, *Exec, error) {
 	ex := &Exec{ExitID: -1}
 	v, err := in.run(fn, args, ex)
 	return v, ex, err
+}
+
+// methodOn resolves the simple part of a qualified method name against a
+// runtime class. The slicing keeps the per-call lookup allocation-free.
+func (in *Interp) methodOn(cls *types.Class, qualified string) *ir.Func {
+	if i := strings.IndexByte(qualified, '.'); i >= 0 {
+		return in.mtab[cls][qualified[i+1:]]
+	}
+	return nil
 }
 
 func (in *Interp) errf(fn *ir.Func, pos lexer.Pos, format string, args ...any) error {
@@ -255,18 +363,32 @@ func (in *Interp) exec(fn *ir.Func, args []Value, ex *Exec) (Value, error) {
 				ex.Cycles += in.Cost.StrPerChar * int64(len(s))
 				regs[instr.Dst] = StrV(s)
 
+			// Field and method access resolve by NAME against the
+			// receiver's runtime class (the language has no inheritance,
+			// so for well-typed programs this matches the static
+			// resolution bit for bit). The walker performs the interned
+			// map lookup on every access; the fast path's inline caches
+			// memoize exactly this lookup.
 			case ir.OpGetField:
 				recv := regs[instr.Args[0]]
 				if recv.Kind != KObject {
 					return Value{}, in.errf(fn, instr.Pos, "null dereference reading field %s", instr.Field.Name)
 				}
-				regs[instr.Dst] = recv.O.Fields[instr.Field.Index]
+				f, ok := recv.O.Class.FieldByName[instr.Field.Name]
+				if !ok {
+					return Value{}, in.errf(fn, instr.Pos, "class %s has no field %s", recv.O.Class.Name, instr.Field.Name)
+				}
+				regs[instr.Dst] = recv.O.Fields[f.Index]
 			case ir.OpSetField:
 				recv := regs[instr.Args[0]]
 				if recv.Kind != KObject {
 					return Value{}, in.errf(fn, instr.Pos, "null dereference writing field %s", instr.Field.Name)
 				}
-				recv.O.Fields[instr.Field.Index] = regs[instr.Args[1]]
+				f, ok := recv.O.Class.FieldByName[instr.Field.Name]
+				if !ok {
+					return Value{}, in.errf(fn, instr.Pos, "class %s has no field %s", recv.O.Class.Name, instr.Field.Name)
+				}
+				recv.O.Fields[f.Index] = regs[instr.Args[1]]
 			case ir.OpArrGet:
 				arr := regs[instr.Args[0]]
 				if arr.Kind != KArray {
@@ -322,12 +444,13 @@ func (in *Interp) exec(fn *ir.Func, args []Value, ex *Exec) (Value, error) {
 				regs[instr.Dst] = TagV(in.Heap.NewTag(instr.Str))
 
 			case ir.OpCall:
-				callee, ok := in.Prog.Funcs[instr.Method]
-				if !ok {
-					return Value{}, in.errf(fn, instr.Pos, "unknown method %s", instr.Method)
-				}
-				if regs[instr.Args[0]].Kind != KObject {
+				recv := regs[instr.Args[0]]
+				if recv.Kind != KObject {
 					return Value{}, in.errf(fn, instr.Pos, "null dereference calling %s", instr.Method)
+				}
+				callee := in.methodOn(recv.O.Class, instr.Method)
+				if callee == nil {
+					return Value{}, in.errf(fn, instr.Pos, "unknown method %s", instr.Method)
 				}
 				callArgs := make([]Value, len(instr.Args))
 				for i, a := range instr.Args {

@@ -11,6 +11,7 @@ package ir
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/lexer"
@@ -201,6 +202,20 @@ type Program struct {
 	Info  *types.Info
 	Funcs map[string]*Func // by qualified name
 	Tasks []*Func          // in declaration order
+
+	// Version counts in-place IR mutations: every pass that rewrites
+	// function bodies (the optimizer) bumps it. Engine-side caches derived
+	// from the IR compare versions to invalidate.
+	Version atomic.Int64
+
+	// FlatCache memoizes the interpreter's flattened form of this program.
+	// The value is opaque to this package — the interpreter stores and
+	// type-asserts its own structure, revalidating against Version (and its
+	// cost model) on load. It lives on the Program rather than on each
+	// Interp so that repeated executions of one compiled program — every
+	// engine construction, every bambood job served from the program cache —
+	// reuse a single flattening and keep its inline caches warm.
+	FlatCache atomic.Value
 }
 
 // MethodKey returns the Funcs key for a method of a class.

@@ -55,6 +55,16 @@ type Metrics struct {
 	PoisonedCores  atomic.Int64
 	DegradedDrains atomic.Int64
 
+	// Interpreter dispatch statistics, folded in once per run by the
+	// engines: inline-cache traffic, superinstruction coverage of the
+	// flattened program, and arena bytes the heap recycled from the
+	// process-wide pools instead of allocating fresh.
+	ICHits           atomic.Int64
+	ICMisses         atomic.Int64
+	FlatInstrs       atomic.Int64
+	FusedInstrs      atomic.Int64
+	ArenaReusedBytes atomic.Int64
+
 	mu       sync.Mutex
 	objSkips map[int64]int64 // object ID -> contention skips
 }
@@ -128,6 +138,11 @@ type MetricsSnapshot struct {
 	TaskPanics       int64           `json:"task_panics"`
 	PoisonedCores    int64           `json:"poisoned_cores"`
 	DegradedDrains   int64           `json:"degraded_drains"`
+	ICHits           int64           `json:"ic_hits"`
+	ICMisses         int64           `json:"ic_misses"`
+	FlatInstrs       int64           `json:"flat_instrs"`
+	FusedInstrs      int64           `json:"fused_instrs"`
+	ArenaReusedBytes int64           `json:"arena_reused_bytes"`
 	TopContended     []ObjContention `json:"top_contended,omitempty"`
 }
 
@@ -151,6 +166,11 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		TaskPanics:       m.TaskPanics.Load(),
 		PoisonedCores:    m.PoisonedCores.Load(),
 		DegradedDrains:   m.DegradedDrains.Load(),
+		ICHits:           m.ICHits.Load(),
+		ICMisses:         m.ICMisses.Load(),
+		FlatInstrs:       m.FlatInstrs.Load(),
+		FusedInstrs:      m.FusedInstrs.Load(),
+		ArenaReusedBytes: m.ArenaReusedBytes.Load(),
 		TopContended:     m.TopContended(10),
 	}
 }

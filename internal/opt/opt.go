@@ -58,6 +58,9 @@ func Optimize(prog *ir.Program) Stats {
 	for _, fn := range prog.Funcs {
 		total.Add(optimizeFunc(fn))
 	}
+	// The IR changed shape in place: invalidate caches derived from it
+	// (the interpreter's flattened code revalidates against this counter).
+	prog.Version.Add(1)
 	return total
 }
 

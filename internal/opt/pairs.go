@@ -1,0 +1,92 @@
+package opt
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Static pair-frequency analysis feeding the interpreter's superinstruction
+// selection. The interpreter can fuse a fixed set of adjacent instruction
+// shapes (compare+branch, load+arith, load+store, const+arith) into single
+// dispatch arms; which of those shapes are worth their dispatch-table slots
+// is decided here, by scanning the program once and ranking ordered
+// same-block pairs by static occurrence count. The scan runs on the IR
+// (before flattening) so the optimizer and the interpreter agree on one
+// notion of "pair" and the statistics stay independent of flattening
+// details like trap padding.
+
+// PairKey identifies an ordered pair of adjacent instructions within one
+// basic block. Float distinguishes the int/double variants of arithmetic
+// and compare ops, which flatten to different opcodes and therefore fuse
+// into different superinstructions.
+type PairKey struct {
+	A, B           ir.Op
+	AFloat, BFloat bool
+}
+
+// PairStats holds the static adjacent-pair frequencies of one program.
+type PairStats struct {
+	Counts map[PairKey]int
+}
+
+// CollectPairs scans every basic block of every function and counts each
+// ordered adjacent instruction pair. Pairs never span block boundaries
+// (a fused instruction must not contain a jump target).
+func CollectPairs(prog *ir.Program) *PairStats {
+	s := &PairStats{Counts: map[PairKey]int{}}
+	for _, fn := range prog.Funcs {
+		for _, b := range fn.Blocks {
+			for i := 0; i+1 < len(b.Instrs); i++ {
+				a, bb := &b.Instrs[i], &b.Instrs[i+1]
+				s.Counts[PairKey{A: a.Op, AFloat: a.Float, B: bb.Op, BFloat: bb.Float}]++
+			}
+		}
+	}
+	return s
+}
+
+// Count returns the static occurrence count of a pair shape.
+func (s *PairStats) Count(k PairKey) int { return s.Counts[k] }
+
+// Select ranks the candidate pair shapes by static frequency and returns
+// the set worth fusing: every candidate that occurs at least once, capped
+// at max shapes (most frequent first; ties broken by opcode order so the
+// selection is deterministic). Candidates that never occur are excluded —
+// their dispatch arms would never execute.
+func (s *PairStats) Select(candidates []PairKey, max int) map[PairKey]bool {
+	present := make([]PairKey, 0, len(candidates))
+	for _, k := range candidates {
+		if s.Counts[k] > 0 {
+			present = append(present, k)
+		}
+	}
+	sort.Slice(present, func(i, j int) bool {
+		ci, cj := s.Counts[present[i]], s.Counts[present[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return pairLess(present[i], present[j])
+	})
+	if max > 0 && len(present) > max {
+		present = present[:max]
+	}
+	out := make(map[PairKey]bool, len(present))
+	for _, k := range present {
+		out[k] = true
+	}
+	return out
+}
+
+func pairLess(a, b PairKey) bool {
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	if a.B != b.B {
+		return a.B < b.B
+	}
+	if a.AFloat != b.AFloat {
+		return !a.AFloat
+	}
+	return !a.BFloat
+}

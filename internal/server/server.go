@@ -279,9 +279,11 @@ func (s *Server) resolve(req *SubmitRequest) (*Job, error) {
 	if req.Trace {
 		j.trace = &obsv.Trace{}
 	}
-	if engine == "concurrent" {
-		j.metrics = &obsv.Metrics{}
-	}
+	// Every job carries a metrics sink: both engines report interpreter
+	// dispatch statistics (superinstruction coverage, inline-cache hit
+	// rates, arena reuse), and the concurrent engine adds its scheduler
+	// and lock counters on top.
+	j.metrics = &obsv.Metrics{}
 	return j, nil
 }
 
@@ -454,6 +456,11 @@ func (s *Server) aggregate(m obsv.MetricsSnapshot) {
 	a.TaskPanics += m.TaskPanics
 	a.PoisonedCores += m.PoisonedCores
 	a.DegradedDrains += m.DegradedDrains
+	a.ICHits += m.ICHits
+	a.ICMisses += m.ICMisses
+	a.FlatInstrs += m.FlatInstrs
+	a.FusedInstrs += m.FusedInstrs
+	a.ArenaReusedBytes += m.ArenaReusedBytes
 }
 
 // ---- handlers ----
@@ -615,8 +622,11 @@ type Varz struct {
 	Jobs      map[string]int64 `json:"jobs"`
 	Cache     CacheStats       `json:"cache"`
 	LatencyNS LatencyStats     `json:"latency_ns"`
-	// Runtime sums the concurrent-engine counters (steals, retries,
-	// rollbacks, ...) over every finished concurrent job.
+	// Runtime sums the runtime counters over every finished job:
+	// interpreter dispatch statistics (superinstruction coverage,
+	// inline-cache hits/misses, arena reuse) from both engines, plus the
+	// concurrent engine's scheduler/lock counters (steals, retries,
+	// rollbacks, ...).
 	Runtime obsv.MetricsSnapshot `json:"runtime_counters"`
 }
 

@@ -20,15 +20,25 @@
 # hit rate into BENCH_server.json.
 #
 # Usage: scripts/bench.sh [output.json] [runtime-output.json] [interp-output.json] [server-output.json]
+#   BENCH_SECTIONS space-separated subset of "synthesis runtime interp server"
+#                  to run (default: all). Benchmarks on a shared box are
+#                  noisy; re-rolling one section beats re-rolling them all.
 #   BENCH_PATTERN  override the benchmark regexp
 #   BENCH_TIME     override -benchtime (default 5x)
 #   RUNTIME_CORES  cores for the runtime counter snapshot (default 4)
-#   INTERP_TIME    override -benchtime for the interpreter section (default 5x)
+#   INTERP_TIME    override -benchtime for the interpreter section (default
+#                  1s — time-based, because the section spans ~200ns micros
+#                  and ~300ms end-to-end runs; a fixed -benchtime Nx starves
+#                  the micros of samples and their ratios come out as noise)
 #   SERVER_CLIENTS concurrent load-harness clients (default 64)
 #   SERVER_JOBS    jobs per client (default 3)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+sections="${BENCH_SECTIONS:-synthesis runtime interp server}"
+want() { case " $sections " in *" $1 "*) return 0 ;; *) return 1 ;; esac; }
+
 out="${1:-BENCH_synthesis.json}"
 pattern="${BENCH_PATTERN:-BenchmarkSynthesis|BenchmarkSchedulingSimulator|BenchmarkDSASearch}"
 benchtime="${BENCH_TIME:-5x}"
@@ -59,12 +69,14 @@ END { print "\n}" }
 ' "$1"
 }
 
-echo "running: go test -run '^$' -bench \"$pattern\" -benchmem -benchtime $benchtime" >&2
-go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" | tee "$raw" >&2
+if want synthesis; then
+    echo "running: go test -run '^$' -bench \"$pattern\" -benchmem -benchtime $benchtime" >&2
+    go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" | tee "$raw" >&2
 
-parse_bench "$raw" > "$out"
+    parse_bench "$raw" > "$out"
 
-echo "wrote $out" >&2
+    echo "wrote $out" >&2
+fi
 
 # Runtime counter snapshot: run each benchmark on the concurrent engine
 # with metrics enabled and collect the counters JSON per benchmark. The
@@ -78,6 +90,7 @@ panic_every="${RUNTIME_PANIC_EVERY:-13}"
 mtmp="$(mktemp)"
 trap 'rm -f "$raw" "$mtmp"' EXIT
 
+if want runtime; then
 {
     echo "{"
     first=1
@@ -96,15 +109,26 @@ trap 'rm -f "$raw" "$mtmp"' EXIT
 } > "$rtout"
 
 echo "wrote $rtout" >&2
+fi
 
 # Interpreter dispatch benchmarks: the hot-op microbenchmarks in
 # internal/interp plus the end-to-end sequential runs in benchmarks/, each
 # as a fast/walker pair so the JSON carries both sides of the speedup
 # ratio (and the allocs/op drop from frame pooling) per name.
 iout="${3:-BENCH_interp.json}"
-ibenchtime="${INTERP_TIME:-5x}"
+ibenchtime="${INTERP_TIME:-1s}"
 iraw="$(mktemp)"
-trap 'rm -f "$raw" "$mtmp" "$iraw"' EXIT
+ibase="$(mktemp)"
+trap 'rm -f "$raw" "$mtmp" "$iraw" "$ibase"' EXIT
+
+if want interp; then
+# Snapshot the committed baseline before regenerating, so the delta below
+# compares against what the repo carried going into this run.
+have_baseline=0
+if [ -f "$iout" ]; then
+    cp "$iout" "$ibase"
+    have_baseline=1
+fi
 
 echo "running: go test -run '^\$' -bench BenchmarkInterp -benchmem -benchtime $ibenchtime ./internal/interp ./benchmarks" >&2
 go test -run '^$' -bench 'BenchmarkInterp' -benchmem -benchtime "$ibenchtime" ./internal/interp ./benchmarks | tee "$iraw" >&2
@@ -112,6 +136,19 @@ go test -run '^$' -bench 'BenchmarkInterp' -benchmem -benchtime "$ibenchtime" ./
 parse_bench "$iraw" > "$iout"
 
 echo "wrote $iout" >&2
+
+# Per-pair fast/walker speedups, diffed against the committed baseline
+# (BENCH_interp_delta.json), plus the committed floor ratchet — the same
+# check CI runs, so a regression shows up here first.
+idelta="${INTERP_DELTA_OUT:-BENCH_interp_delta.json}"
+if [ "$have_baseline" = 1 ]; then
+    go run ./scripts/interpdelta -bench "$iout" -baseline "$ibase" -out "$idelta" \
+        -floors scripts/interp_floors.json
+    echo "wrote $idelta" >&2
+else
+    go run ./scripts/interpdelta -bench "$iout" -floors scripts/interp_floors.json
+fi
+fi
 
 # Server load benchmark: the load harness starts an in-process bambood
 # server (same code path as the daemon), warms the compiled-program
@@ -122,7 +159,9 @@ sout="${4:-BENCH_server.json}"
 sclients="${SERVER_CLIENTS:-64}"
 sjobs="${SERVER_JOBS:-3}"
 
-echo "running: go run ./scripts -clients $sclients -jobs $sjobs -out $sout" >&2
-go run ./scripts -clients "$sclients" -jobs "$sjobs" -out "$sout"
+if want server; then
+    echo "running: go run ./scripts -clients $sclients -jobs $sjobs -out $sout" >&2
+    go run ./scripts -clients "$sclients" -jobs "$sjobs" -out "$sout"
 
-echo "wrote $sout" >&2
+    echo "wrote $sout" >&2
+fi

@@ -1,0 +1,233 @@
+// Command interpdelta compares interpreter dispatch benchmark results
+// (fast path vs reference tree walker) against a baseline and enforces
+// committed per-benchmark speedup floors.
+//
+// Input is either a BENCH_interp.json produced by scripts/bench.sh
+// (-bench) or raw `go test -bench` output (-raw). Every benchmark name
+// ending in "/fast" is paired with its "/walker" twin; the pair's ratio
+// (walker ns/op ÷ fast ns/op) is the dispatch speedup.
+//
+// With -baseline (a previously committed BENCH_interp.json), the tool
+// writes a BENCH_interp_delta.json (-out) recording old and new ratios
+// per pair, so perf movement across PRs is one `git diff` away.
+//
+// With -floors (a JSON object of benchmark name → minimum ratio), the
+// tool exits nonzero if any pair's ratio is below its floor or a floored
+// benchmark is missing from the input — the CI ratchet that keeps the
+// fast path from quietly regressing toward the walker.
+//
+// Usage:
+//
+//	go run ./scripts/interpdelta -bench BENCH_interp.json \
+//	    [-baseline old.json -out BENCH_interp_delta.json] \
+//	    [-floors scripts/interp_floors.json]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// entry is one benchmark line: only ns/op matters for ratios, but the
+// alloc columns ride along into the delta file because allocs/op
+// regressions are the usual early warning.
+type entry struct {
+	NsOp     float64 `json:"ns/op"`
+	BOp      float64 `json:"B/op"`
+	AllocsOp float64 `json:"allocs/op"`
+}
+
+// pair is one fast/walker comparison in the delta document.
+type pair struct {
+	FastNs        float64  `json:"fast_ns_op"`
+	WalkerNs      float64  `json:"walker_ns_op"`
+	Ratio         float64  `json:"ratio"`
+	FastAllocs    float64  `json:"fast_allocs_op"`
+	BaselineRatio *float64 `json:"baseline_ratio,omitempty"`
+	RatioDelta    *float64 `json:"ratio_delta,omitempty"`
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "interpdelta: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func loadJSON(path string) map[string]entry {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var m map[string]entry
+	if err := json.Unmarshal(data, &m); err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	return m
+}
+
+// loadRaw parses `go test -bench -benchmem` output lines:
+//
+//	BenchmarkName/sub-8  10  123456 ns/op  789 B/op  12 allocs/op
+func loadRaw(path string) map[string]entry {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	m := map[string]entry{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip the GOMAXPROCS suffix
+			}
+		}
+		var e entry
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsOp = v
+			case "B/op":
+				e.BOp = v
+			case "allocs/op":
+				e.AllocsOp = v
+			}
+		}
+		m[name] = e
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	return m
+}
+
+// ratios pairs every "<name>/fast" with "<name>/walker" and returns the
+// speedup per base name.
+func ratios(m map[string]entry) map[string]pair {
+	out := map[string]pair{}
+	for name, fast := range m {
+		base, ok := strings.CutSuffix(name, "/fast")
+		if !ok {
+			continue
+		}
+		walker, ok := m[base+"/walker"]
+		if !ok || fast.NsOp <= 0 {
+			continue
+		}
+		out[base] = pair{
+			FastNs:     fast.NsOp,
+			WalkerNs:   walker.NsOp,
+			Ratio:      walker.NsOp / fast.NsOp,
+			FastAllocs: fast.AllocsOp,
+		}
+	}
+	return out
+}
+
+func main() {
+	benchPath := flag.String("bench", "", "BENCH_interp.json to read")
+	rawPath := flag.String("raw", "", "raw `go test -bench` output to read instead of -bench")
+	basePath := flag.String("baseline", "", "committed BENCH_interp.json to diff against")
+	outPath := flag.String("out", "", "where to write the delta JSON (default stdout when -baseline is set)")
+	floorsPath := flag.String("floors", "", "JSON of benchmark name -> minimum fast/walker ratio to enforce")
+	flag.Parse()
+
+	var bench map[string]entry
+	switch {
+	case *rawPath != "":
+		bench = loadRaw(*rawPath)
+	case *benchPath != "":
+		bench = loadJSON(*benchPath)
+	default:
+		fatalf("need -bench or -raw")
+	}
+	cur := ratios(bench)
+	if len(cur) == 0 {
+		fatalf("no fast/walker pairs in input")
+	}
+
+	names := make([]string, 0, len(cur))
+	for n := range cur {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	if *basePath != "" {
+		old := ratios(loadJSON(*basePath))
+		for n, p := range cur {
+			if op, ok := old[n]; ok {
+				br, rd := op.Ratio, p.Ratio-op.Ratio
+				p.BaselineRatio = &br
+				p.RatioDelta = &rd
+				cur[n] = p
+			}
+		}
+		doc, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		doc = append(doc, '\n')
+		if *outPath != "" {
+			if err := os.WriteFile(*outPath, doc, 0o644); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Fprintf(os.Stderr, "interpdelta: wrote %s\n", *outPath)
+		} else {
+			os.Stdout.Write(doc)
+		}
+	}
+
+	for _, n := range names {
+		p := cur[n]
+		fmt.Fprintf(os.Stderr, "interpdelta: %-50s fast %12.1f ns/op  walker %12.1f ns/op  ratio %5.2fx\n",
+			n, p.FastNs, p.WalkerNs, p.Ratio)
+	}
+
+	if *floorsPath != "" {
+		var floors map[string]float64
+		data, err := os.ReadFile(*floorsPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := json.Unmarshal(data, &floors); err != nil {
+			fatalf("%s: %v", *floorsPath, err)
+		}
+		bad := 0
+		fnames := make([]string, 0, len(floors))
+		for n := range floors {
+			fnames = append(fnames, n)
+		}
+		sort.Strings(fnames)
+		for _, n := range fnames {
+			p, ok := cur[n]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "interpdelta: FLOOR FAIL %s: benchmark missing from input\n", n)
+				bad++
+				continue
+			}
+			if p.Ratio < floors[n] {
+				fmt.Fprintf(os.Stderr, "interpdelta: FLOOR FAIL %s: ratio %.2fx below committed floor %.2fx\n",
+					n, p.Ratio, floors[n])
+				bad++
+			}
+		}
+		if bad > 0 {
+			fatalf("%d benchmark(s) below their committed fast/walker floor", bad)
+		}
+		fmt.Fprintf(os.Stderr, "interpdelta: all %d floored benchmarks at or above their committed ratios\n", len(floors))
+	}
+}
