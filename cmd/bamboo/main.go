@@ -16,6 +16,7 @@
 //	bamboo fmt        -file prog.bb [-w]          (canonical formatter)
 //	bamboo bench      -name Fractal [...]      (run an embedded benchmark)
 //	bamboo fidelity   [-cores N]       (schedsim prediction vs measured run)
+//	bamboo fuzz       [-n N] [-seed S] [-cores 1,2,4,8]  (differential pipeline fuzzing)
 //	bamboo list                                (list embedded benchmarks)
 package main
 
@@ -34,6 +35,7 @@ import (
 	"repro/benchmarks"
 	"repro/internal/ast"
 	"repro/internal/bamboort"
+	"repro/internal/bbfuzz"
 	"repro/internal/core"
 	"repro/internal/critpath"
 	"repro/internal/expt"
@@ -73,6 +75,8 @@ func main() {
 		err = cmdList()
 	case "fidelity":
 		err = cmdFidelity(rest)
+	case "fuzz":
+		err = cmdFuzz(rest)
 	default:
 		usage()
 		os.Exit(2)
@@ -84,7 +88,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: bamboo <run|profile|synthesize|analyze|viz|bench|fidelity|list> [flags]
+	fmt.Fprintln(os.Stderr, `usage: bamboo <run|profile|synthesize|analyze|viz|bench|fidelity|fuzz|list> [flags]
 run 'bamboo <command> -h' for command flags`)
 }
 
@@ -573,6 +577,53 @@ func cmdList() error {
 	for _, b := range benchmarks.All() {
 		fmt.Printf("%-12s %s (args: %s)\n", b.Name, b.Description, strings.Join(b.Args, ","))
 	}
+	return nil
+}
+
+// cmdFuzz runs the generative differential fuzzer: n seeded random Bamboo
+// programs, each cross-checked between the tree walker, the flattened VM
+// (with and without -O), the concurrent runtime, and the scheduling
+// simulator. Divergences are shrunk to minimal reproducers; the command
+// exits nonzero if any survive.
+func cmdFuzz(argv []string) error {
+	fs := flag.NewFlagSet("fuzz", flag.ExitOnError)
+	n := fs.Int("n", 1000, "number of generated programs to check")
+	seed := fs.Int64("seed", 1, "first generator seed (programs use seed..seed+n-1)")
+	coreStr := fs.String("cores", "", "comma-separated core counts to cross-check (default 1,2,4,8)")
+	mutate := fs.Int("mutate-every", 8, "also push corrupted copies of every Nth program through the frontend (0 = default, negative = never)")
+	reproDir := fs.String("repro-dir", "", "write each shrunk reproducer to this directory as a .bb file")
+	fs.Parse(argv)
+	var cores []int
+	for _, s := range splitArgs(*coreStr) {
+		var c int
+		if _, err := fmt.Sscanf(s, "%d", &c); err != nil || c < 1 {
+			return fmt.Errorf("bad -cores entry %q", s)
+		}
+		cores = append(cores, c)
+	}
+	findings := bbfuzz.Soak(bbfuzz.SoakOptions{
+		N:           *n,
+		Seed:        *seed,
+		Check:       bbfuzz.CheckConfig{Cores: cores},
+		MutateEvery: *mutate,
+		Progress:    os.Stderr,
+	})
+	for i, f := range findings {
+		fmt.Printf("== divergence %d (seed %d): %s\n", i+1, f.Seed, f.Div)
+		if *reproDir != "" {
+			path := fmt.Sprintf("%s/repro_seed%d_%d.bb", *reproDir, f.Seed, i+1)
+			if err := os.WriteFile(path, []byte(f.Source), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("   reproducer written to %s\n", path)
+		} else {
+			fmt.Printf("-- shrunk reproducer:\n%s\n", f.Source)
+		}
+	}
+	if len(findings) > 0 {
+		return fmt.Errorf("%d divergences in %d programs", len(findings), *n)
+	}
+	fmt.Printf("-- fuzz: %d programs (seeds %d..%d) checked, no divergences\n", *n, *seed, *seed+int64(*n)-1)
 	return nil
 }
 

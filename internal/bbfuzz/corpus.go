@@ -1,0 +1,42 @@
+package bbfuzz
+
+import (
+	"embed"
+	"io/fs"
+	"sort"
+)
+
+// The regression corpus: committed Bamboo programs that replay through the
+// full differential check in plain `go test`. It holds shrunk reproducers
+// for every divergence the fuzzer has found (kept green after the fix) plus
+// generated programs chosen for grammar coverage. Regenerate the seed-
+// derived members with:
+//
+//	BBFUZZ_REGEN=1 go test ./internal/bbfuzz -run TestRegenCorpus
+//
+//go:embed corpus/*.bb
+var corpusFS embed.FS
+
+// Corpus returns the committed regression programs in file-name order.
+func Corpus() ([]CorpusEntry, error) {
+	names, err := fs.Glob(corpusFS, "corpus/*.bb")
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	out := make([]CorpusEntry, 0, len(names))
+	for _, n := range names {
+		src, err := fs.ReadFile(corpusFS, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CorpusEntry{Name: n, Source: string(src)})
+	}
+	return out, nil
+}
+
+// CorpusEntry is one committed corpus program.
+type CorpusEntry struct {
+	Name   string
+	Source string
+}

@@ -1,0 +1,46 @@
+package bbfuzz
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"testing"
+)
+
+// FuzzPipeline is the native fuzz entry point: the fuzzing engine's byte
+// string is hashed into a generator seed, the generated program runs
+// through the full differential check, and every eighth input additionally
+// pushes a corrupted copy through the frontend error paths. Divergences
+// are shrunk before reporting so the failing-input corpus the Go fuzzer
+// saves maps to a minimal Bamboo reproducer in the failure message.
+//
+// Run a timed exploration with:
+//
+//	go test -fuzz=FuzzPipeline -fuzztime=60s ./internal/bbfuzz
+func FuzzPipeline(f *testing.F) {
+	f.Add([]byte("bamboo"))
+	f.Add([]byte{0})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte("differential pipeline fuzzing"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := fnv.New64a()
+		h.Write(data)
+		seed := int64(h.Sum64() & 0x7fffffffffffffff)
+		p := GenerateSeed(seed)
+		// Keep per-input cost low so the fuzzing engine gets throughput;
+		// the corpus replay covers the full 1/2/4/8 sweep.
+		cfg := CheckConfig{Cores: []int{1, 4}}
+		if d := Check(p, cfg); d != nil {
+			sp, sd := Shrink(p, cfg)
+			if sd == nil {
+				sp, sd = p, d
+			}
+			t.Fatalf("seed %d: %s\nshrunk reproducer:\n%s", seed, sd, sp.Source())
+		}
+		if len(data) > 0 && data[0]%8 == 0 {
+			rng := rand.New(rand.NewSource(seed))
+			if d := CheckFrontend(Mutate(p.Source(), rng)); d != nil {
+				t.Fatalf("seed %d: %s: %s\n%s", seed, d.Kind, d.Detail, d.Source)
+			}
+		}
+	})
+}

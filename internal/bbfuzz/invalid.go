@@ -1,0 +1,120 @@
+package bbfuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"strings"
+)
+
+// Invalid-input mode: corrupt a valid generated program at the source level
+// and assert the frontend fails cleanly — an error that carries a source
+// position, never a panic. This is the error-path half of the fuzzer: the
+// differential checks prove the pipeline agrees on valid programs, and
+// CheckFrontend proves the frontend degrades gracefully on invalid ones.
+
+// mutations are single source-level corruptions. Each takes the source and
+// an rng and returns the corrupted text (possibly equal to the input when
+// the pattern it targets does not occur).
+var mutations = []func(src string, rng *rand.Rand) string{
+	// Truncate mid-token.
+	func(src string, rng *rand.Rand) string {
+		if len(src) < 2 {
+			return src
+		}
+		return src[:1+rng.Intn(len(src)-1)]
+	},
+	// Delete a short span.
+	func(src string, rng *rand.Rand) string {
+		if len(src) < 8 {
+			return src
+		}
+		i := rng.Intn(len(src) - 4)
+		return src[:i] + src[i+1+rng.Intn(3):]
+	},
+	// Drop one closing brace.
+	func(src string, rng *rand.Rand) string { return replaceNth(src, rng, "}", "") },
+	// Drop one semicolon.
+	func(src string, rng *rand.Rand) string { return replaceNth(src, rng, ";", "") },
+	// Corrupt a flag assignment in a taskexit.
+	func(src string, rng *rand.Rand) string { return replaceNth(src, rng, ":=", "=") },
+	// Corrupt a guard: "in st..." loses its flag expression.
+	func(src string, rng *rand.Rand) string { return replaceNth(src, rng, " in ", " in and ") },
+	// Corrupt a tag clause keyword.
+	func(src string, rng *rand.Rand) string { return replaceNth(src, rng, " with ", " wth ") },
+	// Corrupt a tag binding in an allocation.
+	func(src string, rng *rand.Rand) string { return replaceNth(src, rng, "add ", "add add ") },
+	// Misspell a keyword.
+	func(src string, rng *rand.Rand) string { return replaceNth(src, rng, "flag ", "flga ") },
+	func(src string, rng *rand.Rand) string { return replaceNth(src, rng, "task ", "tsak ") },
+	func(src string, rng *rand.Rand) string { return replaceNth(src, rng, "taskexit", "taskexti") },
+	// Undefined identifier.
+	func(src string, rng *rand.Rand) string { return replaceNth(src, rng, "acc", "bogus") },
+	// Insert a stray token.
+	func(src string, rng *rand.Rand) string {
+		if len(src) < 2 {
+			return src
+		}
+		i := rng.Intn(len(src))
+		return src[:i] + " @ " + src[i:]
+	},
+	// Double a random line (duplicate declarations, duplicate flags...).
+	func(src string, rng *rand.Rand) string {
+		lines := strings.SplitAfter(src, "\n")
+		if len(lines) < 3 {
+			return src
+		}
+		i := rng.Intn(len(lines) - 1)
+		lines[i] += lines[i]
+		return strings.Join(lines, "")
+	},
+}
+
+// replaceNth replaces one random occurrence of old with new.
+func replaceNth(src string, rng *rand.Rand, old, new string) string {
+	n := strings.Count(src, old)
+	if n == 0 {
+		return src
+	}
+	k := rng.Intn(n)
+	i := 0
+	for ; k > 0; k-- {
+		i = strings.Index(src[i:], old) + i + len(old)
+	}
+	i = strings.Index(src[i:], old) + i
+	return src[:i] + new + src[i+len(old):]
+}
+
+// Mutate applies one randomly chosen source-level corruption.
+func Mutate(src string, rng *rand.Rand) string {
+	return mutations[rng.Intn(len(mutations))](src, rng)
+}
+
+// posPattern matches a line:col source position in a diagnostic.
+var posPattern = regexp.MustCompile(`\d+:\d+`)
+
+// CheckFrontend compiles src (which may be arbitrarily corrupted) and
+// asserts the frontend fails cleanly: no panic, and any error carries a
+// line:col source position. A nil return means the frontend behaved —
+// either the mutation left the program valid, or it was rejected with a
+// positioned diagnostic.
+func CheckFrontend(src string) (div *Divergence) {
+	defer func() {
+		if r := recover(); r != nil {
+			div = &Divergence{
+				Kind:   "frontend-panic",
+				Detail: fmt.Sprintf("compile panicked: %v", r),
+				Source: src,
+			}
+		}
+	}()
+	err := compileFrontend(src)
+	if err != nil && !posPattern.MatchString(err.Error()) {
+		return &Divergence{
+			Kind:   "frontend-diag",
+			Detail: fmt.Sprintf("error without source position: %v", err),
+			Source: src,
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package bbfuzz
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestCheckFrontendValid: an unmutated program sails through.
+func TestCheckFrontendValid(t *testing.T) {
+	if d := CheckFrontend(GenerateSeed(1).Source()); d != nil {
+		t.Fatalf("valid program flagged: %v", d)
+	}
+}
+
+// TestCheckFrontendCorruptions: a battery of targeted corruptions must all
+// be rejected with positioned diagnostics — no panics, no position-free
+// errors.
+func TestCheckFrontendCorruptions(t *testing.T) {
+	base := GenerateSeed(1).Source()
+	cases := []struct {
+		name string
+		old  string
+		new  string
+	}{
+		{"guard loses flag", " in initialstate", " in and initialstate"},
+		{"taskexit loses :=", "initialstate := false", "initialstate = false"},
+		{"misspelled with", " with link", " wth link"},
+		{"misspelled flag kw", "flag st0;", "flga st0;"},
+		{"misspelled taskexit", "taskexit(x:", "taskexti(x:"},
+		{"unknown field", "acc = (id * 31)", "bogus = (id * 31)"},
+		{"stray token", "task startup", "task @ startup"},
+		{"unclosed paren", "if (fin) {", "if (fin {"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := strings.Replace(base, tc.old, tc.new, 1)
+			if src == base {
+				t.Fatalf("corruption pattern %q not found in generated source", tc.old)
+			}
+			if err := compileFrontend(src); err == nil {
+				t.Fatalf("corrupted program compiled")
+			}
+			if d := CheckFrontend(src); d != nil {
+				t.Fatalf("frontend misbehaved: %v", d)
+			}
+		})
+	}
+}
+
+// TestMutateRandom: random corruptions across many seeds never panic the
+// frontend and never produce position-free diagnostics.
+func TestMutateRandom(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		src := GenerateSeed(seed).Source()
+		rng := rand.New(rand.NewSource(seed))
+		for m := 0; m < 20; m++ {
+			mut := Mutate(src, rng)
+			if d := CheckFrontend(mut); d != nil {
+				t.Fatalf("seed %d mutation %d: %s: %s", seed, m, d.Kind, d.Detail)
+			}
+		}
+	}
+}
+
+// TestReplaceNth replaces exactly one occurrence.
+func TestReplaceNth(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := "a;b;c;d"
+	out := replaceNth(src, rng, ";", "#")
+	if strings.Count(out, "#") != 1 || strings.Count(out, ";") != 2 {
+		t.Fatalf("replaceNth(%q) = %q", src, out)
+	}
+	if got := replaceNth("abc", rng, "zz", "#"); got != "abc" {
+		t.Fatalf("replaceNth with absent pattern = %q, want unchanged", got)
+	}
+}

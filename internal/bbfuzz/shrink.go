@@ -1,0 +1,182 @@
+package bbfuzz
+
+// The shrinker minimizes a diverging program at the model level: each pass
+// proposes a structurally smaller Program, re-runs the full differential
+// check, and keeps the candidate only if it still diverges. Candidates
+// share unmodified subtrees with the original (nodes are never mutated in
+// place), so proposing one is cheap; the cost is the re-check.
+
+// maxShrinkChecks bounds the total number of pipeline checks one Shrink
+// call may spend, so shrinking a pathological program cannot hang a fuzzing
+// run. Each check is a few milliseconds; the bound is generous.
+const maxShrinkChecks = 400
+
+// Shrink minimizes p while the differential check still fails. It returns
+// the smallest program found and its divergence. If p itself passes the
+// check, Shrink returns (p, nil) unchanged.
+//
+// A candidate is accepted on any semantic divergence, not just the original
+// kind — a smaller program that trips a different cross-check is still a
+// bug reproducer. Candidates that fail to compile or run (e.g. a statement
+// removal that strands a local-variable reference) are rejected: the goal
+// is a minimal semantic divergence, not a minimal broken program.
+func Shrink(p *Program, cfg CheckConfig) (*Program, *Divergence) {
+	return shrinkWith(p, func(q *Program) *Divergence { return Check(q, cfg) })
+}
+
+// shrinkWith is Shrink against an arbitrary checker (injected for tests).
+func shrinkWith(p *Program, check func(*Program) *Divergence) (*Program, *Divergence) {
+	d := check(p)
+	if d == nil {
+		return p, nil
+	}
+	checks := 1
+	best, bestD := p, d
+	for {
+		improved := false
+		for _, cand := range shrinkCandidates(best) {
+			if checks >= maxShrinkChecks {
+				return best, bestD
+			}
+			cd := check(cand)
+			checks++
+			if cd != nil && cd.Kind != "compile" && cd.Kind != "run" {
+				best, bestD = cand, cd
+				improved = true
+				break // restart the pass list from the smaller program
+			}
+		}
+		if !improved {
+			return best, bestD
+		}
+	}
+}
+
+// shrinkCandidates proposes smaller variants of p, most aggressive first so
+// the greedy accept-and-restart loop converges in few checks.
+func shrinkCandidates(p *Program) []*Program {
+	var out []*Program
+	// Drop a whole pipeline.
+	if len(p.Pipelines) > 1 {
+		for i := range p.Pipelines {
+			q := clone(p)
+			q.Pipelines = append(q.Pipelines[:i:i], q.Pipelines[i+1:]...)
+			out = append(out, q)
+		}
+	}
+	for i, pl := range p.Pipelines {
+		// Fewer items.
+		if pl.Items > 1 {
+			out = append(out, withPipeline(p, i, func(c *Pipeline) { c.Items = 1 }))
+			if pl.Items > 3 {
+				out = append(out, withPipeline(p, i, func(c *Pipeline) { c.Items = pl.Items / 2 }))
+			}
+		}
+		// Drop a stage (keep at least one: the renderer's state machine
+		// needs a first hop out of st0).
+		if len(pl.Stages) > 1 {
+			for s := range pl.Stages {
+				s := s
+				out = append(out, withPipeline(p, i, func(c *Pipeline) {
+					c.Stages = append(c.Stages[:s:s], c.Stages[s+1:]...)
+				}))
+			}
+		}
+		// Untag: drop the companion/join leg entirely.
+		if pl.Tagged {
+			out = append(out, withPipeline(p, i, func(c *Pipeline) {
+				c.Tagged = false
+				c.TagBody = nil
+			}))
+		}
+		// Clear whole bodies.
+		if pl.Tagged && len(pl.TagBody) > 0 {
+			out = append(out, withPipeline(p, i, func(c *Pipeline) { c.TagBody = nil }))
+		}
+		if len(pl.MergeBody) > 0 {
+			out = append(out, withPipeline(p, i, func(c *Pipeline) { c.MergeBody = nil }))
+		}
+		for s, st := range pl.Stages {
+			s := s
+			if len(st.Body) > 0 {
+				out = append(out, withPipeline(p, i, func(c *Pipeline) {
+					c.Stages = replaceStage(c.Stages, s, func(n *Stage) { n.Body = nil })
+				}))
+			}
+			if st.Guard != GuardPlain {
+				out = append(out, withPipeline(p, i, func(c *Pipeline) {
+					c.Stages = replaceStage(c.Stages, s, func(n *Stage) { n.Guard = GuardPlain })
+				}))
+			}
+		}
+		// Remove single statements, then simplify loops.
+		for s, st := range pl.Stages {
+			s := s
+			for k := range st.Body {
+				k := k
+				out = append(out, withPipeline(p, i, func(c *Pipeline) {
+					c.Stages = replaceStage(c.Stages, s, func(n *Stage) { n.Body = dropStmt(n.Body, k) })
+				}))
+			}
+			for k, stmt := range st.Body {
+				k, stmt := k, stmt
+				if l, ok := stmt.(*Loop); ok && l.N > 1 {
+					out = append(out, withPipeline(p, i, func(c *Pipeline) {
+						c.Stages = replaceStage(c.Stages, s, func(n *Stage) {
+							n.Body = replaceStmt(n.Body, k, &Loop{N: 1, While: l.While, Body: l.Body})
+						})
+					}))
+				}
+			}
+		}
+		for k := range pl.TagBody {
+			k := k
+			out = append(out, withPipeline(p, i, func(c *Pipeline) { c.TagBody = dropStmt(c.TagBody, k) }))
+		}
+		for k := range pl.MergeBody {
+			k := k
+			out = append(out, withPipeline(p, i, func(c *Pipeline) { c.MergeBody = dropStmt(c.MergeBody, k) }))
+		}
+	}
+	return out
+}
+
+// clone copies the program and pipeline list; pipeline structs are shared
+// until withPipeline copies the one being edited.
+func clone(p *Program) *Program {
+	q := *p
+	q.Pipelines = append([]*Pipeline(nil), p.Pipelines...)
+	return &q
+}
+
+// withPipeline returns a copy of p where pipeline i has been copied and
+// passed to edit. Pipeline IDs are preserved so class/task names in the
+// rendered source stay stable across shrink steps.
+func withPipeline(p *Program, i int, edit func(*Pipeline)) *Program {
+	q := clone(p)
+	c := *q.Pipelines[i]
+	c.Stages = append([]*Stage(nil), c.Stages...)
+	edit(&c)
+	q.Pipelines[i] = &c
+	return q
+}
+
+func replaceStage(stages []*Stage, i int, edit func(*Stage)) []*Stage {
+	out := append([]*Stage(nil), stages...)
+	c := *out[i]
+	c.Body = append([]Stmt(nil), c.Body...)
+	edit(&c)
+	out[i] = &c
+	return out
+}
+
+func dropStmt(body []Stmt, i int) []Stmt {
+	out := append([]Stmt(nil), body[:i]...)
+	return append(out, body[i+1:]...)
+}
+
+func replaceStmt(body []Stmt, i int, s Stmt) []Stmt {
+	out := append([]Stmt(nil), body...)
+	out[i] = s
+	return out
+}

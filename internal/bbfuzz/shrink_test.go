@@ -1,0 +1,158 @@
+package bbfuzz
+
+import (
+	"strings"
+	"testing"
+)
+
+// hasLoop reports whether any statement in the program is a Loop — the
+// synthetic "bug" the shrinker tests hunt for.
+func hasLoop(p *Program) bool {
+	var walk func([]Stmt) bool
+	walk = func(body []Stmt) bool {
+		for _, s := range body {
+			switch s := s.(type) {
+			case *Loop:
+				return true
+			case *IfStmt:
+				if walk(s.Then) || walk(s.Else) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, pl := range p.Pipelines {
+		for _, st := range pl.Stages {
+			if walk(st.Body) {
+				return true
+			}
+		}
+		if walk(pl.TagBody) || walk(pl.MergeBody) {
+			return true
+		}
+	}
+	return false
+}
+
+func programSize(p *Program) int {
+	n := 0
+	var walk func([]Stmt) int
+	walk = func(body []Stmt) int {
+		k := 0
+		for _, s := range body {
+			k++
+			if f, ok := s.(*IfStmt); ok {
+				k += walk(f.Then) + walk(f.Else)
+			}
+			if l, ok := s.(*Loop); ok {
+				k += walk(l.Body)
+			}
+		}
+		return k
+	}
+	for _, pl := range p.Pipelines {
+		n += 1 + pl.Items
+		for _, st := range pl.Stages {
+			n += 1 + walk(st.Body)
+		}
+		n += walk(pl.TagBody) + walk(pl.MergeBody)
+	}
+	return n
+}
+
+// TestShrinkToMinimal: against a synthetic checker that "diverges" while
+// the program contains any loop, the shrinker must reduce a large random
+// program to a single pipeline with a single statement.
+func TestShrinkToMinimal(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		p := GenerateSeed(seed)
+		if !hasLoop(p) {
+			continue
+		}
+		check := func(q *Program) *Divergence {
+			if hasLoop(q) {
+				return &Divergence{Kind: "synthetic", Detail: "has a loop"}
+			}
+			return nil
+		}
+		sp, sd := shrinkWith(p, check)
+		if sd == nil {
+			t.Fatalf("seed %d: shrink lost the divergence", seed)
+		}
+		if !hasLoop(sp) {
+			t.Fatalf("seed %d: shrunk program no longer diverges", seed)
+		}
+		if len(sp.Pipelines) != 1 {
+			t.Fatalf("seed %d: shrunk to %d pipelines, want 1", seed, len(sp.Pipelines))
+		}
+		if pl := sp.Pipelines[0]; pl.Items != 1 {
+			t.Fatalf("seed %d: shrunk to %d items, want 1", seed, pl.Items)
+		}
+		if got, orig := programSize(sp), programSize(p); got >= orig {
+			t.Fatalf("seed %d: shrunk size %d not below original %d", seed, got, orig)
+		}
+	}
+}
+
+// TestShrinkPassingProgram: a program with no divergence comes back
+// unchanged with a nil divergence.
+func TestShrinkPassingProgram(t *testing.T) {
+	p := GenerateSeed(3)
+	sp, sd := shrinkWith(p, func(*Program) *Divergence { return nil })
+	if sd != nil || sp != p {
+		t.Fatalf("shrink of passing program returned (%p, %v), want (%p, nil)", sp, sd, p)
+	}
+}
+
+// TestShrinkRejectsBrokenCandidates: candidates that only "diverge" with a
+// compile error must not be accepted.
+func TestShrinkRejectsBrokenCandidates(t *testing.T) {
+	p := GenerateSeed(5)
+	orig := p.Source()
+	calls := 0
+	sp, sd := shrinkWith(p, func(q *Program) *Divergence {
+		calls++
+		if calls == 1 {
+			return &Divergence{Kind: "synthetic", Detail: "original diverges"}
+		}
+		return &Divergence{Kind: "compile", Detail: "candidate is broken"}
+	})
+	if sp.Source() != orig {
+		t.Fatal("shrinker accepted a compile-broken candidate")
+	}
+	if sd == nil || sd.Kind != "synthetic" {
+		t.Fatalf("divergence = %v, want the original synthetic one", sd)
+	}
+}
+
+// TestShrinkCandidatesDoNotAlias: proposing and rendering candidates must
+// never mutate the original model.
+func TestShrinkCandidatesDoNotAlias(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		p := GenerateSeed(seed)
+		before := p.Source()
+		for _, cand := range shrinkCandidates(p) {
+			_ = cand.Source()
+		}
+		if p.Source() != before {
+			t.Fatalf("seed %d: candidate generation mutated the original", seed)
+		}
+	}
+}
+
+// TestShrunkCandidatesRender: every candidate the shrinker proposes must
+// render to parseable source (candidates may fail the typechecker when a
+// removal strands a local, and the shrinker filters those — but the
+// renderer itself must never produce garbage).
+func TestShrunkCandidatesRender(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		p := GenerateSeed(seed)
+		for i, cand := range shrinkCandidates(p) {
+			src := cand.Source()
+			if err := compileFrontend(src); err != nil && !strings.Contains(err.Error(), "typecheck") {
+				t.Fatalf("seed %d candidate %d: %v\n%s", seed, i, err, src)
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package bbfuzz
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+func compileFrontend(src string) error {
+	_, err := core.CompileSource(src)
+	return err
+}
+
+// SoakOptions configures a fuzzing run: N programs starting at Seed, each
+// checked differentially; every MutateEvery-th program additionally has
+// corrupted variants pushed through the frontend error paths.
+type SoakOptions struct {
+	N     int
+	Seed  int64
+	Check CheckConfig
+	// MutateEvery runs the invalid-input frontend check on corrupted
+	// copies of every k-th program (0 = every 8th; negative = never).
+	MutateEvery int
+	// Progress, when non-nil, receives a line every few hundred programs.
+	Progress io.Writer
+}
+
+// Finding is one divergence discovered by a soak run, already shrunk.
+type Finding struct {
+	Seed int64
+	Div  *Divergence
+	// Source is the shrunk reproducer (Div.Source is identical; kept at
+	// top level for convenience).
+	Source string
+}
+
+// Soak generates and checks opts.N programs. Every divergence is shrunk
+// before being reported. The run continues past failures so one soak
+// reports every distinct seed that trips.
+func Soak(opts SoakOptions) []Finding {
+	mutateEvery := opts.MutateEvery
+	if mutateEvery == 0 {
+		mutateEvery = 8
+	}
+	var findings []Finding
+	for i := 0; i < opts.N; i++ {
+		seed := opts.Seed + int64(i)
+		p := GenerateSeed(seed)
+		if d := Check(p, opts.Check); d != nil {
+			sp, sd := Shrink(p, opts.Check)
+			if sd == nil { // flaky divergence; keep the original evidence
+				sp, sd = p, d
+			}
+			findings = append(findings, Finding{Seed: seed, Div: sd, Source: sp.Source()})
+		}
+		if mutateEvery > 0 && i%mutateEvery == 0 {
+			src := p.Source()
+			rng := rand.New(rand.NewSource(seed ^ 0x5bd1e995))
+			for m := 0; m < 4; m++ {
+				if d := CheckFrontend(Mutate(src, rng)); d != nil {
+					findings = append(findings, Finding{Seed: seed, Div: d, Source: d.Source})
+				}
+			}
+		}
+		if opts.Progress != nil && (i+1)%500 == 0 {
+			fmt.Fprintf(opts.Progress, "bbfuzz: %d/%d programs, %d divergences\n", i+1, opts.N, len(findings))
+		}
+	}
+	return findings
+}

@@ -1,0 +1,43 @@
+package bbfuzz
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSoakClean: a short soak over fresh seeds finds no divergences and
+// reports progress. (The CI fuzz job and the bamboo fuzz subcommand run
+// much longer soaks; this keeps the path exercised in plain go test.)
+func TestSoakClean(t *testing.T) {
+	var progress strings.Builder
+	findings := Soak(SoakOptions{
+		N:        30,
+		Seed:     1000,
+		Check:    CheckConfig{Cores: []int{1, 2}},
+		Progress: &progress,
+	})
+	for _, f := range findings {
+		t.Errorf("seed %d: %s\n%s", f.Seed, f.Div, f.Source)
+	}
+}
+
+// TestSoakReportsFindings: when the checker trips, the soak shrinks and
+// records the reproducer rather than aborting the run.
+func TestSoakReportsFindings(t *testing.T) {
+	// A one-program soak with an impossibly small invocation budget: the
+	// run itself errors, which surfaces as a "run" divergence the shrinker
+	// refuses to minimize further — the finding must still carry it.
+	findings := Soak(SoakOptions{
+		N:           1,
+		Seed:        1,
+		Check:       CheckConfig{Cores: []int{1}, MaxInvocations: 1},
+		MutateEvery: -1,
+	})
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1", len(findings))
+	}
+	f := findings[0]
+	if f.Seed != 1 || f.Div == nil || f.Source == "" {
+		t.Fatalf("malformed finding: %+v", f)
+	}
+}

@@ -1,0 +1,168 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFaultNone(t *testing.T) {
+	cases := []struct {
+		f    Fault
+		none bool
+	}{
+		{Fault{}, true},
+		{Fault{Panic: true}, false},
+		{Fault{Delay: time.Millisecond}, false},
+		{Fault{Panic: true, Delay: time.Millisecond}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.f.None(); got != tc.none {
+			t.Errorf("(%+v).None() = %v, want %v", tc.f, got, tc.none)
+		}
+	}
+}
+
+func TestFunc(t *testing.T) {
+	var gotTask string
+	var gotCore, gotAttempt int
+	inj := Func(func(task string, core, attempt int) Fault {
+		gotTask, gotCore, gotAttempt = task, core, attempt
+		return Fault{Panic: true}
+	})
+	f := inj.Inject("merge", 3, 2)
+	if !f.Panic {
+		t.Fatal("Func did not pass the fault through")
+	}
+	if gotTask != "merge" || gotCore != 3 || gotAttempt != 2 {
+		t.Fatalf("Func forwarded (%q, %d, %d)", gotTask, gotCore, gotAttempt)
+	}
+}
+
+func TestFirstN(t *testing.T) {
+	inj := &FirstN{N: 2, Fault: Fault{Panic: true}}
+	for attempt := 1; attempt <= 2; attempt++ {
+		if f := inj.Inject("t", 0, attempt); f.None() {
+			t.Fatalf("attempt %d: no fault, want panic", attempt)
+		}
+	}
+	for attempt := 3; attempt <= 5; attempt++ {
+		if f := inj.Inject("t", 0, attempt); !f.None() {
+			t.Fatalf("attempt %d: fault fired past N", attempt)
+		}
+	}
+	if got := inj.Injected(); got != 2 {
+		t.Fatalf("Injected() = %d, want 2", got)
+	}
+}
+
+func TestFirstNTaskFilter(t *testing.T) {
+	inj := &FirstN{N: 1, Fault: Fault{Delay: time.Millisecond}, Task: "stage0"}
+	if f := inj.Inject("other", 0, 1); !f.None() {
+		t.Fatal("fault fired for a filtered-out task")
+	}
+	if f := inj.Inject("stage0", 0, 1); f.None() {
+		t.Fatal("no fault for the targeted task")
+	}
+	if got := inj.Injected(); got != 1 {
+		t.Fatalf("Injected() = %d, want 1 (filtered calls must not count)", got)
+	}
+}
+
+func TestFirstNDrainCore(t *testing.T) {
+	// The injector sees DrainCore during degraded drain; FirstN ignores
+	// the core, so drain attempts are treated like any other.
+	inj := &FirstN{N: 1, Fault: Fault{Panic: true}}
+	if f := inj.Inject("t", DrainCore, 1); f.None() {
+		t.Fatal("no fault on the drain core")
+	}
+}
+
+func TestSeededDeterministic(t *testing.T) {
+	run := func() []bool {
+		inj := &Seeded{Seed: 42, PanicEvery: 3}
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = inj.Inject("task", 0, 1).Panic
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identical injectors", i)
+		}
+	}
+}
+
+func TestSeededRetriesAreClean(t *testing.T) {
+	inj := &Seeded{Seed: 1, PanicEvery: 1, DelayEvery: 1}
+	for attempt := 2; attempt <= 4; attempt++ {
+		if f := inj.Inject("t", 0, attempt); !f.None() {
+			t.Fatalf("attempt %d faulted; retries must run clean", attempt)
+		}
+	}
+}
+
+func TestSeededRates(t *testing.T) {
+	const n = 4000
+	inj := &Seeded{Seed: 7, PanicEvery: 4, DelayEvery: 5}
+	panics, delays := 0, 0
+	for i := 0; i < n; i++ {
+		f := inj.Inject("work", 0, 1)
+		if f.Panic {
+			panics++
+		}
+		if f.Delay > 0 {
+			delays++
+		}
+	}
+	// ~1/4 panic, and ~1/5 of the remainder stall; allow generous slack —
+	// the contract is "roughly one in every", not an exact rate.
+	if panics < n/8 || panics > n/2 {
+		t.Errorf("panics = %d of %d, want roughly 1/4", panics, n)
+	}
+	if delays < n/20 || delays > n/2 {
+		t.Errorf("delays = %d of %d, want roughly 1/5 of non-panics", delays, n)
+	}
+}
+
+func TestSeededDefaultDelay(t *testing.T) {
+	inj := &Seeded{Seed: 1, DelayEvery: 1}
+	// Find a stalled attempt and check the default stall duration applies.
+	for i := 0; i < 100; i++ {
+		if f := inj.Inject("t", 0, 1); f.Delay > 0 {
+			if f.Delay != 200*time.Microsecond {
+				t.Fatalf("default delay = %v, want 200µs", f.Delay)
+			}
+			return
+		}
+	}
+	t.Fatal("DelayEvery=1 never stalled in 100 attempts")
+}
+
+func TestSeededZeroDisables(t *testing.T) {
+	inj := &Seeded{Seed: 9}
+	for i := 0; i < 100; i++ {
+		if f := inj.Inject("t", 0, 1); !f.None() {
+			t.Fatal("injector with both rates zero fired a fault")
+		}
+	}
+}
+
+func TestSeededConcurrent(t *testing.T) {
+	// Every worker goroutine consults the injector; the decision counter
+	// must be safe under the race detector.
+	inj := &Seeded{Seed: 3, PanicEvery: 2, DelayEvery: 3}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				inj.Inject("task", i%4, 1)
+			}
+		}()
+	}
+	wg.Wait()
+}

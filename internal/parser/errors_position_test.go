@@ -1,0 +1,138 @@
+package parser
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestParseErrorPositions: every malformed flag declaration, tag clause,
+// guard expression, and taskexit shape must come back as a *parser.Error
+// (or *lexer.Error) whose message carries a usable line:column position —
+// the diagnostics tooling contract the bbfuzz invalid-input mode enforces
+// in bulk. wantLine pins the diagnostic to the line the corruption is on.
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		wantLine int
+		wantMsg  string
+	}{
+		{
+			name: "flag without name",
+			src: `class C {
+	flag ;
+}`,
+			wantLine: 2,
+			wantMsg:  "identifier",
+		},
+		{
+			name: "flag initializer rejected",
+			src: `class C {
+	flag f = true;
+}`,
+			wantLine: 2,
+			wantMsg:  "",
+		},
+		{
+			name: "guard missing expression",
+			src: `class C { flag f; }
+task t(C x in ) {
+	taskexit(x: f := false);
+}`,
+			wantLine: 2,
+			wantMsg:  "",
+		},
+		{
+			name: "guard dangling and",
+			src: `class C { flag f; }
+task t(C x in f and) {
+	taskexit(x: f := false);
+}`,
+			wantLine: 2,
+			wantMsg:  "",
+		},
+		{
+			name: "guard unbalanced paren",
+			src: `class C { flag f; flag g; }
+task t(C x in (f or g) {
+	taskexit(x: f := false);
+}`,
+			wantLine: 2,
+			wantMsg:  "",
+		},
+		{
+			name: "tag clause missing variable",
+			src: `class C { flag f; }
+task t(C x in f with link) {
+	taskexit(x: f := false);
+}`,
+			wantLine: 2,
+			wantMsg:  "",
+		},
+		{
+			name: "taskexit assigns with = not :=",
+			src: `class C { flag f; }
+task t(C x in f) {
+	taskexit(x: f = false);
+}`,
+			wantLine: 3,
+			wantMsg:  "",
+		},
+		{
+			name: "taskexit add without tag",
+			src: `class C { flag f; }
+task t(C x in f) {
+	taskexit(x: add );
+}`,
+			wantLine: 3,
+			wantMsg:  "",
+		},
+		{
+			name: "new with dangling flag comma",
+			src: `class C { flag f; }
+task startup(StartupObject s in initialstate) {
+	C c = new C(){ f := true, };
+	taskexit(s: initialstate := false);
+}`,
+			wantLine: 3,
+			wantMsg:  "",
+		},
+		{
+			name: "tag declaration missing type",
+			src: `class C { flag f; }
+task startup(StartupObject s in initialstate) {
+	tag t = new tag();
+	taskexit(s: initialstate := false);
+}`,
+			wantLine: 3,
+			wantMsg:  "",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse accepted malformed program:\n%s", tc.src)
+			}
+			var pe *Error
+			if !errors.As(err, &pe) {
+				// Lexer errors are acceptable for token-level corruption,
+				// but they too must carry a position in their text.
+				if !strings.Contains(err.Error(), ":") {
+					t.Fatalf("error has no position: %v", err)
+				}
+				return
+			}
+			if pe.Pos.Line != tc.wantLine {
+				t.Errorf("diagnostic at line %d, want %d: %v", pe.Pos.Line, tc.wantLine, err)
+			}
+			if pe.Pos.Col < 1 {
+				t.Errorf("diagnostic has no column: %v", err)
+			}
+			if tc.wantMsg != "" && !strings.Contains(pe.Msg, tc.wantMsg) {
+				t.Errorf("diagnostic %q does not mention %q", pe.Msg, tc.wantMsg)
+			}
+		})
+	}
+}

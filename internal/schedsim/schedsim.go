@@ -671,11 +671,25 @@ func (st *simState) onComplete(ev *event) {
 		st.unchanged = make([]bool, len(inv.objs))
 	}
 	unchanged := st.unchanged[:len(inv.objs)]
+	// All objects tagged by this invocation — parameters gaining tags via
+	// the exit's tag effects and companion allocations below — share one
+	// tag group, approximating the concrete engines binding a freshly
+	// created tag to both the parameter and the objects allocated with it.
+	tagGroup := int64(0)
 	for i, obj := range inv.objs {
 		before := obj.state.Key()
 		next, ok := depend.ExitEffect(obj.state, taskFn, i, inv.exit)
 		if ok {
 			obj.state = next
+		}
+		if len(obj.state.Tags) == 0 {
+			obj.tagGroup = 0
+		} else if obj.tagGroup == 0 {
+			if tagGroup == 0 {
+				st.nextTag++
+				tagGroup = st.nextTag
+			}
+			obj.tagGroup = tagGroup
 		}
 		unchanged[i] = obj.state.Key() == before
 		obj.locked = false
@@ -687,7 +701,6 @@ func (st *simState) onComplete(ev *event) {
 	means := st.opts.Prof.MeanAllocs(inv.ht.task.Name, inv.exit)
 	if len(means) > 0 {
 		keys := st.sortedAllocKeys(inv.ht.task.Name, inv.exit, means)
-		tagGroup := int64(0)
 		for _, k := range keys {
 			accKey := allocAccKey{task: inv.ht.task.Name, exit: inv.exit, k: k}
 			st.allocAcc[accKey] += means[k]

@@ -1,0 +1,114 @@
+package types
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+)
+
+// TestCheckErrorPositions: semantically malformed flag, tag, and guard
+// constructs parse fine but must be rejected by the typechecker with a
+// *types.Error that pins the offending line — the other half of the
+// diagnostics contract the bbfuzz invalid-input mode enforces in bulk.
+func TestCheckErrorPositions(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		wantLine int
+		wantMsg  string
+	}{
+		{
+			name: "guard names unknown flag",
+			src: `class C { flag f; }
+task t(C x in ghost) {
+	taskexit(x: f := false);
+}`,
+			wantLine: 2,
+			wantMsg:  "flag",
+		},
+		{
+			name: "taskexit sets unknown flag",
+			src: `class C { flag f; }
+task t(C x in f) {
+	taskexit(x: ghost := true);
+}`,
+			wantLine: 3,
+			wantMsg:  "flag",
+		},
+		{
+			name: "taskexit names unknown parameter",
+			src: `class C { flag f; }
+task t(C x in f) {
+	taskexit(y: f := false);
+}`,
+			wantLine: 3,
+			wantMsg:  "",
+		},
+		{
+			name: "duplicate flag declaration",
+			src: `class C {
+	flag f;
+	flag f;
+}
+task t(C x in f) {
+	taskexit(x: f := false);
+}`,
+			wantLine: 3,
+			wantMsg:  "f",
+		},
+		{
+			name: "taskexit adds undeclared tag",
+			src: `class C { flag f; }
+task t(C x in f) {
+	taskexit(x: f := false, add ghost);
+}`,
+			wantLine: 3,
+			wantMsg:  "tag",
+		},
+		{
+			name: "new binds undeclared flag",
+			src: `class C { flag f; }
+task startup(StartupObject s in initialstate) {
+	C c = new C(){ ghost := true };
+	taskexit(s: initialstate := false);
+}`,
+			wantLine: 3,
+			wantMsg:  "flag",
+		},
+		{
+			name: "guard on unknown class",
+			src: `task t(Ghost x in f) {
+	taskexit(x: f := false);
+}`,
+			wantLine: 1,
+			wantMsg:  "Ghost",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := parser.Parse(tc.src)
+			if err != nil {
+				t.Fatalf("program must parse (the corruption is semantic): %v", err)
+			}
+			_, err = Check(prog)
+			if err == nil {
+				t.Fatalf("Check accepted malformed program:\n%s", tc.src)
+			}
+			var te *Error
+			if !errors.As(err, &te) {
+				t.Fatalf("error is %T, want *types.Error: %v", err, err)
+			}
+			if te.Pos.Line != tc.wantLine {
+				t.Errorf("diagnostic at line %d, want %d: %v", te.Pos.Line, tc.wantLine, err)
+			}
+			if te.Pos.Col < 1 {
+				t.Errorf("diagnostic has no column: %v", err)
+			}
+			if tc.wantMsg != "" && !strings.Contains(te.Msg, tc.wantMsg) {
+				t.Errorf("diagnostic %q does not mention %q", te.Msg, tc.wantMsg)
+			}
+		})
+	}
+}

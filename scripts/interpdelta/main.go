@@ -16,22 +16,25 @@
 // benchmark is missing from the input — the CI ratchet that keeps the
 // fast path from quietly regressing toward the walker.
 //
+// With -ratchet (requires -floors), the tool instead rewrites the floors
+// file, raising each floor to -ratchet-margin × the measured ratio when
+// that is higher than the committed value. Floors never go down: a noisy
+// slow run proposes no change, and only a deliberate edit can loosen the
+// ratchet.
+//
 // Usage:
 //
 //	go run ./scripts/interpdelta -bench BENCH_interp.json \
 //	    [-baseline old.json -out BENCH_interp_delta.json] \
-//	    [-floors scripts/interp_floors.json]
+//	    [-floors scripts/interp_floors.json [-ratchet]]
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
-	"strconv"
-	"strings"
 )
 
 // entry is one benchmark line: only ns/op matters for ratios, but the
@@ -70,72 +73,17 @@ func loadJSON(path string) map[string]entry {
 	return m
 }
 
-// loadRaw parses `go test -bench -benchmem` output lines:
-//
-//	BenchmarkName/sub-8  10  123456 ns/op  789 B/op  12 allocs/op
 func loadRaw(path string) map[string]entry {
 	f, err := os.Open(path)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	defer f.Close()
-	m := map[string]entry{}
-	sc := bufio.NewScanner(f)
-	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
-		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-			continue
-		}
-		name := fields[0]
-		if i := strings.LastIndex(name, "-"); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i] // strip the GOMAXPROCS suffix
-			}
-		}
-		var e entry
-		for i := 2; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				continue
-			}
-			switch fields[i+1] {
-			case "ns/op":
-				e.NsOp = v
-			case "B/op":
-				e.BOp = v
-			case "allocs/op":
-				e.AllocsOp = v
-			}
-		}
-		m[name] = e
-	}
-	if err := sc.Err(); err != nil {
+	m, err := parseRaw(f)
+	if err != nil {
 		fatalf("%s: %v", path, err)
 	}
 	return m
-}
-
-// ratios pairs every "<name>/fast" with "<name>/walker" and returns the
-// speedup per base name.
-func ratios(m map[string]entry) map[string]pair {
-	out := map[string]pair{}
-	for name, fast := range m {
-		base, ok := strings.CutSuffix(name, "/fast")
-		if !ok {
-			continue
-		}
-		walker, ok := m[base+"/walker"]
-		if !ok || fast.NsOp <= 0 {
-			continue
-		}
-		out[base] = pair{
-			FastNs:     fast.NsOp,
-			WalkerNs:   walker.NsOp,
-			Ratio:      walker.NsOp / fast.NsOp,
-			FastAllocs: fast.AllocsOp,
-		}
-	}
-	return out
 }
 
 func main() {
@@ -144,6 +92,8 @@ func main() {
 	basePath := flag.String("baseline", "", "committed BENCH_interp.json to diff against")
 	outPath := flag.String("out", "", "where to write the delta JSON (default stdout when -baseline is set)")
 	floorsPath := flag.String("floors", "", "JSON of benchmark name -> minimum fast/walker ratio to enforce")
+	ratchet := flag.Bool("ratchet", false, "rewrite -floors, raising (never lowering) each floor toward the measured ratio")
+	margin := flag.Float64("ratchet-margin", 0.8, "fraction of the measured ratio a ratcheted floor rises to")
 	flag.Parse()
 
 	var bench map[string]entry
@@ -167,15 +117,7 @@ func main() {
 	sort.Strings(names)
 
 	if *basePath != "" {
-		old := ratios(loadJSON(*basePath))
-		for n, p := range cur {
-			if op, ok := old[n]; ok {
-				br, rd := op.Ratio, p.Ratio-op.Ratio
-				p.BaselineRatio = &br
-				p.RatioDelta = &rd
-				cur[n] = p
-			}
-		}
+		applyBaseline(cur, ratios(loadJSON(*basePath)))
 		doc, err := json.MarshalIndent(cur, "", "  ")
 		if err != nil {
 			fatalf("%v", err)
@@ -206,27 +148,30 @@ func main() {
 		if err := json.Unmarshal(data, &floors); err != nil {
 			fatalf("%s: %v", *floorsPath, err)
 		}
-		bad := 0
-		fnames := make([]string, 0, len(floors))
-		for n := range floors {
-			fnames = append(fnames, n)
-		}
-		sort.Strings(fnames)
-		for _, n := range fnames {
-			p, ok := cur[n]
-			if !ok {
-				fmt.Fprintf(os.Stderr, "interpdelta: FLOOR FAIL %s: benchmark missing from input\n", n)
-				bad++
-				continue
+		if *ratchet {
+			raised := ratchetFloors(floors, cur, *margin)
+			doc, err := json.MarshalIndent(raised, "", "  ")
+			if err != nil {
+				fatalf("%v", err)
 			}
-			if p.Ratio < floors[n] {
-				fmt.Fprintf(os.Stderr, "interpdelta: FLOOR FAIL %s: ratio %.2fx below committed floor %.2fx\n",
-					n, p.Ratio, floors[n])
-				bad++
+			if err := os.WriteFile(*floorsPath, append(doc, '\n'), 0o644); err != nil {
+				fatalf("%v", err)
 			}
+			changed := 0
+			for n := range floors {
+				if raised[n] != floors[n] {
+					changed++
+				}
+			}
+			fmt.Fprintf(os.Stderr, "interpdelta: ratcheted %s (%d of %d floors raised)\n", *floorsPath, changed, len(floors))
+			return
 		}
-		if bad > 0 {
-			fatalf("%d benchmark(s) below their committed fast/walker floor", bad)
+		bad := checkFloors(cur, floors)
+		for _, msg := range bad {
+			fmt.Fprintf(os.Stderr, "interpdelta: FLOOR FAIL %s\n", msg)
+		}
+		if len(bad) > 0 {
+			fatalf("%d benchmark(s) below their committed fast/walker floor", len(bad))
 		}
 		fmt.Fprintf(os.Stderr, "interpdelta: all %d floored benchmarks at or above their committed ratios\n", len(floors))
 	}

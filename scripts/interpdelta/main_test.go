@@ -1,0 +1,171 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const rawFixture = `
+goos: linux
+goarch: amd64
+BenchmarkInterpDispatch/Fractal/fast-8     	    1200	    901234 ns/op	    2048 B/op	      12 allocs/op
+BenchmarkInterpDispatch/Fractal/walker-8   	     300	   3604936 ns/op	    4096 B/op	      40 allocs/op
+BenchmarkInterpDispatch/Tracking/fast-8    	    2000	    500000 ns/op	    1024 B/op	       8 allocs/op
+BenchmarkInterpDispatch/Tracking/walker-8  	    1000	   1000000 ns/op	    2048 B/op	      16 allocs/op
+BenchmarkInterpDispatch/Orphan/fast-8      	    1000	    700000 ns/op	     512 B/op	       4 allocs/op
+PASS
+ok  	repro/internal/interp	5.123s
+`
+
+func parseFixture(t *testing.T) map[string]pair {
+	t.Helper()
+	m, err := parseRaw(strings.NewReader(rawFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ratios(m)
+}
+
+func TestParseRaw(t *testing.T) {
+	m, err := parseRaw(strings.NewReader(rawFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := m["BenchmarkInterpDispatch/Fractal/fast"]
+	if !ok {
+		t.Fatalf("fast entry missing (GOMAXPROCS suffix not stripped?); have %v", m)
+	}
+	if e.NsOp != 901234 || e.BOp != 2048 || e.AllocsOp != 12 {
+		t.Fatalf("fast entry = %+v", e)
+	}
+	if len(m) != 5 {
+		t.Fatalf("parsed %d entries, want 5 (non-benchmark lines must be skipped)", len(m))
+	}
+}
+
+func TestRatios(t *testing.T) {
+	cur := parseFixture(t)
+	if len(cur) != 2 {
+		t.Fatalf("got %d pairs, want 2 (Orphan has no walker twin)", len(cur))
+	}
+	fr, ok := cur["BenchmarkInterpDispatch/Fractal"]
+	if !ok {
+		t.Fatal("Fractal pair missing")
+	}
+	if want := 3604936.0 / 901234.0; math.Abs(fr.Ratio-want) > 1e-9 {
+		t.Fatalf("Fractal ratio = %v, want %v", fr.Ratio, want)
+	}
+	if fr.FastAllocs != 12 {
+		t.Fatalf("Fractal fast allocs = %v, want 12", fr.FastAllocs)
+	}
+	if tr := cur["BenchmarkInterpDispatch/Tracking"]; math.Abs(tr.Ratio-2.0) > 1e-9 {
+		t.Fatalf("Tracking ratio = %v, want 2.0", tr.Ratio)
+	}
+}
+
+func TestRatiosSkipsZeroFast(t *testing.T) {
+	m := map[string]entry{
+		"B/fast":   {NsOp: 0},
+		"B/walker": {NsOp: 100},
+	}
+	if got := ratios(m); len(got) != 0 {
+		t.Fatalf("zero fast ns/op produced a pair: %v", got)
+	}
+}
+
+func TestApplyBaseline(t *testing.T) {
+	cur := parseFixture(t)
+	old := map[string]pair{
+		"BenchmarkInterpDispatch/Tracking": {Ratio: 1.5},
+	}
+	applyBaseline(cur, old)
+	tr := cur["BenchmarkInterpDispatch/Tracking"]
+	if tr.BaselineRatio == nil || *tr.BaselineRatio != 1.5 {
+		t.Fatalf("baseline ratio = %v, want 1.5", tr.BaselineRatio)
+	}
+	if tr.RatioDelta == nil || math.Abs(*tr.RatioDelta-0.5) > 1e-9 {
+		t.Fatalf("ratio delta = %v, want 0.5", tr.RatioDelta)
+	}
+	if fr := cur["BenchmarkInterpDispatch/Fractal"]; fr.BaselineRatio != nil || fr.RatioDelta != nil {
+		t.Fatal("pair absent from baseline must stay unannotated")
+	}
+}
+
+func TestCheckFloorsHolds(t *testing.T) {
+	cur := parseFixture(t)
+	floors := map[string]float64{
+		"BenchmarkInterpDispatch/Fractal":  3.0,
+		"BenchmarkInterpDispatch/Tracking": 1.9,
+	}
+	if bad := checkFloors(cur, floors); len(bad) != 0 {
+		t.Fatalf("floors unexpectedly tripped: %v", bad)
+	}
+}
+
+func TestCheckFloorsTrips(t *testing.T) {
+	cur := parseFixture(t)
+	floors := map[string]float64{
+		"BenchmarkInterpDispatch/Tracking": 2.5, // measured 2.0
+		"BenchmarkInterpDispatch/Missing":  1.0, // not in input
+	}
+	bad := checkFloors(cur, floors)
+	if len(bad) != 2 {
+		t.Fatalf("got %d failures, want 2: %v", len(bad), bad)
+	}
+	// Failures come back floor-name sorted: Missing before Tracking.
+	if !strings.Contains(bad[0], "Missing") || !strings.Contains(bad[0], "missing from input") {
+		t.Fatalf("bad[0] = %q", bad[0])
+	}
+	if !strings.Contains(bad[1], "Tracking") || !strings.Contains(bad[1], "below committed floor") {
+		t.Fatalf("bad[1] = %q", bad[1])
+	}
+}
+
+func TestRatchetFloorsRaises(t *testing.T) {
+	cur := parseFixture(t) // Fractal ≈ 4.0, Tracking = 2.0
+	floors := map[string]float64{
+		"BenchmarkInterpDispatch/Fractal":  2.0,
+		"BenchmarkInterpDispatch/Tracking": 1.5,
+	}
+	out := ratchetFloors(floors, cur, 0.8)
+	fr := cur["BenchmarkInterpDispatch/Fractal"].Ratio
+	if want := fr * 0.8; math.Abs(out["BenchmarkInterpDispatch/Fractal"]-want) > 1e-9 {
+		t.Fatalf("Fractal floor = %v, want %v", out["BenchmarkInterpDispatch/Fractal"], want)
+	}
+	if want := 2.0 * 0.8; math.Abs(out["BenchmarkInterpDispatch/Tracking"]-want) > 1e-9 {
+		t.Fatalf("Tracking floor = %v, want %v", out["BenchmarkInterpDispatch/Tracking"], want)
+	}
+}
+
+// TestRatchetFloorsNeverLowers is the core ratchet property: no measured
+// run — however slow — can loosen a committed floor.
+func TestRatchetFloorsNeverLowers(t *testing.T) {
+	cur := parseFixture(t)
+	floors := map[string]float64{
+		"BenchmarkInterpDispatch/Fractal":  3.9, // 0.8 × measured ≈ 3.2 would be lower
+		"BenchmarkInterpDispatch/Tracking": 5.0, // far above measured 2.0
+		"BenchmarkInterpDispatch/Missing":  1.7, // no measurement at all
+	}
+	out := ratchetFloors(floors, cur, 0.8)
+	for n, f := range floors {
+		if out[n] < f {
+			t.Errorf("%s: floor lowered %v -> %v", n, f, out[n])
+		}
+	}
+	if out["BenchmarkInterpDispatch/Tracking"] != 5.0 {
+		t.Errorf("Tracking floor moved to %v, want kept at 5.0", out["BenchmarkInterpDispatch/Tracking"])
+	}
+	if out["BenchmarkInterpDispatch/Missing"] != 1.7 {
+		t.Errorf("unmeasured floor moved to %v, want kept at 1.7", out["BenchmarkInterpDispatch/Missing"])
+	}
+}
+
+func TestRatchetFloorsDoesNotMutateInput(t *testing.T) {
+	cur := parseFixture(t)
+	floors := map[string]float64{"BenchmarkInterpDispatch/Fractal": 1.0}
+	ratchetFloors(floors, cur, 0.8)
+	if floors["BenchmarkInterpDispatch/Fractal"] != 1.0 {
+		t.Fatal("ratchetFloors mutated its input map")
+	}
+}
