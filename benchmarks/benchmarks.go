@@ -12,6 +12,8 @@ package benchmarks
 import (
 	_ "embed"
 	"fmt"
+
+	"repro/examples"
 )
 
 //go:embed keyword.bb
@@ -113,6 +115,14 @@ func All() []*Benchmark {
 			Source:      imagepipeSrc,
 			Args:        []string{"48", "4096"},
 			ArgsDouble:  []string{"96", "4096"},
+			InPaper:     false,
+		},
+		{
+			Name:        "KVStore",
+			Description: "sharded key-value store for persistent-session serving (one-shot runs execute the warm-up workload)",
+			Source:      examples.KVStoreSource(),
+			Args:        []string{"8", "64", "64"},
+			ArgsDouble:  []string{"8", "128", "64"},
 			InPaper:     false,
 		},
 		{

@@ -8,20 +8,30 @@
 //
 //	bambood -addr :8080 [-exec-workers N] [-queue N] [-cache-entries N]
 //	        [-cache-bytes N] [-default-timeout d] [-drain-timeout d]
+//	        [-max-sessions N] [-live-sessions N] [-max-session-log N]
 //
-// API (see DESIGN.md §11 and the README quick-start):
+// API (see DESIGN.md §11 and §13 and the README quick-start):
 //
-//	POST   /api/v1/jobs              submit {"benchmark":"Keyword","cores":4}
-//	GET    /api/v1/jobs/{id}         status + result
-//	GET    /api/v1/jobs/{id}/output  program stdout
-//	GET    /api/v1/jobs/{id}/trace   Chrome trace-event JSON (trace:true jobs)
-//	GET    /api/v1/jobs/{id}/metrics per-job runtime counters
-//	DELETE /api/v1/jobs/{id}         cancel
+//	POST   /v1/jobs                  submit {"benchmark":"Keyword","cores":4}
+//	GET    /v1/jobs/{id}             status + result
+//	GET    /v1/jobs/{id}/output      program stdout
+//	GET    /v1/jobs/{id}/trace       Chrome trace-event JSON (trace:true jobs)
+//	GET    /v1/jobs/{id}/metrics     per-job runtime counters
+//	DELETE /v1/jobs/{id}             cancel
+//	POST   /v1/sessions              create a persistent session (submit once)
+//	POST   /v1/sessions/{id}/feed    feed a request batch (feed many)
+//	GET    /v1/sessions/{id}         session status
+//	DELETE /v1/sessions/{id}         close session, cumulative result
 //	GET    /healthz                  liveness (503 while draining)
-//	GET    /varz                     cache/queue/latency/runtime aggregates
+//	GET    /varz                     cache/queue/session/latency aggregates
 //
-// SIGINT/SIGTERM starts a graceful drain: new submissions get 503 +
-// Retry-After, accepted jobs run to completion, then the process exits.
+// Every /v1 error is the uniform envelope {code, message, retryAfterMs}.
+// The pre-/v1 job routes under /api/v1/ remain as deprecated aliases for
+// one release, keeping their original error shape.
+//
+// SIGINT/SIGTERM starts a graceful drain: new submissions and feeds get
+// 503 + Retry-After, accepted work runs to completion, live sessions are
+// closed, then the process exits.
 package main
 
 import (
@@ -53,15 +63,21 @@ func run() error {
 	defTimeout := flag.Duration("default-timeout", time.Minute, "per-job deadline when the request sets none")
 	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "largest per-job deadline a request may ask for")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long a drain may wait for in-flight jobs before canceling them")
+	maxSessions := flag.Int("max-sessions", 256, "session table bound; a full table rejects creates with 429")
+	liveSessions := flag.Int("live-sessions", 8, "resident session engines; beyond this, idle deterministic sessions are parked and revived by replay")
+	sessionLog := flag.Int("max-session-log", 65536, "replay-log request bound per session; a session past it is pinned resident instead of parked")
 	flag.Parse()
 
 	srv := server.New(server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheEntries:   *cacheEntries,
-		CacheBytes:     *cacheBytes,
-		DefaultTimeout: *defTimeout,
-		MaxTimeout:     *maxTimeout,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    *cacheEntries,
+		CacheBytes:      *cacheBytes,
+		DefaultTimeout:  *defTimeout,
+		MaxTimeout:      *maxTimeout,
+		MaxSessions:     *maxSessions,
+		MaxLiveSessions: *liveSessions,
+		MaxSessionLog:   *sessionLog,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -1,0 +1,15 @@
+// Package examples holds Bamboo programs that demonstrate serving-side
+// subsystems (persistent sessions, request injection, tag-hash request
+// routing) rather than the paper's evaluation tables.
+package examples
+
+import _ "embed"
+
+//go:embed kvstore.bb
+var kvstoreSrc string
+
+// KVStoreSource is the sharded in-memory key-value store served through
+// bambood persistent sessions (DESIGN.md §13). One-shot runs execute its
+// warm-up workload; sessions keep the shards resident and feed Request
+// objects per batch.
+func KVStoreSource() string { return kvstoreSrc }

@@ -1,0 +1,184 @@
+// KVStore: a sharded in-memory key-value store in the style of the
+// paper's many-core Memcached scenario. Keys live on one of nshards
+// Shard objects; every request is bound to its shard's tag, so tag-hash
+// routing sends parse/serve/respond for one key to one core in FIFO
+// order. The program is built to be served as a persistent session:
+// after startup the task graph quiesces with the shards resident, and
+// the environment injects Request objects (flag pending, shard tag
+// bound, args = [op, key, val]) per request batch.
+//
+// The warm-up workload doubles as the one-shot benchmark: startup
+// pre-populates `warm` keys through the same parse -> serve -> respond
+// pipeline (iswarm requests skip string parsing and end in an audit
+// record instead of a reply), which both prints a checksum for
+// differential testing and makes the compile-time state graph cover
+// every state an injected request passes through.
+//
+// Ops: 1 = put (reply echoes val, version increments), 0 = get (reply =
+// stored val, found = 0 on miss, version = put count). found = -1 means
+// the shard's slots are full.
+// args: [0] shards, [1] warm puts, [2] slots per shard.
+
+class Lib {
+	int parseInt(String s) {
+		int v = 0;
+		int i;
+		for (i = 0; i < s.length(); i++) {
+			v = v * 10 + (s.charAt(i) - '0');
+		}
+		return v;
+	}
+}
+
+class Shard {
+	flag ready;
+	int id;
+	int nslots;
+	int used;
+	int[] keys;
+	int[] vals;
+	int[] vers;
+
+	Shard(int id, int nslots) {
+		this.id = id;
+		this.nslots = nslots;
+		used = 0;
+		keys = new int[nslots];
+		vals = new int[nslots];
+		vers = new int[nslots];
+	}
+
+	int find(int key) {
+		int i;
+		for (i = 0; i < used; i++) {
+			if (keys[i] == key) { return i; }
+		}
+		return 0 - 1;
+	}
+
+	void serve(Request r) {
+		int slot = find(r.key);
+		if (r.op == 1) {
+			if (slot >= 0) {
+				vals[slot] = r.val;
+				vers[slot] = vers[slot] + 1;
+				r.found = 1;
+				r.reply = r.val;
+				r.version = vers[slot];
+			} else if (used < nslots) {
+				keys[used] = r.key;
+				vals[used] = r.val;
+				vers[used] = 1;
+				used = used + 1;
+				r.found = 1;
+				r.reply = r.val;
+				r.version = 1;
+			} else {
+				r.found = 0 - 1;
+				r.reply = 0;
+				r.version = 0;
+			}
+		} else {
+			if (slot >= 0) {
+				r.found = 1;
+				r.reply = vals[slot];
+				r.version = vers[slot];
+			} else {
+				r.found = 0;
+				r.reply = 0;
+				r.version = 0;
+			}
+		}
+	}
+}
+
+class Request {
+	flag pending;
+	flag parsed;
+	flag served;
+	flag replied;
+	flag audit;
+	int id;
+	String[] args;
+	int iswarm;
+	int op;
+	int key;
+	int val;
+	int found;
+	int reply;
+	int version;
+
+	Request(int id, int op, int key, int val, int iswarm) {
+		this.id = id;
+		this.op = op;
+		this.key = key;
+		this.val = val;
+		this.iswarm = iswarm;
+	}
+}
+
+class Ledger {
+	flag open;
+	flag closed;
+	int total;
+	int remaining;
+
+	Ledger(int n) { remaining = n; }
+
+	boolean record(Request r) {
+		total += r.reply + r.version;
+		remaining--;
+		return remaining == 0;
+	}
+}
+
+task startup(StartupObject s in initialstate) {
+	Lib lib = new Lib();
+	int nshards = lib.parseInt(s.args[0]);
+	int warm = lib.parseInt(s.args[1]);
+	int slots = lib.parseInt(s.args[2]);
+	int i;
+	int k;
+	for (i = 0; i < nshards; i++) {
+		tag t = new tag(shard);
+		Shard sh = new Shard(i, slots){ ready := true, add t };
+		for (k = i; k < warm; k = k + nshards) {
+			Request w = new Request(k, 1, k, k * 31 + 7, 1){ pending := true, add t };
+		}
+	}
+	Ledger led = new Ledger(warm){ open := true };
+	taskexit(s: initialstate := false);
+}
+
+task parse(Request r in pending with shard t) {
+	if (r.iswarm == 0) {
+		Lib lib = new Lib();
+		r.op = lib.parseInt(r.args[0]);
+		r.key = lib.parseInt(r.args[1]);
+		r.val = lib.parseInt(r.args[2]);
+	}
+	taskexit(r: pending := false, parsed := true);
+}
+
+task serve(Shard sh in ready with shard t, Request r in parsed with shard t) {
+	sh.serve(r);
+	taskexit(r: parsed := false, served := true);
+}
+
+task respond(Request r in served with shard t) {
+	if (r.iswarm == 1) {
+		taskexit(r: served := false, audit := true, clear t);
+	}
+	taskexit(r: served := false, replied := true, clear t);
+}
+
+task record(Ledger led in open, Request r in audit) {
+	boolean done = led.record(r);
+	if (done) {
+		System.printString("kvstore warm=");
+		System.printInt(led.total);
+		System.println();
+		taskexit(led: open := false, closed := true; r: audit := false);
+	}
+	taskexit(r: audit := false);
+}

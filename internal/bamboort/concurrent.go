@@ -179,14 +179,26 @@ type crun struct {
 // instrumentation site is gated on a nil check, so observability costs
 // nothing when off.
 func RunConcurrent(ctx context.Context, prog *ir.Program, dep *depend.Result, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r, err := newCrun(prog, dep, opts)
+	if err != nil {
+		return nil, err
+	}
+	r.injectStartup()
+	return r.monitor(ctx)
+}
+
+// newCrun builds the shared run state, validates the layout, and starts
+// the worker goroutines (idle until work arrives). Callers inject the
+// startup object and drive the run to quiescence.
+func newCrun(prog *ir.Program, dep *depend.Result, opts Options) (*crun, error) {
 	if opts.Layout == nil {
 		return nil, fmt.Errorf("bamboort: Layout is required")
 	}
 	if opts.MaxInvocations == 0 {
 		opts.MaxInvocations = 50_000_000
-	}
-	if ctx == nil {
-		ctx = context.Background()
 	}
 	in := interp.New(prog)
 	in.Out = opts.Out
@@ -244,42 +256,56 @@ func RunConcurrent(ctx context.Context, prog *ir.Program, dep *depend.Result, op
 	for _, c := range r.cores {
 		go r.worker(c)
 	}
-
-	// Inject the startup object.
-	startCl := prog.Info.Classes[types.StartupClass]
-	so := in.Heap.NewObject(startCl)
-	so.SetFlag(startCl.FlagIndex[types.StartupFlag], true)
-	if f, ok := startCl.FieldByName["args"]; ok {
-		so.Fields[f.Index] = interp.ArrV(in.Heap.NewStringArray(opts.Args))
-	}
-	r.route(so, 0)
-
-	return r.monitor(ctx)
+	return r, nil
 }
 
-// monitor is the coordinator loop: it waits for quiescence (no undelivered
+// injectStartup routes the startup object into the live run.
+func (r *crun) injectStartup() {
+	startCl := r.prog.Info.Classes[types.StartupClass]
+	so := r.in.Heap.NewObject(startCl)
+	so.SetFlag(startCl.FlagIndex[types.StartupFlag], true)
+	if f, ok := startCl.FieldByName["args"]; ok {
+		so.Fields[f.Index] = interp.ArrV(r.in.Heap.NewStringArray(r.opts.Args))
+	}
+	r.route(so, 0)
+}
+
+// monitor drives a one-shot run: wait for quiescence, stop the workers,
+// and build the result.
+func (r *crun) monitor(ctx context.Context) (*Result, error) {
+	if err := r.quiesce(ctx); err != nil {
+		return nil, err
+	}
+	r.shutdown()
+	if err := r.err(); err != nil {
+		return nil, err
+	}
+	return r.result(), nil
+}
+
+// quiesce is the coordinator loop: it waits for quiescence (no undelivered
 // messages, no worker holding credits), watches for terminal errors,
 // cancellation, degradation to sequential drain, and — when the fault
-// policy arms it — the stall watchdog.
-func (r *crun) monitor(ctx context.Context) (*Result, error) {
+// policy arms it — the stall watchdog. On a nil return all work accepted
+// so far has completed; r.stopped() then reports whether the workers
+// survived (a degraded run drains its remaining work sequentially but
+// cannot accept more).
+func (r *crun) quiesce(ctx context.Context) error {
 	lastProgress := r.progress.Load()
 	lastMove := time.Now()
 	stall := r.opts.Fault.StallTimeout
 	for {
 		if err := r.err(); err != nil {
 			r.shutdown()
-			return nil, err
+			return err
 		}
 		if r.degraded.Load() {
 			r.shutdown()
-			if err := r.drainSequential(); err != nil {
-				return nil, err
-			}
-			return r.result(), nil
+			return r.drainSequential()
 		}
 		if err := ctx.Err(); err != nil {
 			r.shutdown()
-			return nil, fmt.Errorf("bamboort: run canceled: %w", err)
+			return fmt.Errorf("bamboort: run canceled: %w", err)
 		}
 		if r.inFlight.Load() == 0 {
 			// A poisoning worker stores the degraded flag before releasing
@@ -288,24 +314,19 @@ func (r *crun) monitor(ctx context.Context) (*Result, error) {
 			if r.degraded.Load() {
 				continue
 			}
-			break
+			return nil
 		}
 		if stall > 0 {
 			if p := r.progress.Load(); p != lastProgress {
 				lastProgress, lastMove = p, time.Now()
 			} else if time.Since(lastMove) > stall {
 				r.shutdown()
-				return nil, fmt.Errorf("%w: no progress for %v with %d messages or credits outstanding",
+				return fmt.Errorf("%w: no progress for %v with %d messages or credits outstanding",
 					ErrDeadlock, stall, r.inFlight.Load())
 			}
 		}
 		time.Sleep(50 * time.Microsecond)
 	}
-	r.shutdown()
-	if err := r.err(); err != nil {
-		return nil, err
-	}
-	return r.result(), nil
 }
 
 // result finalizes a successful run: it folds the interpreter's dispatch
@@ -387,7 +408,7 @@ func (r *crun) route(obj *interp.Object, fromCore int) {
 			dst = cs[0]
 		default:
 			dst = -1
-			if tagType := CommonTagType(pr.Task); tagType != "" && len(pr.Task.Params) > 1 {
+			if tagType := CommonTagType(pr.Task); tagType != "" {
 				if tag := firstTagOf(obj, tagType); tag != nil {
 					dst = cs[int(tag.ID)%len(cs)]
 				}

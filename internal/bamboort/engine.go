@@ -149,6 +149,11 @@ type Engine struct {
 	// cores appear more often than slowed cores on heterogeneous
 	// machines; on homogeneous machines every core appears once).
 	destRing map[string][]int
+
+	// Session state (session.go): a started session keeps the engine
+	// resident between Feed batches; a drain error poisons it.
+	session bool
+	sessErr error
 }
 
 // NewEngine builds an engine over the compiled program and analyses.
@@ -236,9 +241,22 @@ func (e *Engine) Run() (*Result, error) { return e.RunContext(context.Background
 // RunContext executes the program to quiescence, checking the context
 // between event batches so long deterministic runs are cancellable.
 func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
+	if err := e.begin(ctx); err != nil {
+		return nil, err
+	}
+	if err := e.drain(ctx); err != nil {
+		return nil, err
+	}
+	e.finishRun()
+	return &Result{TotalCycles: e.lastEnd, Invocations: e.nInv, TasksRun: e.tasksRun}, nil
+}
+
+// begin arms tracing and injects the startup object at the core hosting
+// the startup task. Shared by one-shot runs and sessions.
+func (e *Engine) begin(ctx context.Context) error {
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("bamboort: run canceled: %w", err)
+			return fmt.Errorf("bamboort: run canceled: %w", err)
 		}
 	}
 	if e.opts.Trace != nil {
@@ -247,7 +265,6 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 		e.opts.Trace.NumCores = e.opts.Layout.NumCores
 		e.producerOf = map[*interp.Object]int{}
 	}
-	// Inject the startup object at the core hosting the startup task.
 	startCl := e.prog.Info.Classes[types.StartupClass]
 	so := e.in.Heap.NewObject(startCl)
 	so.SetFlag(startCl.FlagIndex[types.StartupFlag], true)
@@ -255,12 +272,25 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 		so.Fields[f.Index] = interp.ArrV(e.in.Heap.NewStringArray(e.opts.Args))
 	}
 	e.routeObject(so, -1, 0, 0, 0)
+	return nil
+}
 
+// drain runs queued events until quiescence (an empty event queue). The
+// invocation budget applies per drain, so a long-lived session gets a
+// fresh budget for every request batch instead of exhausting a cumulative
+// one.
+func (e *Engine) drain(ctx context.Context) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("bamboort: run canceled: %w", err)
+		}
+	}
+	startInv := e.nInv
 	var handled int64
 	for e.events.Len() > 0 {
 		if handled++; handled&0xfff == 0 && ctx != nil {
 			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("bamboort: run canceled: %w", err)
+				return fmt.Errorf("bamboort: run canceled: %w", err)
 			}
 		}
 		ev := heap.Pop(&e.events).(*event)
@@ -274,16 +304,15 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 			err = e.onComplete(ev)
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
 		*ev = event{}
 		e.evFree = append(e.evFree, ev)
-		if e.nInv > e.opts.MaxInvocations {
-			return nil, fmt.Errorf("bamboort: exceeded %d task invocations; task system may not terminate", e.opts.MaxInvocations)
+		if e.nInv-startInv > e.opts.MaxInvocations {
+			return fmt.Errorf("bamboort: exceeded %d task invocations; task system may not terminate", e.opts.MaxInvocations)
 		}
 	}
-	e.finishRun()
-	return &Result{TotalCycles: e.lastEnd, Invocations: e.nInv, TasksRun: e.tasksRun}, nil
+	return nil
 }
 
 // finishRun folds the interpreter's dispatch statistics into the run's
@@ -492,9 +521,12 @@ func (e *Engine) routeObject(obj *interp.Object, fromCore int, t int64, enqueueC
 		case len(cores) == 1:
 			dst = cores[0]
 		default:
-			if tagType := CommonTagType(pr.Task); tagType != "" && len(pr.Task.Params) > 1 {
-				// Hash the bound tag instance so all objects of one tag
-				// group meet at the same instantiation.
+			if tagType := CommonTagType(pr.Task); tagType != "" {
+				// Hash the bound tag instance: multi-parameter joins so all
+				// objects of one tag group meet at the same instantiation,
+				// and single-parameter tag-guarded stages so one group's
+				// stream stays on one core in FIFO order (per-key ordering
+				// for streaming workloads).
 				if tag := firstTagOf(obj, tagType); tag != nil {
 					dst = cores[int(tag.ID)%len(cores)]
 					break

@@ -1,0 +1,242 @@
+package bamboort
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/depend"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// ErrInject classifies malformed injections (unknown class/flag/field/tag
+// type). They are rejected before anything is routed, so the session stays
+// serviceable; callers test with errors.Is.
+var ErrInject = errors.New("bamboort: bad injection")
+
+// This file implements persistent sessions: a compiled program stays
+// resident in an engine with its heap/flag/tag state between requests, and
+// the environment injects each request as a parameter object into the live
+// task graph — the serving-layer analogue of a NIC writing a request
+// object into the Bamboo heap (the paper's Memcached scenario). Each Feed
+// runs the graph to quiescence over the injected batch instead of to exit.
+
+// Inject describes one parameter object the environment places into a live
+// session. The object is allocated in the session heap, its fields are
+// initialized, the entry flag is set, and — when TagType names a tag type
+// the program created during startup — one of those tag instances is bound
+// so tag-hash routing sends the object to its shard's core.
+type Inject struct {
+	// Class is the parameter class to instantiate (must name a class in
+	// the program).
+	Class string
+	// Flag is the entry flag set true at injection; the flag state decides
+	// which task parameters the object is routed to.
+	Flag string
+	// Args, when non-nil, is stored into the class's String[] field named
+	// "args" (mirroring StartupObject.args).
+	Args []string
+	// Fields sets int fields by name.
+	Fields map[string]int64
+	// TagType, when non-empty, binds one program-created tag instance of
+	// this type, selected by TagKey modulo the instance count (creation
+	// order). Requires the session heap to track tags, which sessions
+	// enable before startup.
+	TagType string
+	// TagKey selects the tag instance (e.g. a KV key hash, so one key
+	// always lands on the same shard).
+	TagKey int64
+}
+
+// buildInject allocates and initializes one injected object on heap.
+func buildInject(prog *ir.Program, heap *interp.Heap, inj Inject) (*interp.Object, error) {
+	cl := prog.Info.Classes[inj.Class]
+	if cl == nil {
+		return nil, fmt.Errorf("%w: unknown class %q", ErrInject, inj.Class)
+	}
+	fi, ok := cl.FlagIndex[inj.Flag]
+	if !ok {
+		return nil, fmt.Errorf("%w: class %s has no flag %q", ErrInject, inj.Class, inj.Flag)
+	}
+	o := heap.NewObject(cl)
+	if inj.Args != nil {
+		f, ok := cl.FieldByName["args"]
+		if !ok {
+			return nil, fmt.Errorf("%w: class %s has no args field", ErrInject, inj.Class)
+		}
+		o.Fields[f.Index] = interp.ArrV(heap.NewStringArray(inj.Args))
+	}
+	for name, v := range inj.Fields {
+		f, ok := cl.FieldByName[name]
+		if !ok {
+			return nil, fmt.Errorf("%w: class %s has no field %q", ErrInject, inj.Class, name)
+		}
+		if f.Type == nil || f.Type.Kind != ast.TInt {
+			return nil, fmt.Errorf("%w: field %s.%s is not int", ErrInject, inj.Class, name)
+		}
+		o.Fields[f.Index] = interp.IntV(v)
+	}
+	if inj.TagType != "" {
+		tags := heap.TagsOf(inj.TagType)
+		if len(tags) == 0 {
+			return nil, fmt.Errorf("%w: program created no tag instances of type %q", ErrInject, inj.TagType)
+		}
+		k := inj.TagKey % int64(len(tags))
+		if k < 0 {
+			k += int64(len(tags))
+		}
+		o.AddTag(tags[k])
+	}
+	// Set the entry flag last: the object only becomes routable once fully
+	// initialized (matters for the concurrent runtime, where routing makes
+	// it visible to other goroutines).
+	o.SetFlag(fi, true)
+	return o, nil
+}
+
+// StartSession boots the deterministic engine as a persistent session: tag
+// tracking is enabled so injected objects can bind the program's tags, the
+// startup phase runs to quiescence, and the engine stays resident — heap,
+// flags, tags, and virtual clock intact — for subsequent Feed calls.
+// An engine runs either one RunContext or one session, never both.
+func (e *Engine) StartSession(ctx context.Context) error {
+	if e.session {
+		return fmt.Errorf("bamboort: session already started")
+	}
+	e.session = true
+	e.in.Heap.TrackTags()
+	if err := e.begin(ctx); err != nil {
+		e.sessErr = err
+		return err
+	}
+	if err := e.drain(ctx); err != nil {
+		e.sessErr = err
+		return err
+	}
+	return nil
+}
+
+// Feed injects one request batch into the live session and runs the task
+// graph to quiescence. It returns the injected objects so the caller can
+// read replies out of their fields and flags. A drain error — including a
+// blown context deadline, since a half-executed batch cannot be rolled
+// back — poisons the session: every later Feed fails with the same error.
+func (e *Engine) Feed(ctx context.Context, batch []Inject) ([]*interp.Object, error) {
+	if !e.session {
+		return nil, fmt.Errorf("bamboort: Feed before StartSession")
+	}
+	if e.sessErr != nil {
+		return nil, fmt.Errorf("bamboort: session failed: %w", e.sessErr)
+	}
+	objs := make([]*interp.Object, len(batch))
+	for i, inj := range batch {
+		o, err := buildInject(e.prog, e.in.Heap, inj)
+		if err != nil {
+			// A malformed injection is rejected before anything was routed;
+			// the session stays live.
+			return nil, err
+		}
+		objs[i] = o
+	}
+	for _, o := range objs {
+		e.routeObject(o, -1, e.lastEnd, 0, 0)
+	}
+	if err := e.drain(ctx); err != nil {
+		e.sessErr = err
+		return nil, err
+	}
+	return objs, nil
+}
+
+// EndSession finalizes the session and returns the cumulative result
+// (virtual cycles across all batches, total invocations). The engine must
+// not be used afterwards.
+func (e *Engine) EndSession() *Result {
+	e.finishRun()
+	return &Result{TotalCycles: e.lastEnd, Invocations: e.nInv, TasksRun: e.tasksRun}
+}
+
+// ConcurrentSession is a persistent session on the concurrent runtime:
+// workers stay up between batches and quiescence (no undelivered messages,
+// no held credits) marks a batch complete. Feeds must be serialized by the
+// caller; the runtime's internal concurrency (work stealing, per-object
+// locks) is unaffected. Note the concurrent runtime does not order
+// deliveries between cores, so per-group FIFO holds only on the
+// deterministic engine.
+type ConcurrentSession struct {
+	r   *crun
+	err error
+}
+
+// StartConcurrentSession builds the concurrent runtime, runs the startup
+// phase to quiescence, and leaves the workers idling for Feed.
+func StartConcurrentSession(ctx context.Context, prog *ir.Program, dep *depend.Result, opts Options) (*ConcurrentSession, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r, err := newCrun(prog, dep, opts)
+	if err != nil {
+		return nil, err
+	}
+	r.in.Heap.TrackTags()
+	r.injectStartup()
+	s := &ConcurrentSession{r: r}
+	if err := s.settle(ctx); err != nil {
+		return nil, err
+	}
+	return s, s.err
+}
+
+// settle waits for the current batch to quiesce and poisons the session on
+// any terminal condition. A degraded run (poisoned core) completes its
+// accepted work via the sequential drain but cannot serve further batches.
+func (s *ConcurrentSession) settle(ctx context.Context) error {
+	if err := s.r.quiesce(ctx); err != nil {
+		s.err = fmt.Errorf("bamboort: session failed: %w", err)
+		return err
+	}
+	if s.r.stopped() && s.err == nil {
+		s.err = fmt.Errorf("bamboort: session degraded to sequential drain and closed")
+	}
+	return nil
+}
+
+// Feed injects one request batch and waits for quiescence. See
+// Engine.Feed for the reply-reading contract and error semantics.
+func (s *ConcurrentSession) Feed(ctx context.Context, batch []Inject) ([]*interp.Object, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	objs := make([]*interp.Object, len(batch))
+	for i, inj := range batch {
+		o, err := buildInject(s.r.prog, s.r.in.Heap, inj)
+		if err != nil {
+			return nil, err
+		}
+		objs[i] = o
+	}
+	for _, o := range objs {
+		s.r.route(o, 0)
+	}
+	if err := s.settle(ctx); err != nil {
+		return nil, err
+	}
+	if s.err != nil {
+		// Degraded mid-batch: the batch completed (the sequential drain
+		// finishes accepted work) but the session is closed; surface the
+		// results with the terminal error alongside.
+		return objs, s.err
+	}
+	return objs, nil
+}
+
+// Close stops the workers and returns the cumulative result.
+func (s *ConcurrentSession) Close() *Result {
+	s.r.shutdown()
+	return s.r.result()
+}

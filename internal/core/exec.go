@@ -92,11 +92,9 @@ type ExecConfig struct {
 	Heap *interp.Heap
 }
 
-// Exec executes the program on the engine selected by cfg. The context
-// cancels the run: the deterministic engine checks it between event
-// batches, the concurrent engine between invocations.
-func (s *System) Exec(ctx context.Context, cfg ExecConfig) (*bamboort.Result, error) {
-	opts := bamboort.Options{
+// options maps the unified config onto the runtime's option struct.
+func (cfg ExecConfig) options() bamboort.Options {
+	return bamboort.Options{
 		Machine:        cfg.Machine,
 		Layout:         cfg.Layout,
 		Args:           cfg.Args,
@@ -111,6 +109,13 @@ func (s *System) Exec(ctx context.Context, cfg ExecConfig) (*bamboort.Result, er
 		NoFastDispatch: cfg.NoFastDispatch,
 		Heap:           cfg.Heap,
 	}
+}
+
+// Exec executes the program on the engine selected by cfg. The context
+// cancels the run: the deterministic engine checks it between event
+// batches, the concurrent engine between invocations.
+func (s *System) Exec(ctx context.Context, cfg ExecConfig) (*bamboort.Result, error) {
+	opts := cfg.options()
 	switch cfg.Engine {
 	case Deterministic:
 		eng, err := bamboort.NewEngine(s.Prog, s.Dep, s.Locks, opts)

@@ -254,6 +254,13 @@ type Heap struct {
 	track  atomic.Bool
 	objsMu sync.Mutex
 	objs   []*Object
+
+	// Tag tracking (off by default; persistent sessions switch it on so the
+	// environment can address the tag instances a program creates — the
+	// injection-side half of tag-hash request routing).
+	trackTags atomic.Bool
+	tagsMu    sync.Mutex
+	tagsBy    map[string][]*Tag
 }
 
 // NewHeap returns an empty heap.
@@ -300,9 +307,38 @@ func (h *Heap) NewArray(n int, zero Value) *Array {
 	return a
 }
 
+// TrackTags makes the heap remember every tag instance it allocates,
+// grouped by tag type in allocation order. Persistent sessions enable it
+// before the startup phase runs, so request objects injected later can be
+// bound to the shard tags the program created. Call before execution
+// starts.
+func (h *Heap) TrackTags() {
+	h.tagsMu.Lock()
+	if h.tagsBy == nil {
+		h.tagsBy = map[string][]*Tag{}
+	}
+	h.tagsMu.Unlock()
+	h.trackTags.Store(true)
+}
+
+// TagsOf returns the tag instances of the given type allocated since
+// TrackTags was enabled, in allocation order (deterministic: a program's
+// startup phase runs single-threaded in every engine).
+func (h *Heap) TagsOf(tagType string) []*Tag {
+	h.tagsMu.Lock()
+	defer h.tagsMu.Unlock()
+	return append([]*Tag(nil), h.tagsBy[tagType]...)
+}
+
 // NewTag allocates a fresh tag instance of the given tag type.
 func (h *Heap) NewTag(tagType string) *Tag {
-	return &Tag{ID: h.id(), Type: tagType}
+	t := &Tag{ID: h.id(), Type: tagType}
+	if h.trackTags.Load() {
+		h.tagsMu.Lock()
+		h.tagsBy[tagType] = append(h.tagsBy[tagType], t)
+		h.tagsMu.Unlock()
+	}
+	return t
 }
 
 // NewStringArray builds a String[] from Go strings (used to populate

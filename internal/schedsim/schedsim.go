@@ -912,7 +912,10 @@ func (st *simState) route(obj *simObject, fromCore int, t int64, fifo int64) int
 		case len(cs) == 1:
 			dst = cs[0]
 		default:
-			if obj.tagGroup != 0 && len(pr.Task.Params) > 1 {
+			if obj.tagGroup != 0 && (len(pr.Task.Params) > 1 || len(pr.Task.Params[pr.Param].Tags) > 0) {
+				// Tag-hash like the engine: multi-parameter joins and
+				// single-parameter tag-guarded stages both pin a tag group
+				// to one instantiation.
 				dst = cs[int(obj.tagGroup)%len(cs)]
 			} else {
 				ring := st.ring(pr.Task.Name, cs)

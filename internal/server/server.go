@@ -50,6 +50,15 @@ type Config struct {
 	// RetainJobs bounds finished jobs kept for polling (default 8192);
 	// the oldest finished jobs are forgotten first.
 	RetainJobs int
+	// MaxSessions bounds the session table (default 256); creates beyond
+	// it are rejected 429. MaxLiveSessions bounds resident engines
+	// (default 8): beyond it, idle deterministic sessions are parked and
+	// revived by replay on their next feed. MaxSessionLog bounds one
+	// session's replay history in requests (default 65536); past it the
+	// session is pinned resident instead of parkable.
+	MaxSessions     int
+	MaxLiveSessions int
+	MaxSessionLog   int
 }
 
 func (c *Config) applyDefaults() {
@@ -82,6 +91,15 @@ func (c *Config) applyDefaults() {
 	}
 	if c.RetainJobs <= 0 {
 		c.RetainJobs = 8192
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 256
+	}
+	if c.MaxLiveSessions <= 0 {
+		c.MaxLiveSessions = 8
+	}
+	if c.MaxSessionLog <= 0 {
+		c.MaxSessionLog = 65536
 	}
 }
 
@@ -116,9 +134,25 @@ type Server struct {
 	running   atomic.Int64
 	draining  atomic.Bool
 
+	// sessions: sessMu guards the table; sessWg tracks in-flight session
+	// operations so Drain can wait for them like it waits for workers.
+	sessMu   sync.Mutex
+	sessions map[string]*Session
+	nextSess atomic.Int64
+	sessWg   sync.WaitGroup
+
+	sessCreated atomic.Int64
+	sessClosed  atomic.Int64
+	sessFailed  atomic.Int64
+	sessParks   atomic.Int64
+	sessReplays atomic.Int64
+	sessFeeds   atomic.Int64
+	sessReqs    atomic.Int64
+
 	e2eLat   obsv.Histogram // admission → completion, ns
 	execLat  obsv.Histogram // dispatch → completion, ns
 	queueLat obsv.Histogram // admission → dispatch, ns
+	feedLat  obsv.Histogram // session request accept → quiescence, ns
 
 	aggMu sync.Mutex
 	agg   obsv.MetricsSnapshot // summed concurrent-engine counters
@@ -136,6 +170,7 @@ func New(cfg Config) *Server {
 		baseStop: stop,
 		queue:    make(chan *Job, cfg.QueueDepth),
 		jobs:     map[string]*Job{},
+		sessions: map[string]*Session{},
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -144,26 +179,65 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the HTTP API.
+// Handler returns the HTTP API. The canonical surface lives under /v1/
+// and renders every non-2xx response as the uniform APIError envelope.
+// The original /api/v1/ job routes remain as deprecated aliases for one
+// release: same handlers, legacy ErrorResponse error shape, and a
+// Deprecation header pointing at the successor. Sessions are /v1-only.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /api/v1/jobs/{id}/output", s.handleOutput)
-	mux.HandleFunc("GET /api/v1/jobs/{id}/trace", s.handleTrace)
-	mux.HandleFunc("GET /api/v1/jobs/{id}/metrics", s.handleJobMetrics)
-	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/output", s.handleOutput)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.handleJobMetrics)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionStatus)
+	mux.HandleFunc("POST /v1/sessions/{id}/feed", s.handleSessionFeed)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionClose)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/varz", s.handleVarz)
+	// Deprecated aliases (one release), plus the conventional unprefixed
+	// probe paths, which stay.
+	mux.HandleFunc("POST /api/v1/jobs", legacy(s.handleSubmit))
+	mux.HandleFunc("GET /api/v1/jobs/{id}", legacy(s.handleStatus))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/output", legacy(s.handleOutput))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/trace", legacy(s.handleTrace))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/metrics", legacy(s.handleJobMetrics))
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", legacy(s.handleCancel))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /varz", s.handleVarz)
 	return mux
 }
 
+// legacyKey marks a request that arrived through a deprecated alias so
+// writeErr renders the old ErrorResponse shape instead of APIError.
+type ctxKey int
+
+const legacyKey ctxKey = 0
+
+func legacy(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</v1/>; rel="successor-version"`)
+		h(w, r.WithContext(context.WithValue(r.Context(), legacyKey, true)))
+	}
+}
+
+func isLegacy(r *http.Request) bool {
+	v, _ := r.Context().Value(legacyKey).(bool)
+	return v
+}
+
 // Drain performs the graceful shutdown: stop admitting (503), let the
-// workers finish every job already accepted, then return. ctx bounds the
-// wait; when it fires, still-running jobs are canceled and Drain waits
-// for the workers to observe the cancellation before returning ctx's
-// error. Accepted jobs are never silently dropped: each reaches a
-// terminal status.
+// workers finish every job already accepted AND every session feed
+// already accepted, then close the live sessions and return. ctx bounds
+// the wait; when it fires, still-running jobs are canceled, in-flight
+// session feeds are canceled via the base context, and Drain waits for
+// both to observe the cancellation before returning ctx's error.
+// Accepted work is never silently dropped: each job and each accepted
+// feed reaches a terminal outcome.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
 	s.submitMu.Lock()
@@ -176,16 +250,20 @@ func (s *Server) Drain(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		s.sessWg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		s.cancelAll()
+		s.baseStop()
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	s.closeAllSessions()
+	return err
 }
 
 // Close hard-stops the server (tests): cancel everything, then drain.
@@ -473,20 +551,35 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, ErrorResponse{Error: msg})
+// writeErr renders one failure: the uniform APIError envelope on /v1,
+// the legacy ErrorResponse shape on deprecated aliases. retryMS, when
+// nonzero, also sets the Retry-After header (whole seconds, rounded up).
+func writeErr(w http.ResponseWriter, r *http.Request, status int, code, msg string, retryMS int64) {
+	sec := int((retryMS + 999) / 1000)
+	if retryMS > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(sec))
+	}
+	if isLegacy(r) {
+		e := ErrorResponse{Error: msg}
+		if retryMS > 0 {
+			e.RetryAfterSec = sec
+		}
+		writeJSON(w, status, e)
+		return
+	}
+	writeJSON(w, status, &APIError{Code: code, Message: msg, RetryAfterMS: retryMS})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SubmitRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes+4096)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		writeErr(w, r, http.StatusBadRequest, CodeInvalidArgument, "bad request body: "+err.Error(), 0)
 		return
 	}
 	j, err := s.resolve(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeErr(w, r, http.StatusBadRequest, CodeInvalidArgument, err.Error(), 0)
 		return
 	}
 	j.ID = fmt.Sprintf("j%08d", s.nextID.Add(1))
@@ -501,13 +594,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.jobMu.Unlock()
 		j.cancel()
 		s.rejected.Add(1)
-		sec := s.retryAfter()
-		w.Header().Set("Retry-After", strconv.Itoa(sec))
-		code := http.StatusTooManyRequests
+		status, code := http.StatusTooManyRequests, CodeSaturated
 		if err == errDraining {
-			code = http.StatusServiceUnavailable
+			status, code = http.StatusServiceUnavailable, CodeDraining
 		}
-		writeJSON(w, code, ErrorResponse{Error: err.Error(), RetryAfterSec: sec})
+		writeErr(w, r, status, code, err.Error(), int64(s.retryAfter())*1000)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, SubmitResponse{
@@ -521,7 +612,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j := s.job(r.PathValue("id"))
 	if j == nil {
-		writeError(w, http.StatusNotFound, "no such job")
+		writeErr(w, r, http.StatusNotFound, CodeNotFound, "no such job", 0)
 		return
 	}
 	writeJSON(w, http.StatusOK, j.view())
@@ -530,11 +621,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleOutput(w http.ResponseWriter, r *http.Request) {
 	j := s.job(r.PathValue("id"))
 	if j == nil {
-		writeError(w, http.StatusNotFound, "no such job")
+		writeErr(w, r, http.StatusNotFound, CodeNotFound, "no such job", 0)
 		return
 	}
 	if !j.terminal() {
-		writeError(w, http.StatusConflict, "job has not finished")
+		writeErr(w, r, http.StatusConflict, CodeConflict, "job has not finished", 0)
 		return
 	}
 	out, _ := j.out.snapshot()
@@ -545,15 +636,15 @@ func (s *Server) handleOutput(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	j := s.job(r.PathValue("id"))
 	if j == nil {
-		writeError(w, http.StatusNotFound, "no such job")
+		writeErr(w, r, http.StatusNotFound, CodeNotFound, "no such job", 0)
 		return
 	}
 	if j.trace == nil {
-		writeError(w, http.StatusNotFound, "job was not submitted with trace=true")
+		writeErr(w, r, http.StatusNotFound, CodeNotFound, "job was not submitted with trace=true", 0)
 		return
 	}
 	if !j.terminal() {
-		writeError(w, http.StatusConflict, "job has not finished")
+		writeErr(w, r, http.StatusConflict, CodeConflict, "job has not finished", 0)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -576,7 +667,7 @@ type jobMetricsView struct {
 func (s *Server) handleJobMetrics(w http.ResponseWriter, r *http.Request) {
 	j := s.job(r.PathValue("id"))
 	if j == nil {
-		writeError(w, http.StatusNotFound, "no such job")
+		writeErr(w, r, http.StatusNotFound, CodeNotFound, "no such job", 0)
 		return
 	}
 	v := j.view()
@@ -594,7 +685,7 @@ func (s *Server) handleJobMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j := s.job(r.PathValue("id"))
 	if j == nil {
-		writeError(w, http.StatusNotFound, "no such job")
+		writeErr(w, r, http.StatusNotFound, CodeNotFound, "no such job", 0)
 		return
 	}
 	if j.markCanceled() {
@@ -620,6 +711,7 @@ type Varz struct {
 	Workers   int              `json:"workers"`
 	Queue     QueueStats       `json:"queue"`
 	Jobs      map[string]int64 `json:"jobs"`
+	Sessions  SessionStats     `json:"sessions"`
 	Cache     CacheStats       `json:"cache"`
 	LatencyNS LatencyStats     `json:"latency_ns"`
 	// Runtime sums the runtime counters over every finished job:
@@ -662,7 +754,8 @@ func (s *Server) VarzSnapshot() Varz {
 			"failed":    s.failed.Load(),
 			"canceled":  s.canceled.Load(),
 		},
-		Cache: s.cache.Stats(),
+		Sessions: s.sessionStats(),
+		Cache:    s.cache.Stats(),
 		LatencyNS: LatencyStats{
 			E2E:   s.e2eLat.Snapshot(),
 			Exec:  s.execLat.Snapshot(),

@@ -1,10 +1,8 @@
 package server_test
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
-	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -12,11 +10,17 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/server/client"
 )
 
+// testService is an in-process bambood plus the typed /v1 client every
+// test drives it through. The raw httptest server stays reachable for
+// the few tests whose subject is the wire format itself (legacy aliases,
+// malformed bodies).
 type testService struct {
 	srv *server.Server
 	ts  *httptest.Server
+	cl  *client.Client
 }
 
 func newTestService(t *testing.T, cfg server.Config) *testService {
@@ -27,64 +31,27 @@ func newTestService(t *testing.T, cfg server.Config) *testService {
 		ts.Close()
 		s.Close()
 	})
-	return &testService{srv: s, ts: ts}
-}
-
-func (s *testService) submit(t *testing.T, req server.SubmitRequest) (server.SubmitResponse, *http.Response) {
-	t.Helper()
-	body, _ := json.Marshal(req)
-	resp, err := http.Post(s.ts.URL+"/api/v1/jobs", "application/json", bytes.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var sub server.SubmitResponse
-	if resp.StatusCode == http.StatusAccepted {
-		if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
-			t.Fatal(err)
-		}
-	}
-	return sub, resp
-}
-
-func (s *testService) status(t *testing.T, id string) server.JobView {
-	t.Helper()
-	resp, err := http.Get(s.ts.URL + "/api/v1/jobs/" + id)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status %s: HTTP %d", id, resp.StatusCode)
-	}
-	var v server.JobView
-	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
-		t.Fatal(err)
-	}
-	return v
+	return &testService{srv: s, ts: ts, cl: client.New(ts.URL)}
 }
 
 func (s *testService) await(t *testing.T, id string, timeout time.Duration) server.JobView {
 	t.Helper()
-	deadline := time.Now().Add(timeout)
-	for {
-		v := s.status(t, id)
-		switch v.Status {
-		case server.StatusSucceeded, server.StatusFailed, server.StatusCanceled:
-			return v
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("job %s still %s after %v", id, v.Status, timeout)
-		}
-		time.Sleep(2 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	v, err := s.cl.AwaitJob(ctx, id)
+	if err != nil {
+		t.Fatalf("await %s: %v", id, err)
 	}
+	return v
 }
+
+func ctxT() context.Context { return context.Background() }
 
 func TestSubmitPollResult(t *testing.T) {
 	s := newTestService(t, server.Config{})
-	sub, resp := s.submit(t, server.SubmitRequest{Source: testProgram(50)})
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	sub, err := s.cl.SubmitJob(ctxT(), server.SubmitRequest{Source: testProgram(50)})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
 	}
 	if sub.CacheKey == "" || sub.ID == "" {
 		t.Fatalf("submit response incomplete: %+v", sub)
@@ -104,7 +71,10 @@ func TestSubmitPollResult(t *testing.T) {
 	}
 
 	// Same program again: front-end skipped, identical result.
-	sub2, _ := s.submit(t, server.SubmitRequest{Source: testProgram(50)})
+	sub2, err := s.cl.SubmitJob(ctxT(), server.SubmitRequest{Source: testProgram(50)})
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
 	v2 := s.await(t, sub2.ID, 10*time.Second)
 	if !v2.CacheHit {
 		t.Error("second submission should hit the cache")
@@ -117,61 +87,51 @@ func TestSubmitPollResult(t *testing.T) {
 	}
 
 	// Output endpoint serves the raw program stdout.
-	resp3, err := http.Get(s.ts.URL + "/api/v1/jobs/" + sub.ID + "/output")
+	out, err := s.cl.JobOutput(ctxT(), sub.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp3.Body.Close()
-	var out bytes.Buffer
-	if _, err := out.ReadFrom(resp3.Body); err != nil {
-		t.Fatal(err)
-	}
-	if out.String() != v.Result.Output {
-		t.Errorf("output endpoint %q != result output %q", out.String(), v.Result.Output)
+	if out != v.Result.Output {
+		t.Errorf("output endpoint %q != result output %q", out, v.Result.Output)
 	}
 }
 
 func TestBenchmarkJobWithTraceAndMetrics(t *testing.T) {
 	s := newTestService(t, server.Config{})
-	sub, resp := s.submit(t, server.SubmitRequest{
+	sub, err := s.cl.SubmitJob(ctxT(), server.SubmitRequest{
 		Benchmark: "Series", Args: []string{"2", "2", "8"},
 		Engine: "concurrent", Cores: 2, Trace: true,
 	})
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
 	}
 	v := s.await(t, sub.ID, 30*time.Second)
 	if v.Status != server.StatusSucceeded {
 		t.Fatalf("job = %+v", v)
 	}
-	tr, err := http.Get(s.ts.URL + "/api/v1/jobs/" + sub.ID + "/trace")
+	raw, err := s.cl.JobTrace(ctxT(), sub.ID)
 	if err != nil {
-		t.Fatal(err)
-	}
-	defer tr.Body.Close()
-	if tr.StatusCode != http.StatusOK {
-		t.Fatalf("trace: HTTP %d", tr.StatusCode)
+		t.Fatalf("trace: %v", err)
 	}
 	var doc struct {
 		TraceEvents []map[string]any `json:"traceEvents"`
 	}
-	if err := json.NewDecoder(tr.Body).Decode(&doc); err != nil {
+	if err := json.Unmarshal(raw, &doc); err != nil {
 		t.Fatalf("trace is not valid JSON: %v", err)
 	}
 	if len(doc.TraceEvents) == 0 {
 		t.Error("trace has no events")
 	}
-	mr, err := http.Get(s.ts.URL + "/api/v1/jobs/" + sub.ID + "/metrics")
+	mraw, err := s.cl.JobMetrics(ctxT(), sub.ID)
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("metrics: %v", err)
 	}
-	defer mr.Body.Close()
 	var m struct {
-		CacheHit bool            `json:"cache_hit"`
-		RunNS    int64           `json:"run_ns"`
-		Counters map[string]any  `json:"counters"`
+		CacheHit bool           `json:"cache_hit"`
+		RunNS    int64          `json:"run_ns"`
+		Counters map[string]any `json:"counters"`
 	}
-	if err := json.NewDecoder(mr.Body).Decode(&m); err != nil {
+	if err := json.Unmarshal(mraw, &m); err != nil {
 		t.Fatal(err)
 	}
 	if m.RunNS <= 0 || m.Counters == nil {
@@ -183,34 +143,96 @@ func TestSubmitValidation(t *testing.T) {
 	s := newTestService(t, server.Config{})
 	cases := []struct {
 		name string
-		body string
+		req  server.SubmitRequest
 	}{
-		{"empty", `{}`},
-		{"both", fmt.Sprintf(`{"source":%q,"benchmark":"Series"}`, testProgram(1))},
-		{"unknown benchmark", `{"benchmark":"NoSuch"}`},
-		{"unknown engine", `{"benchmark":"Series","engine":"quantum"}`},
-		{"malformed", `{`},
+		{"empty", server.SubmitRequest{}},
+		{"both", server.SubmitRequest{Source: testProgram(1), Benchmark: "Series"}},
+		{"unknown benchmark", server.SubmitRequest{Benchmark: "NoSuch"}},
+		{"unknown engine", server.SubmitRequest{Benchmark: "Series", Engine: "quantum"}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			resp, err := http.Post(s.ts.URL+"/api/v1/jobs", "application/json", strings.NewReader(c.body))
-			if err != nil {
-				t.Fatal(err)
-			}
-			resp.Body.Close()
-			if resp.StatusCode != http.StatusBadRequest {
-				t.Errorf("HTTP %d, want 400", resp.StatusCode)
+			_, err := s.cl.SubmitJob(ctxT(), c.req)
+			if !client.IsCode(err, server.CodeInvalidArgument) {
+				t.Errorf("err = %v, want code %s", err, server.CodeInvalidArgument)
 			}
 		})
 	}
-	resp, err := http.Get(s.ts.URL + "/api/v1/jobs/j99999999")
+	// Malformed JSON never leaves a typed client, so this one stays raw.
+	resp, err := http.Post(s.ts.URL+"/v1/jobs", "application/json", strings.NewReader(`{`))
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusNotFound {
-		t.Errorf("unknown job: HTTP %d, want 404", resp.StatusCode)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: HTTP %d, want 400", resp.StatusCode)
 	}
+	if _, err := s.cl.Job(ctxT(), "j99999999"); !client.IsCode(err, server.CodeNotFound) {
+		t.Errorf("unknown job: err = %v, want code %s", err, server.CodeNotFound)
+	}
+}
+
+// TestErrorEnvelopeAndLegacyAlias pins the wire formats: /v1 renders the
+// uniform {code, message} envelope, while the deprecated /api/v1 aliases
+// keep the original {"error": ...} shape and announce their deprecation.
+func TestErrorEnvelopeAndLegacyAlias(t *testing.T) {
+	s := newTestService(t, server.Config{})
+
+	resp, err := http.Get(s.ts.URL + "/v1/jobs/j404")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env server.APIError
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || env.Code != server.CodeNotFound || env.Message == "" {
+		t.Errorf("/v1 envelope = HTTP %d %+v", resp.StatusCode, env)
+	}
+
+	resp, err = http.Get(s.ts.URL + "/api/v1/jobs/j404")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var legacy server.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || legacy.Error == "" {
+		t.Errorf("legacy shape = HTTP %d %+v", resp.StatusCode, legacy)
+	}
+	if resp.Header.Get("Deprecation") == "" {
+		t.Error("legacy alias response lacks a Deprecation header")
+	}
+
+	// The alias serves real work too, not just errors.
+	sub, subResp := rawSubmit(t, s.ts.URL+"/api/v1/jobs", server.SubmitRequest{Source: testProgram(33)})
+	if subResp.StatusCode != http.StatusAccepted || sub.ID == "" {
+		t.Fatalf("legacy submit: HTTP %d %+v", subResp.StatusCode, sub)
+	}
+	v := s.await(t, sub.ID, 10*time.Second)
+	if v.Status != server.StatusSucceeded {
+		t.Errorf("legacy-submitted job = %+v", v)
+	}
+}
+
+func rawSubmit(t *testing.T, url string, req server.SubmitRequest) (server.SubmitResponse, *http.Response) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url, "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sub server.SubmitResponse
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sub, resp
 }
 
 // slowProgram keeps a worker occupied across many cheap task invocations
@@ -218,7 +240,7 @@ func TestSubmitValidation(t *testing.T) {
 // context between events, not inside a task body). It still finishes on
 // its own if never canceled.
 func slowProgram(steps int) string {
-	return fmt.Sprintf(`
+	return `
 class Work {
 	flag run;
 	int left;
@@ -226,7 +248,7 @@ class Work {
 	Work(int left) { this.left = left; }
 }
 task boot(StartupObject s in initialstate) {
-	Work w = new Work(%d){ run := true };
+	Work w = new Work(` + itoa(steps) + `){ run := true };
 	taskexit(s: initialstate := false);
 }
 task step(Work w in run) {
@@ -238,36 +260,42 @@ task step(Work w in run) {
 		taskexit(w: run := false);
 	}
 	taskexit(w: run := true);
-}`, steps)
+}`
+}
+
+func itoa(n int) string {
+	b, _ := json.Marshal(n)
+	return string(b)
 }
 
 func TestBackpressure429(t *testing.T) {
 	s := newTestService(t, server.Config{Workers: 1, QueueDepth: 1})
 	// Occupy the lone worker.
-	running, resp := s.submit(t, server.SubmitRequest{Source: slowProgram(400_000), TimeoutMS: 60_000})
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("HTTP %d", resp.StatusCode)
+	running, err := s.cl.SubmitJob(ctxT(), server.SubmitRequest{Source: slowProgram(400_000), TimeoutMS: 60_000})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
 	}
 	waitForStatus(t, s, running.ID, server.StatusRunning, 10*time.Second)
 	// Fill the queue.
-	queued, resp := s.submit(t, server.SubmitRequest{Source: testProgram(60)})
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("queue fill: HTTP %d", resp.StatusCode)
+	queued, err := s.cl.SubmitJob(ctxT(), server.SubmitRequest{Source: testProgram(60)})
+	if err != nil {
+		t.Fatalf("queue fill: %v", err)
 	}
-	// Next submission must bounce with 429 + Retry-After.
-	_, resp = s.submit(t, server.SubmitRequest{Source: testProgram(61)})
-	if resp.StatusCode != http.StatusTooManyRequests {
-		t.Fatalf("HTTP %d, want 429", resp.StatusCode)
+	// Next submission must bounce with saturated + a backoff hint.
+	_, err = s.cl.SubmitJob(ctxT(), server.SubmitRequest{Source: testProgram(61)})
+	if !client.IsCode(err, server.CodeSaturated) {
+		t.Fatalf("err = %v, want code %s", err, server.CodeSaturated)
 	}
-	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
-		t.Errorf("Retry-After = %q, want a positive integer", ra)
+	if client.RetryAfter(err) <= 0 {
+		t.Errorf("saturated rejection without a Retry-After hint: %v", err)
 	}
-	// A rejected submission is not a job: polling it 404s.
 	if s.srv.VarzSnapshot().Jobs["rejected"] == 0 {
 		t.Error("varz should count the rejection")
 	}
 	// Cancel the spinner so cleanup is fast; the queued job then runs.
-	httpDelete(t, s.ts.URL+"/api/v1/jobs/"+running.ID)
+	if _, err := s.cl.CancelJob(ctxT(), running.ID); err != nil {
+		t.Fatal(err)
+	}
 	v := s.await(t, queued.ID, 20*time.Second)
 	if v.Status != server.StatusSucceeded {
 		t.Errorf("queued job after unblock = %+v", v)
@@ -280,27 +308,34 @@ func TestBackpressure429(t *testing.T) {
 
 func TestCancelQueuedJob(t *testing.T) {
 	s := newTestService(t, server.Config{Workers: 1, QueueDepth: 4})
-	spinner, _ := s.submit(t, server.SubmitRequest{Source: slowProgram(400_000), TimeoutMS: 60_000})
+	spinner, err := s.cl.SubmitJob(ctxT(), server.SubmitRequest{Source: slowProgram(400_000), TimeoutMS: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
 	waitForStatus(t, s, spinner.ID, server.StatusRunning, 10*time.Second)
-	queued, resp := s.submit(t, server.SubmitRequest{Source: testProgram(70)})
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("HTTP %d", resp.StatusCode)
+	queued, err := s.cl.SubmitJob(ctxT(), server.SubmitRequest{Source: testProgram(70)})
+	if err != nil {
+		t.Fatal(err)
 	}
-	httpDelete(t, s.ts.URL+"/api/v1/jobs/"+queued.ID)
-	if v := s.status(t, queued.ID); v.Status != server.StatusCanceled {
-		t.Errorf("canceled queued job = %+v", v)
+	if v, err := s.cl.CancelJob(ctxT(), queued.ID); err != nil || v.Status != server.StatusCanceled {
+		t.Errorf("canceled queued job = %+v (%v)", v, err)
 	}
-	httpDelete(t, s.ts.URL+"/api/v1/jobs/"+spinner.ID)
+	if _, err := s.cl.CancelJob(ctxT(), spinner.ID); err != nil {
+		t.Fatal(err)
+	}
 	s.await(t, spinner.ID, 10*time.Second)
 	// The canceled queued job must stay canceled (the worker skips it).
-	if v := s.status(t, queued.ID); v.Status != server.StatusCanceled {
-		t.Errorf("after drain-through = %+v, want canceled", v)
+	if v, err := s.cl.Job(ctxT(), queued.ID); err != nil || v.Status != server.StatusCanceled {
+		t.Errorf("after drain-through = %+v (%v), want canceled", v, err)
 	}
 }
 
 func TestJobDeadline(t *testing.T) {
 	s := newTestService(t, server.Config{})
-	sub, _ := s.submit(t, server.SubmitRequest{Source: slowProgram(2_000_000), TimeoutMS: 50})
+	sub, err := s.cl.SubmitJob(ctxT(), server.SubmitRequest{Source: slowProgram(2_000_000), TimeoutMS: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
 	v := s.await(t, sub.ID, 20*time.Second)
 	if v.Status != server.StatusFailed {
 		t.Fatalf("job = %+v, want failed by deadline", v)
@@ -314,7 +349,10 @@ func waitForStatus(t *testing.T, s *testService, id, want string, timeout time.D
 	t.Helper()
 	deadline := time.Now().Add(timeout)
 	for {
-		v := s.status(t, id)
+		v, err := s.cl.Job(ctxT(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if v.Status == want {
 			return
 		}
@@ -325,37 +363,20 @@ func waitForStatus(t *testing.T, s *testService, id, want string, timeout time.D
 	}
 }
 
-func httpDelete(t *testing.T, url string) {
-	t.Helper()
-	req, _ := http.NewRequest(http.MethodDelete, url, nil)
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-}
-
 func TestHealthzAndVarz(t *testing.T) {
 	s := newTestService(t, server.Config{})
-	resp, err := http.Get(s.ts.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthz: HTTP %d", resp.StatusCode)
+	if err := s.cl.Healthz(ctxT()); err != nil {
+		t.Fatalf("healthz: %v", err)
 	}
 	for i := 0; i < 3; i++ {
-		sub, _ := s.submit(t, server.SubmitRequest{Source: testProgram(80)})
+		sub, err := s.cl.SubmitJob(ctxT(), server.SubmitRequest{Source: testProgram(80)})
+		if err != nil {
+			t.Fatal(err)
+		}
 		s.await(t, sub.ID, 10*time.Second)
 	}
-	vr, err := http.Get(s.ts.URL + "/varz")
+	varz, err := s.cl.Varz(ctxT())
 	if err != nil {
-		t.Fatal(err)
-	}
-	defer vr.Body.Close()
-	var varz server.Varz
-	if err := json.NewDecoder(vr.Body).Decode(&varz); err != nil {
 		t.Fatal(err)
 	}
 	if varz.Jobs["submitted"] != 3 || varz.Jobs["completed"] != 3 {
@@ -376,9 +397,9 @@ func TestGracefulDrain(t *testing.T) {
 	s := newTestService(t, server.Config{Workers: 2, QueueDepth: 16})
 	var ids []string
 	for i := 0; i < 6; i++ {
-		sub, resp := s.submit(t, server.SubmitRequest{Source: testProgram(90 + i)})
-		if resp.StatusCode != http.StatusAccepted {
-			t.Fatalf("HTTP %d", resp.StatusCode)
+		sub, err := s.cl.SubmitJob(ctxT(), server.SubmitRequest{Source: testProgram(90 + i)})
+		if err != nil {
+			t.Fatalf("submit: %v", err)
 		}
 		ids = append(ids, sub.ID)
 	}
@@ -388,13 +409,13 @@ func TestGracefulDrain(t *testing.T) {
 		defer cancel()
 		drainDone <- s.srv.Drain(ctx)
 	}()
-	// Submissions during the drain bounce with 503.
+	// Submissions during the drain bounce with the draining code.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		_, resp := s.submit(t, server.SubmitRequest{Source: testProgram(99)})
-		if resp.StatusCode == http.StatusServiceUnavailable {
-			if ra := resp.Header.Get("Retry-After"); ra == "" {
-				t.Error("503 without Retry-After")
+		_, err := s.cl.SubmitJob(ctxT(), server.SubmitRequest{Source: testProgram(99)})
+		if client.IsCode(err, server.CodeDraining) {
+			if client.RetryAfter(err) <= 0 {
+				t.Error("draining rejection without Retry-After")
 			}
 			break
 		}
@@ -402,21 +423,19 @@ func TestGracefulDrain(t *testing.T) {
 			t.Fatal("drain never started rejecting submissions")
 		}
 	}
-	// healthz flips to 503 while draining.
-	hr, err := http.Get(s.ts.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	hr.Body.Close()
-	if hr.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("healthz during drain: HTTP %d, want 503", hr.StatusCode)
+	// healthz flips to failing while draining.
+	if err := s.cl.Healthz(ctxT()); err == nil {
+		t.Error("healthz during drain should fail")
 	}
 	if err := <-drainDone; err != nil {
 		t.Fatalf("drain: %v", err)
 	}
 	// Every accepted job reached a terminal state, none dropped.
 	for _, id := range ids {
-		v := s.status(t, id)
+		v, err := s.cl.Job(ctxT(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if v.Status != server.StatusSucceeded {
 			t.Errorf("job %s after drain = %+v", id, v)
 		}

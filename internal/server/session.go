@@ -1,0 +1,589 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/benchmarks"
+	"repro/internal/bamboort"
+	"repro/internal/core"
+	"repro/internal/obsv"
+)
+
+// This file is bambood's persistent-session layer: submit a program once,
+// keep it resident (heap/flag/tag state intact between requests), and feed
+// it request batches over POST /v1/sessions/{id}/feed. It is the serving
+// counterpart of the paper's Memcached scenario — the environment writes
+// request objects straight into the live Bamboo heap instead of booting a
+// fresh program per request.
+//
+// Residency is bounded: at most Config.MaxLiveSessions engines stay
+// resident. Under pressure the least-recently-used deterministic session
+// is *parked* — its engine is torn down but its feed history is kept, and
+// the next feed revives it by replaying that history against a fresh boot.
+// Determinism makes the revived state byte-identical to the evicted one
+// (TestSessionDeterministicReplay in core is the property this leans on).
+// Concurrent-engine sessions cannot be replayed and are pinned resident.
+
+// Session is one resident program plus its lifecycle bookkeeping. mu
+// serializes feeds (the engine itself is not safe for concurrent Feed)
+// and guards every mutable field.
+type Session struct {
+	ID     string
+	key    string // content address of the compiled program
+	engine string
+	cores  int
+	spec   SessionRequestSpec
+	args   []string
+	creq   CompileRequest
+
+	mu      sync.Mutex
+	status  string
+	live    *core.Session // non-nil iff status == active
+	out     *limitWriter  // program output since the latest boot
+	log     []FeedRequest // feed history for park-and-replay revival
+	logReqs int
+	// pinned sessions are never parked: concurrent-engine sessions (replay
+	// cannot reproduce their state) and sessions whose history outgrew
+	// MaxSessionLog (replay would cost more than residency).
+	pinned   bool
+	fed      int64
+	batches  int64
+	replays  int64
+	errMsg   string
+	lastUsed time.Time
+	res      *bamboort.Result // cumulative result, set at close
+}
+
+// injects expands feed items with the session's request spec into runtime
+// injections.
+func (sn *Session) injects(items []FeedItem) []bamboort.Inject {
+	out := make([]bamboort.Inject, len(items))
+	for i, it := range items {
+		out[i] = bamboort.Inject{
+			Class:   sn.spec.Class,
+			Flag:    sn.spec.Flag,
+			Args:    it.Args,
+			Fields:  it.Fields,
+			TagType: sn.spec.TagType,
+			TagKey:  it.TagKey,
+		}
+	}
+	return out
+}
+
+func (sn *Session) viewLocked() SessionView {
+	v := SessionView{
+		ID:       sn.ID,
+		Status:   sn.status,
+		Engine:   sn.engine,
+		Cores:    sn.cores,
+		CacheKey: sn.key,
+		Requests: sn.fed,
+		Batches:  sn.batches,
+		Replays:  sn.replays,
+		Error:    sn.errMsg,
+	}
+	var out string
+	var trunc bool
+	if sn.out != nil {
+		out, trunc = sn.out.snapshot()
+	}
+	v.Output = out
+	if sn.res != nil {
+		v.Result = &ResultView{
+			TotalCycles:     sn.res.TotalCycles,
+			Invocations:     sn.res.Invocations,
+			TasksRun:        sn.res.TasksRun,
+			Output:          out,
+			OutputTruncated: trunc,
+		}
+	}
+	return v
+}
+
+// resolveSession validates a SessionRequest into an unregistered Session.
+func (s *Server) resolveSession(req *SessionRequest) (*Session, error) {
+	if (req.Source == "") == (req.Benchmark == "") {
+		return nil, fmt.Errorf("exactly one of source and benchmark is required")
+	}
+	src, args := req.Source, req.Args
+	if req.Benchmark != "" {
+		b, err := benchmarks.Get(req.Benchmark)
+		if err != nil {
+			return nil, err
+		}
+		src = b.Source
+		if args == nil {
+			args = b.Args
+		}
+	}
+	if int64(len(src)) > s.cfg.MaxSourceBytes {
+		return nil, fmt.Errorf("source exceeds %d bytes", s.cfg.MaxSourceBytes)
+	}
+	engine := req.Engine
+	if engine == "" {
+		engine = "deterministic"
+	}
+	if engine != "deterministic" && engine != "concurrent" {
+		return nil, fmt.Errorf("unknown engine %q", req.Engine)
+	}
+	cores := req.Cores
+	if cores <= 0 {
+		cores = 1
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	if req.Request.Class == "" || req.Request.Flag == "" {
+		return nil, fmt.Errorf("request spec needs class and flag")
+	}
+	if req.Request.DoneFlag == "" {
+		return nil, fmt.Errorf("request spec needs doneFlag")
+	}
+	sn := &Session{
+		engine: engine,
+		cores:  cores,
+		spec:   req.Request,
+		args:   args,
+		pinned: engine == "concurrent",
+	}
+	sn.creq = CompileRequest{
+		Source: src,
+		Opts:   core.CompileOptions{Optimize: req.Optimize},
+		Prep:   core.PrepareConfig{Cores: cores, Seed: seed, Args: args},
+	}
+	sn.key = sn.creq.Key()
+	return sn, nil
+}
+
+func (s *Server) session(id string) *Session {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	return s.sessions[id]
+}
+
+func (s *Server) dropSession(id string) {
+	s.sessMu.Lock()
+	delete(s.sessions, id)
+	s.sessMu.Unlock()
+}
+
+// beginSessionOp gates one session operation behind the drain state: once
+// Drain begins, creates and feeds are rejected, and Drain waits on sessWg
+// so every operation already accepted completes before shutdown — the
+// same never-drop guarantee jobs get from the worker pool.
+func (s *Server) beginSessionOp() error {
+	s.submitMu.RLock()
+	defer s.submitMu.RUnlock()
+	if s.closed || s.draining.Load() {
+		return errDraining
+	}
+	s.sessWg.Add(1)
+	return nil
+}
+
+// boot compiles (or cache-hits) the session's program and starts a fresh
+// resident engine: startup runs to quiescence with a fresh output buffer.
+func (s *Server) boot(ctx context.Context, sn *Session) error {
+	compiled, _, err := s.cache.GetOrCompile(ctx, sn.creq)
+	if err != nil {
+		return err
+	}
+	engine := core.Deterministic
+	if sn.engine == "concurrent" {
+		engine = core.Concurrent
+	}
+	sn.out = &limitWriter{max: s.cfg.MaxOutputBytes}
+	live, err := compiled.Sys.StartSession(ctx, core.ExecConfig{
+		Engine:  engine,
+		Machine: compiled.Prep.Machine,
+		Layout:  compiled.Prep.Layout,
+		Args:    sn.args,
+		Out:     sn.out,
+	})
+	if err != nil {
+		return err
+	}
+	sn.live = live
+	return nil
+}
+
+// revive boots a parked session and replays its feed history; on the
+// deterministic engine the result is byte-identical to the state that was
+// parked. Caller holds sn.mu.
+func (s *Server) revive(ctx context.Context, sn *Session) error {
+	s.parkForRoom(sn)
+	if err := s.boot(ctx, sn); err != nil {
+		return err
+	}
+	for _, batch := range sn.log {
+		if _, err := sn.live.Feed(ctx, sn.injects(batch.Requests)); err != nil {
+			return err
+		}
+	}
+	sn.replays++
+	s.sessReplays.Add(1)
+	sn.status = SessionActive
+	return nil
+}
+
+// failLocked moves the session to its terminal failed state and releases
+// the engine. Callers must be done reading reply objects first: closing
+// the engine releases its arena heap.
+func (s *Server) failLocked(sn *Session, err error) {
+	if sn.live != nil {
+		sn.res = sn.live.Close()
+		sn.live = nil
+	}
+	sn.status = SessionFailed
+	sn.errMsg = err.Error()
+	sn.log, sn.logReqs = nil, 0
+	s.sessFailed.Add(1)
+}
+
+// parkForRoom evicts least-recently-used resident sessions until incoming
+// fits under MaxLiveSessions. Only idle, unpinned deterministic sessions
+// are candidates: a session mid-feed holds its mutex, so TryLock skips it
+// (making the limit soft rather than introducing an ABBA deadlock between
+// sn.mu orderings).
+func (s *Server) parkForRoom(incoming *Session) {
+	s.sessMu.Lock()
+	others := make([]*Session, 0, len(s.sessions))
+	for _, sn := range s.sessions {
+		if sn != incoming {
+			others = append(others, sn)
+		}
+	}
+	s.sessMu.Unlock()
+
+	type cand struct {
+		sn   *Session
+		last time.Time
+	}
+	live := 0
+	var cands []cand
+	for _, sn := range others {
+		if !sn.mu.TryLock() {
+			// busy ⇒ resident and unparkable right now
+			live++
+			continue
+		}
+		if sn.status == SessionActive {
+			live++
+			if !sn.pinned {
+				cands = append(cands, cand{sn, sn.lastUsed})
+			}
+		}
+		sn.mu.Unlock()
+	}
+	need := live + 1 - s.cfg.MaxLiveSessions
+	if need <= 0 {
+		return
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].last.Before(cands[j].last) })
+	for _, c := range cands {
+		if need <= 0 {
+			return
+		}
+		if !c.sn.mu.TryLock() {
+			continue
+		}
+		if c.sn.status == SessionActive && !c.sn.pinned {
+			// The engine (and its cumulative result) is discarded: replay
+			// reconstructs both exactly, startup included.
+			c.sn.live.Close()
+			c.sn.live = nil
+			c.sn.status = SessionParked
+			s.sessParks.Add(1)
+			need--
+		}
+		c.sn.mu.Unlock()
+	}
+}
+
+// closeAllSessions finalizes every live or parked session (drain path).
+func (s *Server) closeAllSessions() {
+	s.sessMu.Lock()
+	all := make([]*Session, 0, len(s.sessions))
+	for _, sn := range s.sessions {
+		all = append(all, sn)
+	}
+	s.sessMu.Unlock()
+	for _, sn := range all {
+		sn.mu.Lock()
+		switch sn.status {
+		case SessionActive:
+			sn.res = sn.live.Close()
+			sn.live = nil
+			sn.status = SessionClosed
+			s.sessClosed.Add(1)
+		case SessionParked:
+			sn.status = SessionClosed
+			sn.log, sn.logReqs = nil, 0
+			s.sessClosed.Add(1)
+		}
+		sn.mu.Unlock()
+	}
+}
+
+// ---- handlers ----
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req SessionRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes+4096)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeErr(w, r, http.StatusBadRequest, CodeInvalidArgument, "bad request body: "+err.Error(), 0)
+		return
+	}
+	sn, err := s.resolveSession(&req)
+	if err != nil {
+		writeErr(w, r, http.StatusBadRequest, CodeInvalidArgument, err.Error(), 0)
+		return
+	}
+	if err := s.beginSessionOp(); err != nil {
+		writeErr(w, r, http.StatusServiceUnavailable, CodeDraining, err.Error(), int64(s.retryAfter())*1000)
+		return
+	}
+	defer s.sessWg.Done()
+
+	s.sessMu.Lock()
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.sessMu.Unlock()
+		writeErr(w, r, http.StatusTooManyRequests, CodeSaturated, "session table is full", int64(s.retryAfter())*1000)
+		return
+	}
+	sn.ID = fmt.Sprintf("s%08d", s.nextSess.Add(1))
+	s.sessions[sn.ID] = sn
+	s.sessMu.Unlock()
+
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	s.parkForRoom(sn)
+	// Creation (compile + startup) is bounded by the server default; feeds
+	// carry their own per-feed deadlines afterwards.
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.DefaultTimeout)
+	defer cancel()
+	if err := s.boot(ctx, sn); err != nil {
+		s.dropSession(sn.ID)
+		status, code := http.StatusBadRequest, CodeInvalidArgument
+		if errors.Is(err, context.DeadlineExceeded) {
+			status, code = http.StatusGatewayTimeout, CodeDeadlineExceeded
+		}
+		writeErr(w, r, status, code, err.Error(), 0)
+		return
+	}
+	sn.status = SessionActive
+	sn.lastUsed = time.Now()
+	s.sessCreated.Add(1)
+	writeJSON(w, http.StatusCreated, sn.viewLocked())
+}
+
+func (s *Server) handleSessionFeed(w http.ResponseWriter, r *http.Request) {
+	sn := s.session(r.PathValue("id"))
+	if sn == nil {
+		writeErr(w, r, http.StatusNotFound, CodeNotFound, "no such session", 0)
+		return
+	}
+	var req FeedRequest
+	body := http.MaxBytesReader(w, r.Body, 8<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeErr(w, r, http.StatusBadRequest, CodeInvalidArgument, "bad request body: "+err.Error(), 0)
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeErr(w, r, http.StatusBadRequest, CodeInvalidArgument, "requests must be non-empty", 0)
+		return
+	}
+	accept := time.Now()
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	if err := s.beginSessionOp(); err != nil {
+		writeErr(w, r, http.StatusServiceUnavailable, CodeDraining, err.Error(), int64(s.retryAfter())*1000)
+		return
+	}
+	defer s.sessWg.Done()
+
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	switch sn.status {
+	case SessionClosed, SessionFailed:
+		msg := "session is " + sn.status
+		if sn.errMsg != "" {
+			msg += ": " + sn.errMsg
+		}
+		writeErr(w, r, http.StatusConflict, CodeFailedPrecondition, msg, 0)
+		return
+	}
+
+	// The feed deadline is anchored here, at accept — NOT at session
+	// creation. Sessions are long-lived by design; inheriting the
+	// admission-anchored job deadline would expire every session one
+	// timeout window after it was created.
+	ctx, cancel := context.WithDeadline(s.baseCtx, accept.Add(timeout))
+	defer cancel()
+
+	replayed := false
+	if sn.status == SessionParked {
+		if err := s.revive(ctx, sn); err != nil {
+			s.failLocked(sn, err)
+			status, code := http.StatusInternalServerError, CodeInternal
+			if errors.Is(err, context.DeadlineExceeded) {
+				status, code = http.StatusGatewayTimeout, CodeDeadlineExceeded
+			}
+			writeErr(w, r, status, code, "revive: "+err.Error(), 0)
+			return
+		}
+		replayed = true
+	}
+
+	objs, err := sn.live.Feed(ctx, sn.injects(req.Requests))
+	if err != nil && objs == nil {
+		if errors.Is(err, bamboort.ErrInject) {
+			// Rejected before anything was routed; the session stays live.
+			writeErr(w, r, http.StatusBadRequest, CodeInvalidArgument, err.Error(), 0)
+			return
+		}
+		s.failLocked(sn, err)
+		status, code := http.StatusInternalServerError, CodeInternal
+		if errors.Is(err, context.DeadlineExceeded) {
+			status, code = http.StatusGatewayTimeout, CodeDeadlineExceeded
+		}
+		writeErr(w, r, status, code, err.Error(), 0)
+		return
+	}
+
+	// Read replies BEFORE any engine teardown: failLocked releases the
+	// arena heap the reply objects live in.
+	replies := make([]FeedReply, len(objs))
+	for i, o := range objs {
+		rep := core.RenderReply(o, sn.spec.DoneFlag, sn.spec.ReplyFields)
+		replies[i] = FeedReply{Done: rep.Done, Fields: rep.Fields}
+	}
+	if err != nil {
+		// Concurrent runtime degraded mid-batch: the accepted requests
+		// completed via the sequential drain, so the client gets its
+		// replies, but the session cannot serve further batches.
+		s.failLocked(sn, err)
+	} else if !sn.pinned {
+		sn.log = append(sn.log, req)
+		sn.logReqs += len(req.Requests)
+		if sn.logReqs > s.cfg.MaxSessionLog {
+			// Replay would cost more than residency: pin the session and
+			// drop the history.
+			sn.pinned = true
+			sn.log, sn.logReqs = nil, 0
+		}
+	}
+	sn.fed += int64(len(objs))
+	sn.batches++
+	sn.lastUsed = time.Now()
+
+	batchNS := time.Since(accept).Nanoseconds()
+	for range objs {
+		s.feedLat.Observe(batchNS)
+	}
+	s.sessFeeds.Add(1)
+	s.sessReqs.Add(int64(len(objs)))
+	writeJSON(w, http.StatusOK, FeedResponse{Replies: replies, LatencyNS: batchNS, Replayed: replayed})
+}
+
+func (s *Server) handleSessionStatus(w http.ResponseWriter, r *http.Request) {
+	sn := s.session(r.PathValue("id"))
+	if sn == nil {
+		writeErr(w, r, http.StatusNotFound, CodeNotFound, "no such session", 0)
+		return
+	}
+	sn.mu.Lock()
+	v := sn.viewLocked()
+	sn.mu.Unlock()
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
+	sn := s.session(r.PathValue("id"))
+	if sn == nil {
+		writeErr(w, r, http.StatusNotFound, CodeNotFound, "no such session", 0)
+		return
+	}
+	sn.mu.Lock()
+	switch sn.status {
+	case SessionActive:
+		sn.res = sn.live.Close()
+		sn.live = nil
+		sn.status = SessionClosed
+		sn.log, sn.logReqs = nil, 0
+		s.sessClosed.Add(1)
+	case SessionParked:
+		sn.status = SessionClosed
+		sn.log, sn.logReqs = nil, 0
+		s.sessClosed.Add(1)
+	}
+	v := sn.viewLocked()
+	sn.mu.Unlock()
+	writeJSON(w, http.StatusOK, v)
+}
+
+// SessionStats is the /varz view of the session layer.
+type SessionStats struct {
+	Created int64 `json:"created"`
+	Closed  int64 `json:"closed"`
+	Failed  int64 `json:"failed"`
+	// Parks counts eviction events; Replays counts revivals.
+	Parks   int64 `json:"parks"`
+	Replays int64 `json:"replays"`
+	// Active / Parked are current counts.
+	Active int `json:"active"`
+	Parked int `json:"parked"`
+	Feeds  int64 `json:"feeds"`
+	// Requests counts fed requests; LatencyNS is their per-request
+	// accept-to-quiescence latency histogram.
+	Requests  int64                  `json:"requests"`
+	LatencyNS obsv.HistogramSnapshot `json:"request_latency_ns"`
+}
+
+func (s *Server) sessionStats() SessionStats {
+	st := SessionStats{
+		Created:   s.sessCreated.Load(),
+		Closed:    s.sessClosed.Load(),
+		Failed:    s.sessFailed.Load(),
+		Parks:     s.sessParks.Load(),
+		Replays:   s.sessReplays.Load(),
+		Feeds:     s.sessFeeds.Load(),
+		Requests:  s.sessReqs.Load(),
+		LatencyNS: s.feedLat.Snapshot(),
+	}
+	s.sessMu.Lock()
+	all := make([]*Session, 0, len(s.sessions))
+	for _, sn := range s.sessions {
+		all = append(all, sn)
+	}
+	s.sessMu.Unlock()
+	for _, sn := range all {
+		if !sn.mu.TryLock() {
+			// mid-feed ⇒ active
+			st.Active++
+			continue
+		}
+		switch sn.status {
+		case SessionActive:
+			st.Active++
+		case SessionParked:
+			st.Parked++
+		}
+		sn.mu.Unlock()
+	}
+	return st
+}

@@ -19,10 +19,18 @@
 # p50/p95/p99 latency, backpressure retries, and the steady-state cache
 # hit rate into BENCH_server.json.
 #
-# Usage: scripts/bench.sh [output.json] [runtime-output.json] [interp-output.json] [server-output.json]
-#   BENCH_SECTIONS space-separated subset of "synthesis runtime interp server"
-#                  to run (default: all). Benchmarks on a shared box are
-#                  noisy; re-rolling one section beats re-rolling them all.
+# Finally finally, runs the persistent-session streaming benchmark: one
+# KVStore session per core count driven open-loop (fixed request rate in
+# bursts, regardless of completion) by scripts/loadgen.go -stream, with
+# every reply verified against a client-side model of the store. The
+# sustained RPS and p50/p95/p99 request latency per core count go to
+# BENCH_stream.json.
+#
+# Usage: scripts/bench.sh [output.json] [runtime-output.json] [interp-output.json] [server-output.json] [stream-output.json]
+#   BENCH_SECTIONS space-separated subset of "synthesis runtime interp
+#                  server stream" to run (default: all). Benchmarks on a
+#                  shared box are noisy; re-rolling one section beats
+#                  re-rolling them all.
 #   BENCH_PATTERN  override the benchmark regexp
 #   BENCH_TIME     override -benchtime (default 5x)
 #   RUNTIME_CORES  cores for the runtime counter snapshot (default 4)
@@ -32,11 +40,14 @@
 #                  the micros of samples and their ratios come out as noise)
 #   SERVER_CLIENTS concurrent load-harness clients (default 64)
 #   SERVER_JOBS    jobs per client (default 3)
+#   STREAM_CORES   core counts for the streaming runs (default 1,2,4,8)
+#   STREAM_RATE    open-loop request rate per second (default 1000)
+#   STREAM_TIME    generator duration per core count (default 5s)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-sections="${BENCH_SECTIONS:-synthesis runtime interp server}"
+sections="${BENCH_SECTIONS:-synthesis runtime interp server stream}"
 want() { case " $sections " in *" $1 "*) return 0 ;; *) return 1 ;; esac; }
 
 out="${1:-BENCH_synthesis.json}"
@@ -164,4 +175,20 @@ if want server; then
     go run ./scripts -clients "$sclients" -jobs "$sjobs" -out "$sout"
 
     echo "wrote $sout" >&2
+fi
+
+# Streaming benchmark: one persistent KVStore session per core count,
+# driven open-loop against an in-process server; every reply is verified
+# client-side, so a nonzero exit here means lost/reordered responses.
+stout="${5:-BENCH_stream.json}"
+stcores="${STREAM_CORES:-1,2,4,8}"
+strate="${STREAM_RATE:-1000}"
+sttime="${STREAM_TIME:-5s}"
+
+if want stream; then
+    echo "running: go run ./scripts -stream -stream-cores $stcores -rate $strate -stream-duration $sttime -out $stout" >&2
+    go run ./scripts -stream -stream-cores "$stcores" -rate "$strate" \
+        -stream-duration "$sttime" -out "$stout"
+
+    echo "wrote $stout" >&2
 fi

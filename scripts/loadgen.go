@@ -1,45 +1,49 @@
-// Command loadgen is the bambood load harness: it drives N concurrent
-// clients over the embedded benchmark suite against a bambood instance
-// and emits BENCH_server.json with throughput, client-observed latency
-// quantiles, retry/backpressure counts, and the server's own /varz view
-// (cache hit rate, queue, latency histograms).
+// Command loadgen is the bambood load harness, built on the typed /v1
+// client (internal/server/client). It has two modes:
 //
-// By default it starts an in-process server (same code path as bambood)
-// on a loopback listener, so `go run ./scripts` needs no running daemon;
-// -addr points it at an external bambood instead.
+// Jobs mode (default) drives N concurrent clients over the embedded
+// benchmark suite and emits BENCH_server.json with throughput,
+// client-observed latency quantiles, retry/backpressure counts, and the
+// server's own /varz view.
+//
+// Streaming mode (-stream) is the persistent-session benchmark: it
+// creates one KVStore session per core count, then drives it with an
+// open-loop bursty generator — requests are produced at a fixed rate
+// regardless of completion, queue into batches, and are fed to the live
+// session. Every reply is checked against a client-side model of the
+// store: a missing reply, a wrong version, or a stale value counts as
+// lost/reordered and fails the run. The result (sustained RPS and
+// p50/p95/p99 request latency per core count) goes to BENCH_stream.json.
+//
+// By default either mode starts an in-process server (same code path as
+// bambood) on a loopback listener; -addr points at an external daemon.
 //
 // Usage:
 //
 //	go run ./scripts [-addr host:port] [-clients 64] [-jobs 3]
 //	                 [-engine deterministic] [-cores 1] [-out BENCH_server.json]
-//
-// The harness has two phases. The warmup phase submits each benchmark
-// once and waits, populating the compiled-program cache; the load phase
-// then runs clients×jobs submissions, so the steady-state cache hit rate
-// (reported separately from the lifetime rate) reflects a warm server.
-// Clients honor Retry-After on 429/503 and resubmit, so accepted work is
-// never abandoned; a job that is accepted but fails to reach a terminal
-// status within the harness deadline is counted as dropped — the run
-// fails if any job is.
+//	go run ./scripts -stream [-stream-cores 1,2,4,8] [-rate 1000]
+//	                 [-burst 20ms] [-stream-duration 5s] [-out BENCH_stream.json]
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
-	"net/http"
 	"net/http/httptest"
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/benchmarks"
 	"repro/internal/server"
+	"repro/internal/server/client"
 )
 
 func main() {
@@ -49,14 +53,75 @@ func main() {
 	}
 }
 
+func run() error {
+	addr := flag.String("addr", "", "bambood base URL (empty: start an in-process server)")
+	clients := flag.Int("clients", 64, "concurrent clients (jobs mode)")
+	jobsPer := flag.Int("jobs", 3, "jobs per client in the load phase (jobs mode)")
+	engine := flag.String("engine", "deterministic", "execution engine")
+	cores := flag.Int("cores", 1, "cores per job (jobs mode)")
+	seed := flag.Int64("seed", 1, "layout synthesis seed")
+	timeout := flag.Duration("job-timeout", 2*time.Minute, "per-job deadline sent with each submission")
+	deadline := flag.Duration("deadline", 10*time.Minute, "overall harness deadline")
+	out := flag.String("out", "", "output JSON path (default BENCH_server.json / BENCH_stream.json)")
+
+	stream := flag.Bool("stream", false, "streaming mode: persistent-session KVStore benchmark")
+	streamCores := flag.String("stream-cores", "1,2,4,8", "comma-separated core counts for streaming runs")
+	rate := flag.Int("rate", 1000, "open-loop request rate per second (streaming)")
+	burst := flag.Duration("burst", 20*time.Millisecond, "burst interval: requests are emitted in bursts of rate*burst (streaming)")
+	streamDur := flag.Duration("stream-duration", 5*time.Second, "generator duration per core count (streaming)")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		srv := server.New(server.Config{})
+		ts := httptest.NewServer(srv.Handler())
+		defer func() {
+			ts.Close()
+			srv.Close()
+		}()
+		base = ts.URL
+		fmt.Fprintf(os.Stderr, "loadgen: in-process server at %s\n", base)
+	}
+	cl := client.New(base)
+
+	if *stream {
+		o := *out
+		if o == "" {
+			o = "BENCH_stream.json"
+		}
+		return runStream(cl, *streamCores, *rate, *burst, *streamDur, o)
+	}
+	o := *out
+	if o == "" {
+		o = "BENCH_server.json"
+	}
+	return runJobs(cl, *clients, *jobsPer, *engine, *cores, *seed, *timeout, *deadline, o)
+}
+
+func writeDoc(path string, doc any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ---- jobs mode ----
+
 type totals struct {
-	submitted  atomic.Int64 // POST attempts, including retried ones
-	accepted   atomic.Int64
-	rejected   atomic.Int64 // 429/503 bounces (each is retried)
-	succeeded  atomic.Int64
-	failed     atomic.Int64
-	dropped    atomic.Int64 // accepted but never reached a terminal status
-	inFlight   atomic.Int64 // accepted, not yet terminal
+	submitted   atomic.Int64 // POST attempts, including retried ones
+	accepted    atomic.Int64
+	rejected    atomic.Int64 // 429/503 bounces (each is retried)
+	succeeded   atomic.Int64
+	failed      atomic.Int64
+	dropped     atomic.Int64 // accepted but never reached a terminal status
+	inFlight    atomic.Int64 // accepted, not yet terminal
 	maxInFlight atomic.Int64
 }
 
@@ -70,34 +135,7 @@ func (t *totals) noteInFlight(d int64) {
 	}
 }
 
-func run() error {
-	addr := flag.String("addr", "", "bambood base URL (empty: start an in-process server)")
-	clients := flag.Int("clients", 64, "concurrent clients")
-	jobsPer := flag.Int("jobs", 3, "jobs per client in the load phase")
-	engine := flag.String("engine", "deterministic", "execution engine for submitted jobs")
-	cores := flag.Int("cores", 1, "cores per job")
-	seed := flag.Int64("seed", 1, "layout synthesis seed")
-	timeout := flag.Duration("job-timeout", 2*time.Minute, "per-job deadline sent with each submission")
-	deadline := flag.Duration("deadline", 10*time.Minute, "overall harness deadline")
-	out := flag.String("out", "BENCH_server.json", "output JSON path")
-	flag.Parse()
-
-	base := *addr
-	if base == "" {
-		srv := server.New(server.Config{})
-		ts := httptest.NewServer(srv.Handler())
-		defer func() {
-			ts.Close()
-			srv.Close()
-		}()
-		base = ts.URL
-		fmt.Fprintf(os.Stderr, "loadgen: in-process server at %s\n", base)
-	} else if base[0] == ':' {
-		base = "http://localhost" + base
-	} else if len(base) < 4 || base[:4] != "http" {
-		base = "http://" + base
-	}
-
+func runJobs(cl *client.Client, clients, jobsPer int, engine string, cores int, seed int64, timeout, deadline time.Duration, out string) error {
 	var suite []string
 	for _, b := range benchmarks.All() {
 		suite = append(suite, b.Name)
@@ -105,36 +143,37 @@ func run() error {
 	if len(suite) == 0 {
 		return fmt.Errorf("no embedded benchmarks")
 	}
-	hardStop := time.Now().Add(*deadline)
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
 
 	// Warmup: one submission per benchmark fills the cache, so the load
 	// phase measures a warm server.
 	fmt.Fprintf(os.Stderr, "loadgen: warmup over %d benchmarks\n", len(suite))
 	var warm totals
 	for _, name := range suite {
-		if _, err := oneJob(base, name, *engine, *cores, *seed, *timeout, hardStop, &warm, nil); err != nil {
+		if _, err := oneJob(ctx, cl, name, engine, cores, seed, timeout, &warm); err != nil {
 			return fmt.Errorf("warmup %s: %w", name, err)
 		}
 	}
-	preVarz, err := fetchVarz(base)
+	preVarz, err := cl.Varz(ctx)
 	if err != nil {
 		return err
 	}
 
 	// Load phase.
-	fmt.Fprintf(os.Stderr, "loadgen: load phase, %d clients x %d jobs\n", *clients, *jobsPer)
+	fmt.Fprintf(os.Stderr, "loadgen: load phase, %d clients x %d jobs\n", clients, jobsPer)
 	var tot totals
-	latCh := make(chan time.Duration, *clients**jobsPer)
-	errCh := make(chan error, *clients)
+	latCh := make(chan time.Duration, clients*jobsPer)
+	errCh := make(chan error, clients)
 	start := time.Now()
 	var wg sync.WaitGroup
-	for c := 0; c < *clients; c++ {
+	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			for i := 0; i < *jobsPer; i++ {
+			for i := 0; i < jobsPer; i++ {
 				name := suite[(c+i)%len(suite)]
-				lat, err := oneJob(base, name, *engine, *cores, *seed, *timeout, hardStop, &tot, nil)
+				lat, err := oneJob(ctx, cl, name, engine, cores, seed, timeout, &tot)
 				if err != nil {
 					select {
 					case errCh <- fmt.Errorf("client %d job %d (%s): %w", c, i, name, err):
@@ -158,26 +197,16 @@ func run() error {
 	for l := range latCh {
 		lats = append(lats, l)
 	}
-	postVarz, err := fetchVarz(base)
+	postVarz, err := cl.Varz(ctx)
 	if err != nil {
 		return err
 	}
 
-	doc := report(*clients, *jobsPer, *engine, *cores, suite, &tot, lats, wall, preVarz, postVarz)
+	doc := report(clients, jobsPer, engine, cores, suite, &tot, lats, wall, &preVarz, &postVarz)
 	if tot.dropped.Load() > 0 {
 		return fmt.Errorf("%d accepted jobs were dropped", tot.dropped.Load())
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := writeDoc(out, doc); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr,
@@ -185,105 +214,311 @@ func run() error {
 		len(lats), wall.Seconds(), doc.ThroughputJobsPerSec,
 		doc.LatencyMS.P50, doc.LatencyMS.P95, doc.LatencyMS.P99,
 		doc.SteadyCacheHitRate*100, tot.maxInFlight.Load())
-	fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", *out)
+	fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", out)
 	return nil
 }
 
-// oneJob submits one benchmark job, retrying 429/503 bounces with the
-// server's Retry-After hint, then polls it to a terminal status and
-// returns the accepted-to-terminal latency.
-func oneJob(base, bench, engine string, cores int, seed int64, timeout time.Duration, hardStop time.Time, tot *totals, args []string) (time.Duration, error) {
-	body, _ := json.Marshal(map[string]any{
-		"benchmark":  bench,
-		"args":       args,
-		"engine":     engine,
-		"cores":      cores,
-		"seed":       seed,
-		"timeout_ms": timeout.Milliseconds(),
-	})
+// oneJob submits one benchmark job through the typed client, backing off
+// on saturated/draining rejections with the server's Retry-After hint,
+// then awaits a terminal status and returns accepted-to-terminal latency.
+func oneJob(ctx context.Context, cl *client.Client, bench, engine string, cores int, seed int64, timeout time.Duration, tot *totals) (time.Duration, error) {
+	req := server.SubmitRequest{
+		Benchmark: bench,
+		Engine:    engine,
+		Cores:     cores,
+		Seed:      seed,
+		TimeoutMS: timeout.Milliseconds(),
+	}
 	var id string
 	for {
-		if time.Now().After(hardStop) {
-			return 0, fmt.Errorf("harness deadline while submitting")
-		}
 		tot.submitted.Add(1)
-		resp, err := http.Post(base+"/api/v1/jobs", "application/json", bytes.NewReader(body))
-		if err != nil {
-			return 0, err
-		}
-		switch resp.StatusCode {
-		case http.StatusAccepted:
-			var sub server.SubmitResponse
-			err := json.NewDecoder(resp.Body).Decode(&sub)
-			resp.Body.Close()
-			if err != nil {
-				return 0, err
-			}
+		sub, err := cl.SubmitJob(ctx, req)
+		if err == nil {
 			id = sub.ID
-		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
-			tot.rejected.Add(1)
-			after := time.Second
-			if s := resp.Header.Get("Retry-After"); s != "" {
-				if sec, err := strconv.Atoi(s); err == nil && sec > 0 {
-					after = time.Duration(sec) * time.Second
-				}
-			}
-			resp.Body.Close()
-			time.Sleep(after)
-			continue
-		default:
-			resp.Body.Close()
-			return 0, fmt.Errorf("submit: HTTP %d", resp.StatusCode)
+			break
 		}
-		break
+		if client.IsCode(err, server.CodeSaturated) || client.IsCode(err, server.CodeDraining) {
+			tot.rejected.Add(1)
+			after := client.RetryAfter(err)
+			if after <= 0 {
+				after = time.Second
+			}
+			select {
+			case <-ctx.Done():
+				return 0, fmt.Errorf("harness deadline while submitting: %w", ctx.Err())
+			case <-time.After(after):
+			}
+			continue
+		}
+		return 0, err
 	}
 
 	tot.accepted.Add(1)
 	tot.noteInFlight(1)
 	defer tot.noteInFlight(-1)
 	accepted := time.Now()
-	for {
-		if time.Now().After(hardStop) {
-			tot.dropped.Add(1)
-			return 0, fmt.Errorf("job %s never reached a terminal status", id)
+	v, err := cl.AwaitJob(ctx, id)
+	if err != nil {
+		tot.dropped.Add(1)
+		return 0, fmt.Errorf("job %s never reached a terminal status: %w", id, err)
+	}
+	switch v.Status {
+	case server.StatusSucceeded:
+		tot.succeeded.Add(1)
+		if v.Result == nil || v.Result.TotalCycles <= 0 {
+			return 0, fmt.Errorf("job %s succeeded with empty result", id)
 		}
-		resp, err := http.Get(base + "/api/v1/jobs/" + id)
-		if err != nil {
-			return 0, err
-		}
-		var v server.JobView
-		err = json.NewDecoder(resp.Body).Decode(&v)
-		resp.Body.Close()
-		if err != nil {
-			return 0, err
-		}
-		switch v.Status {
-		case server.StatusSucceeded:
-			tot.succeeded.Add(1)
-			if v.Result == nil || v.Result.TotalCycles <= 0 {
-				return 0, fmt.Errorf("job %s succeeded with empty result", id)
-			}
-			return time.Since(accepted), nil
-		case server.StatusFailed, server.StatusCanceled:
-			tot.failed.Add(1)
-			return 0, fmt.Errorf("job %s: %s (%s)", id, v.Status, v.Error)
-		}
-		time.Sleep(5 * time.Millisecond)
+		return time.Since(accepted), nil
+	default:
+		tot.failed.Add(1)
+		return 0, fmt.Errorf("job %s: %s (%s)", id, v.Status, v.Error)
 	}
 }
 
-func fetchVarz(base string) (*server.Varz, error) {
-	resp, err := http.Get(base + "/varz")
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	var v server.Varz
-	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
-		return nil, fmt.Errorf("varz: %w", err)
-	}
-	return &v, nil
+// ---- streaming mode ----
+
+// kvModel is the client-side mirror of the KV store used to verify every
+// reply: puts must come back with the exact next version for their key
+// (per-key FIFO), gets must see the latest put value. Any deviation is a
+// lost or reordered response.
+type kvModel struct {
+	putCount map[int]int
+	lastVal  map[int]int
 }
+
+func (m *kvModel) check(op, key, val int, rep server.FeedReply) error {
+	if !rep.Done {
+		return fmt.Errorf("key %d: request not replied (lost)", key)
+	}
+	version, _ := strconv.Atoi(rep.Fields["version"])
+	reply, _ := strconv.Atoi(rep.Fields["reply"])
+	found := rep.Fields["found"]
+	if op == 1 { // put
+		m.putCount[key]++
+		if version != m.putCount[key] {
+			return fmt.Errorf("key %d: put version %d, want %d (reordered)", key, version, m.putCount[key])
+		}
+		if reply != val {
+			return fmt.Errorf("key %d: put echoed %d, want %d", key, reply, val)
+		}
+		m.lastVal[key] = val
+		return nil
+	}
+	if m.putCount[key] == 0 {
+		if found != "0" {
+			return fmt.Errorf("key %d: get found=%s before any put", key, found)
+		}
+		return nil
+	}
+	if found != "1" {
+		return fmt.Errorf("key %d: get missed after %d puts (lost write)", key, m.putCount[key])
+	}
+	if reply != m.lastVal[key] {
+		return fmt.Errorf("key %d: get %d, want latest put %d (stale/reordered)", key, reply, m.lastVal[key])
+	}
+	if version != m.putCount[key] {
+		return fmt.Errorf("key %d: get version %d, want %d", key, version, m.putCount[key])
+	}
+	return nil
+}
+
+// kvSessionSpec is the injection/reply contract for examples/kvstore.bb.
+func kvSessionSpec(cores int, engine string) server.SessionRequest {
+	return server.SessionRequest{
+		Benchmark: "KVStore",
+		Engine:    engine,
+		Cores:     cores,
+		// 8 shards, 64 warm keys, 64 slots per shard: the warm-up workload
+		// doubles as the compile-time state-coverage driver.
+		Args: []string{"8", "64", "64"},
+		Request: server.SessionRequestSpec{
+			Class:       "Request",
+			Flag:        "pending",
+			TagType:     "shard",
+			DoneFlag:    "replied",
+			ReplyFields: []string{"reply", "version", "found"},
+		},
+	}
+}
+
+type pendingReq struct {
+	op, key, val int
+	born         time.Time
+}
+
+// streamRun is one core count's entry in BENCH_stream.json.
+type streamRun struct {
+	Cores     int       `json:"cores"`
+	Requests  int64     `json:"requests"`
+	Batches   int64     `json:"batches"`
+	MaxBatch  int       `json:"max_batch"`
+	WallMS    float64   `json:"wall_ms"`
+	RPS       float64   `json:"rps"`
+	LatencyMS quantiles `json:"latency_ms"`
+	Replays   int64     `json:"session_replays"`
+}
+
+type streamDoc struct {
+	Config struct {
+		Benchmark  string  `json:"benchmark"`
+		Engine     string  `json:"engine"`
+		RatePerSec int     `json:"rate_per_sec"`
+		BurstMS    float64 `json:"burst_ms"`
+		DurationMS float64 `json:"duration_ms"`
+	} `json:"config"`
+	Runs []streamRun `json:"runs"`
+	Varz server.Varz `json:"server_varz"`
+}
+
+func runStream(cl *client.Client, coreList string, rate int, burst, dur time.Duration, out string) error {
+	var coreCounts []int
+	for _, s := range strings.Split(coreList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad -stream-cores entry %q", s)
+		}
+		coreCounts = append(coreCounts, n)
+	}
+	doc := &streamDoc{}
+	doc.Config.Benchmark = "KVStore"
+	doc.Config.Engine = "deterministic"
+	doc.Config.RatePerSec = rate
+	doc.Config.BurstMS = float64(burst.Nanoseconds()) / 1e6
+	doc.Config.DurationMS = float64(dur.Nanoseconds()) / 1e6
+
+	ctx := context.Background()
+	for _, n := range coreCounts {
+		run, err := streamOne(ctx, cl, n, rate, burst, dur)
+		if err != nil {
+			return fmt.Errorf("stream %d cores: %w", n, err)
+		}
+		doc.Runs = append(doc.Runs, *run)
+		fmt.Fprintf(os.Stderr,
+			"loadgen: stream cores=%d: %d requests in %.1fs (%.0f rps), p50=%.2fms p95=%.2fms p99=%.2fms\n",
+			n, run.Requests, run.WallMS/1e3, run.RPS,
+			run.LatencyMS.P50, run.LatencyMS.P95, run.LatencyMS.P99)
+	}
+	varz, err := cl.Varz(ctx)
+	if err != nil {
+		return err
+	}
+	doc.Varz = varz
+	if err := writeDoc(out, doc); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", out)
+	return nil
+}
+
+// streamOne drives one persistent session open-loop: the generator emits
+// bursts at the configured rate no matter how fast the server drains
+// them, the feeder batches whatever has queued up, and every reply is
+// verified against the client-side model. All generated requests must
+// complete — the feeder drains the backlog after the generator stops.
+func streamOne(ctx context.Context, cl *client.Client, cores, rate int, burst, dur time.Duration) (*streamRun, error) {
+	view, err := cl.CreateSession(ctx, kvSessionSpec(cores, "deterministic"))
+	if err != nil {
+		return nil, fmt.Errorf("create session: %w", err)
+	}
+	defer cl.CloseSession(ctx, view.ID)
+
+	perBurst := int(float64(rate) * burst.Seconds())
+	if perBurst < 1 {
+		perBurst = 1
+	}
+	queue := make(chan pendingReq, 1<<17)
+	go func() {
+		defer close(queue)
+		ticker := time.NewTicker(burst)
+		defer ticker.Stop()
+		end := time.Now().Add(dur)
+		i := 0
+		for time.Now().Before(end) {
+			<-ticker.C
+			now := time.Now()
+			for j := 0; j < perBurst; j++ {
+				// Keys above the warm range (0..63), over 384 distinct keys —
+				// 48 per shard, within the 56 slots each shard has free after
+				// warm-up; two puts per get keeps versions advancing.
+				key := 1000 + (i*7919)%384
+				op := 1
+				if i%3 == 2 {
+					op = 0
+				}
+				queue <- pendingReq{op: op, key: key, val: 100000 + i, born: now}
+				i++
+			}
+		}
+	}()
+
+	model := &kvModel{putCount: map[int]int{}, lastVal: map[int]int{}}
+	var lats []time.Duration
+	var requests, batches, replays int64
+	maxBatch := 0
+	const batchCap = 512
+	start := time.Now()
+	for first := range queue {
+		batch := []pendingReq{first}
+	fill:
+		for len(batch) < batchCap {
+			select {
+			case p, ok := <-queue:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, p)
+			default:
+				break fill
+			}
+		}
+		items := make([]server.FeedItem, len(batch))
+		for i, p := range batch {
+			items[i] = server.FeedItem{
+				Args:   []string{strconv.Itoa(p.op), strconv.Itoa(p.key), strconv.Itoa(p.val)},
+				TagKey: int64(p.key),
+			}
+		}
+		resp, err := cl.Feed(ctx, view.ID, server.FeedRequest{Requests: items})
+		if err != nil {
+			return nil, fmt.Errorf("feed (after %d requests): %w", requests, err)
+		}
+		if len(resp.Replies) != len(batch) {
+			return nil, fmt.Errorf("fed %d requests, got %d replies (lost)", len(batch), len(resp.Replies))
+		}
+		if resp.Replayed {
+			replays++
+		}
+		now := time.Now()
+		for i, p := range batch {
+			if err := model.check(p.op, p.key, p.val, resp.Replies[i]); err != nil {
+				return nil, err
+			}
+			lats = append(lats, now.Sub(p.born))
+		}
+		requests += int64(len(batch))
+		batches++
+		if len(batch) > maxBatch {
+			maxBatch = len(batch)
+		}
+	}
+	wall := time.Since(start)
+
+	run := &streamRun{
+		Cores:     cores,
+		Requests:  requests,
+		Batches:   batches,
+		MaxBatch:  maxBatch,
+		WallMS:    float64(wall.Nanoseconds()) / 1e6,
+		LatencyMS: summarize(lats),
+		Replays:   replays,
+	}
+	if wall > 0 {
+		run.RPS = float64(requests) / wall.Seconds()
+	}
+	return run, nil
+}
+
+// ---- shared reporting ----
 
 // quantiles is the client-observed latency summary in milliseconds.
 type quantiles struct {

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # End-to-end smoke test for bambood: build it, start it, submit one
-# benchmark job over HTTP, poll to completion, assert a successful result
-# with nonzero total_cycles, then SIGTERM the daemon and assert it drains
-# cleanly (exit 0). CI runs this as the `server` job's last step.
+# benchmark job over the /v1 API, poll to completion, assert a successful
+# result with nonzero total_cycles, check that the deprecated /api/v1
+# alias still answers with its legacy error shape, then SIGTERM the
+# daemon and assert it drains cleanly (exit 0). CI runs this as the
+# `server` job's last step; scripts/smoke_stream.sh covers the
+# persistent-session streaming path.
 #
 # Usage: scripts/smoke_server.sh [port]
 set -euo pipefail
@@ -25,16 +28,16 @@ daemon_pid=$!
 
 # Wait for the daemon to come up.
 for _ in $(seq 1 100); do
-    if curl -fsS "$base/healthz" >/dev/null 2>&1; then break; fi
+    if curl -fsS "$base/v1/healthz" >/dev/null 2>&1; then break; fi
     if ! kill -0 "$daemon_pid" 2>/dev/null; then
         echo "bambood exited during startup:" >&2; cat "$log" >&2; exit 1
     fi
     sleep 0.1
 done
-curl -fsS "$base/healthz" >/dev/null
+curl -fsS "$base/v1/healthz" >/dev/null
 
 # Submit a benchmark job.
-submit="$(curl -fsS -X POST "$base/api/v1/jobs" \
+submit="$(curl -fsS -X POST "$base/v1/jobs" \
     -H 'Content-Type: application/json' \
     -d '{"benchmark":"Series","args":["4","4","16"]}')"
 id="$(echo "$submit" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')"
@@ -44,7 +47,7 @@ echo "submitted job $id" >&2
 # Poll to a terminal status (HTTP 200 asserted by curl -f).
 status=""
 for _ in $(seq 1 300); do
-    view="$(curl -fsS "$base/api/v1/jobs/$id")"
+    view="$(curl -fsS "$base/v1/jobs/$id")"
     status="$(echo "$view" | sed -n 's/.*"status": *"\([^"]*\)".*/\1/p' | head -1)"
     case "$status" in
         succeeded|failed|canceled) break ;;
@@ -58,7 +61,19 @@ cycles="$(echo "$view" | sed -n 's/.*"total_cycles": *\([0-9]*\).*/\1/p' | head 
 echo "job succeeded with total_cycles=$cycles" >&2
 
 # /varz should report the completed job and a cache miss.
-curl -fsS "$base/varz" | grep -q '"submitted": 1'
+curl -fsS "$base/v1/varz" | grep -q '"submitted": 1'
+
+# The deprecated /api/v1 alias must still answer, flag its deprecation,
+# and keep the legacy {"error": ...} shape (the /v1 surface uses the
+# {code, message} envelope instead).
+alias_headers="$(curl -sS -D - -o /dev/null "$base/api/v1/jobs/j404")"
+echo "$alias_headers" | grep -qi '^deprecation:' \
+    || { echo "legacy alias lacks Deprecation header" >&2; exit 1; }
+curl -sS "$base/api/v1/jobs/j404" | grep -q '"error"' \
+    || { echo "legacy alias lost its error shape" >&2; exit 1; }
+curl -sS "$base/v1/jobs/j404" | grep -q '"code": *"not_found"' \
+    || { echo "/v1 error is not the uniform envelope" >&2; exit 1; }
+echo "legacy alias + /v1 envelope OK" >&2
 
 # Graceful drain on SIGTERM: the daemon must exit 0 on its own.
 kill -TERM "$daemon_pid"

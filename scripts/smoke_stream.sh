@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Streaming smoke test for bambood's persistent sessions: build the
+# daemon, start it, and drive one KVStore session open-loop for 10s with
+# the load harness in streaming mode. The harness fails on any lost,
+# reordered, or stale reply (client-side model check), so this script
+# only has to assert the aggregate shape: at least 10k requests flowed
+# through the one session and the sustained RPS is nonzero. Then SIGTERM
+# the daemon mid-idle and assert a clean drain. CI runs this as the
+# `stream-smoke` job.
+#
+# Usage: scripts/smoke_stream.sh [port]
+#   STREAM_RATE      open-loop request rate (default 1200/s => 12k in 10s)
+#   STREAM_DURATION  generator duration (default 10s)
+#   STREAM_CORES     core counts for the run (default "2")
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+port="${1:-8378}"
+rate="${STREAM_RATE:-1200}"
+duration="${STREAM_DURATION:-10s}"
+cores="${STREAM_CORES:-2}"
+base="http://127.0.0.1:$port"
+tmp="$(mktemp -d)"
+bin="$tmp/bambood"
+outjson="$tmp/BENCH_stream.json"
+log="$tmp/bambood.log"
+
+cleanup() {
+    [ -n "${daemon_pid:-}" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$bin" ./cmd/bambood
+"$bin" -addr ":$port" >"$log" 2>&1 &
+daemon_pid=$!
+
+for _ in $(seq 1 100); do
+    if curl -fsS "$base/v1/healthz" >/dev/null 2>&1; then break; fi
+    if ! kill -0 "$daemon_pid" 2>/dev/null; then
+        echo "bambood exited during startup:" >&2; cat "$log" >&2; exit 1
+    fi
+    sleep 0.1
+done
+curl -fsS "$base/v1/healthz" >/dev/null
+
+# The harness exits nonzero on any lost/reordered/stale reply.
+go run ./scripts -stream -addr "$base" \
+    -stream-cores "$cores" -rate "$rate" -stream-duration "$duration" \
+    -out "$outjson"
+
+# Aggregate shape: >=10k requests through the session, nonzero RPS.
+requests="$(sed -n 's/.*"requests": *\([0-9]*\).*/\1/p' "$outjson" | head -1)"
+rps="$(sed -n 's/.*"rps": *\([0-9]*\)\(\.[0-9]*\)\{0,1\}.*/\1/p' "$outjson" | head -1)"
+[ -n "$requests" ] && [ "$requests" -ge 10000 ] \
+    || { echo "requests=$requests, want >= 10000" >&2; cat "$outjson" >&2; exit 1; }
+[ -n "$rps" ] && [ "$rps" -gt 0 ] \
+    || { echo "rps=$rps, want > 0" >&2; cat "$outjson" >&2; exit 1; }
+echo "stream smoke: $requests requests at ~$rps rps, zero lost/reordered" >&2
+
+# Session counters made it into /varz.
+curl -fsS "$base/v1/varz" | grep -q '"sessions"' \
+    || { echo "/varz lacks session stats" >&2; exit 1; }
+
+# Graceful drain on SIGTERM.
+kill -TERM "$daemon_pid"
+drain_ok=0
+for _ in $(seq 1 100); do
+    if ! kill -0 "$daemon_pid" 2>/dev/null; then drain_ok=1; break; fi
+    sleep 0.1
+done
+[ "$drain_ok" = 1 ] || { echo "bambood did not exit after SIGTERM" >&2; exit 1; }
+wait "$daemon_pid" || { echo "bambood exited nonzero after SIGTERM:" >&2; cat "$log" >&2; exit 1; }
+grep -q "drained cleanly" "$log" || { echo "missing drain message:" >&2; cat "$log" >&2; exit 1; }
+daemon_pid=""
+echo "smoke_stream: OK" >&2
