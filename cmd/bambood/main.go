@@ -9,6 +9,7 @@
 //	bambood -addr :8080 [-exec-workers N] [-queue N] [-cache-entries N]
 //	        [-cache-bytes N] [-default-timeout d] [-drain-timeout d]
 //	        [-max-sessions N] [-live-sessions N] [-max-session-log N]
+//	        [-retain-sessions N]
 //
 // API (see DESIGN.md §11 and §13 and the README quick-start):
 //
@@ -63,9 +64,10 @@ func run() error {
 	defTimeout := flag.Duration("default-timeout", time.Minute, "per-job deadline when the request sets none")
 	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "largest per-job deadline a request may ask for")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long a drain may wait for in-flight jobs before canceling them")
-	maxSessions := flag.Int("max-sessions", 256, "session table bound; a full table rejects creates with 429")
+	maxSessions := flag.Int("max-sessions", 256, "bound on non-terminal (active+parked) sessions; a full table rejects creates with 429")
 	liveSessions := flag.Int("live-sessions", 8, "resident session engines; beyond this, idle deterministic sessions are parked and revived by replay")
 	sessionLog := flag.Int("max-session-log", 65536, "replay-log request bound per session; a session past it is pinned resident instead of parked")
+	retainSessions := flag.Int("retain-sessions", 1024, "closed/failed sessions kept for status queries; oldest forgotten first")
 	flag.Parse()
 
 	srv := server.New(server.Config{
@@ -78,6 +80,7 @@ func run() error {
 		MaxSessions:     *maxSessions,
 		MaxLiveSessions: *liveSessions,
 		MaxSessionLog:   *sessionLog,
+		RetainSessions:  *retainSessions,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

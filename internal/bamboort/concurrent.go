@@ -129,6 +129,11 @@ type crun struct {
 	rrMu sync.Mutex
 	rr   map[string]int
 
+	// session marks a persistent-session run: single-parameter tag-guarded
+	// tasks then route by tag hash (per-key shard affinity) instead of
+	// round-robin. One-shot runs keep the round-robin placement.
+	session bool
+
 	// degraded flips when a core is poisoned: workers stop dispatching and
 	// the coordinator drains the remaining work sequentially.
 	degraded atomic.Bool
@@ -408,7 +413,7 @@ func (r *crun) route(obj *interp.Object, fromCore int) {
 			dst = cs[0]
 		default:
 			dst = -1
-			if tagType := CommonTagType(pr.Task); tagType != "" {
+			if tagType := CommonTagType(pr.Task); tagType != "" && (len(pr.Task.Params) > 1 || r.session) {
 				if tag := firstTagOf(obj, tagType); tag != nil {
 					dst = cs[int(tag.ID)%len(cs)]
 				}

@@ -521,12 +521,15 @@ func (e *Engine) routeObject(obj *interp.Object, fromCore int, t int64, enqueueC
 		case len(cores) == 1:
 			dst = cores[0]
 		default:
-			if tagType := CommonTagType(pr.Task); tagType != "" {
+			if tagType := CommonTagType(pr.Task); tagType != "" && (len(pr.Task.Params) > 1 || e.session) {
 				// Hash the bound tag instance: multi-parameter joins so all
 				// objects of one tag group meet at the same instantiation,
-				// and single-parameter tag-guarded stages so one group's
-				// stream stays on one core in FIFO order (per-key ordering
-				// for streaming workloads).
+				// and — in session mode only — single-parameter tag-guarded
+				// stages so one group's stream stays on one core in FIFO
+				// order (per-key ordering for streaming workloads). One-shot
+				// runs keep round-robin for single-parameter tasks: a hot
+				// tag group would otherwise pin to one core, and the change
+				// would invalidate existing deterministic BENCH results.
 				if tag := firstTagOf(obj, tagType); tag != nil {
 					dst = cores[int(tag.ID)%len(cores)]
 					break

@@ -16,6 +16,12 @@ import (
 // serviceable; callers test with errors.Is.
 var ErrInject = errors.New("bamboort: bad injection")
 
+// ErrStale classifies feeds whose context was already done before any
+// object was built or routed. Nothing ran, so — like ErrInject — the
+// session stays serviceable; only a deadline blown mid-drain (after the
+// batch is in the graph and cannot be rolled back) poisons it.
+var ErrStale = errors.New("bamboort: feed context done before routing")
+
 // This file implements persistent sessions: a compiled program stays
 // resident in an engine with its heap/flag/tag state between requests, and
 // the environment injects each request as a parameter object into the live
@@ -130,6 +136,14 @@ func (e *Engine) Feed(ctx context.Context, batch []Inject) ([]*interp.Object, er
 	if e.sessErr != nil {
 		return nil, fmt.Errorf("bamboort: session failed: %w", e.sessErr)
 	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			// A deadline blown before routing (e.g. the caller waited out
+			// its budget queuing behind a slow batch) has done no work;
+			// reject without poisoning.
+			return nil, fmt.Errorf("%w: %v", ErrStale, err)
+		}
+	}
 	objs := make([]*interp.Object, len(batch))
 	for i, inj := range batch {
 		o, err := buildInject(e.prog, e.in.Heap, inj)
@@ -180,6 +194,10 @@ func StartConcurrentSession(ctx context.Context, prog *ir.Program, dep *depend.R
 	if err != nil {
 		return nil, err
 	}
+	// Flip to session routing before startup so the boot phase places
+	// objects the same way feeds will (and the same way a replayed boot
+	// does on the deterministic engine).
+	r.session = true
 	r.in.Heap.TrackTags()
 	r.injectStartup()
 	s := &ConcurrentSession{r: r}
@@ -211,6 +229,10 @@ func (s *ConcurrentSession) Feed(ctx context.Context, batch []Inject) ([]*interp
 	}
 	if s.err != nil {
 		return nil, s.err
+	}
+	if err := ctx.Err(); err != nil {
+		// See Engine.Feed: no work has run, the session stays serviceable.
+		return nil, fmt.Errorf("%w: %v", ErrStale, err)
 	}
 	objs := make([]*interp.Object, len(batch))
 	for i, inj := range batch {

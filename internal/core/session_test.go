@@ -2,8 +2,10 @@ package core_test
 
 import (
 	"context"
+	"errors"
 	"strconv"
 	"testing"
+	"time"
 
 	"repro/examples"
 	"repro/internal/bamboort"
@@ -149,19 +151,40 @@ func TestSessionKVStoreConcurrent(t *testing.T) {
 	}
 }
 
-// TestSessionFeedAfterError: a canceled context mid-feed poisons the
-// session; later feeds fail fast with the same error.
+// TestSessionFeedAfterError: a context already done before routing is a
+// stale reject (ErrStale) that leaves the session serviceable — nothing
+// ran, so there is nothing to roll back. A deadline blown mid-drain, by
+// contrast, poisons the session and later feeds fail fast.
 func TestSessionFeedAfterError(t *testing.T) {
 	sess := startKV(t, core.Deterministic, 2)
 	defer sess.Close()
 
 	canceled, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := sess.Feed(canceled, []bamboort.Inject{kvReq(1, 10, 1)}); err == nil {
-		t.Fatal("feed with canceled context succeeded")
+	if _, err := sess.Feed(canceled, []bamboort.Inject{kvReq(1, 10, 1)}); !errors.Is(err, bamboort.ErrStale) {
+		t.Fatalf("feed with pre-canceled context: err = %v, want ErrStale", err)
+	}
+	reps := feedKV(t, sess, kvReq(0, 5, 0))
+	wantField(t, reps[0], "reply", "162")
+
+	// Now blow the deadline mid-drain: a big batch against a budget too
+	// small to finish it. The batch is already in the graph, so this is
+	// the unrecoverable path.
+	var reqs []bamboort.Inject
+	for i := 0; i < 5000; i++ {
+		reqs = append(reqs, kvReq(1, i%97, i))
+	}
+	ctx, cancel2 := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel2()
+	_, err := sess.Feed(ctx, reqs)
+	if err == nil {
+		t.Skip("5000-request batch drained inside 2ms; poison path not exercised")
+	}
+	if errors.Is(err, bamboort.ErrStale) {
+		t.Skip("deadline expired before routing; poison path not exercised")
 	}
 	if _, err := sess.Feed(context.Background(), []bamboort.Inject{kvReq(0, 5, 0)}); err == nil {
-		t.Fatal("feed after session error succeeded")
+		t.Fatal("feed after mid-drain poisoning succeeded")
 	}
 }
 

@@ -50,15 +50,20 @@ type Config struct {
 	// RetainJobs bounds finished jobs kept for polling (default 8192);
 	// the oldest finished jobs are forgotten first.
 	RetainJobs int
-	// MaxSessions bounds the session table (default 256); creates beyond
-	// it are rejected 429. MaxLiveSessions bounds resident engines
-	// (default 8): beyond it, idle deterministic sessions are parked and
-	// revived by replay on their next feed. MaxSessionLog bounds one
-	// session's replay history in requests (default 65536); past it the
-	// session is pinned resident instead of parkable.
+	// MaxSessions bounds non-terminal (active or parked) sessions
+	// (default 256); creates beyond it are rejected 429. Closed and
+	// failed sessions do not count: they are retired into a retention
+	// ring of RetainSessions entries (default 1024) kept for status
+	// queries, oldest forgotten first — mirroring RetainJobs.
+	// MaxLiveSessions bounds resident engines (default 8): beyond it,
+	// idle deterministic sessions are parked and revived by replay on
+	// their next feed. MaxSessionLog bounds one session's replay history
+	// in requests (default 65536); past it the session is pinned resident
+	// instead of parkable.
 	MaxSessions     int
 	MaxLiveSessions int
 	MaxSessionLog   int
+	RetainSessions  int
 }
 
 func (c *Config) applyDefaults() {
@@ -101,6 +106,9 @@ func (c *Config) applyDefaults() {
 	if c.MaxSessionLog <= 0 {
 		c.MaxSessionLog = 65536
 	}
+	if c.RetainSessions <= 0 {
+		c.RetainSessions = 1024
+	}
 }
 
 // Server is the bambood execution service: a program cache, a bounded
@@ -134,10 +142,15 @@ type Server struct {
 	running   atomic.Int64
 	draining  atomic.Bool
 
-	// sessions: sessMu guards the table; sessWg tracks in-flight session
-	// operations so Drain can wait for them like it waits for workers.
+	// sessions: sessMu guards the table and the retention ring; sessWg
+	// tracks in-flight session operations so Drain can wait for them like
+	// it waits for workers. sessRing holds terminal (closed/failed)
+	// session IDs oldest first; they stay queryable until RetainSessions
+	// newer retirements push them out of the table. Non-terminal count =
+	// len(sessions) - len(sessRing).
 	sessMu   sync.Mutex
 	sessions map[string]*Session
+	sessRing []string
 	nextSess atomic.Int64
 	sessWg   sync.WaitGroup
 

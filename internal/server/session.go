@@ -176,6 +176,24 @@ func (s *Server) dropSession(id string) {
 	s.sessMu.Unlock()
 }
 
+// retireSession records that a session reached a terminal state (closed
+// or failed). Terminal sessions stop counting against MaxSessions and are
+// kept for status queries until RetainSessions newer retirements push
+// them out of the table, oldest first — the session analogue of job
+// retention. Must be called exactly once per terminal transition; callers
+// hold sn.mu, and taking sessMu under sn.mu matches the create/revive
+// lock order (nothing blocks on sn.mu while holding sessMu).
+func (s *Server) retireSession(id string) {
+	s.sessMu.Lock()
+	s.sessRing = append(s.sessRing, id)
+	for len(s.sessRing) > s.cfg.RetainSessions {
+		old := s.sessRing[0]
+		s.sessRing = s.sessRing[1:]
+		delete(s.sessions, old)
+	}
+	s.sessMu.Unlock()
+}
+
 // beginSessionOp gates one session operation behind the drain state: once
 // Drain begins, creates and feeds are rejected, and Drain waits on sessWg
 // so every operation already accepted completes before shutdown — the
@@ -247,6 +265,7 @@ func (s *Server) failLocked(sn *Session, err error) {
 	sn.errMsg = err.Error()
 	sn.log, sn.logReqs = nil, 0
 	s.sessFailed.Add(1)
+	s.retireSession(sn.ID)
 }
 
 // parkForRoom evicts least-recently-used resident sessions until incoming
@@ -325,10 +344,12 @@ func (s *Server) closeAllSessions() {
 			sn.live = nil
 			sn.status = SessionClosed
 			s.sessClosed.Add(1)
+			s.retireSession(sn.ID)
 		case SessionParked:
 			sn.status = SessionClosed
 			sn.log, sn.logReqs = nil, 0
 			s.sessClosed.Add(1)
+			s.retireSession(sn.ID)
 		}
 		sn.mu.Unlock()
 	}
@@ -355,7 +376,10 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	defer s.sessWg.Done()
 
 	s.sessMu.Lock()
-	if len(s.sessions) >= s.cfg.MaxSessions {
+	// Only non-terminal sessions count against the bound: closed and
+	// failed sessions sit in the retention ring awaiting eviction and
+	// must not wedge admission shut forever.
+	if len(s.sessions)-len(s.sessRing) >= s.cfg.MaxSessions {
 		s.sessMu.Unlock()
 		writeErr(w, r, http.StatusTooManyRequests, CodeSaturated, "session table is full", int64(s.retryAfter())*1000)
 		return
@@ -418,11 +442,17 @@ func (s *Server) handleSessionFeed(w http.ResponseWriter, r *http.Request) {
 
 	sn.mu.Lock()
 	defer sn.mu.Unlock()
-	switch sn.status {
-	case SessionClosed, SessionFailed:
-		msg := "session is " + sn.status
-		if sn.errMsg != "" {
-			msg += ": " + sn.errMsg
+	// Default-deny: only active and parked sessions can be fed. This also
+	// covers the pre-boot window — a session is registered in the table
+	// before create finishes booting it, so a racing feed can observe an
+	// empty status with no live engine.
+	if sn.status != SessionActive && sn.status != SessionParked {
+		msg := "session is not ready"
+		if sn.status != "" {
+			msg = "session is " + sn.status
+			if sn.errMsg != "" {
+				msg += ": " + sn.errMsg
+			}
 		}
 		writeErr(w, r, http.StatusConflict, CodeFailedPrecondition, msg, 0)
 		return
@@ -438,12 +468,21 @@ func (s *Server) handleSessionFeed(w http.ResponseWriter, r *http.Request) {
 	replayed := false
 	if sn.status == SessionParked {
 		if err := s.revive(ctx, sn); err != nil {
-			s.failLocked(sn, err)
-			status, code := http.StatusInternalServerError, CodeInternal
-			if errors.Is(err, context.DeadlineExceeded) {
-				status, code = http.StatusGatewayTimeout, CodeDeadlineExceeded
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, bamboort.ErrStale) {
+				// The replay did not fit this feed's budget. The session was
+				// healthy when parked and its log is intact, so discard the
+				// half-replayed boot and stay parked: a later feed with a
+				// larger timeout can still revive it.
+				if sn.live != nil {
+					sn.live.Close()
+					sn.live = nil
+				}
+				writeErr(w, r, http.StatusGatewayTimeout, CodeDeadlineExceeded,
+					"revive: "+err.Error(), int64(s.retryAfter())*1000)
+				return
 			}
-			writeErr(w, r, status, code, "revive: "+err.Error(), 0)
+			s.failLocked(sn, err)
+			writeErr(w, r, http.StatusInternalServerError, CodeInternal, "revive: "+err.Error(), 0)
 			return
 		}
 		replayed = true
@@ -454,6 +493,14 @@ func (s *Server) handleSessionFeed(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, bamboort.ErrInject) {
 			// Rejected before anything was routed; the session stays live.
 			writeErr(w, r, http.StatusBadRequest, CodeInvalidArgument, err.Error(), 0)
+			return
+		}
+		if errors.Is(err, bamboort.ErrStale) {
+			// The feed's deadline was already blown before routing (e.g.
+			// spent queuing behind a slow batch); no work ran, so the
+			// session stays live and the client may simply retry.
+			writeErr(w, r, http.StatusGatewayTimeout, CodeDeadlineExceeded,
+				err.Error(), int64(s.retryAfter())*1000)
 			return
 		}
 		s.failLocked(sn, err)
@@ -526,10 +573,19 @@ func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
 		sn.status = SessionClosed
 		sn.log, sn.logReqs = nil, 0
 		s.sessClosed.Add(1)
+		s.retireSession(sn.ID)
 	case SessionParked:
 		sn.status = SessionClosed
 		sn.log, sn.logReqs = nil, 0
 		s.sessClosed.Add(1)
+		s.retireSession(sn.ID)
+	case SessionClosed, SessionFailed:
+		// idempotent: report the terminal view again
+	default:
+		// Pre-boot window: the create handler still owns this session.
+		sn.mu.Unlock()
+		writeErr(w, r, http.StatusConflict, CodeFailedPrecondition, "session is not ready", 0)
+		return
 	}
 	v := sn.viewLocked()
 	sn.mu.Unlock()
