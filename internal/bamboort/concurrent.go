@@ -34,6 +34,11 @@ type delivery struct {
 type ccore struct {
 	id    int
 	inbox chan delivery
+	// pokePending is set while a poke sits unconsumed in the inbox. A poke
+	// only prompts a rescan, so senders suppress duplicates: the pending
+	// poke guarantees a rescan is still coming. Cleared in receive, under
+	// the consumer's inbox drain.
+	pokePending atomic.Bool
 	// mx and trc are the run's shared metrics collector and tracer; both
 	// nil unless the caller asked for observability.
 	mx  *obsv.Metrics
@@ -397,12 +402,32 @@ func (r *crun) send(dst int, d delivery) {
 	r.cores[dst].inbox <- d
 }
 
+// poke sends an empty wakeup to target unless one is already sitting
+// unconsumed in its inbox. The sender must publish the state the wakeup
+// advertises (released locks, re-filed work) before calling: if the CAS
+// fails, the pending poke's consumer clears the flag before it rescans,
+// so the atomic order flag-read → flag-clear → rescan guarantees the
+// rescan observes that state — the wakeup is absorbed, not lost.
+func (r *crun) poke(target *ccore) {
+	if !target.pokePending.CompareAndSwap(false, true) {
+		if r.mx != nil {
+			r.mx.PokesSuppressed.Add(1)
+		}
+		return
+	}
+	r.send(target.id, delivery{})
+}
+
 // route delivers obj to every task parameter its current state can
 // satisfy, per the layout (tag-hash for replicated joins, locality-
 // staggered round-robin otherwise).
 func (r *crun) route(obj *interp.Object, fromCore int) {
-	state := StateOf(obj)
-	for _, pr := range r.dep.Consumers(obj.Class, state) {
+	// route runs concurrently on worker goroutines, so the key scratch is
+	// per-call; the fixed arrays cover typical tag fan-out without growth.
+	var tagArr [8]depend.TagEntry
+	var keyArr [96]byte
+	consumers, _, _ := consumersOf(r.dep, obj, tagArr[:0], keyArr[:0])
+	for _, pr := range consumers {
 		cs := r.opts.Layout.Cores(pr.Task.Name)
 		if len(cs) == 0 {
 			continue
@@ -601,7 +626,7 @@ func (r *crun) lockAndValidate(inv *invocation) bool {
 		acquired = append(acquired, o)
 	}
 	for i, o := range inv.objs {
-		if !StateOf(o).SatisfiesParam(inv.ht.task.Params[i]) {
+		if !ObjSatisfies(o, inv.ht.task.Params[i]) {
 			if r.mx != nil {
 				r.mx.GuardRechecks.Add(1)
 			}
@@ -747,10 +772,11 @@ func (r *crun) execute(c, owner *ccore, inv *invocation, drain bool) bool {
 	}
 	if !drain {
 		// Poke other cores: a released lock may unblock them, and idle
-		// cores use the wakeup to try stealing.
+		// cores use the wakeup to try stealing. Cores with a poke already
+		// queued are skipped — they will rescan when they consume it.
 		for _, other := range r.cores {
 			if other != c {
-				r.send(other.id, delivery{})
+				r.poke(other)
 			}
 		}
 	}
@@ -780,7 +806,7 @@ func (r *crun) handleFailure(c, owner *ccore, inv *invocation, err error, attemp
 		if owner != c && !drain {
 			// Stolen work: wake the owner so the invocation is
 			// re-dispatched even if this thief finds other work.
-			r.send(owner.id, delivery{})
+			r.poke(owner)
 		}
 		return true
 	}
@@ -860,6 +886,10 @@ func (r *crun) drainSequential() error {
 // c.mu.
 func (c *ccore) receive(d delivery) {
 	if d.obj == nil {
+		// Clear the dedup flag before the caller's rescan: any state a
+		// suppressed sender published before reading the flag is visible
+		// to the rescan that follows this drain.
+		c.pokePending.Store(false)
 		if c.mx != nil {
 			c.mx.Pokes.Add(1)
 		}
@@ -871,7 +901,7 @@ func (c *ccore) receive(d delivery) {
 	for _, ht := range c.tasks {
 		if ht.task.Name == d.taskName {
 			p := ht.task.Params[d.param]
-			if StateOf(d.obj).SatisfiesParam(p) {
+			if ObjSatisfies(d.obj, p) {
 				c.arrSeq++
 				var at int64
 				if c.trc != nil {

@@ -149,6 +149,10 @@ type Engine struct {
 	// cores appear more often than slowed cores on heterogeneous
 	// machines; on homogeneous machines every core appears once).
 	destRing map[string][]int
+	// routeTagBuf/routeKeyBuf are consumersOf scratch, reused across every
+	// routed object (the engine is single-threaded).
+	routeTagBuf []depend.TagEntry
+	routeKeyBuf []byte
 
 	// Session state (session.go): a started session keeps the engine
 	// resident between Feed batches; a drain error poisons it.
@@ -335,7 +339,7 @@ func (e *Engine) finishRun() {
 func (e *Engine) onArrive(ev *event) {
 	// Drop stale deliveries whose guard no longer holds.
 	p := ev.ht.task.Params[ev.param]
-	if !StateOf(ev.obj).SatisfiesParam(p) {
+	if !ObjSatisfies(ev.obj, p) {
 		return
 	}
 	if ev.ht.add(ev.param, ev.obj, ev.fifo, ev.time) {
@@ -454,7 +458,7 @@ func (e *Engine) onComplete(ev *event) error {
 	var sendCost int64
 	for i, obj := range inv.objs {
 		fifo := int64(0)
-		if StateOf(obj).Key() == inv.preStates[i] {
+		if StateMatches(inv.preStates[i], obj) {
 			fifo = inv.objSeqs[i]
 		}
 		sendCost += e.routeObject(obj, ev.core, ev.time, e.opts.Machine.EnqueueCycles, fifo)
@@ -508,8 +512,10 @@ func (e *Engine) isTaskParamClass(cl *types.Class) bool {
 // message latency (startup). fifo != 0 preserves an earlier arrival
 // sequence for oldest-ready dispatch.
 func (e *Engine) routeObject(obj *interp.Object, fromCore int, t int64, enqueueCost int64, fifo int64) int64 {
-	state := StateOf(obj)
-	consumers := e.dep.Consumers(obj.Class, state)
+	// The engine is single-threaded, so the routing-key scratch buffers
+	// live on it and the per-object state/key allocations disappear.
+	var consumers []depend.ParamRef
+	consumers, e.routeTagBuf, e.routeKeyBuf = consumersOf(e.dep, obj, e.routeTagBuf, e.routeKeyBuf)
 	var cost int64
 	for _, pr := range consumers {
 		cores := e.opts.Layout.Cores(pr.Task.Name)

@@ -1,6 +1,7 @@
 package bamboort
 
 import (
+	"repro/internal/depend"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/types"
@@ -25,6 +26,11 @@ type hostedTask struct {
 	task      *types.Task
 	paramSets [][]*interp.Object
 	inSet     []map[*interp.Object]arrivalRec
+	// scratchObjs/scratchBind are assemble's backtracking state, reused
+	// across attempts (a hosted task is only ever assembled by its owning
+	// core). Both are left empty between calls.
+	scratchObjs []*interp.Object
+	scratchBind map[string]*interp.Tag
 }
 
 func newHostedTask(fn *ir.Func) *hostedTask {
@@ -95,8 +101,9 @@ type invocation struct {
 	// objArrs are the arrival timestamps of the chosen parameter objects
 	// (trace dependence edges).
 	objArrs []int64
-	// preStates snapshots the parameters' abstract state keys at dispatch.
-	preStates []string
+	// preStates snapshots the parameters' abstract states at dispatch
+	// (compared allocation-free with StateMatches at commit).
+	preStates []depend.State
 	// locked is the deduplicated parameter-object set in canonical
 	// (ascending object ID) acquisition order, populated by the concurrent
 	// scheduler when the invocation's locks are acquired; release walks it
@@ -121,25 +128,32 @@ func (inv *invocation) params() []interp.Value {
 // Objects whose abstract state no longer satisfies their parameter guard
 // are pruned from the sets as they are encountered.
 func (ht *hostedTask) assemble(locked func(*interp.Object) bool) *invocation {
-	objs := make([]*interp.Object, len(ht.task.Params))
-	bindings := map[string]*interp.Tag{}
-	if ht.tryBind(0, objs, bindings, locked) {
-		inv := &invocation{ht: ht, objs: objs}
-		for i, o := range objs {
-			rec := ht.inSet[i][o]
-			inv.objSeqs = append(inv.objSeqs, rec.seq)
-			inv.objArrs = append(inv.objArrs, rec.at)
-			inv.preStates = append(inv.preStates, StateOf(o).Key())
-			if rec.seq > inv.readySeq {
-				inv.readySeq = rec.seq
-			}
-		}
-		for _, name := range ht.fn.TagParams() {
-			inv.tags = append(inv.tags, bindings[name])
-		}
-		return inv
+	if ht.scratchObjs == nil {
+		ht.scratchObjs = make([]*interp.Object, len(ht.task.Params))
+		ht.scratchBind = map[string]*interp.Tag{}
 	}
-	return nil
+	objs, bindings := ht.scratchObjs, ht.scratchBind
+	if !ht.tryBind(0, objs, bindings, locked) {
+		// Failed binds fully unwind: objs slots are nil'd and bindings
+		// deleted on the way out, so the scratch is already clean.
+		return nil
+	}
+	inv := &invocation{ht: ht, objs: append([]*interp.Object(nil), objs...)}
+	for i, o := range inv.objs {
+		rec := ht.inSet[i][o]
+		inv.objSeqs = append(inv.objSeqs, rec.seq)
+		inv.objArrs = append(inv.objArrs, rec.at)
+		inv.preStates = append(inv.preStates, StateOf(o))
+		if rec.seq > inv.readySeq {
+			inv.readySeq = rec.seq
+		}
+	}
+	for _, name := range ht.fn.TagParams() {
+		inv.tags = append(inv.tags, bindings[name])
+	}
+	clear(bindings)
+	clear(objs)
+	return inv
 }
 
 // tryBind performs backtracking assignment of objects to parameters with
@@ -179,37 +193,37 @@ func (ht *hostedTask) tryBind(param int, objs []*interp.Object, bindings map[str
 // to the next parameter.
 func (ht *hostedTask) bindTags(p *types.TaskParam, obj *interp.Object, objs []*interp.Object, param int, bindings map[string]*interp.Tag, locked func(*interp.Object) bool) bool {
 	objs[param] = obj
-	var rec func(gi int, newly []string) bool
-	rec = func(gi int, newly []string) bool {
-		if gi == len(p.Tags) {
-			if ht.tryBind(param+1, objs, bindings, locked) {
-				return true
-			}
-			return false
-		}
-		tg := p.Tags[gi]
-		if bound, ok := bindings[tg.Name]; ok {
-			if obj.HasTag(bound) {
-				return rec(gi+1, newly)
-			}
-			return false
-		}
-		for _, cand := range obj.Tags() {
-			if cand.Type != tg.TagType {
-				continue
-			}
-			bindings[tg.Name] = cand
-			if rec(gi+1, append(newly, tg.Name)) {
-				return true
-			}
-			delete(bindings, tg.Name)
-		}
-		return false
-	}
-	if rec(0, nil) {
+	if ht.bindGuard(p, obj, objs, param, 0, bindings, locked) {
 		return true
 	}
 	objs[param] = nil
+	return false
+}
+
+// bindGuard recurses over p's tag guards (a plain method rather than a
+// recursive closure — assemble runs on every drain step, and the closure
+// record was the feed path's hottest allocation).
+func (ht *hostedTask) bindGuard(p *types.TaskParam, obj *interp.Object, objs []*interp.Object, param, gi int, bindings map[string]*interp.Tag, locked func(*interp.Object) bool) bool {
+	if gi == len(p.Tags) {
+		return ht.tryBind(param+1, objs, bindings, locked)
+	}
+	tg := p.Tags[gi]
+	if bound, ok := bindings[tg.Name]; ok {
+		if obj.HasTag(bound) {
+			return ht.bindGuard(p, obj, objs, param, gi+1, bindings, locked)
+		}
+		return false
+	}
+	for _, cand := range obj.Tags() {
+		if cand.Type != tg.TagType {
+			continue
+		}
+		bindings[tg.Name] = cand
+		if ht.bindGuard(p, obj, objs, param, gi+1, bindings, locked) {
+			return true
+		}
+		delete(bindings, tg.Name)
+	}
 	return false
 }
 
@@ -218,7 +232,7 @@ func (ht *hostedTask) prune(param int) {
 	p := ht.task.Params[param]
 	kept := ht.paramSets[param][:0]
 	for _, obj := range ht.paramSets[param] {
-		if StateOf(obj).SatisfiesParam(p) {
+		if ObjSatisfies(obj, p) {
 			kept = append(kept, obj)
 		} else {
 			delete(ht.inSet[param], obj)

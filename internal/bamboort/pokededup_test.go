@@ -1,0 +1,52 @@
+package bamboort_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/bamboort"
+	"repro/internal/obsv"
+)
+
+// TestPokeDedup: under a wide fan-out the concurrent runtime's wakeup
+// pokes dedup — a core with a poke already pending absorbs further ones
+// into PokesSuppressed instead of queueing redundant channel sends — and
+// dedup must not change the computed result. Suppression depends on
+// scheduling (a poke is only redundant if the target has not drained its
+// mailbox yet), so the counter check accumulates over a few runs instead
+// of asserting on a single race.
+func TestPokeDedup(t *testing.T) {
+	sys := compileKeyword(t)
+	var seq bytes.Buffer
+	if _, err := sys.RunSequential(nArg(48), &seq); err != nil {
+		t.Fatal(err)
+	}
+
+	mx := &obsv.Metrics{}
+	for run := 0; run < 5; run++ {
+		var out bytes.Buffer
+		res, err := bamboort.RunConcurrent(context.Background(), sys.Prog, sys.Dep, bamboort.Options{
+			Layout: spreadKeyword(8), Args: nArg(48), Out: &out, Metrics: mx,
+		})
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if out.String() != seq.String() {
+			t.Fatalf("run %d: output %q != sequential %q", run, out.String(), seq.String())
+		}
+		if res.Invocations != 97 { // 1 startup + 48 process + 48 merge
+			t.Fatalf("run %d: invocations = %d, want 97", run, res.Invocations)
+		}
+		if mx.PokesSuppressed.Load() > 0 {
+			break // dedup observed; no need for more runs
+		}
+	}
+	if mx.Pokes.Load() == 0 {
+		t.Fatal("no pokes at all — the workload never crossed cores")
+	}
+	if mx.PokesSuppressed.Load() == 0 {
+		t.Errorf("pokes=%d suppressed=0 across 5 runs: dedup never fired", mx.Pokes.Load())
+	}
+	t.Logf("pokes=%d suppressed=%d", mx.Pokes.Load(), mx.PokesSuppressed.Load())
+}

@@ -164,6 +164,12 @@ func (e *Engine) Feed(ctx context.Context, batch []Inject) ([]*interp.Object, er
 	return objs, nil
 }
 
+// ArenaReused reports how many bytes of arena capacity the live session
+// heap has obtained from the process-wide recycling pools so far. Unlike
+// the metrics fold at EndSession, this reads the live heap, so serving
+// layers can surface cross-batch arena reuse while the session is up.
+func (e *Engine) ArenaReused() int64 { return e.in.Heap.ArenaReused() }
+
 // EndSession finalizes the session and returns the cumulative result
 // (virtual cycles across all batches, total invocations). The engine must
 // not be used afterwards.
@@ -256,6 +262,10 @@ func (s *ConcurrentSession) Feed(ctx context.Context, batch []Inject) ([]*interp
 	}
 	return objs, nil
 }
+
+// ArenaReused reports the live session heap's arena-reuse bytes (see
+// Engine.ArenaReused).
+func (s *ConcurrentSession) ArenaReused() int64 { return s.r.in.Heap.ArenaReused() }
 
 // Close stops the workers and returns the cumulative result.
 func (s *ConcurrentSession) Close() *Result {

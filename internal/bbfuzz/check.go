@@ -63,7 +63,9 @@ type Divergence struct {
 	// "vm-cycles", "vm-invocations", "vm-heap", "opt-output",
 	// "opt-cycles", "opt-invocations", "opt-heap", "det-output",
 	// "det-invocations", "concurrent-output", "concurrent-invocations",
-	// "schedsim-hang", "schedsim-invocations".
+	// "schedsim-hang", "schedsim-invocations", and the session-feed mode's
+	// "session-run", "session-output", "session-invocations",
+	// "session-heap".
 	Kind string
 	// Cores is the core count the divergence appeared at (0 if N/A).
 	Cores int

@@ -36,6 +36,11 @@ func FuzzPipeline(f *testing.F) {
 			}
 			t.Fatalf("seed %d: %s\nshrunk reproducer:\n%s", seed, sd, sp.Source())
 		}
+		if len(data) > 0 && data[0]%4 == 1 {
+			if d := CheckSessionFeeds(p, seed, cfg); d != nil {
+				t.Fatalf("seed %d: %s\n%s", seed, d, d.Source)
+			}
+		}
 		if len(data) > 0 && data[0]%8 == 0 {
 			rng := rand.New(rand.NewSource(seed))
 			if d := CheckFrontend(Mutate(p.Source(), rng)); d != nil {

@@ -1,0 +1,33 @@
+package bbfuzz
+
+import (
+	"testing"
+)
+
+// TestSessionFeedSplits sweeps a band of generator seeds through the
+// session-feed differential check: extra items injected through a
+// persistent session in random batch splits must be indistinguishable
+// from one single-batch feed at every core count, on both engines.
+func TestSessionFeedSplits(t *testing.T) {
+	for seed := int64(9000); seed < 9012; seed++ {
+		p := GenerateSeed(seed)
+		if d := CheckSessionFeeds(p, seed, CheckConfig{}); d != nil {
+			t.Fatalf("seed %d: %s\n%s", seed, d, d.Source)
+		}
+	}
+}
+
+// TestSessionFeedSplitsTagged pins the tag-join path: a hand-built tagged
+// pipeline, where each injected item spawns a companion object mid-feed
+// and joins it through a fresh tag, must stay split-invariant too.
+func TestSessionFeedSplitsTagged(t *testing.T) {
+	p := &Program{Pipelines: []*Pipeline{{
+		ID:     0,
+		Items:  3,
+		Stages: []*Stage{{Guard: GuardPlain}, {Guard: GuardAndNot}},
+		Tagged: true,
+	}}}
+	if d := CheckSessionFeeds(p, 1, CheckConfig{}); d != nil {
+		t.Fatalf("%s\n%s", d, d.Source)
+	}
+}

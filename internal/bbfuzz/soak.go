@@ -23,6 +23,10 @@ type SoakOptions struct {
 	// MutateEvery runs the invalid-input frontend check on corrupted
 	// copies of every k-th program (0 = every 8th; negative = never).
 	MutateEvery int
+	// SessionEvery runs the session-feed check (random feed batch splits
+	// through a persistent session vs a single-batch reference) on every
+	// k-th program (0 = every 6th; negative = never).
+	SessionEvery int
 	// Progress, when non-nil, receives a line every few hundred programs.
 	Progress io.Writer
 }
@@ -44,6 +48,10 @@ func Soak(opts SoakOptions) []Finding {
 	if mutateEvery == 0 {
 		mutateEvery = 8
 	}
+	sessionEvery := opts.SessionEvery
+	if sessionEvery == 0 {
+		sessionEvery = 6
+	}
 	var findings []Finding
 	for i := 0; i < opts.N; i++ {
 		seed := opts.Seed + int64(i)
@@ -54,6 +62,14 @@ func Soak(opts SoakOptions) []Finding {
 				sp, sd = p, d
 			}
 			findings = append(findings, Finding{Seed: seed, Div: sd, Source: sp.Source()})
+		}
+		if sessionEvery > 0 && i%sessionEvery == 0 {
+			// Session-feed divergences are reported unshrunk: the shrinker
+			// minimizes against Check, and a batch-boundary bug is about the
+			// feed path, not the program text.
+			if d := CheckSessionFeeds(p, seed, opts.Check); d != nil {
+				findings = append(findings, Finding{Seed: seed, Div: d, Source: d.Source})
+			}
 		}
 		if mutateEvery > 0 && i%mutateEvery == 0 {
 			src := p.Source()

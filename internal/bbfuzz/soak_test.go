@@ -28,10 +28,11 @@ func TestSoakReportsFindings(t *testing.T) {
 	// run itself errors, which surfaces as a "run" divergence the shrinker
 	// refuses to minimize further — the finding must still carry it.
 	findings := Soak(SoakOptions{
-		N:           1,
-		Seed:        1,
-		Check:       CheckConfig{Cores: []int{1}, MaxInvocations: 1},
-		MutateEvery: -1,
+		N:            1,
+		Seed:         1,
+		Check:        CheckConfig{Cores: []int{1}, MaxInvocations: 1},
+		MutateEvery:  -1,
+		SessionEvery: -1,
 	})
 	if len(findings) != 1 {
 		t.Fatalf("got %d findings, want 1", len(findings))

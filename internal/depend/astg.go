@@ -3,6 +3,7 @@ package depend
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/ir"
@@ -87,6 +88,39 @@ func (r *Result) Consumers(cl *types.Class, s State) []ParamRef {
 }
 
 func consumerKey(class, stateKey string) string { return class + "|" + stateKey }
+
+// TagEntry is one (tag type, 1-limited count) pair of an abstract state,
+// used by AppendConsumerKey to encode a state without building it.
+type TagEntry struct {
+	Type  string
+	Count TagCount
+}
+
+// AppendConsumerKey appends the consumer-map key for (class, state) to
+// buf and returns it. tags must hold the state's distinct tag types in
+// ascending Type order; the encoding is byte-identical to
+// consumerKey(class, State.Key()). Together with ConsumersByKey it lets
+// the runtime's routing path look up consumers from a live object with a
+// reused buffer instead of materializing a State and two strings per
+// routed object.
+func AppendConsumerKey(buf []byte, class string, flags uint64, tags []TagEntry) []byte {
+	buf = append(buf, class...)
+	buf = append(buf, '|', 'f')
+	buf = strconv.AppendUint(buf, flags, 16)
+	for _, t := range tags {
+		buf = append(buf, ',')
+		buf = append(buf, t.Type...)
+		buf = append(buf, ':')
+		buf = strconv.AppendUint(buf, uint64(t.Count), 10)
+	}
+	return buf
+}
+
+// ConsumersByKey is Consumers for a key built by AppendConsumerKey. The
+// string conversion inside the map index does not allocate.
+func (r *Result) ConsumersByKey(key []byte) []ParamRef {
+	return r.consumers[string(key)]
+}
 
 // Analyze runs the dependence analysis.
 func Analyze(prog *ir.Program) (*Result, error) {

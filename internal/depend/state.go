@@ -159,18 +159,26 @@ func (s State) Pretty(cl *types.Class) string {
 
 // SatisfiesGuard evaluates a flag guard against the abstract flag vector.
 func (s State) SatisfiesGuard(g ast.FlagExp, cl *types.Class) bool {
+	return GuardSatisfied(g, s.Flags, cl)
+}
+
+// GuardSatisfied evaluates a flag guard against a raw flag vector. It is
+// the allocation-free form of State.SatisfiesGuard for callers (the
+// runtime's routing and pruning paths) that have a live object's flags
+// and no reason to materialize an abstract State around them.
+func GuardSatisfied(g ast.FlagExp, flags uint64, cl *types.Class) bool {
 	switch g := g.(type) {
 	case *ast.FlagRef:
-		return s.Flags&(1<<uint(cl.FlagIndex[g.Name])) != 0
+		return flags&(1<<uint(cl.FlagIndex[g.Name])) != 0
 	case *ast.FlagConst:
 		return g.Value
 	case *ast.FlagNot:
-		return !s.SatisfiesGuard(g.X, cl)
+		return !GuardSatisfied(g.X, flags, cl)
 	case *ast.FlagBin:
 		if g.Op == "and" {
-			return s.SatisfiesGuard(g.L, cl) && s.SatisfiesGuard(g.R, cl)
+			return GuardSatisfied(g.L, flags, cl) && GuardSatisfied(g.R, flags, cl)
 		}
-		return s.SatisfiesGuard(g.L, cl) || s.SatisfiesGuard(g.R, cl)
+		return GuardSatisfied(g.L, flags, cl) || GuardSatisfied(g.R, flags, cl)
 	}
 	return false
 }

@@ -24,6 +24,10 @@ const (
 	// arenaValChunk is the number of Values per arena chunk (~64 KiB);
 	// larger field/element slices get a dedicated allocation.
 	arenaValChunk = 1024
+	// arenaArrChunk is the number of Array headers per arena chunk
+	// (~16 KiB). Session feeds allocate one Array per injected request
+	// (the args String[]), so headers recycle with the rest of the arena.
+	arenaArrChunk = 512
 )
 
 // Chunk pools are process-wide: sequential executions (a bambood worker
@@ -31,6 +35,7 @@ const (
 var (
 	objChunkPool sync.Pool // of []Object
 	valChunkPool sync.Pool // of []Value
+	arrChunkPool sync.Pool // of []Array
 )
 
 // arena is a chunked bump allocator for Objects and Value slices. The
@@ -42,7 +47,9 @@ type arena struct {
 	objChunks [][]Object
 	objUsed   int // used slots in the last object chunk
 	valChunks [][]Value
-	valUsed   int   // used slots in the last value chunk
+	valUsed   int // used slots in the last value chunk
+	arrChunks [][]Array
+	arrUsed   int   // used slots in the last array chunk
 	reused    int64 // bytes of chunk capacity obtained from the pools
 }
 
@@ -102,21 +109,48 @@ func (a *arena) grabValChunk() []Value {
 	return make([]Value, arenaValChunk)
 }
 
+// newArray returns a pointer to a zeroed Array header slot.
+func (a *arena) newArray() *Array {
+	a.mu.Lock()
+	if len(a.arrChunks) == 0 || a.arrUsed == arenaArrChunk {
+		a.arrChunks = append(a.arrChunks, a.grabArrChunk())
+		a.arrUsed = 0
+	}
+	c := a.arrChunks[len(a.arrChunks)-1]
+	r := &c[a.arrUsed]
+	a.arrUsed++
+	a.mu.Unlock()
+	return r
+}
+
+func (a *arena) grabArrChunk() []Array {
+	if v := arrChunkPool.Get(); v != nil {
+		c := v.([]Array)
+		clear(c)
+		a.reused += int64(arenaArrChunk) * int64(unsafe.Sizeof(Array{}))
+		return c
+	}
+	return make([]Array, arenaArrChunk)
+}
+
 // release returns every chunk to the process-wide pools and resets the
 // arena. The pooled chunks may still reference heap data (a Value span
 // keeps its object graph alive until reuse or a GC drops the pool); that
 // retention is bounded by the pool and is the price of recycling.
 func (a *arena) release() {
 	a.mu.Lock()
-	obj, val := a.objChunks, a.valChunks
-	a.objChunks, a.valChunks = nil, nil
-	a.objUsed, a.valUsed = 0, 0
+	obj, val, arr := a.objChunks, a.valChunks, a.arrChunks
+	a.objChunks, a.valChunks, a.arrChunks = nil, nil, nil
+	a.objUsed, a.valUsed, a.arrUsed = 0, 0, 0
 	a.mu.Unlock()
 	for _, c := range obj {
 		objChunkPool.Put(c)
 	}
 	for _, c := range val {
 		valChunkPool.Put(c)
+	}
+	for _, c := range arr {
+		arrChunkPool.Put(c)
 	}
 }
 

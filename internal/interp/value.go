@@ -298,9 +298,12 @@ func (h *Heap) NewObject(cl *types.Class) *Object {
 }
 
 // NewArray allocates an array of n elements, each set to the zero value for
-// elemKind.
+// elemKind. The header and element storage both come from the arena, so
+// per-request arrays (session-feed args) recycle with the rest of the heap.
 func (h *Heap) NewArray(n int, zero Value) *Array {
-	a := &Array{ID: h.id(), Elems: h.ar.newValues(n)}
+	a := h.ar.newArray()
+	a.ID = h.id()
+	a.Elems = h.ar.newValues(n)
 	for i := range a.Elems {
 		a.Elems[i] = zero
 	}
@@ -342,9 +345,11 @@ func (h *Heap) NewTag(tagType string) *Tag {
 }
 
 // NewStringArray builds a String[] from Go strings (used to populate
-// StartupObject.args).
+// StartupObject.args and per-request injection args).
 func (h *Heap) NewStringArray(ss []string) *Array {
-	a := &Array{ID: h.id(), Elems: h.ar.newValues(len(ss))}
+	a := h.ar.newArray()
+	a.ID = h.id()
+	a.Elems = h.ar.newValues(len(ss))
 	for i, s := range ss {
 		a.Elems[i] = StrV(s)
 	}

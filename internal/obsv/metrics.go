@@ -27,8 +27,11 @@ type Metrics struct {
 	// Deliveries counts object messages received into parameter sets.
 	Deliveries atomic.Int64
 	// Pokes counts empty wakeup messages sent after a task released its
-	// locks.
-	Pokes atomic.Int64
+	// locks. PokesSuppressed counts wakeups elided because the target core
+	// already had an unconsumed poke in its inbox — it will rescan anyway,
+	// so a second message buys nothing.
+	Pokes           atomic.Int64
+	PokesSuppressed atomic.Int64
 	// InboxSamples / InboxDepthSum / InboxDepthMax summarize the inbox
 	// depths observed when workers start a drain (mean = sum / samples).
 	InboxSamples  atomic.Int64
@@ -127,6 +130,7 @@ type MetricsSnapshot struct {
 	GuardRechecks    int64           `json:"guard_rechecks"`
 	Deliveries       int64           `json:"deliveries"`
 	Pokes            int64           `json:"pokes"`
+	PokesSuppressed  int64           `json:"pokes_suppressed"`
 	InboxSamples     int64           `json:"inbox_samples"`
 	InboxDepthSum    int64           `json:"inbox_depth_sum"`
 	InboxDepthMax    int64           `json:"inbox_depth_max"`
@@ -155,6 +159,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		GuardRechecks:    m.GuardRechecks.Load(),
 		Deliveries:       m.Deliveries.Load(),
 		Pokes:            m.Pokes.Load(),
+		PokesSuppressed:  m.PokesSuppressed.Load(),
 		InboxSamples:     m.InboxSamples.Load(),
 		InboxDepthSum:    m.InboxDepthSum.Load(),
 		InboxDepthMax:    m.InboxDepthMax.Load(),

@@ -126,8 +126,8 @@ const (
 // program resident (heap/flag/tag state intact), then feed request
 // batches. Exactly one of Source and Benchmark must be set.
 type SessionRequest struct {
-	Source    string   `json:"source,omitempty"`
-	Benchmark string   `json:"benchmark,omitempty"`
+	Source    string `json:"source,omitempty"`
+	Benchmark string `json:"benchmark,omitempty"`
 	// Args populate StartupObject.args for the startup phase.
 	Args []string `json:"args,omitempty"`
 	// Engine is "deterministic" (default) or "concurrent". Only
@@ -193,11 +193,15 @@ type FeedReply struct {
 // FeedResponse is the body of a successful feed.
 type FeedResponse struct {
 	Replies []FeedReply `json:"replies"`
-	// LatencyNS is the server-side batch latency (accept to quiescence).
+	// LatencyNS is the server-side feed latency (accept to quiescence,
+	// queueing behind other coalesced feeds included).
 	LatencyNS int64 `json:"latency_ns"`
 	// Replayed reports that the session was revived from its replay log
 	// before this batch ran (it had been parked under cache pressure).
 	Replayed bool `json:"replayed,omitempty"`
+	// Coalesced reports that this feed shared an engine batch with at
+	// least one other concurrent feed (the pipelined feed path).
+	Coalesced bool `json:"coalesced,omitempty"`
 }
 
 // Session statuses.
@@ -221,8 +225,19 @@ type SessionView struct {
 	// Requests / Batches count fed work; Replays counts revivals.
 	Requests int64 `json:"requests"`
 	Batches  int64 `json:"batches"`
-	Replays  int64 `json:"replays"`
-	Error    string `json:"error,omitempty"`
+	// EngineBatches counts engine Feed calls — under load it runs behind
+	// Batches because queued feeds coalesce; CoalescedFeeds counts the
+	// feeds that shared an engine batch. BatchWindow is the adaptive
+	// coalescing window (max requests per engine batch) right now.
+	EngineBatches  int64 `json:"engine_batches"`
+	CoalescedFeeds int64 `json:"coalesced_feeds"`
+	BatchWindow    int   `json:"batch_window"`
+	Replays        int64 `json:"replays"`
+	// ArenaReusedBytes is how much arena capacity the session heap has
+	// recycled from the process-wide chunk pools (cross-batch and
+	// cross-session reuse; park/revive cycles feed the pools).
+	ArenaReusedBytes int64  `json:"arena_reused_bytes"`
+	Error            string `json:"error,omitempty"`
 	// Output is the program output accumulated since the session (or its
 	// latest revival) started.
 	Output string `json:"output,omitempty"`

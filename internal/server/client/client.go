@@ -14,6 +14,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/server"
@@ -39,6 +40,18 @@ func New(base string) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
 }
 
+// NewWithHTTPClient is New with a caller-supplied http.Client. Closed-loop
+// drivers with dozens of concurrent workers need a transport whose idle
+// pool is larger than net/http's default of two connections per host, or
+// every feed round-trip pays a fresh TCP handshake.
+func NewWithHTTPClient(base string, hc *http.Client) *Client {
+	c := New(base)
+	if hc != nil {
+		c.hc = hc
+	}
+	return c
+}
+
 // IsCode reports whether err is an APIError with the given /v1 code.
 func IsCode(err error, code string) bool {
 	var ae *server.APIError
@@ -55,16 +68,27 @@ func RetryAfter(err error) time.Duration {
 	return 0
 }
 
+// bodyPool recycles request-encoding buffers: a feed-heavy client (the
+// closed-loop load harness) marshals thousands of bodies per second, and
+// json.Marshal's fresh byte slice per call is pure garbage-collector load.
+var bodyPool sync.Pool // of *bytes.Buffer
+
 // do runs one JSON round-trip. Non-2xx responses decode the uniform
 // APIError envelope and return it as the error.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
-		b, err := json.Marshal(in)
-		if err != nil {
+		b, _ := bodyPool.Get().(*bytes.Buffer)
+		if b == nil {
+			b = &bytes.Buffer{}
+		}
+		b.Reset()
+		if err := json.NewEncoder(b).Encode(in); err != nil {
+			bodyPool.Put(b)
 			return err
 		}
-		body = bytes.NewReader(b)
+		defer bodyPool.Put(b) // the round-trip is done before we return
+		body = bytes.NewReader(b.Bytes())
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -64,6 +65,11 @@ type Config struct {
 	MaxLiveSessions int
 	MaxSessionLog   int
 	RetainSessions  int
+	// CoalesceTargetDelay is the queueing-delay target of the session feed
+	// coalescer (default 3ms): the adaptive batch controller sizes the
+	// per-session coalescing window so one engine batch's service time
+	// tracks this budget. Smaller values favor latency, larger throughput.
+	CoalesceTargetDelay time.Duration
 }
 
 func (c *Config) applyDefaults() {
@@ -108,6 +114,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.RetainSessions <= 0 {
 		c.RetainSessions = 1024
+	}
+	if c.CoalesceTargetDelay <= 0 {
+		c.CoalesceTargetDelay = 3 * time.Millisecond
 	}
 }
 
@@ -161,6 +170,12 @@ type Server struct {
 	sessReplays atomic.Int64
 	sessFeeds   atomic.Int64
 	sessReqs    atomic.Int64
+	// feed-coalescing counters: engine batches driven, feeds that shared a
+	// batch, and adaptive-window resizes across all sessions.
+	sessEngBatches atomic.Int64
+	sessCoalesced  atomic.Int64
+	winGrows       atomic.Int64
+	winShrinks     atomic.Int64
 
 	e2eLat   obsv.Histogram // admission → completion, ns
 	execLat  obsv.Histogram // dispatch → completion, ns
@@ -534,6 +549,7 @@ func (s *Server) aggregate(m obsv.MetricsSnapshot) {
 	a.GuardRechecks += m.GuardRechecks
 	a.Deliveries += m.Deliveries
 	a.Pokes += m.Pokes
+	a.PokesSuppressed += m.PokesSuppressed
 	a.InboxSamples += m.InboxSamples
 	a.InboxDepthSum += m.InboxDepthSum
 	if m.InboxDepthMax > a.InboxDepthMax {
@@ -562,6 +578,31 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
+}
+
+var jsonBufPool sync.Pool // of *bytes.Buffer
+
+// writeJSONBuf is writeJSON for hot paths: compact encoding through a
+// pooled buffer, flushed in a single Write. Feed responses go through here
+// — at saturation the pretty-printer's indentation buffers and chunked
+// writes are a measurable allocation tax.
+func writeJSONBuf(w http.ResponseWriter, code int, v any) {
+	b, _ := jsonBufPool.Get().(*bytes.Buffer)
+	if b == nil {
+		b = &bytes.Buffer{}
+	}
+	b.Reset()
+	if err := json.NewEncoder(b).Encode(v); err != nil {
+		jsonBufPool.Put(b)
+		writeJSON(w, code, v)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(b.Bytes())
+	if b.Cap() <= 1<<20 { // don't let one huge reply pin pool memory
+		jsonBufPool.Put(b)
+	}
 }
 
 // writeErr renders one failure: the uniform APIError envelope on /v1,

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/benchmarks"
@@ -32,8 +33,18 @@ import (
 // Concurrent-engine sessions cannot be replayed and are pinned resident.
 
 // Session is one resident program plus its lifecycle bookkeeping. mu
-// serializes feeds (the engine itself is not safe for concurrent Feed)
-// and guards every mutable field.
+// serializes engine access (the engine itself is not safe for concurrent
+// Feed) and guards every mutable field except the pending feed queue.
+//
+// Feeds are pipelined: instead of each HTTP handler taking mu for its own
+// engine batch, handlers enqueue a feedWaiter on the pending queue (qmu)
+// and contend for the leadership token in lead. The token holder drives
+// engine batches — claiming a window-bounded prefix of the queue,
+// injecting it as ONE coalesced engine Feed, and demuxing the replies back
+// to each waiter — until its own waiter is answered, then hands the token
+// on. Queue order is FIFO, so coalescing preserves per-key request order
+// exactly as serialized feeds did; the replay log records the coalesced
+// batch boundaries, so a park→revive replay re-runs the identical batches.
 type Session struct {
 	ID     string
 	key    string // content address of the compiled program
@@ -43,53 +54,151 @@ type Session struct {
 	args   []string
 	creq   CompileRequest
 
+	// qmu guards pending only; it nests inside mu (claim happens under mu)
+	// but handlers enqueue under qmu alone, so arrival never blocks on an
+	// engine batch in flight. lead holds the leadership token: buffered
+	// size 1, token present whenever no feed leader is active.
+	qmu     sync.Mutex
+	pending []*feedWaiter
+	lead    chan struct{}
+
 	mu      sync.Mutex
 	status  string
 	live    *core.Session // non-nil iff status == active
+	met     *obsv.Metrics // engine counters since the latest boot
 	out     *limitWriter  // program output since the latest boot
 	log     []FeedRequest // feed history for park-and-replay revival
 	logReqs int
 	// pinned sessions are never parked: concurrent-engine sessions (replay
 	// cannot reproduce their state) and sessions whose history outgrew
 	// MaxSessionLog (replay would cost more than residency).
-	pinned   bool
-	fed      int64
-	batches  int64
-	replays  int64
-	errMsg   string
-	lastUsed time.Time
-	res      *bamboort.Result // cumulative result, set at close
+	pinned     bool
+	fed        int64
+	batches    int64 // HTTP feeds answered
+	engBatches int64 // engine Feed calls (≤ batches under load)
+	coalesced  int64 // feeds that shared an engine batch with another feed
+	replays    int64
+	errMsg     string
+	lastUsed   time.Time
+	res        *bamboort.Result // cumulative result, set at close
+	arenaBytes int64            // last observed arena-reuse bytes
+
+	bc     batchController
+	injBuf []bamboort.Inject // leader-only inject scratch, under mu
 }
 
-// injects expands feed items with the session's request spec into runtime
-// injections.
-func (sn *Session) injects(items []FeedItem) []bamboort.Inject {
-	out := make([]bamboort.Inject, len(items))
-	for i, it := range items {
-		out[i] = bamboort.Inject{
+// feedWaiter is one parked /feed request: its items, its deadline, and the
+// slot the leader writes the outcome into before closing done.
+type feedWaiter struct {
+	items  []FeedItem
+	ctx    context.Context
+	accept time.Time
+	done   chan struct{}
+
+	// Outcome (written before done is closed, read only after).
+	resp    *FeedResponse
+	status  int
+	code    string
+	msg     string
+	retryMS int64
+}
+
+func (fw *feedWaiter) fail(status int, code, msg string, retryMS int64) {
+	fw.status, fw.code, fw.msg, fw.retryMS = status, code, msg, retryMS
+	close(fw.done)
+}
+
+func failAll(ws []*feedWaiter, status int, code, msg string, retryMS int64) {
+	for _, w := range ws {
+		w.fail(status, code, msg, retryMS)
+	}
+}
+
+// batchController adapts the coalescing window — the maximum number of
+// injected requests per engine batch. It keeps an EWMA of per-request
+// engine service time and sizes the window so one batch's service time
+// tracks the configured queueing-delay target: when requests are cheap the
+// window doubles (more coalescing, higher throughput), when they are
+// expensive it halves (less queueing delay per batch). Rate matching falls
+// out for free: under light load batches never fill the window, and under
+// saturation the window converges to target/ewma.
+type batchController struct {
+	target time.Duration // queueing-delay target per engine batch
+	ewma   float64       // smoothed per-request service time, ns
+	win    int
+}
+
+const (
+	coalesceMinWindow = 16
+	coalesceMaxWindow = 8192
+	coalesceAlpha     = 0.2
+)
+
+func (bc *batchController) observe(items int, svc time.Duration, grows, shrinks *atomic.Int64) {
+	if items <= 0 {
+		return
+	}
+	per := float64(svc.Nanoseconds()) / float64(items)
+	if bc.ewma == 0 {
+		bc.ewma = per
+	} else {
+		bc.ewma = coalesceAlpha*per + (1-coalesceAlpha)*bc.ewma
+	}
+	if bc.ewma <= 0 {
+		return
+	}
+	desired := float64(bc.target.Nanoseconds()) / bc.ewma
+	switch {
+	case desired >= float64(2*bc.win) && bc.win < coalesceMaxWindow:
+		bc.win *= 2
+		grows.Add(1)
+	case desired < float64(bc.win)/2 && bc.win > coalesceMinWindow:
+		bc.win /= 2
+		shrinks.Add(1)
+	}
+}
+
+// appendInjects expands feed items with the session's request spec into
+// runtime injections, appending to dst so the leader's scratch buffer is
+// reused across batches.
+func (sn *Session) appendInjects(dst []bamboort.Inject, items []FeedItem) []bamboort.Inject {
+	for _, it := range items {
+		dst = append(dst, bamboort.Inject{
 			Class:   sn.spec.Class,
 			Flag:    sn.spec.Flag,
 			Args:    it.Args,
 			Fields:  it.Fields,
 			TagType: sn.spec.TagType,
 			TagKey:  it.TagKey,
-		}
+		})
 	}
-	return out
+	return dst
+}
+
+// injects expands feed items into a fresh injection slice (replay path).
+func (sn *Session) injects(items []FeedItem) []bamboort.Inject {
+	return sn.appendInjects(make([]bamboort.Inject, 0, len(items)), items)
 }
 
 func (sn *Session) viewLocked() SessionView {
 	v := SessionView{
-		ID:       sn.ID,
-		Status:   sn.status,
-		Engine:   sn.engine,
-		Cores:    sn.cores,
-		CacheKey: sn.key,
-		Requests: sn.fed,
-		Batches:  sn.batches,
-		Replays:  sn.replays,
-		Error:    sn.errMsg,
+		ID:             sn.ID,
+		Status:         sn.status,
+		Engine:         sn.engine,
+		Cores:          sn.cores,
+		CacheKey:       sn.key,
+		Requests:       sn.fed,
+		Batches:        sn.batches,
+		EngineBatches:  sn.engBatches,
+		CoalescedFeeds: sn.coalesced,
+		BatchWindow:    sn.bc.win,
+		Replays:        sn.replays,
+		Error:          sn.errMsg,
 	}
+	if sn.live != nil {
+		sn.arenaBytes = sn.live.ArenaReused()
+	}
+	v.ArenaReusedBytes = sn.arenaBytes
 	var out string
 	var trunc bool
 	if sn.out != nil {
@@ -154,7 +263,10 @@ func (s *Server) resolveSession(req *SessionRequest) (*Session, error) {
 		spec:   req.Request,
 		args:   args,
 		pinned: engine == "concurrent",
+		lead:   make(chan struct{}, 1),
+		bc:     batchController{target: s.cfg.CoalesceTargetDelay, win: 64},
 	}
+	sn.lead <- struct{}{} // token starts available
 	sn.creq = CompileRequest{
 		Source: src,
 		Opts:   core.CompileOptions{Optimize: req.Optimize},
@@ -168,6 +280,22 @@ func (s *Server) session(id string) *Session {
 	s.sessMu.Lock()
 	defer s.sessMu.Unlock()
 	return s.sessions[id]
+}
+
+// SessionLog returns a copy of a session's replay log. It is a test and
+// diagnostic hook: each entry is one engine batch exactly as it ran, so
+// differential tests can replay the recorded coalesced batch boundaries
+// against a control session.
+func (s *Server) SessionLog(id string) []FeedRequest {
+	sn := s.session(id)
+	if sn == nil {
+		return nil
+	}
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	out := make([]FeedRequest, len(sn.log))
+	copy(out, sn.log)
+	return out
 }
 
 func (s *Server) dropSession(id string) {
@@ -220,18 +348,38 @@ func (s *Server) boot(ctx context.Context, sn *Session) error {
 		engine = core.Concurrent
 	}
 	sn.out = &limitWriter{max: s.cfg.MaxOutputBytes}
+	// A fresh counter sink per boot: folded into the server aggregate at
+	// teardown, never double-counted across revivals.
+	sn.met = &obsv.Metrics{}
 	live, err := compiled.Sys.StartSession(ctx, core.ExecConfig{
 		Engine:  engine,
 		Machine: compiled.Prep.Machine,
 		Layout:  compiled.Prep.Layout,
 		Args:    sn.args,
 		Out:     sn.out,
+		Metrics: sn.met,
 	})
 	if err != nil {
 		return err
 	}
 	sn.live = live
 	return nil
+}
+
+// closeLiveLocked tears down the resident engine: it records the heap's
+// final arena-reuse bytes, folds the boot's counters into the server
+// aggregate, and returns the cumulative result. Callers hold sn.mu. Every
+// engine teardown goes through here so session counters reach /varz no
+// matter how the engine dies (close, park, failure, drain).
+func (s *Server) closeLiveLocked(sn *Session) *bamboort.Result {
+	sn.arenaBytes = sn.live.ArenaReused()
+	res := sn.live.Close()
+	sn.live = nil
+	if sn.met != nil {
+		s.aggregate(sn.met.Snapshot())
+		sn.met = nil
+	}
+	return res
 }
 
 // revive boots a parked session and replays its feed history; on the
@@ -258,8 +406,7 @@ func (s *Server) revive(ctx context.Context, sn *Session) error {
 // the engine releases its arena heap.
 func (s *Server) failLocked(sn *Session, err error) {
 	if sn.live != nil {
-		sn.res = sn.live.Close()
-		sn.live = nil
+		sn.res = s.closeLiveLocked(sn)
 	}
 	sn.status = SessionFailed
 	sn.errMsg = err.Error()
@@ -317,9 +464,10 @@ func (s *Server) parkForRoom(incoming *Session) {
 		}
 		if c.sn.status == SessionActive && !c.sn.pinned {
 			// The engine (and its cumulative result) is discarded: replay
-			// reconstructs both exactly, startup included.
-			c.sn.live.Close()
-			c.sn.live = nil
+			// reconstructs both exactly, startup included. Parking is also
+			// where cross-session arena reuse comes from — the released
+			// chunks feed the next boot's arena.
+			s.closeLiveLocked(c.sn)
 			c.sn.status = SessionParked
 			s.sessParks.Add(1)
 			need--
@@ -340,8 +488,7 @@ func (s *Server) closeAllSessions() {
 		sn.mu.Lock()
 		switch sn.status {
 		case SessionActive:
-			sn.res = sn.live.Close()
-			sn.live = nil
+			sn.res = s.closeLiveLocked(sn)
 			sn.status = SessionClosed
 			s.sessClosed.Add(1)
 			s.retireSession(sn.ID)
@@ -440,8 +587,93 @@ func (s *Server) handleSessionFeed(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.sessWg.Done()
 
+	// The feed deadline is anchored here, at accept — NOT at session
+	// creation. Sessions are long-lived by design; inheriting the
+	// admission-anchored job deadline would expire every session one
+	// timeout window after it was created.
+	ctx, cancel := context.WithDeadline(s.baseCtx, accept.Add(timeout))
+	defer cancel()
+
+	fw := &feedWaiter{items: req.Requests, ctx: ctx, accept: accept, done: make(chan struct{})}
+	sn.qmu.Lock()
+	sn.pending = append(sn.pending, fw)
+	sn.qmu.Unlock()
+
+	// Contend for leadership until our waiter is answered. The token holder
+	// drives engine batches for everyone (its own waiter included); a
+	// follower just parks on done. A leader hands the token back after each
+	// batch, so under sustained load leadership rotates instead of trapping
+	// one handler in a service loop forever.
+	for {
+		select {
+		case <-fw.done:
+			fw.respond(w, r)
+			return
+		case <-sn.lead:
+			s.feedBatch(sn)
+			sn.lead <- struct{}{}
+		}
+	}
+}
+
+func (fw *feedWaiter) respond(w http.ResponseWriter, r *http.Request) {
+	if fw.resp != nil {
+		writeJSONBuf(w, http.StatusOK, fw.resp)
+		return
+	}
+	writeErr(w, r, fw.status, fw.code, fw.msg, fw.retryMS)
+}
+
+// claimLocked removes a window-bounded prefix of the pending queue:
+// waiters whose deadline already passed are answered 504 on the spot
+// (nothing ran — same contract as bamboort.ErrStale), and live waiters
+// accumulate until the next one would overflow the coalescing window. A
+// waiter's batch is never split, and the first live waiter is always
+// taken even if it alone exceeds the window. Caller holds sn.mu.
+func (s *Server) claimLocked(sn *Session) []*feedWaiter {
+	win := sn.bc.win
+	sn.qmu.Lock()
+	defer sn.qmu.Unlock()
+	var ws []*feedWaiter
+	n, taken := 0, 0
+	for _, w := range sn.pending {
+		if err := w.ctx.Err(); err != nil {
+			taken++
+			w.fail(http.StatusGatewayTimeout, CodeDeadlineExceeded,
+				"feed deadline blown while queued; no work ran: "+err.Error(),
+				int64(s.retryAfter())*1000)
+			continue
+		}
+		if len(ws) > 0 && n+len(w.items) > win {
+			break
+		}
+		ws = append(ws, w)
+		n += len(w.items)
+		taken++
+	}
+	// Compact in place so the queue's backing array recycles instead of
+	// creeping forward through a growing allocation.
+	rem := copy(sn.pending, sn.pending[taken:])
+	clear(sn.pending[rem:])
+	sn.pending = sn.pending[:rem]
+	return ws
+}
+
+// feedBatch runs one leadership turn: claim a coalesced prefix of the
+// pending queue and drive it through the engine.
+func (s *Server) feedBatch(sn *Session) {
 	sn.mu.Lock()
-	defer sn.mu.Unlock()
+	if ws := s.claimLocked(sn); len(ws) != 0 {
+		s.runWaitersLocked(sn, ws)
+	}
+	sn.mu.Unlock()
+}
+
+// runWaitersLocked injects the claimed waiters' requests as one engine
+// batch and demuxes the replies. Caller holds sn.mu. On a malformed
+// injection in a multi-feed batch it re-runs each feed alone (nothing was
+// routed, so isolation is exact and only the offender sees the 400).
+func (s *Server) runWaitersLocked(sn *Session, ws []*feedWaiter) {
 	// Default-deny: only active and parked sessions can be fed. This also
 	// covers the pre-boot window — a session is registered in the table
 	// before create finishes booting it, so a racing feed can observe an
@@ -454,52 +686,71 @@ func (s *Server) handleSessionFeed(w http.ResponseWriter, r *http.Request) {
 				msg += ": " + sn.errMsg
 			}
 		}
-		writeErr(w, r, http.StatusConflict, CodeFailedPrecondition, msg, 0)
+		failAll(ws, http.StatusConflict, CodeFailedPrecondition, msg, 0)
 		return
 	}
 
-	// The feed deadline is anchored here, at accept — NOT at session
-	// creation. Sessions are long-lived by design; inheriting the
-	// admission-anchored job deadline would expire every session one
-	// timeout window after it was created.
-	ctx, cancel := context.WithDeadline(s.baseCtx, accept.Add(timeout))
+	// The batch runs under the latest deadline among its feeds (each
+	// waiter's own deadline was still live at claim time); an engine batch
+	// serves everyone, so it gets the most generous budget aboard.
+	deadline := time.Time{}
+	for _, w := range ws {
+		if d, ok := w.ctx.Deadline(); ok && d.After(deadline) {
+			deadline = d
+		}
+	}
+	ctx, cancel := context.WithDeadline(s.baseCtx, deadline)
 	defer cancel()
 
 	replayed := false
 	if sn.status == SessionParked {
 		if err := s.revive(ctx, sn); err != nil {
 			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, bamboort.ErrStale) {
-				// The replay did not fit this feed's budget. The session was
+				// The replay did not fit this batch's budget. The session was
 				// healthy when parked and its log is intact, so discard the
 				// half-replayed boot and stay parked: a later feed with a
 				// larger timeout can still revive it.
 				if sn.live != nil {
-					sn.live.Close()
-					sn.live = nil
+					s.closeLiveLocked(sn)
 				}
-				writeErr(w, r, http.StatusGatewayTimeout, CodeDeadlineExceeded,
+				failAll(ws, http.StatusGatewayTimeout, CodeDeadlineExceeded,
 					"revive: "+err.Error(), int64(s.retryAfter())*1000)
 				return
 			}
 			s.failLocked(sn, err)
-			writeErr(w, r, http.StatusInternalServerError, CodeInternal, "revive: "+err.Error(), 0)
+			failAll(ws, http.StatusInternalServerError, CodeInternal, "revive: "+err.Error(), 0)
 			return
 		}
 		replayed = true
 	}
 
-	objs, err := sn.live.Feed(ctx, sn.injects(req.Requests))
+	sn.injBuf = sn.injBuf[:0]
+	for _, w := range ws {
+		sn.injBuf = sn.appendInjects(sn.injBuf, w.items)
+	}
+	svcStart := time.Now()
+	objs, err := sn.live.Feed(ctx, sn.injBuf)
+	svc := time.Since(svcStart)
 	if err != nil && objs == nil {
 		if errors.Is(err, bamboort.ErrInject) {
-			// Rejected before anything was routed; the session stays live.
-			writeErr(w, r, http.StatusBadRequest, CodeInvalidArgument, err.Error(), 0)
+			if len(ws) == 1 {
+				// Rejected before anything was routed; the session stays live.
+				ws[0].fail(http.StatusBadRequest, CodeInvalidArgument, err.Error(), 0)
+				return
+			}
+			// One feed in the coalesced batch is malformed, but ErrInject is
+			// pre-routing: nothing ran. Re-run each feed as its own batch so
+			// innocent feeds succeed (and log as their own replay batches)
+			// while only the offender is rejected.
+			for _, w := range ws {
+				s.runWaitersLocked(sn, []*feedWaiter{w})
+			}
 			return
 		}
 		if errors.Is(err, bamboort.ErrStale) {
-			// The feed's deadline was already blown before routing (e.g.
-			// spent queuing behind a slow batch); no work ran, so the
-			// session stays live and the client may simply retry.
-			writeErr(w, r, http.StatusGatewayTimeout, CodeDeadlineExceeded,
+			// The batch deadline was already blown before routing; no work
+			// ran, so the session stays live and clients may simply retry.
+			failAll(ws, http.StatusGatewayTimeout, CodeDeadlineExceeded,
 				err.Error(), int64(s.retryAfter())*1000)
 			return
 		}
@@ -508,25 +759,53 @@ func (s *Server) handleSessionFeed(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, context.DeadlineExceeded) {
 			status, code = http.StatusGatewayTimeout, CodeDeadlineExceeded
 		}
-		writeErr(w, r, status, code, err.Error(), 0)
+		failAll(ws, status, code, err.Error(), 0)
 		return
 	}
 
+	sn.bc.observe(len(objs), svc, &s.winGrows, &s.winShrinks)
+
 	// Read replies BEFORE any engine teardown: failLocked releases the
-	// arena heap the reply objects live in.
-	replies := make([]FeedReply, len(objs))
-	for i, o := range objs {
-		rep := core.RenderReply(o, sn.spec.DoneFlag, sn.spec.ReplyFields)
-		replies[i] = FeedReply{Done: rep.Done, Fields: rep.Fields}
+	// arena heap the reply objects live in. Each waiter gets the reply span
+	// matching its items — injection order is queue order, so the demux is
+	// a plain offset walk.
+	coalesced := len(ws) > 1
+	off := 0
+	for _, w := range ws {
+		replies := make([]FeedReply, len(w.items))
+		for i := range w.items {
+			rep := core.RenderReply(objs[off+i], sn.spec.DoneFlag, sn.spec.ReplyFields)
+			replies[i] = FeedReply{Done: rep.Done, Fields: rep.Fields}
+		}
+		off += len(w.items)
+		w.resp = &FeedResponse{
+			Replies:   replies,
+			LatencyNS: time.Since(w.accept).Nanoseconds(),
+			Replayed:  replayed,
+			Coalesced: coalesced,
+		}
 	}
 	if err != nil {
 		// Concurrent runtime degraded mid-batch: the accepted requests
-		// completed via the sequential drain, so the client gets its
+		// completed via the sequential drain, so the clients get their
 		// replies, but the session cannot serve further batches.
 		s.failLocked(sn, err)
 	} else if !sn.pinned {
-		sn.log = append(sn.log, req)
-		sn.logReqs += len(req.Requests)
+		// Log the coalesced batch as ONE replay entry: revival replays each
+		// logged entry as one engine batch, so recording the boundary the
+		// engine actually saw keeps the replayed state byte-identical.
+		var entry FeedRequest
+		if len(ws) == 1 {
+			entry = FeedRequest{Requests: ws[0].items}
+		} else {
+			items := make([]FeedItem, 0, len(objs))
+			for _, w := range ws {
+				items = append(items, w.items...)
+			}
+			entry = FeedRequest{Requests: items}
+		}
+		sn.log = append(sn.log, entry)
+		sn.logReqs += len(objs)
 		if sn.logReqs > s.cfg.MaxSessionLog {
 			// Replay would cost more than residency: pin the session and
 			// drop the history.
@@ -535,16 +814,23 @@ func (s *Server) handleSessionFeed(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	sn.fed += int64(len(objs))
-	sn.batches++
+	sn.batches += int64(len(ws))
+	sn.engBatches++
+	if coalesced {
+		sn.coalesced += int64(len(ws))
+		s.sessCoalesced.Add(int64(len(ws)))
+	}
+	s.sessEngBatches.Add(1)
 	sn.lastUsed = time.Now()
 
-	batchNS := time.Since(accept).Nanoseconds()
-	for range objs {
-		s.feedLat.Observe(batchNS)
+	for _, w := range ws {
+		for range w.items {
+			s.feedLat.Observe(w.resp.LatencyNS)
+		}
+		s.sessFeeds.Add(1)
+		s.sessReqs.Add(int64(len(w.items)))
+		close(w.done)
 	}
-	s.sessFeeds.Add(1)
-	s.sessReqs.Add(int64(len(objs)))
-	writeJSON(w, http.StatusOK, FeedResponse{Replies: replies, LatencyNS: batchNS, Replayed: replayed})
 }
 
 func (s *Server) handleSessionStatus(w http.ResponseWriter, r *http.Request) {
@@ -568,8 +854,7 @@ func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
 	sn.mu.Lock()
 	switch sn.status {
 	case SessionActive:
-		sn.res = sn.live.Close()
-		sn.live = nil
+		sn.res = s.closeLiveLocked(sn)
 		sn.status = SessionClosed
 		sn.log, sn.logReqs = nil, 0
 		s.sessClosed.Add(1)
@@ -601,9 +886,16 @@ type SessionStats struct {
 	Parks   int64 `json:"parks"`
 	Replays int64 `json:"replays"`
 	// Active / Parked are current counts.
-	Active int `json:"active"`
-	Parked int `json:"parked"`
+	Active int   `json:"active"`
+	Parked int   `json:"parked"`
 	Feeds  int64 `json:"feeds"`
+	// EngineBatches counts engine Feed calls across all sessions;
+	// CoalescedFeeds counts feeds that shared one. WindowGrows /
+	// WindowShrinks count adaptive batch-window resizes.
+	EngineBatches  int64 `json:"engine_batches"`
+	CoalescedFeeds int64 `json:"coalesced_feeds"`
+	WindowGrows    int64 `json:"window_grows"`
+	WindowShrinks  int64 `json:"window_shrinks"`
 	// Requests counts fed requests; LatencyNS is their per-request
 	// accept-to-quiescence latency histogram.
 	Requests  int64                  `json:"requests"`
@@ -612,14 +904,18 @@ type SessionStats struct {
 
 func (s *Server) sessionStats() SessionStats {
 	st := SessionStats{
-		Created:   s.sessCreated.Load(),
-		Closed:    s.sessClosed.Load(),
-		Failed:    s.sessFailed.Load(),
-		Parks:     s.sessParks.Load(),
-		Replays:   s.sessReplays.Load(),
-		Feeds:     s.sessFeeds.Load(),
-		Requests:  s.sessReqs.Load(),
-		LatencyNS: s.feedLat.Snapshot(),
+		Created:        s.sessCreated.Load(),
+		Closed:         s.sessClosed.Load(),
+		Failed:         s.sessFailed.Load(),
+		Parks:          s.sessParks.Load(),
+		Replays:        s.sessReplays.Load(),
+		Feeds:          s.sessFeeds.Load(),
+		EngineBatches:  s.sessEngBatches.Load(),
+		CoalescedFeeds: s.sessCoalesced.Load(),
+		WindowGrows:    s.winGrows.Load(),
+		WindowShrinks:  s.winShrinks.Load(),
+		Requests:       s.sessReqs.Load(),
+		LatencyNS:      s.feedLat.Snapshot(),
 	}
 	s.sessMu.Lock()
 	all := make([]*Session, 0, len(s.sessions))

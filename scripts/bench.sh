@@ -26,11 +26,19 @@
 # sustained RPS and p50/p95/p99 request latency per core count go to
 # BENCH_stream.json.
 #
-# Usage: scripts/bench.sh [output.json] [runtime-output.json] [interp-output.json] [server-output.json] [stream-output.json]
+# And the closed-loop saturation benchmark: scripts/loadgen.go
+# -closed-loop drives one concurrent-runtime KVStore session per core
+# count with a sweep of synchronous workers to find peak wall-clock RPS
+# (this is what exercises the feed coalescer), and measures 1->8 core
+# scaling in simulated cycles-per-request on the deterministic engine.
+# Results go to BENCH_saturate.json and are checked against the committed
+# floor ratchet in scripts/saturate_floors.json.
+#
+# Usage: scripts/bench.sh [output.json] [runtime-output.json] [interp-output.json] [server-output.json] [stream-output.json] [saturate-output.json]
 #   BENCH_SECTIONS space-separated subset of "synthesis runtime interp
-#                  server stream" to run (default: all). Benchmarks on a
-#                  shared box are noisy; re-rolling one section beats
-#                  re-rolling them all.
+#                  server stream saturate" to run (default: all).
+#                  Benchmarks on a shared box are noisy; re-rolling one
+#                  section beats re-rolling them all.
 #   BENCH_PATTERN  override the benchmark regexp
 #   BENCH_TIME     override -benchtime (default 5x)
 #   RUNTIME_CORES  cores for the runtime counter snapshot (default 4)
@@ -43,11 +51,14 @@
 #   STREAM_CORES   core counts for the streaming runs (default 1,2,4,8)
 #   STREAM_RATE    open-loop request rate per second (default 1000)
 #   STREAM_TIME    generator duration per core count (default 5s)
+#   SAT_CORES      core counts for the saturation runs (default 1,2,4,8)
+#   SAT_WORKERS    closed-loop worker sweep (default 4,16,48)
+#   SAT_TIME       measurement window per (cores, workers) pair (default 2s)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-sections="${BENCH_SECTIONS:-synthesis runtime interp server stream}"
+sections="${BENCH_SECTIONS:-synthesis runtime interp server stream saturate}"
 want() { case " $sections " in *" $1 "*) return 0 ;; *) return 1 ;; esac; }
 
 out="${1:-BENCH_synthesis.json}"
@@ -191,4 +202,22 @@ if want stream; then
         -stream-duration "$sttime" -out "$stout"
 
     echo "wrote $stout" >&2
+fi
+
+# Saturation benchmark: closed-loop workers drive one KVStore session per
+# core count to peak throughput (exercising the feed coalescer), then the
+# deterministic engine measures simulated cycles-per-request at the same
+# core counts. A nonzero exit means a reply was lost/reordered OR a
+# committed floor in scripts/saturate_floors.json was missed.
+satout="${6:-BENCH_saturate.json}"
+satcores="${SAT_CORES:-1,2,4,8}"
+satworkers="${SAT_WORKERS:-4,16,48}"
+sattime="${SAT_TIME:-2s}"
+
+if want saturate; then
+    echo "running: go run ./scripts -closed-loop -loop-cores $satcores -workers $satworkers -loop-duration $sattime -out $satout" >&2
+    go run ./scripts -closed-loop -loop-cores "$satcores" -workers "$satworkers" \
+        -loop-duration "$sattime" -floors scripts/saturate_floors.json -out "$satout"
+
+    echo "wrote $satout" >&2
 fi

@@ -15,7 +15,18 @@
 // lost/reordered and fails the run. The result (sustained RPS and
 // p50/p95/p99 request latency per core count) goes to BENCH_stream.json.
 //
-// By default either mode starts an in-process server (same code path as
+// Closed-loop mode (-closed-loop) is the saturation benchmark: for each
+// core count it creates one KVStore session on the concurrent runtime and
+// hammers it with W synchronous workers, each looping feed -> await ->
+// feed over a private key range. Because every worker has the next feed
+// ready the moment the previous one returns, the session's feed coalescer
+// always has queued work to merge, and the sweep over worker counts finds
+// the peak sustainable RPS per core count. Replies are model-checked the
+// same way as streaming mode. The result goes to BENCH_saturate.json, and
+// -floors can point at a ratchet file (scripts/saturate_floors.json) that
+// fails the run if the peaks regress.
+//
+// By default any mode starts an in-process server (same code path as
 // bambood) on a loopback listener; -addr points at an external daemon.
 //
 // Usage:
@@ -24,6 +35,9 @@
 //	                 [-engine deterministic] [-cores 1] [-out BENCH_server.json]
 //	go run ./scripts -stream [-stream-cores 1,2,4,8] [-rate 1000]
 //	                 [-burst 20ms] [-stream-duration 5s] [-out BENCH_stream.json]
+//	go run ./scripts -closed-loop [-loop-cores 1,2,4,8] [-workers 4,16,48]
+//	                 [-loop-duration 2s] [-floors scripts/saturate_floors.json]
+//	                 [-out BENCH_saturate.json]
 package main
 
 import (
@@ -32,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"sort"
@@ -69,6 +84,13 @@ func run() error {
 	rate := flag.Int("rate", 1000, "open-loop request rate per second (streaming)")
 	burst := flag.Duration("burst", 20*time.Millisecond, "burst interval: requests are emitted in bursts of rate*burst (streaming)")
 	streamDur := flag.Duration("stream-duration", 5*time.Second, "generator duration per core count (streaming)")
+
+	closedLoop := flag.Bool("closed-loop", false, "closed-loop saturation mode: peak-throughput KVStore benchmark")
+	loopCores := flag.String("loop-cores", "1,2,4,8", "comma-separated core counts for closed-loop runs")
+	workers := flag.String("workers", "4,16,48", "comma-separated worker sweep per core count (closed-loop)")
+	loopEngine := flag.String("loop-engine", "concurrent", "session engine for closed-loop runs")
+	loopDur := flag.Duration("loop-duration", 2*time.Second, "measurement window per (cores, workers) combination (closed-loop)")
+	floors := flag.String("floors", "", "saturation floors JSON; peak RPS below a floor fails the run (closed-loop)")
 	flag.Parse()
 
 	base := *addr
@@ -90,6 +112,20 @@ func run() error {
 			o = "BENCH_stream.json"
 		}
 		return runStream(cl, *streamCores, *rate, *burst, *streamDur, o)
+	}
+	if *closedLoop {
+		o := *out
+		if o == "" {
+			o = "BENCH_saturate.json"
+		}
+		// Closed-loop workers block on feed round-trips, so peak RPS is
+		// bounded by connection-level parallelism; give the transport an
+		// idle pool big enough for the largest worker count.
+		hc := &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 256,
+		}}
+		return runSaturate(client.NewWithHTTPClient(base, hc), *loopCores, *workers, *loopEngine, *loopDur, *floors, o)
 	}
 	o := *out
 	if o == "" {
@@ -370,14 +406,23 @@ type streamDoc struct {
 	Varz server.Varz `json:"server_varz"`
 }
 
-func runStream(cl *client.Client, coreList string, rate int, burst, dur time.Duration, out string) error {
-	var coreCounts []int
-	for _, s := range strings.Split(coreList, ",") {
+// parseIntList parses a comma-separated list of positive ints ("1,2,4,8").
+func parseIntList(flagName, list string) ([]int, error) {
+	var out []int
+	for _, s := range strings.Split(list, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil || n <= 0 {
-			return fmt.Errorf("bad -stream-cores entry %q", s)
+			return nil, fmt.Errorf("bad %s entry %q", flagName, s)
 		}
-		coreCounts = append(coreCounts, n)
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func runStream(cl *client.Client, coreList string, rate int, burst, dur time.Duration, out string) error {
+	coreCounts, err := parseIntList("-stream-cores", coreList)
+	if err != nil {
+		return err
 	}
 	doc := &streamDoc{}
 	doc.Config.Benchmark = "KVStore"
@@ -516,6 +561,362 @@ func streamOne(ctx context.Context, cl *client.Client, cores, rate int, burst, d
 		run.RPS = float64(requests) / wall.Seconds()
 	}
 	return run, nil
+}
+
+// ---- closed-loop saturation mode ----
+
+// The key space sits above the warm range (0..63): 384 keys are 48 per
+// shard, within the 56 free slots each shard has after warm-up. Workers
+// own disjoint contiguous ranges, and 384 divides evenly by every sweep
+// width and by the 8 shards, so each worker's range spreads uniformly.
+const (
+	saturateKeyBase = 1000
+	saturateKeys    = 384
+)
+
+// saturateWorkerRun is one (cores, workers) measurement.
+type saturateWorkerRun struct {
+	Workers        int       `json:"workers"`
+	Requests       int64     `json:"requests"`
+	Feeds          int64     `json:"feeds"`
+	EngineBatches  int64     `json:"engine_batches"`
+	CoalescedFeeds int64     `json:"coalesced_feeds"`
+	BatchWindow    int       `json:"batch_window"`
+	WallMS         float64   `json:"wall_ms"`
+	RPS            float64   `json:"rps"`
+	FeedLatencyMS  quantiles `json:"feed_latency_ms"`
+}
+
+// saturateRun is one core count's entry: the worker sweep plus its peak,
+// and the simulated-time view of the same workload. PeakRPS is wall-clock
+// throughput on the concurrent runtime — it saturates whatever physical
+// CPUs the serving box has, regardless of -loop-cores. Core *scaling* is
+// measured where the cores actually exist: the deterministic engine runs
+// each feed on a cycle-accurate simulated machine with this core count,
+// so SimCyclesPerReq/SimRPS move with -loop-cores even on a 1-CPU box
+// (the paper's own scaling numbers are simulator-based for the same
+// reason).
+type saturateRun struct {
+	Cores          int                 `json:"cores"`
+	PeakRPS        float64             `json:"peak_rps"`
+	PeakWorkers    int                 `json:"peak_workers"`
+	SimRequests    int64               `json:"sim_requests"`
+	SimFeedCycles  int64               `json:"sim_feed_cycles"`
+	SimCyclesPerRq float64             `json:"sim_cycles_per_request"`
+	SimRPS         float64             `json:"sim_rps"`
+	Sweep          []saturateWorkerRun `json:"sweep"`
+}
+
+// saturateFloors is the scripts/saturate_floors.json ratchet: committed
+// minima the measured peaks must clear, mirroring interp_floors.json.
+type saturateFloors struct {
+	MinPeakRPS8C  float64 `json:"min_peak_rps_8c"`
+	MinScaling8v1 float64 `json:"min_scaling_8c_vs_1c"`
+}
+
+type floorsReport struct {
+	saturateFloors
+	Peak1C  float64 `json:"peak_rps_1c"`
+	Peak8C  float64 `json:"peak_rps_8c"`
+	Sim1C   float64 `json:"sim_rps_1c"`
+	Sim8C   float64 `json:"sim_rps_8c"`
+	Scaling float64 `json:"sim_scaling_8c_vs_1c"`
+	Pass    bool    `json:"pass"`
+}
+
+type saturateDoc struct {
+	Config struct {
+		Benchmark  string  `json:"benchmark"`
+		Engine     string  `json:"engine"`
+		Workers    []int   `json:"workers"`
+		Keys       int     `json:"keys"`
+		DurationMS float64 `json:"duration_ms"`
+	} `json:"config"`
+	Runs   []saturateRun `json:"runs"`
+	Varz   server.Varz   `json:"server_varz"`
+	Floors *floorsReport `json:"floors,omitempty"`
+}
+
+func runSaturate(cl *client.Client, coreList, workerList, engine string, dur time.Duration, floorsPath, out string) error {
+	coreCounts, err := parseIntList("-loop-cores", coreList)
+	if err != nil {
+		return err
+	}
+	workerCounts, err := parseIntList("-workers", workerList)
+	if err != nil {
+		return err
+	}
+	for _, w := range workerCounts {
+		if saturateKeys%w != 0 {
+			return fmt.Errorf("-workers %d does not divide the %d-key space evenly", w, saturateKeys)
+		}
+	}
+
+	doc := &saturateDoc{}
+	doc.Config.Benchmark = "KVStore"
+	doc.Config.Engine = engine
+	doc.Config.Workers = workerCounts
+	doc.Config.Keys = saturateKeys
+	doc.Config.DurationMS = float64(dur.Nanoseconds()) / 1e6
+
+	ctx := context.Background()
+	for _, n := range coreCounts {
+		run := saturateRun{Cores: n}
+		for _, w := range workerCounts {
+			wr, err := saturateOne(ctx, cl, n, w, engine, dur)
+			if err != nil {
+				return fmt.Errorf("saturate cores=%d workers=%d: %w", n, w, err)
+			}
+			run.Sweep = append(run.Sweep, *wr)
+			if wr.RPS > run.PeakRPS {
+				run.PeakRPS = wr.RPS
+				run.PeakWorkers = wr.Workers
+			}
+			fmt.Fprintf(os.Stderr,
+				"loadgen: saturate cores=%d workers=%d: %.0f rps (%d reqs, %d feeds -> %d engine batches, %d coalesced, window %d), p50=%.2fms p99=%.2fms\n",
+				n, w, wr.RPS, wr.Requests, wr.Feeds, wr.EngineBatches, wr.CoalescedFeeds,
+				wr.BatchWindow, wr.FeedLatencyMS.P50, wr.FeedLatencyMS.P99)
+		}
+		if err := simScaling(ctx, cl, n, &run); err != nil {
+			return fmt.Errorf("saturate cores=%d simulated scaling: %w", n, err)
+		}
+		doc.Runs = append(doc.Runs, run)
+		fmt.Fprintf(os.Stderr,
+			"loadgen: saturate cores=%d peak %.0f rps at %d workers; simulated %.1f cycles/req (%.0f rps at 1GHz)\n",
+			n, run.PeakRPS, run.PeakWorkers, run.SimCyclesPerRq, run.SimRPS)
+	}
+	varz, err := cl.Varz(ctx)
+	if err != nil {
+		return err
+	}
+	doc.Varz = varz
+
+	var floorErr error
+	if floorsPath != "" {
+		rep, err := checkSaturateFloors(floorsPath, doc.Runs)
+		if err != nil {
+			return err
+		}
+		doc.Floors = rep
+		if !rep.Pass {
+			floorErr = fmt.Errorf(
+				"saturation floors not met: peak_8c=%.0f rps (floor %.0f), scaling 8c/1c=%.2fx (floor %.2fx)",
+				rep.Peak8C, rep.MinPeakRPS8C, rep.Scaling, rep.MinScaling8v1)
+		}
+	}
+	if err := writeDoc(out, doc); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", out)
+	return floorErr
+}
+
+func checkSaturateFloors(path string, runs []saturateRun) (*floorsReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("floors: %w", err)
+	}
+	var fl saturateFloors
+	if err := json.Unmarshal(data, &fl); err != nil {
+		return nil, fmt.Errorf("floors %s: %w", path, err)
+	}
+	rep := &floorsReport{saturateFloors: fl}
+	for _, r := range runs {
+		switch r.Cores {
+		case 1:
+			rep.Peak1C = r.PeakRPS
+			rep.Sim1C = r.SimRPS
+		case 8:
+			rep.Peak8C = r.PeakRPS
+			rep.Sim8C = r.SimRPS
+		}
+	}
+	if rep.Peak1C == 0 || rep.Peak8C == 0 || rep.Sim1C == 0 || rep.Sim8C == 0 {
+		return nil, fmt.Errorf("floors: ratchet needs both 1-core and 8-core runs in -loop-cores")
+	}
+	rep.Scaling = rep.Sim8C / rep.Sim1C
+	rep.Pass = rep.Peak8C >= fl.MinPeakRPS8C && rep.Scaling >= fl.MinScaling8v1
+	return rep, nil
+}
+
+// saturateOne measures one (cores, workers) combination on a fresh
+// session: W workers each loop synchronously over a private key range —
+// build one feed covering every owned key, send it, verify every reply
+// against the worker's model, repeat. A key never appears twice in one
+// engine batch (workers are disjoint and each worker has at most one feed
+// in flight), so per-key FIFO holds even on the concurrent runtime's
+// unordered delivery.
+func saturateOne(ctx context.Context, cl *client.Client, cores, workers int, engine string, dur time.Duration) (*saturateWorkerRun, error) {
+	view, err := cl.CreateSession(ctx, kvSessionSpec(cores, engine))
+	if err != nil {
+		return nil, fmt.Errorf("create session: %w", err)
+	}
+	defer cl.CloseSession(ctx, view.ID)
+
+	keysPer := saturateKeys / workers
+	type workerStats struct {
+		requests, feeds int64
+		lats            []time.Duration
+		err             error
+	}
+	stats := make([]workerStats, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	end := start.Add(dur)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &stats[w]
+			base := saturateKeyBase + w*keysPer
+			model := &kvModel{putCount: map[int]int{}, lastVal: map[int]int{}}
+			items := make([]server.FeedItem, keysPer)
+			ops := make([]int, keysPer)
+			vals := make([]int, keysPer)
+			for r := 0; time.Now().Before(end); r++ {
+				for j := 0; j < keysPer; j++ {
+					op := 1
+					if (r+j)%3 == 2 {
+						op = 0
+					}
+					ops[j] = op
+					vals[j] = 100000 + w*1000000 + r*keysPer + j
+					items[j] = server.FeedItem{
+						Args:   []string{strconv.Itoa(op), strconv.Itoa(base + j), strconv.Itoa(vals[j])},
+						TagKey: int64(base + j),
+					}
+				}
+				born := time.Now()
+				resp, err := cl.Feed(ctx, view.ID, server.FeedRequest{Requests: items})
+				if err != nil {
+					st.err = fmt.Errorf("worker %d feed %d: %w", w, r, err)
+					return
+				}
+				if len(resp.Replies) != keysPer {
+					st.err = fmt.Errorf("worker %d: fed %d requests, got %d replies (lost)", w, keysPer, len(resp.Replies))
+					return
+				}
+				for j := 0; j < keysPer; j++ {
+					if err := model.check(ops[j], base+j, vals[j], resp.Replies[j]); err != nil {
+						st.err = fmt.Errorf("worker %d: %w", w, err)
+						return
+					}
+				}
+				st.lats = append(st.lats, time.Since(born))
+				st.requests += int64(keysPer)
+				st.feeds++
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	wr := &saturateWorkerRun{Workers: workers, WallMS: float64(wall.Nanoseconds()) / 1e6}
+	var lats []time.Duration
+	for w := range stats {
+		if stats[w].err != nil {
+			return nil, stats[w].err
+		}
+		wr.Requests += stats[w].requests
+		wr.Feeds += stats[w].feeds
+		lats = append(lats, stats[w].lats...)
+	}
+	wr.FeedLatencyMS = summarize(lats)
+	if wall > 0 {
+		wr.RPS = float64(wr.Requests) / wall.Seconds()
+	}
+	// The session view carries the coalescer's side of the story: how many
+	// engine batches the feeds merged into and where the adaptive window
+	// settled.
+	if sv, err := cl.Session(ctx, view.ID); err == nil {
+		wr.EngineBatches = sv.EngineBatches
+		wr.CoalescedFeeds = sv.CoalescedFeeds
+		wr.BatchWindow = sv.BatchWindow
+	}
+	return wr, nil
+}
+
+// simRounds is the fixed simulated workload: rounds x 384-key feeds. It
+// is deliberately deterministic so sim_cycles_per_request is a stable,
+// rachetable number rather than a wall-clock sample.
+const simRounds = 8
+
+// simScaling fills run's Sim* fields: the same KVStore workload fed to a
+// deterministic-engine session whose simulated machine has run.Cores
+// cores. Boot and warm-up cycles are measured with a zero-round session
+// and subtracted, leaving the pure feed cost. SimRPS prices a simulated
+// cycle at 1ns (1 GHz nominal clock).
+func simScaling(ctx context.Context, cl *client.Client, cores int, run *saturateRun) error {
+	bootCycles, _, err := simSession(ctx, cl, cores, 0)
+	if err != nil {
+		return err
+	}
+	total, requests, err := simSession(ctx, cl, cores, simRounds)
+	if err != nil {
+		return err
+	}
+	feed := total - bootCycles
+	if feed <= 0 || requests == 0 {
+		return fmt.Errorf("degenerate simulated run: %d feed cycles over %d requests", feed, requests)
+	}
+	run.SimRequests = requests
+	run.SimFeedCycles = feed
+	run.SimCyclesPerRq = float64(feed) / float64(requests)
+	run.SimRPS = float64(requests) / (float64(feed) / 1e9)
+	return nil
+}
+
+// simSession runs one deterministic session through rounds full-key-space
+// feeds (model-checked) and returns its cumulative simulated cycles.
+func simSession(ctx context.Context, cl *client.Client, cores, rounds int) (cycles, requests int64, err error) {
+	view, err := cl.CreateSession(ctx, kvSessionSpec(cores, "deterministic"))
+	if err != nil {
+		return 0, 0, fmt.Errorf("create session: %w", err)
+	}
+	model := &kvModel{putCount: map[int]int{}, lastVal: map[int]int{}}
+	items := make([]server.FeedItem, saturateKeys)
+	for r := 0; r < rounds; r++ {
+		for j := 0; j < saturateKeys; j++ {
+			op := 1
+			if (r+j)%3 == 2 {
+				op = 0
+			}
+			key := saturateKeyBase + j
+			val := 100000 + r*saturateKeys + j
+			items[j] = server.FeedItem{
+				Args:   []string{strconv.Itoa(op), strconv.Itoa(key), strconv.Itoa(val)},
+				TagKey: int64(key),
+			}
+		}
+		resp, err := cl.Feed(ctx, view.ID, server.FeedRequest{Requests: items})
+		if err != nil {
+			cl.CloseSession(ctx, view.ID)
+			return 0, 0, fmt.Errorf("sim feed %d: %w", r, err)
+		}
+		if len(resp.Replies) != saturateKeys {
+			cl.CloseSession(ctx, view.ID)
+			return 0, 0, fmt.Errorf("sim feed %d: %d replies for %d requests", r, len(resp.Replies), saturateKeys)
+		}
+		for j := 0; j < saturateKeys; j++ {
+			op := 1
+			if (r+j)%3 == 2 {
+				op = 0
+			}
+			if err := model.check(op, saturateKeyBase+j, 100000+r*saturateKeys+j, resp.Replies[j]); err != nil {
+				cl.CloseSession(ctx, view.ID)
+				return 0, 0, fmt.Errorf("sim feed %d: %w", r, err)
+			}
+		}
+		requests += saturateKeys
+	}
+	cv, err := cl.CloseSession(ctx, view.ID)
+	if err != nil {
+		return 0, 0, fmt.Errorf("close session: %w", err)
+	}
+	if cv.Result == nil {
+		return 0, 0, fmt.Errorf("closed session carried no result")
+	}
+	return cv.Result.TotalCycles, requests, nil
 }
 
 // ---- shared reporting ----

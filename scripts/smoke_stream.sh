@@ -62,6 +62,21 @@ echo "stream smoke: $requests requests at ~$rps rps, zero lost/reordered" >&2
 curl -fsS "$base/v1/varz" | grep -q '"sessions"' \
     || { echo "/varz lacks session stats" >&2; exit 1; }
 
+# Coalesced closed-loop burst under the race detector: with no -addr the
+# harness starts its own in-process server, so the feed coalescer's
+# pending queue, leadership handoff, and cross-batch arena reuse all run
+# raced while concurrent workers hammer one session.
+# 48 workers keep per-feed batches small (8 keys), so feeds coalesce
+# even if the adaptive window shrinks to its floor under the race
+# detector's ~10x slowdown.
+satjson="$tmp/BENCH_saturate.json"
+go run -race ./scripts -closed-loop -loop-cores "2" -workers "48" \
+    -loop-duration "1s" -out "$satjson"
+coalesced="$(sed -n 's/.*"coalesced_feeds": *\([0-9]*\).*/\1/p' "$satjson" | head -1)"
+[ -n "$coalesced" ] && [ "$coalesced" -gt 0 ] \
+    || { echo "closed-loop burst coalesced nothing (coalesced_feeds=$coalesced)" >&2; cat "$satjson" >&2; exit 1; }
+echo "saturate smoke: raced closed-loop burst coalesced $coalesced feeds" >&2
+
 # Graceful drain on SIGTERM.
 kill -TERM "$daemon_pid"
 drain_ok=0
