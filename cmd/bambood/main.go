@@ -9,7 +9,18 @@
 //	bambood -addr :8080 [-exec-workers N] [-queue N] [-cache-entries N]
 //	        [-cache-bytes N] [-default-timeout d] [-drain-timeout d]
 //	        [-max-sessions N] [-live-sessions N] [-max-session-log N]
-//	        [-retain-sessions N]
+//	        [-retain-sessions N] [-wal-dir DIR]
+//	        [-node-id ID -peers id=url,id=url,...]
+//
+// With -wal-dir set, every accepted job and session mutation is fsynced
+// to a write-ahead log before it is acknowledged, and a restart replays
+// unfinished work: kill -9 loses nothing the daemon said yes to.
+//
+// With -node-id and -peers set, the daemon joins a sharded serving
+// ring: programs are routed to their fingerprint's owner (where the
+// compiled cache entry and sessions live), jobs shed to the next ring
+// node when the owner is saturated, and any node can front the whole
+// cluster (see DESIGN.md §15).
 //
 // API (see DESIGN.md §11 and §13 and the README quick-start):
 //
@@ -43,10 +54,35 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
+
+// parsePeers turns "n1=http://a:8080,n2=http://b:8080" into a peer map.
+func parsePeers(s string) (map[string]string, error) {
+	peers := map[string]string{}
+	for _, ent := range strings.Split(s, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(ent, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("malformed peer %q (want id=url)", ent)
+		}
+		if strings.Contains(id, "-") {
+			return nil, fmt.Errorf("node ID %q must not contain '-'", id)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("duplicate node ID %q", id)
+		}
+		peers[id] = strings.TrimRight(url, "/")
+	}
+	return peers, nil
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -68,9 +104,13 @@ func run() error {
 	liveSessions := flag.Int("live-sessions", 8, "resident session engines; beyond this, idle deterministic sessions are parked and revived by replay")
 	sessionLog := flag.Int("max-session-log", 65536, "replay-log request bound per session; a session past it is pinned resident instead of parked")
 	retainSessions := flag.Int("retain-sessions", 1024, "closed/failed sessions kept for status queries; oldest forgotten first")
+	walDir := flag.String("wal-dir", "", "write-ahead log directory; empty disables durability")
+	nodeID := flag.String("node-id", "", "this node's cluster ID (no '-'); empty runs standalone")
+	peerList := flag.String("peers", "", "full ring as id=url,id=url,... (this node included); requires -node-id")
+	heartbeat := flag.Duration("heartbeat-interval", 500*time.Millisecond, "cluster peer probe interval")
 	flag.Parse()
 
-	srv := server.New(server.Config{
+	srv, err := server.Open(server.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		CacheEntries:    *cacheEntries,
@@ -81,8 +121,37 @@ func run() error {
 		MaxLiveSessions: *liveSessions,
 		MaxSessionLog:   *sessionLog,
 		RetainSessions:  *retainSessions,
+		WALDir:          *walDir,
+		NodeID:          *nodeID,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	if err != nil {
+		return err
+	}
+
+	handler := http.Handler(srv.Handler())
+	var router *cluster.Router
+	if *peerList != "" {
+		if *nodeID == "" {
+			return errors.New("-peers requires -node-id")
+		}
+		peers, err := parsePeers(*peerList)
+		if err != nil {
+			return err
+		}
+		if _, ok := peers[*nodeID]; !ok {
+			return fmt.Errorf("-peers must include this node (%s)", *nodeID)
+		}
+		router = cluster.NewRouter(handler, cluster.Options{
+			NodeID:     *nodeID,
+			Peers:      peers,
+			Membership: cluster.MemberOptions{Interval: *heartbeat},
+		})
+		srv.SetClusterStats(router.Stats)
+		handler = router
+		defer router.Stop()
+		fmt.Fprintf(os.Stderr, "bambood: node %s in a %d-node ring\n", *nodeID, len(peers))
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	// SIGINT and SIGTERM take the same path: stop accepting, drain, exit.
 	ctx, stop := signal.NotifyContext(context.Background(), server.ShutdownSignals...)

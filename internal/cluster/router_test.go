@@ -1,0 +1,338 @@
+package cluster_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+func testProgram(n int) string {
+	return fmt.Sprintf(`
+class Work {
+	flag run;
+	int n;
+	int total;
+	Work(int n) { this.n = n; }
+}
+task boot(StartupObject s in initialstate) {
+	Work w = new Work(%d){ run := true };
+	taskexit(s: initialstate := false);
+}
+task crunch(Work w in run) {
+	int i;
+	for (i = 0; i < w.n; i++) { w.total += i * i; }
+	System.printString("total=");
+	System.printInt(w.total);
+	System.println();
+	taskexit(w: run := false);
+}`, n)
+}
+
+type testNode struct {
+	id     string
+	srv    *server.Server
+	router *cluster.Router
+	ts     *httptest.Server
+}
+
+// newTestRing boots n bambood nodes, each fronted by a Router that
+// knows every peer's URL. The URL map is discovered by starting the
+// listeners before the routers exist, via a late-bound handler.
+func newTestRing(t *testing.T, n int, cfg server.Config) []*testNode {
+	t.Helper()
+	nodes := make([]*testNode, n)
+	peers := map[string]string{}
+	for i := range nodes {
+		nd := &testNode{id: fmt.Sprintf("n%d", i+1)}
+		nd.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			nd.router.ServeHTTP(w, r)
+		}))
+		peers[nd.id] = nd.ts.URL
+		nodes[i] = nd
+	}
+	for _, nd := range nodes {
+		c := cfg
+		c.NodeID = nd.id
+		nd.srv = server.New(c)
+		nd.router = cluster.NewRouter(nd.srv.Handler(), cluster.Options{
+			NodeID:     nd.id,
+			Peers:      peers,
+			Membership: cluster.MemberOptions{Interval: 100 * time.Millisecond},
+		})
+		srv, router, ts := nd.srv, nd.router, nd.ts
+		t.Cleanup(func() {
+			ts.Close()
+			router.Stop()
+			srv.Close()
+		})
+	}
+	return nodes
+}
+
+func ctxT() context.Context { return context.Background() }
+
+func nodePrefix(id string) string {
+	i := strings.LastIndex(id, "-")
+	if i < 0 {
+		return ""
+	}
+	return id[:i]
+}
+
+// Every front must route one program to the same owner: the node whose
+// compiled-cache entry the job warms. The ID's node prefix reveals
+// where it actually ran.
+func TestFingerprintRoutingAgreesAcrossFronts(t *testing.T) {
+	nodes := newTestRing(t, 3, server.Config{})
+	owners := map[string]bool{}
+	var jobID string
+	for _, nd := range nodes {
+		cl := client.New(nd.ts.URL)
+		sub, err := cl.SubmitJob(ctxT(), server.SubmitRequest{Source: testProgram(77)})
+		if err != nil {
+			t.Fatalf("submit via %s: %v", nd.id, err)
+		}
+		owners[nodePrefix(sub.ID)] = true
+		jobID = sub.ID
+	}
+	if len(owners) != 1 {
+		t.Fatalf("one program landed on %d owners: %v", len(owners), owners)
+	}
+
+	// Distinct programs spread across the ring (not all on one node).
+	spread := map[string]bool{}
+	cl := client.New(nodes[0].ts.URL)
+	for i := 0; i < 24; i++ {
+		sub, err := cl.SubmitJob(ctxT(), server.SubmitRequest{Source: testProgram(100 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spread[nodePrefix(sub.ID)] = true
+	}
+	if len(spread) < 2 {
+		t.Fatalf("24 distinct programs all owned by %v: ring not spreading", spread)
+	}
+
+	// By-ID reads work through ANY front: the node prefix routes them.
+	for _, nd := range nodes {
+		cl := client.New(nd.ts.URL)
+		ctx, cancel := context.WithTimeout(ctxT(), 20*time.Second)
+		v, err := cl.AwaitJob(ctx, jobID)
+		cancel()
+		if err != nil {
+			t.Fatalf("await %s via %s: %v", jobID, nd.id, err)
+		}
+		if v.Status != server.StatusSucceeded {
+			t.Fatalf("job via %s = %+v", nd.id, v)
+		}
+	}
+}
+
+// Sessions are sticky: created on their fingerprint's owner, and feeds
+// through any front reach the same resident engine.
+func TestSessionStickyAcrossFronts(t *testing.T) {
+	nodes := newTestRing(t, 3, server.Config{})
+	cl0 := client.New(nodes[0].ts.URL)
+	sv, err := cl0.CreateSession(ctxT(), server.SessionRequest{
+		Benchmark: "KVStore",
+		Args:      []string{"8", "64", "64"},
+		Request: server.SessionRequestSpec{
+			Class: "Request", Flag: "pending", TagType: "shard",
+			DoneFlag: "replied", ReplyFields: []string{"reply", "version", "found"},
+		},
+	})
+	if err != nil {
+		t.Fatalf("create session: %v", err)
+	}
+	// One put per front, then a read-back through yet another front:
+	// all four feeds must hit the same engine state.
+	for i, nd := range nodes {
+		cl := client.New(nd.ts.URL)
+		fr, err := cl.Feed(ctxT(), sv.ID, server.FeedRequest{Requests: []server.FeedItem{
+			{Args: []string{"1", fmt.Sprint(10 + i), fmt.Sprint(1000 + i)}, TagKey: int64(10 + i)},
+		}})
+		if err != nil {
+			t.Fatalf("feed via %s: %v", nd.id, err)
+		}
+		if !fr.Replies[0].Done {
+			t.Fatalf("put via %s not done", nd.id)
+		}
+	}
+	fr, err := client.New(nodes[1].ts.URL).Feed(ctxT(), sv.ID, server.FeedRequest{Requests: []server.FeedItem{
+		{Args: []string{"0", "12", "0"}, TagKey: 12},
+	}})
+	if err != nil {
+		t.Fatalf("read-back: %v", err)
+	}
+	if f := fr.Replies[0].Fields; f["reply"] != "1002" {
+		t.Fatalf("read-back = %+v, want 1002 (writes from other fronts lost?)", f)
+	}
+}
+
+// A saturated owner must not bounce the job: the router retries it on
+// the next ring node and counts the shed.
+func TestJobShedsOffSaturatedOwner(t *testing.T) {
+	// A fake owner that always answers 429, plus one real node.
+	sat := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/healthz") {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprintf(w, `{"code":%q,"message":"queue full","retryAfterMs":1000}`, server.CodeSaturated)
+	}))
+	defer sat.Close()
+
+	srv := server.New(server.Config{NodeID: "real"})
+	defer srv.Close()
+	var router *cluster.Router
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		router.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	router = cluster.NewRouter(srv.Handler(), cluster.Options{
+		NodeID: "real",
+		Peers:  map[string]string{"real": ts.URL, "sat": sat.URL},
+	})
+	defer router.Stop()
+
+	cl := client.New(ts.URL)
+	// Find a program the saturated fake owns, so the submit must shed.
+	ring := cluster.NewRing([]string{"real", "sat"}, 0)
+	shedders := 0
+	for i := 0; i < 64 && shedders < 4; i++ {
+		req := server.SubmitRequest{Source: testProgram(500 + i)}
+		fp, err := req.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ring.Owner(fp) != "sat" {
+			continue
+		}
+		shedders++
+		sub, err := cl.SubmitJob(ctxT(), req)
+		if err != nil {
+			t.Fatalf("submit owned by saturated node: %v", err)
+		}
+		if got := nodePrefix(sub.ID); got != "real" {
+			t.Fatalf("shed job ran on %q, want real", got)
+		}
+	}
+	if shedders == 0 {
+		t.Fatal("no test program hashed to the saturated node")
+	}
+	if st := router.Stats(); st.Shed != int64(shedders) {
+		t.Fatalf("shed counter = %d, want %d", st.Shed, shedders)
+	}
+}
+
+// A dead owner is skipped entirely once membership demotes it, and
+// by-ID calls addressed to it fail with the unavailable envelope
+// (their state exists nowhere else).
+func TestDeadOwnerFailsOverJobsButNotByID(t *testing.T) {
+	// An owner that is down from the start: a URL nothing listens on.
+	downURL := "http://127.0.0.1:1" // reserved port: connection refused
+	srv := server.New(server.Config{NodeID: "live"})
+	defer srv.Close()
+	var router *cluster.Router
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		router.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	router = cluster.NewRouter(srv.Handler(), cluster.Options{
+		NodeID:     "live",
+		Peers:      map[string]string{"live": ts.URL, "down": downURL},
+		Membership: cluster.MemberOptions{Interval: 50 * time.Millisecond, SuspectAfter: 1, DeadAfter: 2},
+	})
+	defer router.Stop()
+
+	// Wait for membership to declare the peer dead.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := router.Stats()
+		dead := false
+		for _, p := range st.Peers {
+			if p.ID == "down" && p.State == cluster.StateDead {
+				dead = true
+			}
+		}
+		if dead {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("peer never went dead: %+v", st.Peers)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	cl := client.New(ts.URL)
+	ring := cluster.NewRing([]string{"live", "down"}, 0)
+	routed := false
+	for i := 0; i < 64 && !routed; i++ {
+		req := server.SubmitRequest{Source: testProgram(900 + i)}
+		fp, _ := req.Fingerprint()
+		if ring.Owner(fp) != "down" {
+			continue
+		}
+		routed = true
+		sub, err := cl.SubmitJob(ctxT(), req)
+		if err != nil {
+			t.Fatalf("submit owned by dead node: %v", err)
+		}
+		if got := nodePrefix(sub.ID); got != "live" {
+			t.Fatalf("job ran on %q, want live", got)
+		}
+	}
+	if !routed {
+		t.Fatal("no test program hashed to the dead node")
+	}
+	if st := router.Stats(); st.Failovers == 0 {
+		t.Fatalf("failovers = 0 after routing around a dead node: %+v", st)
+	}
+
+	// By-ID: the job's state lives only on the dead node; expect the
+	// typed 502 envelope, not a silent local 404.
+	_, err := cl.Job(ctxT(), "down-j00000001")
+	if !client.IsCode(err, server.CodeUnavailable) {
+		t.Fatalf("by-ID to dead owner: err = %v, want %s", err, server.CodeUnavailable)
+	}
+}
+
+// The hop header caps forwarding at one hop: a request that already
+// crossed the wire is served locally even if the ring disagrees.
+func TestHopHeaderServedLocally(t *testing.T) {
+	srv := server.New(server.Config{NodeID: "solo"})
+	defer srv.Close()
+	router := cluster.NewRouter(srv.Handler(), cluster.Options{
+		NodeID: "solo",
+		// A peer map claiming some OTHER (unreachable) node owns
+		// everything; the hop header must override it.
+		Peers: map[string]string{"solo": "http://unused", "ghost": "http://127.0.0.1:1"},
+	})
+	defer router.Stop()
+	ts := httptest.NewServer(router)
+	defer ts.Close()
+
+	body := fmt.Sprintf(`{"source":%q}`, testProgram(5))
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Bamboo-Hop", "elsewhere")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("hopped submit = %d, want 202 served locally", resp.StatusCode)
+	}
+}

@@ -118,7 +118,39 @@ const (
 	CodeDraining           = "draining"            // 503: shutting down
 	CodeDeadlineExceeded   = "deadline_exceeded"   // 504: per-request deadline blown
 	CodeInternal           = "internal"            // 500: execution failure
+	CodeUnavailable        = "unavailable"         // 502: owning cluster node unreachable
 )
+
+// ---- cluster ----
+
+// PeerStatus is one node's health as seen by the local membership
+// prober.
+type PeerStatus struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+	// State is "alive", "suspect" (missed probes, still routed to), or
+	// "dead" (skipped by the router until a probe succeeds again).
+	State string `json:"state"`
+	// Misses is the consecutive failed-probe count.
+	Misses int  `json:"misses"`
+	Self   bool `json:"self,omitempty"`
+}
+
+// ClusterStats is the router's per-node counter document, embedded in
+// /varz and served at /v1/cluster.
+type ClusterStats struct {
+	NodeID string `json:"node_id"`
+	// Proxied counts requests forwarded to their owning node; Shed
+	// counts jobs retried on the next ring node after the owner rejected
+	// them 429/503; Failovers counts candidates skipped because
+	// membership called them dead (or a proxy attempt failed); and
+	// ProxyErrors counts forwards that failed in transit.
+	Proxied     int64        `json:"proxied"`
+	Shed        int64        `json:"shed"`
+	Failovers   int64        `json:"failovers"`
+	ProxyErrors int64        `json:"proxy_errors"`
+	Peers       []PeerStatus `json:"peers"`
+}
 
 // ---- sessions ----
 

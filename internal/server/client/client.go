@@ -245,3 +245,11 @@ func (c *Client) Varz(ctx context.Context) (server.Varz, error) {
 func (c *Client) Healthz(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
 }
+
+// Cluster fetches the local node's router counters and peer health.
+// Only cluster-fronted daemons serve this route.
+func (c *Client) Cluster(ctx context.Context) (server.ClusterStats, error) {
+	var out server.ClusterStats
+	err := c.do(ctx, http.MethodGet, "/v1/cluster", nil, &out)
+	return out, err
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/bamboort"
 	"repro/internal/core"
 	"repro/internal/obsv"
+	"repro/internal/wal"
 )
 
 // ShutdownSignals are the signals that trigger a graceful drain. The
@@ -70,6 +71,19 @@ type Config struct {
 	// per-session coalescing window so one engine batch's service time
 	// tracks this budget. Smaller values favor latency, larger throughput.
 	CoalesceTargetDelay time.Duration
+	// WALDir, when set, enables the write-ahead log: every accepted job
+	// and session mutation is fsynced there before it is acknowledged,
+	// and Open replays non-terminal work on boot. Empty disables
+	// durability (the pre-WAL in-memory behavior). Servers with a WALDir
+	// must be built with Open, which can fail; New panics on a WAL error.
+	WALDir string
+	// WALSegmentBytes overrides the log's segment rotation threshold
+	// (default wal.DefaultSegmentBytes).
+	WALSegmentBytes int64
+	// NodeID, when set, prefixes job and session IDs ("n1-j00000042") so
+	// a cluster router can route by-ID requests straight to the owning
+	// node. Must not contain "-". Empty leaves IDs unprefixed.
+	NodeID string
 }
 
 func (c *Config) applyDefaults() {
@@ -184,10 +198,42 @@ type Server struct {
 
 	aggMu sync.Mutex
 	agg   obsv.MetricsSnapshot // summed concurrent-engine counters
+
+	// durability (nil / zero on WAL-less servers). killed suppresses
+	// appends after Kill — a crashed process writes nothing.
+	wal              *wal.Log
+	killed           atomic.Bool
+	walAppends       atomic.Int64
+	walReplayedJobs  atomic.Int64
+	walReplayedSess  atomic.Int64
+	walRecoveredTerm atomic.Int64
+	walSkipped       atomic.Int64
+
+	// clusterFn, when set, contributes the router's per-node counters to
+	// /varz (the router lives above the server, so it injects a
+	// snapshot callback rather than the server reaching up).
+	clusterFn atomic.Pointer[func() ClusterStats]
 }
 
-// New builds the service and starts its worker pool.
+// New builds the service and starts its worker pool. It panics if
+// cfg.WALDir is set and the log cannot be opened — callers that enable
+// durability should use Open and handle the error.
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("server.New: %v", err))
+	}
+	return s
+}
+
+// Open builds the service, and — when cfg.WALDir is set — opens the
+// write-ahead log, replays it (re-queuing non-terminal jobs with
+// re-anchored deadlines and restoring non-terminal sessions as parked),
+// compacts the recovered state into a fresh checkpoint segment, and
+// only then returns. A torn final record is truncated away silently (a
+// crash artifact); anything else unreadable in the log is a hard error:
+// better to refuse to boot than to replay garbage.
+func Open(cfg Config) (*Server, error) {
 	cfg.applyDefaults()
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
@@ -200,12 +246,55 @@ func New(cfg Config) *Server {
 		jobs:     map[string]*Job{},
 		sessions: map[string]*Session{},
 	}
+	var recovered *recoveredState
+	if cfg.WALDir != "" {
+		l, payloads, err := wal.Open(wal.Options{Dir: cfg.WALDir, SegmentBytes: cfg.WALSegmentBytes})
+		if err != nil {
+			stop()
+			return nil, err
+		}
+		s.wal = l
+		recovered = recoverState(payloads)
+		// Compact before anything new can interleave: the checkpoint is a
+		// pure function of the recovered state, and replay idempotence
+		// makes a crash mid-checkpoint harmless.
+		if err := l.Checkpoint(checkpointRecords(recovered)); err != nil {
+			stop()
+			_ = l.Close()
+			return nil, err
+		}
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.work()
 	}
-	return s
+	if recovered != nil {
+		s.applyRecovered(recovered)
+	}
+	return s, nil
 }
+
+// jobID / sessID render fresh IDs, prefixed with the node ID when the
+// server is cluster-aware so routers can route by ID alone.
+func (s *Server) jobID() string {
+	id := fmt.Sprintf("j%08d", s.nextID.Add(1))
+	if s.cfg.NodeID != "" {
+		return s.cfg.NodeID + "-" + id
+	}
+	return id
+}
+
+func (s *Server) sessID() string {
+	id := fmt.Sprintf("s%08d", s.nextSess.Add(1))
+	if s.cfg.NodeID != "" {
+		return s.cfg.NodeID + "-" + id
+	}
+	return id
+}
+
+// SetClusterStats injects the cluster router's counter snapshot into
+// /varz. Call before serving traffic.
+func (s *Server) SetClusterStats(fn func() ClusterStats) { s.clusterFn.Store(&fn) }
 
 // Handler returns the HTTP API. The canonical surface lives under /v1/
 // and renders every non-2xx response as the uniform APIError envelope.
@@ -291,6 +380,9 @@ func (s *Server) Drain(ctx context.Context) error {
 		err = ctx.Err()
 	}
 	s.closeAllSessions()
+	if s.wal != nil {
+		_ = s.wal.Close()
+	}
 	return err
 }
 
@@ -325,21 +417,77 @@ func (s *Server) Cache() *ProgramCache { return s.cache }
 
 // ---- admission ----
 
-// resolve validates a SubmitRequest and fills a Job's execution fields.
-func (s *Server) resolve(req *SubmitRequest) (*Job, error) {
-	if (req.Source == "") == (req.Benchmark == "") {
-		return nil, fmt.Errorf("exactly one of source and benchmark is required")
+// resolveProgram maps a request's source/benchmark pair onto program
+// text and args (benchmark defaults applied). Shared by job and session
+// resolution and by the Fingerprint methods the cluster router hashes.
+func resolveProgram(source, benchmark string, args []string) (string, []string, error) {
+	if (source == "") == (benchmark == "") {
+		return "", nil, fmt.Errorf("exactly one of source and benchmark is required")
 	}
-	src, args := req.Source, req.Args
-	if req.Benchmark != "" {
-		b, err := benchmarks.Get(req.Benchmark)
+	if benchmark != "" {
+		b, err := benchmarks.Get(benchmark)
 		if err != nil {
-			return nil, err
+			return "", nil, err
 		}
-		src = b.Source
+		source = b.Source
 		if args == nil {
 			args = b.Args
 		}
+	}
+	return source, args, nil
+}
+
+// execDefaults applies the documented cores/seed defaults.
+func execDefaults(cores int, seed int64) (int, int64) {
+	if cores <= 0 {
+		cores = 1
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return cores, seed
+}
+
+// Fingerprint returns the request's compile-cache content address
+// without compiling anything — the same key GetOrCompile will use. The
+// cluster router consistent-hashes on it, so a hot program's jobs land
+// on the node that already holds its compiled cache entry.
+func (r *SubmitRequest) Fingerprint() (string, error) {
+	src, args, err := resolveProgram(r.Source, r.Benchmark, r.Args)
+	if err != nil {
+		return "", err
+	}
+	cores, seed := execDefaults(r.Cores, r.Seed)
+	creq := CompileRequest{
+		Source: src,
+		Opts:   core.CompileOptions{Optimize: r.Optimize},
+		Prep:   core.PrepareConfig{Cores: cores, Seed: seed, Args: args},
+	}
+	return creq.Key(), nil
+}
+
+// Fingerprint is the session analogue of SubmitRequest.Fingerprint:
+// sessions are routed to the node whose cache holds their program (and
+// stay there — session state is sticky).
+func (r *SessionRequest) Fingerprint() (string, error) {
+	src, args, err := resolveProgram(r.Source, r.Benchmark, r.Args)
+	if err != nil {
+		return "", err
+	}
+	cores, seed := execDefaults(r.Cores, r.Seed)
+	creq := CompileRequest{
+		Source: src,
+		Opts:   core.CompileOptions{Optimize: r.Optimize},
+		Prep:   core.PrepareConfig{Cores: cores, Seed: seed, Args: args},
+	}
+	return creq.Key(), nil
+}
+
+// resolve validates a SubmitRequest and fills a Job's execution fields.
+func (s *Server) resolve(req *SubmitRequest) (*Job, error) {
+	src, args, err := resolveProgram(req.Source, req.Benchmark, req.Args)
+	if err != nil {
+		return nil, err
 	}
 	if int64(len(src)) > s.cfg.MaxSourceBytes {
 		return nil, fmt.Errorf("source exceeds %d bytes", s.cfg.MaxSourceBytes)
@@ -351,14 +499,7 @@ func (s *Server) resolve(req *SubmitRequest) (*Job, error) {
 	if engine != "deterministic" && engine != "concurrent" {
 		return nil, fmt.Errorf("unknown engine %q", req.Engine)
 	}
-	cores := req.Cores
-	if cores <= 0 {
-		cores = 1
-	}
-	seed := req.Seed
-	if seed == 0 {
-		seed = 1
-	}
+	cores, seed := execDefaults(req.Cores, req.Seed)
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
@@ -472,14 +613,17 @@ func (s *Server) work() {
 func (s *Server) execute(j *Job) {
 	if !j.begin() {
 		// canceled while queued; it is already terminal
+		s.logJobDone(j)
 		s.retire(j)
 		return
 	}
+	s.logJobStart(j)
 	s.running.Add(1)
 	defer s.running.Add(-1)
 
 	res, err := s.runJob(j)
 	j.finish(res, err)
+	s.logJobDone(j)
 
 	q, r, e2e := j.latencies()
 	s.queueLat.Observe(q)
@@ -636,10 +780,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusBadRequest, CodeInvalidArgument, err.Error(), 0)
 		return
 	}
-	j.ID = fmt.Sprintf("j%08d", s.nextID.Add(1))
+	j.ID = s.jobID()
 	j.submitted = time.Now()
 	j.ctx, j.cancel = context.WithCancel(s.baseCtx)
 	s.submitted.Add(1)
+
+	// Durability before acknowledgment: the job is logged before the
+	// client can learn it was accepted, so an accepted job survives any
+	// crash after this line.
+	if err := s.logJobAccept(j); err != nil {
+		j.cancel()
+		writeErr(w, r, http.StatusInternalServerError, CodeInternal, "write-ahead log append failed: "+err.Error(), 0)
+		return
+	}
 
 	s.register(j)
 	if err := s.admit(j); err != nil {
@@ -648,6 +801,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.jobMu.Unlock()
 		j.cancel()
 		s.rejected.Add(1)
+		// The accept was logged but the job never ran; close it out in
+		// the log too so a restart does not resurrect a rejected job.
+		j.mu.Lock()
+		j.status = StatusCanceled
+		j.errMsg = "rejected at admission: " + err.Error()
+		j.mu.Unlock()
+		s.logJobDone(j)
 		status, code := http.StatusTooManyRequests, CodeSaturated
 		if err == errDraining {
 			status, code = http.StatusServiceUnavailable, CodeDraining
@@ -774,6 +934,11 @@ type Varz struct {
 	// concurrent engine's scheduler/lock counters (steals, retries,
 	// rollbacks, ...).
 	Runtime obsv.MetricsSnapshot `json:"runtime_counters"`
+	// WAL reports the durability layer (nil when no WALDir is set).
+	WAL *WALView `json:"wal,omitempty"`
+	// Cluster reports the router's per-node counters (nil on
+	// single-node servers).
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 }
 
 // QueueStats describes the admission queue.
@@ -795,7 +960,14 @@ func (s *Server) VarzSnapshot() Varz {
 	s.aggMu.Lock()
 	agg := s.agg
 	s.aggMu.Unlock()
+	var cluster *ClusterStats
+	if fn := s.clusterFn.Load(); fn != nil {
+		cs := (*fn)()
+		cluster = &cs
+	}
 	return Varz{
+		WAL:      s.walView(),
+		Cluster:  cluster,
 		UptimeMS: time.Since(s.start).Milliseconds(),
 		Draining: s.draining.Load(),
 		Workers:  s.cfg.Workers,

@@ -11,7 +11,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/benchmarks"
 	"repro/internal/bamboort"
 	"repro/internal/core"
 	"repro/internal/obsv"
@@ -53,6 +52,9 @@ type Session struct {
 	spec   SessionRequestSpec
 	args   []string
 	creq   CompileRequest
+	// req is the creating request verbatim, for the WAL (create records
+	// and checkpoint re-encoding).
+	req SessionRequest
 
 	// qmu guards pending only; it nests inside mu (claim happens under mu)
 	// but handlers enqueue under qmu alone, so arrival never blocks on an
@@ -219,19 +221,9 @@ func (sn *Session) viewLocked() SessionView {
 
 // resolveSession validates a SessionRequest into an unregistered Session.
 func (s *Server) resolveSession(req *SessionRequest) (*Session, error) {
-	if (req.Source == "") == (req.Benchmark == "") {
-		return nil, fmt.Errorf("exactly one of source and benchmark is required")
-	}
-	src, args := req.Source, req.Args
-	if req.Benchmark != "" {
-		b, err := benchmarks.Get(req.Benchmark)
-		if err != nil {
-			return nil, err
-		}
-		src = b.Source
-		if args == nil {
-			args = b.Args
-		}
+	src, args, err := resolveProgram(req.Source, req.Benchmark, req.Args)
+	if err != nil {
+		return nil, err
 	}
 	if int64(len(src)) > s.cfg.MaxSourceBytes {
 		return nil, fmt.Errorf("source exceeds %d bytes", s.cfg.MaxSourceBytes)
@@ -243,14 +235,7 @@ func (s *Server) resolveSession(req *SessionRequest) (*Session, error) {
 	if engine != "deterministic" && engine != "concurrent" {
 		return nil, fmt.Errorf("unknown engine %q", req.Engine)
 	}
-	cores := req.Cores
-	if cores <= 0 {
-		cores = 1
-	}
-	seed := req.Seed
-	if seed == 0 {
-		seed = 1
-	}
+	cores, seed := execDefaults(req.Cores, req.Seed)
 	if req.Request.Class == "" || req.Request.Flag == "" {
 		return nil, fmt.Errorf("request spec needs class and flag")
 	}
@@ -258,6 +243,7 @@ func (s *Server) resolveSession(req *SessionRequest) (*Session, error) {
 		return nil, fmt.Errorf("request spec needs doneFlag")
 	}
 	sn := &Session{
+		req:    *req,
 		engine: engine,
 		cores:  cores,
 		spec:   req.Request,
@@ -398,6 +384,7 @@ func (s *Server) revive(ctx context.Context, sn *Session) error {
 	sn.replays++
 	s.sessReplays.Add(1)
 	sn.status = SessionActive
+	s.logSessEvent(recSessRevive, sn.ID)
 	return nil
 }
 
@@ -412,6 +399,7 @@ func (s *Server) failLocked(sn *Session, err error) {
 	sn.errMsg = err.Error()
 	sn.log, sn.logReqs = nil, 0
 	s.sessFailed.Add(1)
+	s.logSessDone(sn)
 	s.retireSession(sn.ID)
 }
 
@@ -469,6 +457,7 @@ func (s *Server) parkForRoom(incoming *Session) {
 			// chunks feed the next boot's arena.
 			s.closeLiveLocked(c.sn)
 			c.sn.status = SessionParked
+			s.logSessEvent(recSessPark, c.sn.ID)
 			s.sessParks.Add(1)
 			need--
 		}
@@ -491,11 +480,13 @@ func (s *Server) closeAllSessions() {
 			sn.res = s.closeLiveLocked(sn)
 			sn.status = SessionClosed
 			s.sessClosed.Add(1)
+			s.logSessDone(sn)
 			s.retireSession(sn.ID)
 		case SessionParked:
 			sn.status = SessionClosed
 			sn.log, sn.logReqs = nil, 0
 			s.sessClosed.Add(1)
+			s.logSessDone(sn)
 			s.retireSession(sn.ID)
 		}
 		sn.mu.Unlock()
@@ -531,7 +522,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusTooManyRequests, CodeSaturated, "session table is full", int64(s.retryAfter())*1000)
 		return
 	}
-	sn.ID = fmt.Sprintf("s%08d", s.nextSess.Add(1))
+	sn.ID = s.sessID()
 	s.sessions[sn.ID] = sn
 	s.sessMu.Unlock()
 
@@ -549,6 +540,14 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 			status, code = http.StatusGatewayTimeout, CodeDeadlineExceeded
 		}
 		writeErr(w, r, status, code, err.Error(), 0)
+		return
+	}
+	// Durability before acknowledgment: log the create before the client
+	// can learn the session exists.
+	if err := s.logSessCreate(sn); err != nil {
+		s.closeLiveLocked(sn)
+		s.dropSession(sn.ID)
+		writeErr(w, r, http.StatusInternalServerError, CodeInternal, "write-ahead log append failed: "+err.Error(), 0)
 		return
 	}
 	sn.status = SessionActive
@@ -804,13 +803,26 @@ func (s *Server) runWaitersLocked(sn *Session, ws []*feedWaiter) {
 			}
 			entry = FeedRequest{Requests: items}
 		}
-		sn.log = append(sn.log, entry)
-		sn.logReqs += len(objs)
-		if sn.logReqs > s.cfg.MaxSessionLog {
-			// Replay would cost more than residency: pin the session and
-			// drop the history.
-			sn.pinned = true
-			sn.log, sn.logReqs = nil, 0
+		// Durability before acknowledgment: the batch must reach the WAL
+		// before any waiter is released below, or a crash+revive could
+		// rebuild a state clients have already seen past. The engine ran,
+		// so the replies stay valid either way — but if the log cannot
+		// hold this batch the session's durable history has diverged from
+		// its live state, and the only honest move is to fail it for
+		// future feeds (replies were rendered above; the arena can go).
+		if werr := s.logSessFeed(sn, len(sn.log), &entry); werr != nil {
+			s.failLocked(sn, fmt.Errorf("write-ahead log append failed: %w", werr))
+		} else {
+			sn.log = append(sn.log, entry)
+			sn.logReqs += len(objs)
+			if sn.logReqs > s.cfg.MaxSessionLog {
+				// Replay would cost more than residency: pin the session and
+				// drop the history. The pin record tells recovery this
+				// session can no longer be rebuilt from the log.
+				sn.pinned = true
+				sn.log, sn.logReqs = nil, 0
+				s.logSessEvent(recSessPin, sn.ID)
+			}
 		}
 	}
 	sn.fed += int64(len(objs))
@@ -858,11 +870,13 @@ func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
 		sn.status = SessionClosed
 		sn.log, sn.logReqs = nil, 0
 		s.sessClosed.Add(1)
+		s.logSessDone(sn)
 		s.retireSession(sn.ID)
 	case SessionParked:
 		sn.status = SessionClosed
 		sn.log, sn.logReqs = nil, 0
 		s.sessClosed.Add(1)
+		s.logSessDone(sn)
 		s.retireSession(sn.ID)
 	case SessionClosed, SessionFailed:
 		// idempotent: report the terminal view again

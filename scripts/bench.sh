@@ -34,9 +34,18 @@
 # Results go to BENCH_saturate.json and are checked against the committed
 # floor ratchet in scripts/saturate_floors.json.
 #
-# Usage: scripts/bench.sh [output.json] [runtime-output.json] [interp-output.json] [server-output.json] [stream-output.json] [saturate-output.json]
+# And the sharded-cluster benchmark: scripts/loadgen.go -cluster boots
+# an in-process 3-node bambood ring (WAL + router per node) plus a
+# 1-node baseline and drives both with a cache-affinity workload (more
+# distinct programs than one node's cache holds), then kills one node
+# mid-burst and restarts it from its WAL. BENCH_cluster.json records
+# 3-node-vs-1-node throughput scaling and the failover recovery time;
+# the run FAILS if 3-node does not beat 1-node or any accepted job is
+# lost across the kill.
+#
+# Usage: scripts/bench.sh [output.json] [runtime-output.json] [interp-output.json] [server-output.json] [stream-output.json] [saturate-output.json] [cluster-output.json]
 #   BENCH_SECTIONS space-separated subset of "synthesis runtime interp
-#                  server stream saturate" to run (default: all).
+#                  server stream saturate cluster" to run (default: all).
 #                  Benchmarks on a shared box are noisy; re-rolling one
 #                  section beats re-rolling them all.
 #   BENCH_PATTERN  override the benchmark regexp
@@ -54,11 +63,16 @@
 #   SAT_CORES      core counts for the saturation runs (default 1,2,4,8)
 #   SAT_WORKERS    closed-loop worker sweep (default 4,16,48)
 #   SAT_TIME       measurement window per (cores, workers) pair (default 2s)
+#   CLUSTER_PROGRAMS  distinct programs in the cache-affinity workload
+#                     (default 24; must exceed CLUSTER_CACHE)
+#   CLUSTER_CACHE     compiled-cache entries per node (default 12)
+#   CLUSTER_ROUNDS    measured rounds over the program set (default 8)
+#   CLUSTER_CLIENTS   closed-loop submitters (default 8)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-sections="${BENCH_SECTIONS:-synthesis runtime interp server stream saturate}"
+sections="${BENCH_SECTIONS:-synthesis runtime interp server stream saturate cluster}"
 want() { case " $sections " in *" $1 "*) return 0 ;; *) return 1 ;; esac; }
 
 out="${1:-BENCH_synthesis.json}"
@@ -220,4 +234,25 @@ if want saturate; then
         -loop-duration "$sattime" -floors scripts/saturate_floors.json -out "$satout"
 
     echo "wrote $satout" >&2
+fi
+
+# Cluster sweep: 1-node baseline vs 3-node ring on the cache-affinity
+# workload, then the kill -9 failover experiment. A nonzero exit means
+# the ring failed to out-throughput one node (throughput_scaling_
+# 3node_vs_1node <= 1.0) or an accepted job was lost across the crash
+# (failover.lost_jobs > 0); failover_recovery_open_ms and
+# failover_recovery_total_ms carry the recovery-time side of the story.
+clout="${7:-BENCH_cluster.json}"
+clprograms="${CLUSTER_PROGRAMS:-24}"
+clcache="${CLUSTER_CACHE:-12}"
+clrounds="${CLUSTER_ROUNDS:-8}"
+clclients="${CLUSTER_CLIENTS:-8}"
+
+if want cluster; then
+    echo "running: go run ./scripts -cluster -cluster-programs $clprograms -cluster-cache-entries $clcache -cluster-rounds $clrounds -cluster-clients $clclients -out $clout" >&2
+    go run ./scripts -cluster -cluster-programs "$clprograms" \
+        -cluster-cache-entries "$clcache" -cluster-rounds "$clrounds" \
+        -cluster-clients "$clclients" -out "$clout"
+
+    echo "wrote $clout" >&2
 fi

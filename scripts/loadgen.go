@@ -91,7 +91,22 @@ func run() error {
 	loopEngine := flag.String("loop-engine", "concurrent", "session engine for closed-loop runs")
 	loopDur := flag.Duration("loop-duration", 2*time.Second, "measurement window per (cores, workers) combination (closed-loop)")
 	floors := flag.String("floors", "", "saturation floors JSON; peak RPS below a floor fails the run (closed-loop)")
+
+	clusterMode := flag.Bool("cluster", false, "cluster mode: 1-node vs 3-node sharded-ring benchmark with a mid-run kill -9")
+	clusterPrograms := flag.Int("cluster-programs", 24, "distinct programs in the cache-affinity workload (cluster)")
+	clusterCache := flag.Int("cluster-cache-entries", 12, "compiled-program cache entries per node; must be < cluster-programs so one node thrashes (cluster)")
+	clusterRounds := flag.Int("cluster-rounds", 8, "measured rounds over the program set (cluster)")
+	clusterClients := flag.Int("cluster-clients", 8, "concurrent submitters (cluster)")
+	clusterKill := flag.Bool("cluster-kill", true, "run the kill -9 failover phase (cluster)")
 	flag.Parse()
+
+	if *clusterMode {
+		o := *out
+		if o == "" {
+			o = "BENCH_cluster.json"
+		}
+		return runCluster(*clusterPrograms, *clusterCache, *clusterRounds, *clusterClients, *clusterKill, o)
+	}
 
 	base := *addr
 	if base == "" {

@@ -1,0 +1,568 @@
+// Cluster mode (-cluster) is the sharded-ring benchmark: it boots an
+// in-process 3-node bambood ring (each node a full daemon: WAL, cache,
+// router) plus a 1-node baseline, and drives both with the same
+// cache-affinity workload — more distinct programs than any single
+// node's compiled-program cache holds. The baseline LRU-thrashes (every
+// submit recompiles); the ring partitions the programs by fingerprint
+// so each node's share fits its cache, which is the owner-computes
+// thesis measured end to end: 3-node wall-clock throughput must beat
+// 1-node on identical hardware.
+//
+// The failover phase then kills one node mid-burst (kill -9 semantics:
+// no drain, no terminal records) and asserts zero accepted-job loss:
+// submissions during the outage shed to the survivors, and the victim's
+// accepted-but-unfinished jobs replay from its write-ahead log on
+// restart. The result goes to BENCH_cluster.json.
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// clusterProgram renders the i-th distinct workload program. Each i is
+// a different source text, hence a different fingerprint and cache
+// entry — the unit of ownership the ring shards.
+func clusterProgram(i int) string {
+	return fmt.Sprintf(`
+class Work {
+	flag run;
+	int n;
+	int total;
+	Work(int n) { this.n = n; }
+}
+task boot(StartupObject s in initialstate) {
+	Work w = new Work(%d){ run := true };
+	taskexit(s: initialstate := false);
+}
+task crunch(Work w in run) {
+	int i;
+	for (i = 0; i < w.n; i++) { w.total += i * i; }
+	System.printString("total=");
+	System.printInt(w.total);
+	System.println();
+	taskexit(w: run := false);
+}`, 2000+i)
+}
+
+// failoverProgram is the pre-kill burst workload: the same shape as
+// clusterProgram but with a crunch loop (~0.7s) much longer than the
+// whole submit window (~8ms per accept: fsync + proxy hop), so the
+// kill provably lands while jobs are still queued or running on the
+// victim — otherwise the replay path is never exercised.
+func failoverProgram(i int) string {
+	return fmt.Sprintf(`
+class Work {
+	flag run;
+	int n;
+	int total;
+	Work(int n) { this.n = n; }
+}
+task boot(StartupObject s in initialstate) {
+	Work w = new Work(%d){ run := true };
+	taskexit(s: initialstate := false);
+}
+task crunch(Work w in run) {
+	int i;
+	for (i = 0; i < w.n; i++) { w.total += i * i; }
+	System.printString("total=");
+	System.printInt(w.total);
+	System.println();
+	taskexit(w: run := false);
+}`, 20000000+i)
+}
+
+// clusterNode is one in-process daemon: server + WAL dir + router +
+// TCP listener, restartable at the same address.
+type clusterNode struct {
+	id      string
+	addr    string
+	walDir  string
+	srv     *server.Server
+	router  *cluster.Router
+	httpSrv *http.Server
+}
+
+func startNode(id, addr, walDir string, peers map[string]string, cacheEntries int) (*clusterNode, error) {
+	srv, err := server.Open(server.Config{
+		Workers:      2,
+		CacheEntries: cacheEntries,
+		NodeID:       id,
+		WALDir:       walDir,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("node %s: %w", id, err)
+	}
+	router := cluster.NewRouter(srv.Handler(), cluster.Options{
+		NodeID: id,
+		Peers:  peers,
+		// Fast detection so the failover phase converges inside the
+		// benchmark window.
+		Membership: cluster.MemberOptions{Interval: 100 * time.Millisecond, SuspectAfter: 1, DeadAfter: 2},
+	})
+	srv.SetClusterStats(router.Stats)
+
+	// A restart must come back at the SAME address (the peer map is
+	// static); the old listener is closed but a straggling accept can
+	// hold the port for a beat.
+	var ln net.Listener
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			router.Stop()
+			srv.Close()
+			return nil, fmt.Errorf("node %s: bind %s: %w", id, addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	n := &clusterNode{
+		id: id, addr: ln.Addr().String(), walDir: walDir,
+		srv: srv, router: router,
+		httpSrv: &http.Server{Handler: router},
+	}
+	go n.httpSrv.Serve(ln)
+	return n, nil
+}
+
+// kill is kill -9: connections dropped, no drain, no terminal WAL
+// records — everything non-terminal must come back from the log.
+func (n *clusterNode) kill() {
+	n.httpSrv.Close()
+	n.router.Stop()
+	n.srv.Kill()
+}
+
+func (n *clusterNode) shutdown() {
+	n.httpSrv.Close()
+	n.router.Stop()
+	n.srv.Close()
+}
+
+// clusterPhase is one topology's measured run.
+type clusterPhase struct {
+	Nodes                int         `json:"nodes"`
+	Jobs                 int         `json:"jobs"`
+	WallMS               float64     `json:"wall_ms"`
+	ThroughputJobsPerSec float64     `json:"throughput_jobs_per_sec"`
+	LatencyMS            quantiles   `json:"latency_ms"`
+	CacheHitRate         float64     `json:"cache_hit_rate"`
+	PerNode              []nodeStats `json:"per_node"`
+}
+
+type nodeStats struct {
+	NodeID      string `json:"node_id"`
+	Proxied     int64  `json:"proxied"`
+	Shed        int64  `json:"shed"`
+	Failovers   int64  `json:"failovers"`
+	CacheHits   int64  `json:"cache_hits"`
+	CacheMisses int64  `json:"cache_misses"`
+	WALAppends  int64  `json:"wal_appends"`
+}
+
+type failoverDoc struct {
+	Victim string `json:"victim"`
+	// AcceptedPreKill jobs were acknowledged before the kill (some ran,
+	// some died queued on the victim); AcceptedDuringOutage were
+	// submitted through the survivors while the victim was down.
+	AcceptedPreKill      int   `json:"accepted_pre_kill"`
+	AcceptedDuringOutage int   `json:"accepted_during_outage"`
+	LostJobs             int   `json:"lost_jobs"`
+	ReplayedJobs         int64 `json:"replayed_jobs"`
+	// ShedDuringOutage counts 429/503-driven retries; Failovers counts
+	// dead-or-unreachable skips (the dominant path while a node is
+	// down).
+	ShedDuringOutage   int64 `json:"shed_during_outage"`
+	FailoversDuringOut int64 `json:"failovers_during_outage"`
+	// RecoveryOpenMS is the victim's restart cost (WAL replay
+	// included); RecoveryTotalMS runs from the kill to the moment every
+	// accepted job reached a successful terminal state.
+	RecoveryOpenMS  float64 `json:"failover_recovery_open_ms"`
+	RecoveryTotalMS float64 `json:"failover_recovery_total_ms"`
+}
+
+type clusterDoc struct {
+	Config struct {
+		Programs     int `json:"programs"`
+		CacheEntries int `json:"cache_entries_per_node"`
+		Rounds       int `json:"rounds"`
+		Clients      int `json:"clients"`
+	} `json:"config"`
+	SingleNode clusterPhase `json:"single_node"`
+	ThreeNode  clusterPhase `json:"three_node"`
+	// ScalingX is 3-node over 1-node throughput; the acceptance bar
+	// is > 1.0 on identical hardware.
+	ScalingX float64      `json:"throughput_scaling_3node_vs_1node"`
+	Failover *failoverDoc `json:"failover,omitempty"`
+	Pass     bool         `json:"pass"`
+}
+
+func runCluster(programs, cacheEntries, rounds, clients int, kill bool, out string) error {
+	doc := &clusterDoc{}
+	doc.Config.Programs = programs
+	doc.Config.CacheEntries = cacheEntries
+	doc.Config.Rounds = rounds
+	doc.Config.Clients = clients
+	ctx := context.Background()
+
+	// ---- 1-node baseline: the whole program set against one cache ----
+	soloDir, err := os.MkdirTemp("", "bambood-wal-solo-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(soloDir)
+	soloLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	soloAddr := soloLn.Addr().String()
+	soloLn.Close()
+	solo, err := startNode("solo", soloAddr, soloDir, map[string]string{"solo": "http://" + soloAddr}, cacheEntries)
+	if err != nil {
+		return err
+	}
+	phase, err := drivePhase(ctx, []*clusterNode{solo}, programs, rounds, clients)
+	solo.shutdown()
+	if err != nil {
+		return fmt.Errorf("1-node phase: %w", err)
+	}
+	doc.SingleNode = *phase
+	fmt.Fprintf(os.Stderr, "loadgen: cluster 1-node: %.1f jobs/s (hit rate %.0f%%)\n",
+		phase.ThroughputJobsPerSec, phase.CacheHitRate*100)
+
+	// ---- 3-node ring: same programs, sharded by fingerprint ----
+	nodes, cleanup, err := startRing(3, cacheEntries)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	phase3, err := drivePhase(ctx, nodes, programs, rounds, clients)
+	if err != nil {
+		return fmt.Errorf("3-node phase: %w", err)
+	}
+	doc.ThreeNode = *phase3
+	if doc.SingleNode.ThroughputJobsPerSec > 0 {
+		doc.ScalingX = phase3.ThroughputJobsPerSec / doc.SingleNode.ThroughputJobsPerSec
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: cluster 3-node: %.1f jobs/s (hit rate %.0f%%), scaling %.2fx\n",
+		phase3.ThroughputJobsPerSec, phase3.CacheHitRate*100, doc.ScalingX)
+
+	// ---- failover: kill one node mid-burst, restart, count losses ----
+	if kill {
+		fo, err := driveFailover(ctx, nodes, programs, cacheEntries)
+		if err != nil {
+			return fmt.Errorf("failover phase: %w", err)
+		}
+		doc.Failover = fo
+		fmt.Fprintf(os.Stderr,
+			"loadgen: cluster failover: %d+%d accepted, %d lost, %d replayed, %d shed, %d failovers; recovery open %.0fms total %.0fms\n",
+			fo.AcceptedPreKill, fo.AcceptedDuringOutage, fo.LostJobs, fo.ReplayedJobs,
+			fo.ShedDuringOutage, fo.FailoversDuringOut, fo.RecoveryOpenMS, fo.RecoveryTotalMS)
+	}
+
+	doc.Pass = doc.ScalingX > 1.0 && (doc.Failover == nil || doc.Failover.LostJobs == 0)
+	if err := writeDoc(out, doc); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", out)
+	if doc.Failover != nil && doc.Failover.LostJobs > 0 {
+		return fmt.Errorf("failover lost %d accepted jobs", doc.Failover.LostJobs)
+	}
+	if doc.ScalingX <= 1.0 {
+		return fmt.Errorf("3-node throughput (%.1f jobs/s) did not beat 1-node (%.1f jobs/s)",
+			doc.ThreeNode.ThroughputJobsPerSec, doc.SingleNode.ThroughputJobsPerSec)
+	}
+	return nil
+}
+
+// startRing allocates addresses for n nodes, then boots them against
+// the shared peer map. nodes[i] is restartable via startNode with the
+// same id/addr/walDir.
+func startRing(n, cacheEntries int) ([]*clusterNode, func(), error) {
+	addrs := make([]string, n)
+	peers := map[string]string{}
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+		peers[fmt.Sprintf("n%d", i+1)] = "http://" + addrs[i]
+	}
+	nodes := make([]*clusterNode, n)
+	cleanup := func() {
+		for _, nd := range nodes {
+			if nd != nil {
+				nd.shutdown()
+				os.RemoveAll(nd.walDir)
+			}
+		}
+	}
+	for i := range nodes {
+		id := fmt.Sprintf("n%d", i+1)
+		dir, err := os.MkdirTemp("", "bambood-wal-"+id+"-")
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		nd, err := startNode(id, addrs[i], dir, peers, cacheEntries)
+		if err != nil {
+			os.RemoveAll(dir)
+			cleanup()
+			return nil, nil, err
+		}
+		nodes[i] = nd
+	}
+	return nodes, cleanup, nil
+}
+
+// drivePhase runs the cache-affinity workload: clients pull the next
+// (round, program) pair and submit it round-robin across every front,
+// awaiting each job. One unmeasured warm-up round fills the caches so
+// the measured rounds show steady-state behavior (for the 1-node
+// baseline "steady state" IS the thrash).
+func drivePhase(ctx context.Context, nodes []*clusterNode, programs, rounds, clients int) (*clusterPhase, error) {
+	fronts := make([]*client.Client, len(nodes))
+	pre := make([]server.Varz, len(nodes))
+	for i, nd := range nodes {
+		fronts[i] = client.New("http://" + nd.addr)
+	}
+	// Warm-up round (unmeasured).
+	for i := 0; i < programs; i++ {
+		if err := oneClusterJob(ctx, fronts[i%len(fronts)], i); err != nil {
+			return nil, fmt.Errorf("warmup program %d: %w", i, err)
+		}
+	}
+	for i, nd := range nodes {
+		pre[i] = nd.srv.VarzSnapshot()
+	}
+
+	total := rounds * programs
+	var next atomic.Int64
+	var firstErr atomic.Value
+	latCh := make(chan time.Duration, total)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total || firstErr.Load() != nil {
+					return
+				}
+				t0 := time.Now()
+				if err := oneClusterJob(ctx, fronts[i%len(fronts)], i%programs); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				latCh <- time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(latCh)
+	if err := firstErr.Load(); err != nil {
+		return nil, err.(error)
+	}
+
+	var lats []time.Duration
+	for l := range latCh {
+		lats = append(lats, l)
+	}
+	ph := &clusterPhase{
+		Nodes:     len(nodes),
+		Jobs:      len(lats),
+		WallMS:    float64(wall.Nanoseconds()) / 1e6,
+		LatencyMS: summarize(lats),
+	}
+	if wall > 0 {
+		ph.ThroughputJobsPerSec = float64(len(lats)) / wall.Seconds()
+	}
+	var hits, misses int64
+	for i, nd := range nodes {
+		v := nd.srv.VarzSnapshot()
+		hits += v.Cache.Hits - pre[i].Cache.Hits
+		misses += v.Cache.Misses - pre[i].Cache.Misses
+		ns := nodeStats{NodeID: nd.id, CacheHits: v.Cache.Hits - pre[i].Cache.Hits, CacheMisses: v.Cache.Misses - pre[i].Cache.Misses}
+		if v.Cluster != nil {
+			ns.Proxied = v.Cluster.Proxied
+			ns.Shed = v.Cluster.Shed
+			ns.Failovers = v.Cluster.Failovers
+		}
+		if v.WAL != nil {
+			ns.WALAppends = v.WAL.Appends
+		}
+		ph.PerNode = append(ph.PerNode, ns)
+	}
+	if hits+misses > 0 {
+		ph.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	return ph, nil
+}
+
+// oneClusterJob submits program i through the given front and awaits
+// success, backing off on saturated/draining like the jobs-mode driver.
+func oneClusterJob(ctx context.Context, cl *client.Client, i int) error {
+	id, err := submitClusterJob(ctx, cl, i)
+	if err != nil {
+		return err
+	}
+	awaitCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer cancel()
+	v, err := cl.AwaitJob(awaitCtx, id)
+	if err != nil {
+		return fmt.Errorf("job %s: %w", id, err)
+	}
+	if v.Status != server.StatusSucceeded {
+		return fmt.Errorf("job %s: %s (%s)", id, v.Status, v.Error)
+	}
+	return nil
+}
+
+func submitClusterJob(ctx context.Context, cl *client.Client, i int) (string, error) {
+	return submitSource(ctx, cl, clusterProgram(i))
+}
+
+func submitSource(ctx context.Context, cl *client.Client, source string) (string, error) {
+	req := server.SubmitRequest{Source: source}
+	for {
+		sub, err := cl.SubmitJob(ctx, req)
+		if err == nil {
+			return sub.ID, nil
+		}
+		if client.IsCode(err, server.CodeSaturated) || client.IsCode(err, server.CodeDraining) {
+			after := client.RetryAfter(err)
+			if after <= 0 {
+				after = 100 * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return "", ctx.Err()
+			case <-time.After(after):
+			}
+			continue
+		}
+		return "", err
+	}
+}
+
+// driveFailover is the crash experiment on the (already warm) ring:
+// burst, kill -9 node n2, burst through the survivors, restart n2 from
+// its WAL, then demand a successful terminal state for every single
+// accepted job.
+func driveFailover(ctx context.Context, nodes []*clusterNode, programs, cacheEntries int) (*failoverDoc, error) {
+	const burst = 12
+	victim := nodes[1]
+	survivors := []*client.Client{client.New("http://" + nodes[0].addr), client.New("http://" + nodes[2].addr)}
+	allFronts := make([]*client.Client, len(nodes))
+	for i, nd := range nodes {
+		allFronts[i] = client.New("http://" + nd.addr)
+	}
+	preA, preB := nodes[0].router.Stats(), nodes[2].router.Stats()
+	shedBefore := preA.Shed + preB.Shed
+	failBefore := preA.Failovers + preB.Failovers
+
+	fo := &failoverDoc{Victim: victim.id}
+	var ids []string
+	// Burst 1: slow jobs through every front, victim included — the
+	// kill must land while some are still queued or running there.
+	for i := 0; i < burst; i++ {
+		id, err := submitSource(ctx, allFronts[i%len(allFronts)], failoverProgram(i))
+		if err != nil {
+			return nil, fmt.Errorf("pre-kill submit %d: %w", i, err)
+		}
+		ids = append(ids, id)
+	}
+	fo.AcceptedPreKill = len(ids)
+
+	killAt := time.Now()
+	victim.kill()
+
+	// Burst 2: the ring is down a node; every submission must still be
+	// accepted — victim-owned programs shed to the next ring node.
+	for i := 0; i < burst; i++ {
+		id, err := submitClusterJob(ctx, survivors[i%len(survivors)], i%programs)
+		if err != nil {
+			return nil, fmt.Errorf("submit during outage: %w", err)
+		}
+		ids = append(ids, id)
+	}
+	fo.AcceptedDuringOutage = len(ids) - fo.AcceptedPreKill
+	postA, postB := nodes[0].router.Stats(), nodes[2].router.Stats()
+	fo.ShedDuringOutage = postA.Shed + postB.Shed - shedBefore
+	fo.FailoversDuringOut = postA.Failovers + postB.Failovers - failBefore
+
+	// Restart the victim at the same address, from the same WAL.
+	openStart := time.Now()
+	restarted, err := startNode(victim.id, victim.addr, victim.walDir, ringPeers(nodes), cacheEntries)
+	if err != nil {
+		return nil, fmt.Errorf("restart %s: %w", victim.id, err)
+	}
+	fo.RecoveryOpenMS = float64(time.Since(openStart).Nanoseconds()) / 1e6
+	nodes[1] = restarted
+	if w := restarted.srv.VarzSnapshot().WAL; w != nil {
+		fo.ReplayedJobs = w.ReplayedJobs
+	}
+
+	// The survivors' membership still has the victim marked dead; by-ID
+	// routes 502 until a probe succeeds. Ring-heal time is part of
+	// recovery, so wait for the survivor front to see the victim alive
+	// again before the loss accounting (otherwise a 502 on the first
+	// poll would masquerade as a lost job).
+	healCtx, healCancel := context.WithTimeout(ctx, 10*time.Second)
+	for healed := false; !healed; {
+		healed = true
+		for _, p := range nodes[0].router.Stats().Peers {
+			if p.ID == victim.id && p.State == "dead" {
+				healed = false
+			}
+		}
+		if !healed {
+			select {
+			case <-healCtx.Done():
+				healCancel()
+				return nil, fmt.Errorf("ring never healed after %s restart", victim.id)
+			case <-time.After(20 * time.Millisecond):
+			}
+		}
+	}
+	healCancel()
+
+	// Zero-loss accounting: every accepted ID must reach succeeded,
+	// polled through a survivor front (by-ID routing finds the owner).
+	for _, id := range ids {
+		awaitCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+		v, err := survivors[0].AwaitJob(awaitCtx, id)
+		cancel()
+		if err != nil || v.Status != server.StatusSucceeded {
+			fo.LostJobs++
+			fmt.Fprintf(os.Stderr, "loadgen: LOST job %s: %+v err=%v\n", id, v, err)
+		}
+	}
+	fo.RecoveryTotalMS = float64(time.Since(killAt).Nanoseconds()) / 1e6
+	return fo, nil
+}
+
+func ringPeers(nodes []*clusterNode) map[string]string {
+	peers := map[string]string{}
+	for _, nd := range nodes {
+		peers[nd.id] = "http://" + nd.addr
+	}
+	return peers
+}
